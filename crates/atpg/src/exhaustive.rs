@@ -1,0 +1,152 @@
+//! Exhaustive single-frame testability proof for small circuits.
+//!
+//! PODEM with a backtrack limit can *fail to find* a test without proving
+//! none exists. For circuits whose frame (primary inputs + present state)
+//! is small enough, exhausting every assignment settles the question: in a
+//! full-scan circuit, a fault with no single-frame test — no state/input
+//! pair that activates it and propagates the effect to a primary output or
+//! a flip-flop — is untestable outright, because scan makes every state
+//! reachable and every flip-flop observable. This grounds the `untest`
+//! column of Table 5 for the small benchmarks.
+
+use limscan_fault::{Fault, FaultList};
+use limscan_netlist::Circuit;
+use limscan_sim::{eval_comb, eval_comb_with, next_state, Logic};
+
+/// Outcome of an exhaustive frame check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FrameTestability {
+    /// Some frame assignment detects the fault.
+    Testable,
+    /// No frame assignment detects the fault: untestable under full scan.
+    Untestable,
+    /// The frame exceeds the bit budget; nothing was proven.
+    TooLarge,
+}
+
+/// Exhaustively checks whether `fault` has a single-frame test, provided
+/// the frame has at most `max_bits` inputs (primary inputs + flip-flops).
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::{Fault, FaultList, StuckAt};
+/// use limscan_atpg::exhaustive::{prove_frame, FrameTestability};
+///
+/// let c = benchmarks::s27();
+/// let g11 = c.find_net("G11").unwrap();
+/// let r = prove_frame(&c, Fault::stem(g11, StuckAt::Zero), 20);
+/// assert_eq!(r, FrameTestability::Testable);
+/// ```
+pub fn prove_frame(circuit: &Circuit, fault: Fault, max_bits: u32) -> FrameTestability {
+    let n_pi = circuit.inputs().len();
+    let n_ff = circuit.dffs().len();
+    let bits = (n_pi + n_ff) as u32;
+    if bits > max_bits.min(30) {
+        return FrameTestability::TooLarge;
+    }
+    let mut gv = vec![Logic::X; circuit.net_count()];
+    let mut bv = vec![Logic::X; circuit.net_count()];
+    for assignment in 0u64..(1u64 << bits) {
+        for (vals, f) in [(&mut gv, None), (&mut bv, Some(fault))] {
+            vals.fill(Logic::X);
+            for (k, &pi) in circuit.inputs().iter().enumerate() {
+                vals[pi.index()] = Logic::from_bool(assignment >> k & 1 == 1);
+            }
+            for (k, &q) in circuit.dffs().iter().enumerate() {
+                vals[q.index()] = Logic::from_bool(assignment >> (n_pi + k) & 1 == 1);
+            }
+            eval_comb_with(circuit, vals, f);
+        }
+        if circuit
+            .outputs()
+            .iter()
+            .any(|&o| gv[o.index()].conflicts(bv[o.index()]))
+        {
+            return FrameTestability::Testable;
+        }
+        let gn = next_state(circuit, &gv, None);
+        let bn = next_state(circuit, &bv, Some(fault));
+        if gn.iter().zip(&bn).any(|(g, b)| g.conflicts(*b)) {
+            return FrameTestability::Testable;
+        }
+    }
+    let _ = eval_comb; // the good path goes through eval_comb_with(None)
+    FrameTestability::Untestable
+}
+
+/// Counts the provably untestable faults of `faults` over `circuit`, or
+/// `None` when the frame exceeds `max_bits`.
+pub fn count_untestable(circuit: &Circuit, faults: &FaultList, max_bits: u32) -> Option<usize> {
+    let mut n = 0;
+    for (_, f) in faults.iter() {
+        match prove_frame(circuit, f, max_bits) {
+            FrameTestability::Untestable => n += 1,
+            FrameTestability::Testable => {}
+            FrameTestability::TooLarge => return None,
+        }
+    }
+    Some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{podem, PodemOptions, Scoap};
+    use limscan_netlist::{benchmarks, CircuitBuilder, GateKind};
+    use limscan_scan::ScanCircuit;
+
+    #[test]
+    fn s27_scan_has_no_untestable_faults() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        assert_eq!(count_untestable(sc.circuit(), &faults, 20), Some(0));
+    }
+
+    #[test]
+    fn redundant_logic_is_proven_untestable() {
+        // y = a AND (a OR b): the OR gate's `b` input is redundant —
+        // b stuck-at-0 on that path cannot be observed.
+        let mut b = CircuitBuilder::new("red");
+        b.input("a");
+        b.input("b");
+        b.gate("o", GateKind::Or, &["a", "b"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "o"]).unwrap();
+        b.output("y");
+        b.dff("q", "y").unwrap(); // keep a frame (one flip-flop)
+        let c = b.build().unwrap();
+        let bnet = c.find_net("b").unwrap();
+        let r = prove_frame(&c, Fault::stem(bnet, limscan_fault::StuckAt::Zero), 20);
+        assert_eq!(r, FrameTestability::Untestable);
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_podem_on_s27() {
+        // PODEM successes must all be confirmed Testable; exhaustive
+        // Untestable must all be PODEM failures.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let scoap = Scoap::compute(c);
+        for (_, f) in faults.iter() {
+            let podem_found = podem(c, &scoap, f, &PodemOptions::default()).is_some();
+            let proven = prove_frame(c, f, 20);
+            if podem_found {
+                assert_eq!(proven, FrameTestability::Testable, "{}", f.display_name(c));
+            }
+            if proven == FrameTestability::Untestable {
+                assert!(!podem_found, "{}", f.display_name(c));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_reported_not_ground() {
+        let spec = benchmarks::SyntheticSpec::new("big-frame", 20, 20, 100, 4);
+        let c = benchmarks::synthetic(&spec);
+        let g = c.find_net("g0").unwrap();
+        let r = prove_frame(&c, Fault::stem(g, limscan_fault::StuckAt::One), 20);
+        assert_eq!(r, FrameTestability::TooLarge);
+    }
+}

@@ -1,0 +1,332 @@
+//! Simulation-based (genetic) test generation, after the family of
+//! generators the paper builds on (reference \[9\]: *Simulation Based Test
+//! Generation for Scan Designs*).
+//!
+//! Instead of branch-and-bound search, candidate subsequences are *evolved*:
+//! a small population of fixed-length input subsequences is scored by fault
+//! simulation from the current machine state, recombined and mutated for a
+//! few generations, and the winner is appended to the test sequence. The
+//! scan inputs are ordinary inputs here too, so evolved subsequences freely
+//! mix functional vectors and (limited) scan shifts.
+//!
+//! Used as an alternative engine to [`SequentialAtpg`](crate::SequentialAtpg)
+//! — cheaper per step, no backtracking, typically longer sequences. The
+//! compaction stage of the paper applies unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use limscan_fault::{Fault, FaultId, FaultList};
+use limscan_netlist::Circuit;
+use limscan_scan::ScanCircuit;
+use limscan_sim::{
+    eval_comb, eval_comb_with, next_state, DetectionReport, Logic, SeqFaultSim, TestSequence,
+};
+
+/// Tuning knobs for [`GeneticAtpg`].
+#[derive(Clone, Debug)]
+pub struct GeneticConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations evolved per appended subsequence.
+    pub generations: usize,
+    /// Length of each candidate subsequence (vectors).
+    pub subseq_len: usize,
+    /// Per-bit mutation probability.
+    pub mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elite: usize,
+    /// Probability that a fresh random vector shifts the chain.
+    pub scan_sel_bias: f64,
+    /// Undetected faults sampled per fitness evaluation.
+    pub fitness_sample: usize,
+    /// Stop after this many consecutive rounds without a new detection.
+    pub stall_limit: usize,
+}
+
+impl Default for GeneticConfig {
+    fn default() -> Self {
+        GeneticConfig {
+            seed: 0x9e7e_71c5,
+            population: 16,
+            generations: 6,
+            subseq_len: 8,
+            mutation_rate: 0.08,
+            elite: 2,
+            scan_sel_bias: 0.3,
+            fitness_sample: 24,
+            stall_limit: 4,
+        }
+    }
+}
+
+/// Simulation-based sequential test generator over `C_scan`.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+/// use limscan_scan::ScanCircuit;
+/// use limscan_atpg::genetic::{GeneticAtpg, GeneticConfig};
+///
+/// let sc = ScanCircuit::insert(&benchmarks::s27());
+/// let faults = FaultList::collapsed(sc.circuit());
+/// let (seq, report) = GeneticAtpg::new(&sc, &faults, GeneticConfig::default()).run();
+/// assert!(report.detected_count() > 0);
+/// assert!(!seq.is_empty());
+/// ```
+pub struct GeneticAtpg<'a> {
+    scan: &'a ScanCircuit,
+    faults: &'a FaultList,
+    config: GeneticConfig,
+}
+
+type Individual = Vec<Vec<Logic>>;
+
+impl<'a> GeneticAtpg<'a> {
+    /// Creates a generator for the given scan circuit and target faults.
+    pub fn new(scan: &'a ScanCircuit, faults: &'a FaultList, config: GeneticConfig) -> Self {
+        GeneticAtpg {
+            scan,
+            faults,
+            config,
+        }
+    }
+
+    /// Runs generation until every fault is detected or progress stalls;
+    /// returns the (fully specified) sequence and the detection report.
+    pub fn run(&self) -> (TestSequence, DetectionReport) {
+        let c = self.scan.circuit();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut sim = SeqFaultSim::new(c, self.faults);
+        let mut sequence = TestSequence::new(c.inputs().len());
+        let mut stalls = 0usize;
+
+        while sim.detected_count() < self.faults.len() && stalls < self.config.stall_limit {
+            let undetected = sim.undetected();
+            let sample: Vec<FaultId> =
+                sample_faults(&undetected, self.config.fitness_sample, &mut rng);
+            let winner = self.evolve(&sim, &sample, &mut rng);
+            let subseq: TestSequence = winner.into_iter().collect();
+            let new = sim.extend(&subseq);
+            sequence.extend_from(&subseq);
+            if new == 0 {
+                stalls += 1;
+            } else {
+                stalls = 0;
+            }
+        }
+        (sequence, sim.report())
+    }
+
+    fn random_individual(&self, rng: &mut StdRng) -> Individual {
+        let c = self.scan.circuit();
+        (0..self.config.subseq_len)
+            .map(|_| {
+                let mut v: Vec<Logic> = (0..c.inputs().len())
+                    .map(|_| Logic::from_bool(rng.gen()))
+                    .collect();
+                v[self.scan.scan_sel_pos()] =
+                    Logic::from_bool(rng.gen_bool(self.config.scan_sel_bias));
+                v
+            })
+            .collect()
+    }
+
+    fn evolve(&self, sim: &SeqFaultSim, sample: &[FaultId], rng: &mut StdRng) -> Individual {
+        let mut population: Vec<Individual> = (0..self.config.population)
+            .map(|_| self.random_individual(rng))
+            .collect();
+        let mut scored: Vec<(u64, Individual)> = population
+            .drain(..)
+            .map(|ind| (self.fitness(sim, sample, &ind), ind))
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0));
+
+        for _ in 0..self.config.generations {
+            let mut next: Vec<Individual> = scored
+                .iter()
+                .take(self.config.elite)
+                .map(|(_, ind)| ind.clone())
+                .collect();
+            while next.len() < self.config.population {
+                let a = &scored[tournament(scored.len(), rng)].1;
+                let b = &scored[tournament(scored.len(), rng)].1;
+                next.push(self.crossover_mutate(a, b, rng));
+            }
+            scored = next
+                .drain(..)
+                .map(|ind| (self.fitness(sim, sample, &ind), ind))
+                .collect();
+            scored.sort_by(|a, b| b.0.cmp(&a.0));
+        }
+        scored.remove(0).1
+    }
+
+    fn crossover_mutate(&self, a: &Individual, b: &Individual, rng: &mut StdRng) -> Individual {
+        let cut = rng.gen_range(0..=a.len());
+        let mut child: Individual = a[..cut].iter().chain(b[cut..].iter()).cloned().collect();
+        for v in &mut child {
+            for bit in v.iter_mut() {
+                if rng.gen_bool(self.config.mutation_rate) {
+                    *bit = bit.not();
+                }
+            }
+        }
+        child
+    }
+
+    /// Fitness: simulate the candidate from the current machine states for
+    /// each sampled fault. Detections dominate; latched effects (deeper in
+    /// the chain is better, since fewer shifts expose them) come second;
+    /// any excitation counts a little.
+    fn fitness(&self, sim: &SeqFaultSim, sample: &[FaultId], ind: &Individual) -> u64 {
+        let c = self.scan.circuit();
+        let mut score = 0u64;
+        for &fid in sample {
+            let fault = self.faults.fault(fid);
+            let mut gstate = sim.good_state().to_vec();
+            let mut bstate = sim.fault_state(fid).to_vec();
+            let mut best = 0u64;
+            for v in ind {
+                let (detected, latched, excited, gn, bn) = step_pair(c, fault, v, &gstate, &bstate);
+                if detected {
+                    best = best.max(1_000_000);
+                    break;
+                }
+                if let Some(depth) = latched {
+                    // Deeper is better (fewer shifts to expose), but a
+                    // latched effect never outranks an actual detection.
+                    best = best.max(100 + depth as u64);
+                } else if excited {
+                    best = best.max(10);
+                }
+                gstate = gn;
+                bstate = bn;
+            }
+            score += best;
+        }
+        score
+    }
+}
+
+fn sample_faults(undetected: &[FaultId], n: usize, rng: &mut StdRng) -> Vec<FaultId> {
+    if undetected.len() <= n {
+        return undetected.to_vec();
+    }
+    let mut picked = Vec::with_capacity(n);
+    let mut remaining = undetected.to_vec();
+    for _ in 0..n {
+        let i = rng.gen_range(0..remaining.len());
+        picked.push(remaining.swap_remove(i));
+    }
+    picked
+}
+
+fn tournament(len: usize, rng: &mut StdRng) -> usize {
+    let a = rng.gen_range(0..len);
+    let b = rng.gen_range(0..len);
+    a.min(b) // scored is sorted best-first, so the smaller index wins
+}
+
+/// One frame for good and faulty machines; returns (detected-at-PO,
+/// deepest-latched-effect, excited-anywhere, next good state, next bad
+/// state).
+#[allow(clippy::type_complexity)]
+fn step_pair(
+    c: &Circuit,
+    fault: Fault,
+    inputs: &[Logic],
+    gstate: &[Logic],
+    bstate: &[Logic],
+) -> (bool, Option<usize>, bool, Vec<Logic>, Vec<Logic>) {
+    let mut gv = vec![Logic::X; c.net_count()];
+    let mut bv = vec![Logic::X; c.net_count()];
+    for (vals, f) in [(&mut gv, None), (&mut bv, Some(fault))] {
+        for (&pi, &v) in c.inputs().iter().zip(inputs) {
+            vals[pi.index()] = v;
+        }
+        let st = if f.is_none() { gstate } else { bstate };
+        for (&q, &v) in c.dffs().iter().zip(st) {
+            vals[q.index()] = v;
+        }
+        if f.is_none() {
+            eval_comb(c, vals);
+        } else {
+            eval_comb_with(c, vals, f);
+        }
+    }
+    let detected = c
+        .outputs()
+        .iter()
+        .any(|&o| gv[o.index()].conflicts(bv[o.index()]));
+    let excited = (0..c.net_count()).any(|i| gv[i].conflicts(bv[i]));
+    let gn = next_state(c, &gv, None);
+    let bn = next_state(c, &bv, Some(fault));
+    let latched = (0..gn.len()).rev().find(|&j| gn[j].conflicts(bn[j]));
+    (detected, latched, excited, gn, bn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+
+    #[test]
+    fn s27_genetic_generation_detects_most_faults() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let (seq, report) = GeneticAtpg::new(&sc, &faults, GeneticConfig::default()).run();
+        assert!(
+            report.coverage_percent() > 80.0,
+            "coverage {:.1}%",
+            report.coverage_percent()
+        );
+        // The sequence must reproduce its own report.
+        let check = SeqFaultSim::run(sc.circuit(), &faults, &seq);
+        assert_eq!(check.detected_count(), report.detected_count());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let a = GeneticAtpg::new(&sc, &faults, GeneticConfig::default()).run();
+        let b = GeneticAtpg::new(&sc, &faults, GeneticConfig::default()).run();
+        assert_eq!(a.0, b.0);
+    }
+
+    #[test]
+    fn stall_limit_terminates_on_hard_circuits() {
+        // A tiny config must still terminate even when it cannot detect
+        // everything.
+        let spec = benchmarks::SyntheticSpec::new("gen-hard", 3, 6, 40, 2);
+        let c = benchmarks::synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let faults = FaultList::collapsed(sc.circuit());
+        let config = GeneticConfig {
+            population: 4,
+            generations: 2,
+            subseq_len: 4,
+            stall_limit: 2,
+            ..GeneticConfig::default()
+        };
+        let (seq, report) = GeneticAtpg::new(&sc, &faults, config).run();
+        assert!(seq.len() < 10_000, "must not run away");
+        assert!(report.detected_count() <= faults.len());
+    }
+
+    #[test]
+    fn evolved_sequences_use_scan_shifts() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let (seq, _) = GeneticAtpg::new(&sc, &faults, GeneticConfig::default()).run();
+        assert!(
+            sc.count_scan_vectors(&seq) > 0,
+            "scan inputs are ordinary inputs and should get exercised"
+        );
+    }
+}

@@ -1,0 +1,708 @@
+//! Combinational PODEM over one time frame.
+//!
+//! The frame of a sequential circuit has the primary inputs and the present
+//! state as inputs, and the primary outputs plus the next-state (flip-flop
+//! D) lines as observation points. Two modes matter to the paper's flow:
+//!
+//! * **fixed state** — the present state is given (the good machine's and
+//!   the faulty machine's values may differ, carrying fault effects that
+//!   are already latched); only primary inputs are assignable. This is the
+//!   single-time-frame step of forward-time sequential test generation.
+//! * **free state** — the present state is assignable too, which is the
+//!   classical first approach to scan ATPG; the resulting state is then
+//!   justified through the scan chain.
+//!
+//! Detection is recorded as [`Observation::Po`] (fault visible at a primary
+//! output this cycle) or [`Observation::Ppo`] (fault effect latched into a
+//! flip-flop — the hook for the paper's functional scan knowledge).
+
+use limscan_fault::{Fault, FaultSite};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+use limscan_sim::{eval_comb, eval_comb_with, Logic};
+
+use crate::scoap::Scoap;
+
+/// Where a PODEM test observes the fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Observation {
+    /// Observed at a primary output net.
+    Po(NetId),
+    /// Latched into the flip-flop at this chain position (0-based).
+    Ppo(usize),
+}
+
+/// Options controlling a PODEM run.
+#[derive(Clone, Debug)]
+pub struct PodemOptions {
+    /// Present-state values of the good machine; `None` makes the state
+    /// assignable (free-state mode).
+    pub state_good: Option<Vec<Logic>>,
+    /// Present-state values of the faulty machine. Must be `Some` exactly
+    /// when `state_good` is; may differ from it where fault effects are
+    /// already latched.
+    pub state_bad: Option<Vec<Logic>>,
+    /// Primary inputs pinned to fixed values, as `(position, value)` pairs
+    /// over the circuit's input list (e.g. forcing `scan_sel = 0`).
+    pub pi_fixed: Vec<(usize, Logic)>,
+    /// Give up after this many backtracks.
+    pub backtrack_limit: usize,
+    /// Whether latching the effect into a flip-flop counts as detection.
+    pub observe_ppos: bool,
+}
+
+impl Default for PodemOptions {
+    fn default() -> Self {
+        PodemOptions {
+            state_good: None,
+            state_bad: None,
+            pi_fixed: Vec::new(),
+            backtrack_limit: 2_000,
+            observe_ppos: true,
+        }
+    }
+}
+
+/// A successful PODEM result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PodemTest {
+    /// Values for the primary inputs (X where unassigned).
+    pub inputs: Vec<Logic>,
+    /// Present-state values: the fixed state in fixed-state mode, the
+    /// assigned state (X where unassigned) in free-state mode.
+    pub state: Vec<Logic>,
+    /// Where the fault is observed.
+    pub observation: Observation,
+}
+
+struct Podem<'a> {
+    circuit: &'a Circuit,
+    scoap: &'a Scoap,
+    fault: Fault,
+    opts: &'a PodemOptions,
+    /// Frame-assignable nets: primary inputs (unpinned) and, in free-state
+    /// mode, flip-flop outputs.
+    assignable: Vec<NetId>,
+    assigned: Vec<Logic>,
+    /// Decision stack: (index into `assignable`, tried-both-values flag).
+    stack: Vec<(usize, bool)>,
+    good: Vec<Logic>,
+    bad: Vec<Logic>,
+    backtracks: usize,
+}
+
+enum Status {
+    Detected(Observation),
+    Conflict,
+    Ongoing,
+}
+
+impl<'a> Podem<'a> {
+    fn new(circuit: &'a Circuit, scoap: &'a Scoap, fault: Fault, opts: &'a PodemOptions) -> Self {
+        debug_assert_eq!(opts.state_good.is_some(), opts.state_bad.is_some());
+        let mut assignable: Vec<NetId> = circuit
+            .inputs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !opts.pi_fixed.iter().any(|(p, _)| p == i))
+            .map(|(_, &n)| n)
+            .collect();
+        if opts.state_good.is_none() {
+            assignable.extend_from_slice(circuit.dffs());
+        }
+        Podem {
+            circuit,
+            scoap,
+            fault,
+            opts,
+            assigned: vec![Logic::X; assignable.len()],
+            assignable,
+            stack: Vec::new(),
+            good: vec![Logic::X; circuit.net_count()],
+            bad: vec![Logic::X; circuit.net_count()],
+            backtracks: 0,
+        }
+    }
+
+    fn imply(&mut self) {
+        self.good.fill(Logic::X);
+        for &(pos, v) in &self.opts.pi_fixed {
+            self.good[self.circuit.inputs()[pos].index()] = v;
+        }
+        for (&net, &v) in self.assignable.iter().zip(&self.assigned) {
+            self.good[net.index()] = v;
+        }
+        self.bad.clone_from(&self.good);
+        if let (Some(sg), Some(sb)) = (&self.opts.state_good, &self.opts.state_bad) {
+            for (i, &q) in self.circuit.dffs().iter().enumerate() {
+                self.good[q.index()] = sg[i];
+                self.bad[q.index()] = sb[i];
+            }
+        }
+        eval_comb(self.circuit, &mut self.good);
+        eval_comb_with(self.circuit, &mut self.bad, Some(self.fault));
+    }
+
+    #[inline]
+    fn effect_at(&self, n: NetId) -> bool {
+        self.good[n.index()].conflicts(self.bad[n.index()])
+    }
+
+    #[inline]
+    fn is_open(&self, n: NetId) -> bool {
+        self.good[n.index()] == Logic::X || self.bad[n.index()] == Logic::X
+    }
+
+    fn status(&self) -> Status {
+        // Detection at primary outputs first, then at next-state lines.
+        for &po in self.circuit.outputs() {
+            if self.effect_at(po) {
+                return Status::Detected(Observation::Po(po));
+            }
+        }
+        if self.opts.observe_ppos {
+            for (j, &q) in self.circuit.dffs().iter().enumerate() {
+                let Driver::Dff { d } = self.circuit.net(q).driver() else {
+                    unreachable!("dffs holds flip-flops");
+                };
+                if self.effect_at(*d) {
+                    return Status::Detected(Observation::Ppo(j));
+                }
+            }
+        }
+
+        // Excitation: the source net must be able to take the non-stuck
+        // value in the good machine.
+        let src = self.fault.site.source_net(self.circuit);
+        let want = Logic::from_bool(!self.fault.stuck.value());
+        let src_val = self.good[src.index()];
+        if src_val.is_binary() && src_val != want {
+            return Status::Conflict;
+        }
+        if src_val == Logic::X {
+            return Status::Ongoing; // excitation still to be justified
+        }
+
+        // Excited: the effect must have somewhere to go.
+        let frontier = self.d_frontier();
+        if frontier.is_empty() {
+            return Status::Conflict;
+        }
+        if !self.x_path_exists(&frontier) {
+            return Status::Conflict;
+        }
+        Status::Ongoing
+    }
+
+    /// Gates with a fault effect on some fanin (or the branch-fault pin)
+    /// and an undetermined output.
+    fn d_frontier(&self) -> Vec<NetId> {
+        let mut frontier = Vec::new();
+        for &id in self.circuit.comb_order() {
+            if !self.is_open(id) || self.effect_at(id) {
+                continue;
+            }
+            let Driver::Gate { fanins, .. } = self.circuit.net(id).driver() else {
+                continue;
+            };
+            let mut feeds_effect = fanins.iter().any(|&f| self.effect_at(f));
+            if let FaultSite::Branch(pin) = self.fault.site {
+                if pin.net == id {
+                    let src = self.fault.site.source_net(self.circuit);
+                    let want = Logic::from_bool(!self.fault.stuck.value());
+                    feeds_effect |= self.good[src.index()] == want;
+                }
+            }
+            if feeds_effect {
+                frontier.push(id);
+            }
+        }
+        frontier
+    }
+
+    /// Forward reachability from the frontier through undetermined nets to
+    /// any observation point.
+    fn x_path_exists(&self, frontier: &[NetId]) -> bool {
+        let mut seen = vec![false; self.circuit.net_count()];
+        let mut stack: Vec<NetId> = frontier.to_vec();
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            if self.circuit.is_output(n) {
+                return true;
+            }
+            for pin in self.circuit.fanouts(n) {
+                let consumer = pin.net;
+                match self.circuit.net(consumer).driver() {
+                    Driver::Dff { .. } => {
+                        if self.opts.observe_ppos {
+                            return true; // reached a next-state line
+                        }
+                    }
+                    Driver::Gate { .. } => {
+                        if self.is_open(consumer) && !seen[consumer.index()] {
+                            stack.push(consumer);
+                        }
+                    }
+                    Driver::Input => unreachable!("inputs have no fanins"),
+                }
+            }
+        }
+        false
+    }
+
+    /// Next objective `(net, value)` for the backtrace.
+    fn objective(&self) -> Option<(NetId, Logic)> {
+        let src = self.fault.site.source_net(self.circuit);
+        if self.good[src.index()] == Logic::X {
+            return Some((src, Logic::from_bool(!self.fault.stuck.value())));
+        }
+        // Propagate: pick the D-frontier gate closest to an observation
+        // point and set one of its X inputs to the non-controlling value.
+        let frontier = self.d_frontier();
+        let gate = frontier.into_iter().min_by_key(|&g| self.scoap.co(g))?;
+        let Driver::Gate { kind, fanins } = self.circuit.net(gate).driver() else {
+            unreachable!("frontier holds gates");
+        };
+        let x_inputs: Vec<NetId> = fanins
+            .iter()
+            .copied()
+            .filter(|&f| self.good[f.index()] == Logic::X)
+            .collect();
+        let &pick = x_inputs.first()?;
+        let value = match kind {
+            GateKind::And | GateKind::Nand => Logic::One,
+            GateKind::Or | GateKind::Nor => Logic::Zero,
+            GateKind::Xor | GateKind::Xnor => Logic::Zero,
+            GateKind::Mux => {
+                // Steer the select toward the data input carrying the
+                // effect; for X data inputs just pick a side.
+                if pick == fanins[0] {
+                    let d0_effect = self.effect_at(fanins[1]);
+                    Logic::from_bool(!d0_effect)
+                } else {
+                    Logic::Zero
+                }
+            }
+            GateKind::Not | GateKind::Buf | GateKind::Const0 | GateKind::Const1 => Logic::Zero,
+        };
+        Some((pick, value))
+    }
+
+    /// Walks an objective back to an unassigned frame input.
+    fn backtrace(&self, mut net: NetId, mut value: Logic) -> Option<(usize, Logic)> {
+        loop {
+            if let Some(pos) = self.assignable.iter().position(|&n| n == net) {
+                return if self.assigned[pos] == Logic::X {
+                    Some((pos, value))
+                } else {
+                    None // already decided; objective unreachable this way
+                };
+            }
+            match self.circuit.net(net).driver() {
+                Driver::Input | Driver::Dff { .. } => return None, // pinned
+                Driver::Gate { kind, fanins } => {
+                    let xs: Vec<NetId> = fanins
+                        .iter()
+                        .copied()
+                        .filter(|&f| self.good[f.index()] == Logic::X)
+                        .collect();
+                    if xs.is_empty() {
+                        return None;
+                    }
+                    let easiest = |v: Logic| -> NetId {
+                        xs.iter()
+                            .copied()
+                            .min_by_key(|&f| match v {
+                                Logic::Zero => self.scoap.cc0(f),
+                                _ => self.scoap.cc1(f),
+                            })
+                            .expect("xs non-empty")
+                    };
+                    let hardest = |v: Logic| -> NetId {
+                        xs.iter()
+                            .copied()
+                            .max_by_key(|&f| match v {
+                                Logic::Zero => self.scoap.cc0(f),
+                                _ => self.scoap.cc1(f),
+                            })
+                            .expect("xs non-empty")
+                    };
+                    let (next, next_v) = match (kind, value) {
+                        (GateKind::And, Logic::One) => (hardest(Logic::One), Logic::One),
+                        (GateKind::And, _) => (easiest(Logic::Zero), Logic::Zero),
+                        (GateKind::Nand, Logic::Zero) => (hardest(Logic::One), Logic::One),
+                        (GateKind::Nand, _) => (easiest(Logic::Zero), Logic::Zero),
+                        (GateKind::Or, Logic::Zero) => (hardest(Logic::Zero), Logic::Zero),
+                        (GateKind::Or, _) => (easiest(Logic::One), Logic::One),
+                        (GateKind::Nor, Logic::One) => (hardest(Logic::Zero), Logic::Zero),
+                        (GateKind::Nor, _) => (easiest(Logic::One), Logic::One),
+                        (GateKind::Not, v) => (xs[0], v.not()),
+                        (GateKind::Buf, v) => (xs[0], v),
+                        (GateKind::Xor | GateKind::Xnor, v) => {
+                            // If all other inputs are binary the required
+                            // value is determined; otherwise pick freely.
+                            let others: Option<Logic> = fanins
+                                .iter()
+                                .filter(|&&f| f != xs[0])
+                                .try_fold(Logic::Zero, |acc, &f| {
+                                    let fv = self.good[f.index()];
+                                    fv.is_binary().then(|| acc.xor(fv))
+                                });
+                            let target = match others {
+                                Some(parity) => {
+                                    let want = if *kind == GateKind::Xnor { v.not() } else { v };
+                                    parity.xor(want)
+                                }
+                                None => Logic::Zero,
+                            };
+                            (xs[0], target)
+                        }
+                        (GateKind::Mux, v) => {
+                            let sel = self.good[fanins[0].index()];
+                            match sel {
+                                Logic::Zero if xs.contains(&fanins[1]) => (fanins[1], v),
+                                Logic::One if xs.contains(&fanins[2]) => (fanins[2], v),
+                                Logic::X => (fanins[0], Logic::Zero),
+                                _ => return None,
+                            }
+                        }
+                        (GateKind::Const0 | GateKind::Const1, _) => return None,
+                    };
+                    net = next;
+                    value = next_v;
+                }
+            }
+        }
+    }
+
+    fn backtrack(&mut self) -> bool {
+        while let Some((pos, flipped)) = self.stack.pop() {
+            if flipped {
+                self.assigned[pos] = Logic::X;
+                continue;
+            }
+            self.backtracks += 1;
+            if self.backtracks > self.opts.backtrack_limit {
+                return false;
+            }
+            self.assigned[pos] = self.assigned[pos].not();
+            self.stack.push((pos, true));
+            self.imply();
+            return true;
+        }
+        false
+    }
+
+    fn run(&mut self) -> Option<PodemTest> {
+        self.imply();
+        loop {
+            match self.status() {
+                Status::Detected(obs) => {
+                    let n_pi = self.circuit.inputs().len();
+                    let mut inputs = vec![Logic::X; n_pi];
+                    for &(pos, v) in &self.opts.pi_fixed {
+                        inputs[pos] = v;
+                    }
+                    let mut state = match &self.opts.state_good {
+                        Some(s) => s.clone(),
+                        None => vec![Logic::X; self.circuit.dffs().len()],
+                    };
+                    for (k, &net) in self.assignable.iter().enumerate() {
+                        if let Some(pi_pos) = self.circuit.inputs().iter().position(|&p| p == net) {
+                            inputs[pi_pos] = self.assigned[k];
+                        } else if let Some(ff) = self.circuit.dff_position(net) {
+                            state[ff] = self.assigned[k];
+                        }
+                    }
+                    return Some(PodemTest {
+                        inputs,
+                        state,
+                        observation: obs,
+                    });
+                }
+                Status::Conflict => {
+                    if !self.backtrack() {
+                        return None;
+                    }
+                }
+                Status::Ongoing => {
+                    let step = self.objective().and_then(|(n, v)| self.backtrace(n, v));
+                    match step {
+                        Some((pos, v)) => {
+                            self.assigned[pos] = v;
+                            self.stack.push((pos, false));
+                            self.imply();
+                        }
+                        None => {
+                            if !self.backtrack() {
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs PODEM for one fault over one time frame of `circuit`.
+///
+/// Returns `None` when no test exists under the given options (or the
+/// backtrack limit is hit). See the module documentation for the two modes.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::{Fault, FaultList, StuckAt};
+/// use limscan_atpg::{podem, PodemOptions, Scoap};
+///
+/// let c = benchmarks::s27();
+/// let scoap = Scoap::compute(&c);
+/// let g11 = c.find_net("G11").unwrap();
+/// let t = podem(&c, &scoap, Fault::stem(g11, StuckAt::Zero), &PodemOptions::default());
+/// assert!(t.is_some(), "free-state mode must find a frame test");
+/// ```
+pub fn podem(
+    circuit: &Circuit,
+    scoap: &Scoap,
+    fault: Fault,
+    opts: &PodemOptions,
+) -> Option<PodemTest> {
+    Podem::new(circuit, scoap, fault, opts).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_fault::{FaultList, StuckAt};
+    use limscan_netlist::benchmarks;
+    use limscan_sim::next_state;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Every test PODEM claims must actually detect the fault in a frame
+    /// simulation (at the claimed observation point).
+    fn check_test(c: &Circuit, fault: Fault, t: &PodemTest) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut inputs = t.inputs.clone();
+        let mut state = t.state.clone();
+        for v in inputs.iter_mut().chain(state.iter_mut()) {
+            if *v == Logic::X {
+                *v = Logic::from_bool(rng.gen());
+            }
+        }
+        let mut good = vec![Logic::X; c.net_count()];
+        let mut bad = vec![Logic::X; c.net_count()];
+        for (vals, f) in [(&mut good, None), (&mut bad, Some(fault))] {
+            for (&pi, &v) in c.inputs().iter().zip(&inputs) {
+                vals[pi.index()] = v;
+            }
+            for (&q, &v) in c.dffs().iter().zip(&state) {
+                vals[q.index()] = v;
+            }
+            eval_comb_with(c, vals, f);
+        }
+        match t.observation {
+            Observation::Po(po) => {
+                assert!(
+                    good[po.index()].conflicts(bad[po.index()]),
+                    "claimed PO detection must hold"
+                );
+            }
+            Observation::Ppo(j) => {
+                let gn = next_state(c, &good, None);
+                let bn = next_state(c, &bad, Some(fault));
+                assert!(
+                    gn[j].conflicts(bn[j]),
+                    "claimed PPO detection must hold at flip-flop {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn free_state_podem_covers_most_s27_faults() {
+        let c = benchmarks::s27();
+        let scoap = Scoap::compute(&c);
+        let faults = FaultList::collapsed(&c);
+        let opts = PodemOptions::default();
+        let mut found = 0;
+        for (_, fault) in faults.iter() {
+            if let Some(t) = podem(&c, &scoap, fault, &opts) {
+                check_test(&c, fault, &t);
+                found += 1;
+            }
+        }
+        // s27's combinational frame is fully testable.
+        assert_eq!(found, faults.len(), "all frame faults should get tests");
+    }
+
+    #[test]
+    fn fixed_state_mode_respects_the_state() {
+        let c = benchmarks::s27();
+        let scoap = Scoap::compute(&c);
+        let g8 = c.find_net("G8").unwrap();
+        let fault = Fault::stem(g8, StuckAt::Zero);
+        // G8 = AND(G14, G6): exciting it needs G6 = 1 (state bit 1).
+        let opts = PodemOptions {
+            state_good: Some(vec![Logic::Zero, Logic::One, Logic::Zero]),
+            state_bad: Some(vec![Logic::Zero, Logic::One, Logic::Zero]),
+            ..PodemOptions::default()
+        };
+        let t = podem(&c, &scoap, fault, &opts).expect("detectable from this state");
+        assert_eq!(t.state, vec![Logic::Zero, Logic::One, Logic::Zero]);
+        check_test(&c, fault, &t);
+
+        // From a state with G6 = 0 the fault cannot be excited this frame.
+        let opts = PodemOptions {
+            state_good: Some(vec![Logic::Zero, Logic::Zero, Logic::Zero]),
+            state_bad: Some(vec![Logic::Zero, Logic::Zero, Logic::Zero]),
+            ..PodemOptions::default()
+        };
+        assert!(podem(&c, &scoap, fault, &opts).is_none());
+    }
+
+    #[test]
+    fn pinned_inputs_are_respected() {
+        let c = benchmarks::s27();
+        let scoap = Scoap::compute(&c);
+        let faults = FaultList::collapsed(&c);
+        // Pin a1 (G0, input position 0) to 0; every returned test must
+        // honour it.
+        let opts = PodemOptions {
+            pi_fixed: vec![(0, Logic::Zero)],
+            ..PodemOptions::default()
+        };
+        for (_, fault) in faults.iter() {
+            if let Some(t) = podem(&c, &scoap, fault, &opts) {
+                assert_eq!(t.inputs[0], Logic::Zero);
+                check_test(&c, fault, &t);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_effects_in_the_bad_state_are_propagated() {
+        // Seed the frame with an effect already latched (good and bad
+        // states differ) and ask PODEM to drive it out; use an undetectable
+        // site so the effect must come from the state.
+        let c = benchmarks::s27();
+        let scoap = Scoap::compute(&c);
+        let g17 = c.find_net("G17").unwrap();
+        let fault = Fault::stem(g17, StuckAt::One);
+        // Bad state differs at flip-flop 1 (G6). G8 = AND(G14, G6) with
+        // G14 = NOT(a1): setting a1 = 0 lets the difference propagate.
+        let opts = PodemOptions {
+            state_good: Some(vec![Logic::Zero, Logic::One, Logic::Zero]),
+            state_bad: Some(vec![Logic::Zero, Logic::Zero, Logic::Zero]),
+            ..PodemOptions::default()
+        };
+        // Note: the *fault* here is g17 sa1 which is trivially excitable;
+        // what we check is that the run terminates and honours the states.
+        if let Some(t) = podem(&c, &scoap, fault, &opts) {
+            assert_eq!(t.state[1], Logic::One, "good state is authoritative");
+        }
+    }
+
+    #[test]
+    fn podem_detects_mux_faults_in_scan_circuits() {
+        use limscan_scan::ScanCircuit;
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let scoap = Scoap::compute(c);
+        let faults = FaultList::collapsed(c);
+        let opts = PodemOptions::default();
+        let mut mux_faults = 0;
+        let mut mux_found = 0;
+        for (_, fault) in faults.iter() {
+            let src = fault.site.source_net(c);
+            if c.net(src).name().starts_with("scan_mux") {
+                mux_faults += 1;
+                if let Some(t) = podem(c, &scoap, fault, &opts) {
+                    check_test(c, fault, &t);
+                    mux_found += 1;
+                }
+            }
+        }
+        assert!(mux_faults > 0, "scan insertion adds mux faults");
+        assert_eq!(mux_found, mux_faults, "mux faults are frame-testable");
+    }
+
+    #[test]
+    fn xor_trees_are_handled() {
+        use limscan_netlist::CircuitBuilder;
+        let mut b = CircuitBuilder::new("xortree");
+        for n in ["a", "c", "d", "e"] {
+            b.input(n);
+        }
+        b.gate("x1", GateKind::Xor, &["a", "c"]).unwrap();
+        b.gate("x2", GateKind::Xnor, &["d", "e"]).unwrap();
+        b.gate("y", GateKind::Xor, &["x1", "x2"]).unwrap();
+        b.dff("q", "y").unwrap();
+        b.gate("z", GateKind::Not, &["q"]).unwrap();
+        b.output("z");
+        let c = b.build().unwrap();
+        let scoap = Scoap::compute(&c);
+        let faults = FaultList::collapsed(&c);
+        // XOR logic never masks: every fault here has a frame test.
+        for (_, fault) in faults.iter() {
+            let t = podem(&c, &scoap, fault, &PodemOptions::default());
+            let found = t.is_some();
+            if let Some(t) = t {
+                check_test(&c, fault, &t);
+            }
+            assert!(found, "{} should be testable", fault.display_name(&c));
+        }
+    }
+
+    #[test]
+    fn constant_driven_redundancy_is_rejected() {
+        use limscan_netlist::CircuitBuilder;
+        // y = a AND 1: the Const1 stem stuck-at-1 changes nothing.
+        let mut b = CircuitBuilder::new("konst");
+        b.input("a");
+        b.gate("one", GateKind::Const1, &[]).unwrap();
+        b.gate("y", GateKind::And, &["a", "one"]).unwrap();
+        b.dff("q", "y").unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let scoap = Scoap::compute(&c);
+        let one = c.find_net("one").unwrap();
+        assert!(
+            podem(
+                &c,
+                &scoap,
+                Fault::stem(one, StuckAt::One),
+                &PodemOptions::default()
+            )
+            .is_none(),
+            "stuck-at the constant's own value is untestable"
+        );
+        assert!(
+            podem(
+                &c,
+                &scoap,
+                Fault::stem(one, StuckAt::Zero),
+                &PodemOptions::default()
+            )
+            .is_some(),
+            "stuck-at-0 on the constant kills y and is testable"
+        );
+    }
+
+    #[test]
+    fn backtrack_limit_terminates() {
+        let c = benchmarks::s27();
+        let scoap = Scoap::compute(&c);
+        let g11 = c.find_net("G11").unwrap();
+        let opts = PodemOptions {
+            backtrack_limit: 0,
+            ..PodemOptions::default()
+        };
+        // With zero backtracks allowed the search must still terminate.
+        let _ = podem(&c, &scoap, Fault::stem(g11, StuckAt::Zero), &opts);
+    }
+}

@@ -1,0 +1,259 @@
+//! SCOAP testability measures over one combinational time frame.
+//!
+//! Controllability `CC0`/`CC1` estimate how many assignments it takes to
+//! set a net to 0/1; observability `CO` estimates how hard a net is to
+//! observe. Primary inputs and present-state lines cost 1 to control;
+//! primary outputs and next-state (flip-flop D) lines cost 0 to observe.
+//! Used by PODEM backtrace and by the sequential generator's vector scoring.
+
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+
+const INF: u32 = u32::MAX / 4;
+
+/// SCOAP measures for every net of a circuit's combinational frame.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_atpg::Scoap;
+///
+/// let c = benchmarks::s27();
+/// let scoap = Scoap::compute(&c);
+/// let g0 = c.find_net("G0").unwrap();
+/// assert_eq!(scoap.cc0(g0), 1); // primary inputs cost 1
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes the measures for `circuit`, treating flip-flop outputs as
+    /// controllable frame inputs and flip-flop D nets as observable frame
+    /// outputs.
+    pub fn compute(circuit: &Circuit) -> Self {
+        let n = circuit.net_count();
+        let mut cc0 = vec![INF; n];
+        let mut cc1 = vec![INF; n];
+
+        for &pi in circuit.inputs() {
+            cc0[pi.index()] = 1;
+            cc1[pi.index()] = 1;
+        }
+        for &q in circuit.dffs() {
+            cc0[q.index()] = 1;
+            cc1[q.index()] = 1;
+        }
+
+        for &id in circuit.comb_order() {
+            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                unreachable!("comb_order holds gates");
+            };
+            let i = id.index();
+            let f0 = |j: usize| cc0[fanins[j].index()];
+            let f1 = |j: usize| cc1[fanins[j].index()];
+            let (c0, c1) = match kind {
+                GateKind::And => (
+                    (0..fanins.len()).map(f0).min().unwrap_or(INF),
+                    (0..fanins.len()).map(f1).sum(),
+                ),
+                GateKind::Nand => (
+                    (0..fanins.len()).map(f1).sum(),
+                    (0..fanins.len()).map(f0).min().unwrap_or(INF),
+                ),
+                GateKind::Or => (
+                    (0..fanins.len()).map(f0).sum(),
+                    (0..fanins.len()).map(f1).min().unwrap_or(INF),
+                ),
+                GateKind::Nor => (
+                    (0..fanins.len()).map(f1).min().unwrap_or(INF),
+                    (0..fanins.len()).map(f0).sum(),
+                ),
+                GateKind::Xor | GateKind::Xnor => {
+                    // Two-input formulation folded over the fanins.
+                    let mut c0 = f0(0);
+                    let mut c1 = f1(0);
+                    for j in 1..fanins.len() {
+                        let (n0, n1) = ((c0 + f0(j)).min(c1 + f1(j)), (c0 + f1(j)).min(c1 + f0(j)));
+                        c0 = n0;
+                        c1 = n1;
+                    }
+                    if *kind == GateKind::Xnor {
+                        (c1, c0)
+                    } else {
+                        (c0, c1)
+                    }
+                }
+                GateKind::Not => (f1(0), f0(0)),
+                GateKind::Buf => (f0(0), f1(0)),
+                GateKind::Mux => {
+                    // out = sel ? d1 : d0
+                    let (s0, s1) = (f0(0), f1(0));
+                    let (a0, a1) = (f0(1), f1(1));
+                    let (b0, b1) = (f0(2), f1(2));
+                    ((s0 + a0).min(s1 + b0), (s0 + a1).min(s1 + b1))
+                }
+                GateKind::Const0 => (0, INF),
+                GateKind::Const1 => (INF, 0),
+            };
+            cc0[i] = c0.saturating_add(1).min(INF);
+            cc1[i] = c1.saturating_add(1).min(INF);
+        }
+
+        // Observability: reverse topological sweep.
+        let mut co = vec![INF; n];
+        for &po in circuit.outputs() {
+            co[po.index()] = 0;
+        }
+        for &q in circuit.dffs() {
+            let Driver::Dff { d } = circuit.net(q).driver() else {
+                unreachable!("dffs holds flip-flops");
+            };
+            co[d.index()] = 0;
+        }
+        for &id in circuit.comb_order().iter().rev() {
+            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                unreachable!("comb_order holds gates");
+            };
+            let out_co = co[id.index()];
+            if out_co >= INF {
+                continue;
+            }
+            for (j, &fin) in fanins.iter().enumerate() {
+                let side: u32 = match kind {
+                    GateKind::And | GateKind::Nand => fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != j)
+                        .map(|(_, &o)| cc1[o.index()])
+                        .sum(),
+                    GateKind::Or | GateKind::Nor => fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != j)
+                        .map(|(_, &o)| cc0[o.index()])
+                        .sum(),
+                    GateKind::Xor | GateKind::Xnor => fanins
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| *k != j)
+                        .map(|(_, &o)| cc0[o.index()].min(cc1[o.index()]))
+                        .sum(),
+                    GateKind::Not | GateKind::Buf => 0,
+                    GateKind::Mux => match j {
+                        // Observing the select requires differing data.
+                        0 => cc0[fanins[1].index()]
+                            .min(cc1[fanins[1].index()])
+                            .saturating_add(cc0[fanins[2].index()].min(cc1[fanins[2].index()])),
+                        // Observing d0 requires sel = 0; d1 requires sel = 1.
+                        1 => cc0[fanins[0].index()],
+                        _ => cc1[fanins[0].index()],
+                    },
+                    GateKind::Const0 | GateKind::Const1 => INF,
+                };
+                let v = out_co.saturating_add(side).saturating_add(1).min(INF);
+                if v < co[fin.index()] {
+                    co[fin.index()] = v;
+                }
+            }
+        }
+
+        Scoap { cc0, cc1, co }
+    }
+
+    /// Cost of setting the net to 0.
+    pub fn cc0(&self, n: NetId) -> u32 {
+        self.cc0[n.index()]
+    }
+
+    /// Cost of setting the net to 1.
+    pub fn cc1(&self, n: NetId) -> u32 {
+        self.cc1[n.index()]
+    }
+
+    /// Cost of observing the net at a frame output.
+    pub fn co(&self, n: NetId) -> u32 {
+        self.co[n.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::{benchmarks, CircuitBuilder};
+
+    #[test]
+    fn deeper_nets_are_harder_to_control() {
+        let mut b = CircuitBuilder::new("depth");
+        b.input("a");
+        b.input("c");
+        b.gate("g1", GateKind::And, &["a", "c"]).unwrap();
+        b.gate("g2", GateKind::And, &["g1", "a"]).unwrap();
+        b.output("g2");
+        let c = b.build().unwrap();
+        let s = Scoap::compute(&c);
+        let (g1, g2) = (c.find_net("g1").unwrap(), c.find_net("g2").unwrap());
+        assert!(s.cc1(g2) > s.cc1(g1), "controllability grows with depth");
+        assert_eq!(s.co(g2), 0, "primary outputs are free to observe");
+        assert!(s.co(g1) > 0);
+    }
+
+    #[test]
+    fn and_gate_zero_is_cheaper_than_one() {
+        let mut b = CircuitBuilder::new("and8");
+        let names: Vec<String> = (0..8).map(|i| format!("i{i}")).collect();
+        for n in &names {
+            b.input(n);
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.gate("y", GateKind::And, &refs).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let s = Scoap::compute(&c);
+        let y = c.find_net("y").unwrap();
+        assert!(s.cc0(y) < s.cc1(y), "one controlling input vs all eight");
+    }
+
+    #[test]
+    fn state_lines_are_frame_ports() {
+        let c = benchmarks::s27();
+        let s = Scoap::compute(&c);
+        for &q in c.dffs() {
+            assert_eq!(s.cc0(q), 1);
+            assert_eq!(s.cc1(q), 1);
+        }
+        // D nets are observable at the frame boundary.
+        let g10 = c.find_net("G10").unwrap();
+        assert_eq!(s.co(g10), 0);
+    }
+
+    #[test]
+    fn every_net_in_s27_is_controllable_and_observable() {
+        let c = benchmarks::s27();
+        let s = Scoap::compute(&c);
+        for i in 0..c.net_count() {
+            let id = NetId::from_index(i);
+            assert!(s.cc0(id) < INF, "{} cc0", c.net(id).name());
+            assert!(s.cc1(id) < INF, "{} cc1", c.net(id).name());
+            assert!(s.co(id) < INF, "{} co", c.net(id).name());
+        }
+    }
+
+    #[test]
+    fn mux_observability_depends_on_select() {
+        let mut b = CircuitBuilder::new("m");
+        b.input("s");
+        b.input("a");
+        b.input("c");
+        b.gate("y", GateKind::Mux, &["s", "a", "c"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let sc = Scoap::compute(&c);
+        let a = c.find_net("a").unwrap();
+        // Observing `a` needs sel = 0 (cost 1) plus the gate hop.
+        assert_eq!(sc.co(a), 2);
+    }
+}

@@ -1,0 +1,534 @@
+//! Forward-time sequential test generation for scan circuits (Section 2).
+//!
+//! The generator builds one flat test sequence `T` by concatenating test
+//! subsequences for yet-undetected target faults, exactly as the paper
+//! describes: each subsequence is generated forward in time from the state
+//! the circuit reached under `T` so far. `scan_sel` and `scan_inp` are
+//! ordinary primary inputs throughout — scan shifts only appear where the
+//! search (or the functional scan knowledge) places them, so all scan
+//! operations come out *limited* unless a full load is actually needed.
+//!
+//! Per target fault the procedure layers three attempts:
+//!
+//! 1. **original process** — bounded forward search: single-time-frame
+//!    PODEM from the current (good, faulty) state pair, interleaved with
+//!    state-advancing vectors chosen by fault-effect scoring;
+//! 2. **functional scan knowledge, observation side** — if the search left
+//!    a fault effect latched in flip-flop `i`, append `N_SV - i` vectors
+//!    with `scan_sel = 1` to shift it to `scan_out` (guaranteed detection,
+//!    verified by fault simulation);
+//! 3. **functional scan knowledge, justification side** — if activation
+//!    from the reachable states fails, run PODEM with a free present state
+//!    and justify the state it returns with a complete scan load.
+//!
+//! Every committed subsequence is fault-simulated incrementally, so all
+//! collateral detections drop faults from the target list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use limscan_fault::{Fault, FaultList};
+use limscan_netlist::Circuit;
+use limscan_scan::ScanCircuit;
+use limscan_sim::{
+    eval_comb, eval_comb_with, next_state, DetectionReport, Logic, SeqFaultSim, TestSequence,
+};
+
+use crate::podem::{podem, Observation, PodemOptions};
+use crate::scoap::Scoap;
+
+/// Tuning knobs for [`SequentialAtpg`].
+#[derive(Clone, Debug)]
+pub struct AtpgConfig {
+    /// Seed for all randomised choices (fills, candidate vectors).
+    pub seed: u64,
+    /// Maximum forward-search depth (time frames) per target fault before
+    /// falling back to scan-load justification.
+    pub max_search_depth: usize,
+    /// Candidate vectors evaluated per state-advancing step.
+    pub random_candidates: usize,
+    /// PODEM backtrack limit per frame.
+    pub backtrack_limit: usize,
+    /// Length of the initial random phase (0 disables it). The phase stops
+    /// early when a chunk of vectors detects nothing new.
+    pub random_phase_vectors: usize,
+    /// Probability that a random-phase vector shifts the chain
+    /// (`scan_sel = 1`).
+    pub scan_sel_bias: f64,
+    /// Enable the two functional-scan-knowledge fallbacks. Disabling them
+    /// reproduces a plain non-scan sequential generator (the ablation the
+    /// paper's `funct` column quantifies).
+    pub use_scan_knowledge: bool,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            seed: 0x2003,
+            max_search_depth: 4,
+            random_candidates: 8,
+            backtrack_limit: 1_000,
+            random_phase_vectors: 64,
+            scan_sel_bias: 0.25,
+            use_scan_knowledge: true,
+        }
+    }
+}
+
+/// Result of a [`SequentialAtpg`] run.
+#[derive(Clone, Debug)]
+pub struct AtpgOutcome {
+    /// The generated flat test sequence over `C_scan`, fully specified.
+    pub sequence: TestSequence,
+    /// Detection report over the target fault list.
+    pub report: DetectionReport,
+    /// Faults whose detection used the shift-out fallback — the paper's
+    /// `funct` column.
+    pub funct_detected: usize,
+    /// Episodes that justified a state through a complete scan load.
+    pub scan_loads: usize,
+    /// Target faults given up on (no subsequence found).
+    pub aborted: usize,
+}
+
+/// The Section 2 test generator.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+/// use limscan_scan::ScanCircuit;
+/// use limscan_atpg::{AtpgConfig, SequentialAtpg};
+///
+/// let sc = ScanCircuit::insert(&benchmarks::s27());
+/// let faults = FaultList::collapsed(sc.circuit());
+/// let outcome = SequentialAtpg::new(&sc, &faults, AtpgConfig::default()).run();
+/// assert!(outcome.report.coverage_percent() > 95.0);
+/// ```
+pub struct SequentialAtpg<'a> {
+    scan: &'a ScanCircuit,
+    faults: &'a FaultList,
+    config: AtpgConfig,
+    scoap: Scoap,
+}
+
+enum EpisodeKind {
+    /// Detected at a primary output by the forward search alone.
+    Direct,
+    /// Needed the shift-out fallback (counts toward `funct`).
+    ShiftOut,
+    /// Needed a scan-load justification; `shifted` tells whether the
+    /// observation also needed the shift-out fallback.
+    ScanLoad { shifted: bool },
+}
+
+impl<'a> SequentialAtpg<'a> {
+    /// Creates a generator for the given scan circuit and target faults
+    /// (which must be enumerated over `scan.circuit()`).
+    pub fn new(scan: &'a ScanCircuit, faults: &'a FaultList, config: AtpgConfig) -> Self {
+        let scoap = Scoap::compute(scan.circuit());
+        SequentialAtpg {
+            scan,
+            faults,
+            config,
+            scoap,
+        }
+    }
+
+    /// Runs test generation over all target faults and returns the
+    /// generated sequence plus statistics.
+    pub fn run(&self) -> AtpgOutcome {
+        let c = self.scan.circuit();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut sim = SeqFaultSim::new(c, self.faults);
+        let mut sequence = TestSequence::new(c.inputs().len());
+        let mut funct_detected = 0;
+        let mut scan_loads = 0;
+        let mut aborted = 0;
+
+        self.random_phase(&mut rng, &mut sim, &mut sequence);
+
+        for fid in self.faults.ids() {
+            if sim.is_detected(fid) {
+                continue;
+            }
+            let fault = self.faults.fault(fid);
+            match self.episode(fault, &sim, &mut rng) {
+                Some((mut episode, kind)) => {
+                    episode.specify_x(&mut rng);
+                    sim.extend(&episode);
+                    sequence.extend_from(&episode);
+                    if sim.is_detected(fid) {
+                        match kind {
+                            EpisodeKind::Direct => {}
+                            EpisodeKind::ShiftOut => funct_detected += 1,
+                            EpisodeKind::ScanLoad { shifted } => {
+                                scan_loads += 1;
+                                if shifted {
+                                    funct_detected += 1;
+                                }
+                            }
+                        }
+                    } else {
+                        aborted += 1; // episode kept (may detect others later)
+                    }
+                }
+                None => aborted += 1,
+            }
+        }
+
+        AtpgOutcome {
+            sequence,
+            report: sim.report(),
+            funct_detected,
+            scan_loads,
+            aborted,
+        }
+    }
+
+    /// Initial random phase with early stopping.
+    fn random_phase(&self, rng: &mut StdRng, sim: &mut SeqFaultSim, sequence: &mut TestSequence) {
+        let c = self.scan.circuit();
+        let chunk = 16usize;
+        let mut remaining = self.config.random_phase_vectors;
+        while remaining > 0 {
+            let n = chunk.min(remaining);
+            remaining -= n;
+            let mut burst = TestSequence::new(c.inputs().len());
+            for _ in 0..n {
+                let mut v: Vec<Logic> = (0..c.inputs().len())
+                    .map(|_| Logic::from_bool(rng.gen()))
+                    .collect();
+                v[self.scan.scan_sel_pos()] =
+                    Logic::from_bool(rng.gen_bool(self.config.scan_sel_bias));
+                burst.push(v);
+            }
+            let new = sim.extend(&burst);
+            sequence.extend_from(&burst);
+            if new == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Attempts to build a detecting subsequence for one fault, starting
+    /// from the simulator's current (good, faulty) state pair.
+    fn episode(
+        &self,
+        fault: Fault,
+        sim: &SeqFaultSim,
+        rng: &mut StdRng,
+    ) -> Option<(TestSequence, EpisodeKind)> {
+        let c = self.scan.circuit();
+        let fid = self
+            .faults
+            .id_of(fault)
+            .expect("fault comes from this list");
+        let mut episode = TestSequence::new(c.inputs().len());
+        let mut gstate = sim.good_state().to_vec();
+        let mut bstate = sim.fault_state(fid).to_vec();
+
+        for _ in 0..self.config.max_search_depth {
+            let opts = PodemOptions {
+                state_good: Some(gstate.clone()),
+                state_bad: Some(bstate.clone()),
+                pi_fixed: Vec::new(),
+                backtrack_limit: self.config.backtrack_limit,
+                observe_ppos: true,
+            };
+            if let Some(t) = podem(c, &self.scoap, fault, &opts) {
+                episode.push(t.inputs.clone());
+                return Some(match t.observation {
+                    Observation::Po(_) => (episode, EpisodeKind::Direct),
+                    Observation::Ppo(j) => {
+                        if !self.config.use_scan_knowledge {
+                            // Without scan knowledge a latched effect is not
+                            // yet a detection; apply the vector and keep
+                            // searching (a later frame may propagate it).
+                            step_states(c, fault, &t.inputs, &mut gstate, &mut bstate);
+                            continue;
+                        }
+                        self.append_shift_out(&mut episode, j);
+                        (episode, EpisodeKind::ShiftOut)
+                    }
+                });
+            }
+
+            // PODEM failed this frame. If an effect is already latched, the
+            // shift-out fallback guarantees detection.
+            if self.config.use_scan_knowledge {
+                if let Some(j) = deepest_effect(&gstate, &bstate) {
+                    self.append_shift_out(&mut episode, j);
+                    return Some((episode, EpisodeKind::ShiftOut));
+                }
+            }
+
+            // Advance the state with the best-scoring candidate vector.
+            let v = self.advancing_vector(fault, &gstate, &bstate, rng);
+            step_states(c, fault, &v, &mut gstate, &mut bstate);
+            episode.push(v);
+        }
+
+        // Forward search exhausted: justify an activating state through the
+        // scan chain (functional scan knowledge, justification side).
+        if self.config.use_scan_knowledge {
+            let opts = PodemOptions {
+                state_good: None,
+                state_bad: None,
+                pi_fixed: Vec::new(),
+                backtrack_limit: self.config.backtrack_limit,
+                observe_ppos: true,
+            };
+            if let Some(t) = podem(c, &self.scoap, fault, &opts) {
+                let mut episode = TestSequence::new(c.inputs().len());
+                episode.extend_from(&self.scan.load_state_vectors(&t.state));
+                episode.push(t.inputs);
+                let shifted = match t.observation {
+                    Observation::Po(_) => false,
+                    Observation::Ppo(j) => {
+                        self.append_shift_out(&mut episode, j);
+                        true
+                    }
+                };
+                return Some((episode, EpisodeKind::ScanLoad { shifted }));
+            }
+        }
+        None
+    }
+
+    /// Appends the shift vectors that bring an effect latched in flip-flop
+    /// `j` to its chain's `scan_out` (for a single chain of length `N_SV`
+    /// this is the paper's `N_SV - j` vectors with `scan_sel = 1`).
+    fn append_shift_out(&self, episode: &mut TestSequence, j: usize) {
+        for _ in 0..self.scan.shifts_to_observe(j) {
+            episode.push(self.scan.shift_vector(Logic::X));
+        }
+    }
+
+    /// Picks the candidate vector that drives the fault furthest toward
+    /// detection, scored by frame simulation.
+    fn advancing_vector(
+        &self,
+        fault: Fault,
+        gstate: &[Logic],
+        bstate: &[Logic],
+        rng: &mut StdRng,
+    ) -> Vec<Logic> {
+        let c = self.scan.circuit();
+        let mut best: Option<(u64, Vec<Logic>)> = None;
+        for _ in 0..self.config.random_candidates.max(1) {
+            let mut v: Vec<Logic> = (0..c.inputs().len())
+                .map(|_| Logic::from_bool(rng.gen()))
+                .collect();
+            v[self.scan.scan_sel_pos()] = Logic::from_bool(rng.gen_bool(0.15));
+            let score = self.score_vector(fault, gstate, bstate, &v);
+            if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                best = Some((score, v));
+            }
+        }
+        best.expect("at least one candidate").1
+    }
+
+    /// Frame-simulates one candidate and scores the resulting position:
+    /// effects latched into flip-flops dominate (deeper in the chain is
+    /// better), then effects anywhere in the logic weighted by
+    /// observability, then excitation of the fault site.
+    fn score_vector(&self, fault: Fault, gstate: &[Logic], bstate: &[Logic], v: &[Logic]) -> u64 {
+        let c = self.scan.circuit();
+        let mut gv = vec![Logic::X; c.net_count()];
+        let mut bv = vec![Logic::X; c.net_count()];
+        load_frame(c, &mut gv, v, gstate);
+        eval_comb(c, &mut gv);
+        load_frame(c, &mut bv, v, bstate);
+        eval_comb_with(c, &mut bv, Some(fault));
+
+        let gn = next_state(c, &gv, None);
+        let bn = next_state(c, &bv, Some(fault));
+        if let Some(j) = deepest_effect(&gn, &bn) {
+            return 1_000_000 + j as u64;
+        }
+        let mut best_effect: Option<u32> = None;
+        for i in 0..c.net_count() {
+            if gv[i].conflicts(bv[i]) {
+                let co = self.scoap.co(limscan_netlist::NetId::from_index(i));
+                best_effect = Some(best_effect.map_or(co, |b| b.min(co)));
+            }
+        }
+        if let Some(co) = best_effect {
+            return 10_000 + 5_000u64.saturating_sub(co as u64);
+        }
+        // Not excited: reward making the site take the non-stuck value.
+        let src = fault.site.source_net(c);
+        let want = Logic::from_bool(!fault.stuck.value());
+        u64::from(gv[src.index()] == want)
+    }
+}
+
+/// Deepest chain position (closest to `scan_out`) where the two states
+/// definitely differ.
+fn deepest_effect(gstate: &[Logic], bstate: &[Logic]) -> Option<usize> {
+    (0..gstate.len())
+        .rev()
+        .find(|&j| gstate[j].conflicts(bstate[j]))
+}
+
+fn load_frame(c: &Circuit, values: &mut [Logic], inputs: &[Logic], state: &[Logic]) {
+    values.fill(Logic::X);
+    for (&pi, &v) in c.inputs().iter().zip(inputs) {
+        values[pi.index()] = v;
+    }
+    for (&q, &v) in c.dffs().iter().zip(state) {
+        values[q.index()] = v;
+    }
+}
+
+/// Advances a (good, faulty) state pair by one vector.
+fn step_states(
+    c: &Circuit,
+    fault: Fault,
+    inputs: &[Logic],
+    gstate: &mut Vec<Logic>,
+    bstate: &mut Vec<Logic>,
+) {
+    let mut gv = vec![Logic::X; c.net_count()];
+    let mut bv = vec![Logic::X; c.net_count()];
+    load_frame(c, &mut gv, inputs, gstate);
+    eval_comb(c, &mut gv);
+    load_frame(c, &mut bv, inputs, bstate);
+    eval_comb_with(c, &mut bv, Some(fault));
+    *gstate = next_state(c, &gv, None);
+    *bstate = next_state(c, &bv, Some(fault));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+
+    fn run_s27(config: AtpgConfig) -> (ScanCircuit, FaultList, AtpgOutcome) {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let outcome = SequentialAtpg::new(&sc, &faults, config).run();
+        (sc, faults, outcome)
+    }
+
+    #[test]
+    fn s27_reaches_full_coverage() {
+        let (sc, faults, outcome) = run_s27(AtpgConfig::default());
+        let undetected: Vec<String> = outcome
+            .report
+            .undetected()
+            .iter()
+            .map(|&f| faults.fault(f).display_name(sc.circuit()))
+            .collect();
+        assert_eq!(
+            outcome.report.detected_count(),
+            faults.len(),
+            "s27_scan is fully testable; undetected: {undetected:?}"
+        );
+        assert!(!outcome.sequence.is_empty());
+        assert_eq!(outcome.sequence.unspecified_count(), 0);
+    }
+
+    #[test]
+    fn generated_sequence_verifies_by_independent_simulation() {
+        let (sc, faults, outcome) = run_s27(AtpgConfig::default());
+        let report = SeqFaultSim::run(sc.circuit(), &faults, &outcome.sequence);
+        assert_eq!(
+            report.detected_count(),
+            outcome.report.detected_count(),
+            "outcome must be reproducible from the sequence alone"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_s27(AtpgConfig::default()).2;
+        let b = run_s27(AtpgConfig::default()).2;
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.funct_detected, b.funct_detected);
+    }
+
+    #[test]
+    fn scan_knowledge_never_hurts_coverage() {
+        let with = run_s27(AtpgConfig::default()).2;
+        let without = run_s27(AtpgConfig {
+            use_scan_knowledge: false,
+            ..AtpgConfig::default()
+        })
+        .2;
+        assert!(
+            with.report.detected_count() >= without.report.detected_count(),
+            "scan knowledge must not lose faults ({} vs {})",
+            with.report.detected_count(),
+            without.report.detected_count()
+        );
+    }
+
+    #[test]
+    fn no_random_phase_still_works() {
+        let outcome = run_s27(AtpgConfig {
+            random_phase_vectors: 0,
+            ..AtpgConfig::default()
+        })
+        .2;
+        assert!(outcome.report.coverage_percent() > 95.0);
+    }
+
+    #[test]
+    fn synthetic_circuit_detects_every_testable_fault() {
+        // Random synthetic logic contains genuinely redundant faults, so
+        // raw coverage is bounded by the circuit, not the generator. The
+        // generator's contract is: every fault PODEM can test in a frame
+        // (activation from a loadable state, propagation to a primary
+        // output or a flip-flop) must end up detected.
+        let spec = benchmarks::SyntheticSpec::new("atpgtest", 4, 8, 60, 3);
+        let c = benchmarks::synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let cs = sc.circuit();
+        let faults = FaultList::collapsed(cs);
+        let outcome = SequentialAtpg::new(&sc, &faults, AtpgConfig::default()).run();
+        let scoap = Scoap::compute(cs);
+        for (id, fault) in faults.iter() {
+            if outcome.report.is_detected(id) {
+                continue;
+            }
+            assert!(
+                podem(cs, &scoap, fault, &PodemOptions::default()).is_none(),
+                "frame-testable fault {} left undetected",
+                fault.display_name(cs)
+            );
+        }
+        assert!(
+            outcome.report.coverage_percent() > 75.0,
+            "coverage {:.2}%",
+            outcome.report.coverage_percent()
+        );
+    }
+
+    #[test]
+    fn sequence_contains_limited_scan_operations() {
+        // The signature claim of the paper: scan runs shorter than N_SV
+        // appear in the generated sequence.
+        let (sc, _, outcome) = run_s27(AtpgConfig::default());
+        let sel = sc.scan_sel_pos();
+        let mut run_lengths = Vec::new();
+        let mut run = 0usize;
+        for v in outcome.sequence.iter() {
+            if v[sel] == Logic::One {
+                run += 1;
+            } else if run > 0 {
+                run_lengths.push(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            run_lengths.push(run);
+        }
+        assert!(
+            run_lengths.iter().any(|&r| r < sc.n_sv()),
+            "expected limited scan operations, got runs {run_lengths:?}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Benchmark support: suite configuration and text-table formatting shared
+//! by the `tables` binary and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use limscan::{AtpgConfig, ExperimentConfig, FlowConfig};
+
+/// Per-circuit cost caps for a table run.
+///
+/// The paper's largest circuits (`s5378`, `s35932`) are expensive to
+/// compact exhaustively; the default run samples their fault lists and
+/// trims the search so a full suite finishes in minutes. `--full` removes
+/// the caps (same code paths, longer wall-clock).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Effort {
+    /// Sampled fault lists and reduced passes on large circuits.
+    Default,
+    /// No caps.
+    Full,
+}
+
+/// Experiment configuration for one named circuit under an effort level.
+pub fn config_for(name: &str, effort: Effort) -> ExperimentConfig {
+    let mut flow = FlowConfig::default();
+    if effort == Effort::Default {
+        let (max_faults, passes) = match name {
+            "s35932" => (200, 1),
+            "s5378" => (250, 1),
+            "s1423" => (700, 1),
+            "s1488" | "b04" | "b11" | "s1196" => (1_000, 1),
+            _ => (0, 2),
+        };
+        flow.max_faults = max_faults;
+        flow.omission_passes = passes;
+        if max_faults != 0 {
+            flow.atpg = AtpgConfig {
+                random_phase_vectors: 128,
+                ..AtpgConfig::default()
+            };
+        }
+    }
+    ExperimentConfig {
+        flow,
+        with_translation: true,
+    }
+}
+
+/// Formats a row of right-aligned columns under the given widths.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Renders a complete text table: header, rule, rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format_row(
+        &header.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let table = render_table(
+            &["circ", "len"],
+            &[
+                vec!["s27".into(), "25".into()],
+                vec!["s35932".into(), "634".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("25"));
+        assert!(lines[3].starts_with("s35932"));
+    }
+
+    #[test]
+    fn large_circuits_get_caps_by_default() {
+        assert!(config_for("s5378", Effort::Default).flow.max_faults > 0);
+        assert_eq!(config_for("s5378", Effort::Full).flow.max_faults, 0);
+        assert_eq!(config_for("s298", Effort::Default).flow.max_faults, 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Vector-omission-based static compaction (after \[22\]).
+//!
+//! One pass tries to omit each vector in turn: the omission is kept
+//! whenever the shortened sequence still detects every target fault.
+//! Passes repeat until a fixpoint (or the pass budget runs out). Because
+//! omitting a vector changes the state trajectory of everything after it,
+//! omission can make *more* faults detectable — the paper reports these in
+//! the `ext det` column of Table 6.
+//!
+//! Applied to a `C_scan` sequence, omitting a vector with `scan_sel = 1`
+//! shortens a scan operation by one shift — turning complete scan
+//! operations into limited ones, which is precisely the flexibility
+//! scan-specific compaction procedures lack.
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::Circuit;
+use limscan_sim::{SeqFaultSim, TestSequence};
+
+use crate::Compacted;
+
+/// Compacts `sequence` by repeated vector omission with up to `max_passes`
+/// passes; the target faults are those the input sequence detects.
+///
+/// The returned sequence detects every target fault, and
+/// [`Compacted::extra_detected`] counts the detections gained on top.
+pub fn omission(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    max_passes: usize,
+) -> Compacted {
+    let before = SeqFaultSim::run(circuit, faults, sequence);
+    let target_ids: Vec<FaultId> = before.detected();
+    let targets = FaultList::from_faults(target_ids.iter().map(|&id| faults.fault(id)));
+    let target_count = targets.len();
+
+    let mut current = sequence.clone();
+    for _ in 0..max_passes {
+        let mut changed = false;
+        // Left-to-right scan with an incrementally maintained prefix
+        // simulator: a trial only has to re-simulate the suffix, and only
+        // for the faults the (unchanged) prefix does not already detect.
+        let mut prefix_sim = SeqFaultSim::new(circuit, &targets);
+        let mut t = 0;
+        while t < current.len() {
+            let suffix: TestSequence = (t + 1..current.len())
+                .map(|i| current.vector(i).to_vec())
+                .collect();
+            let detects_all = if prefix_sim.detected_count() == targets.len() {
+                true // the prefix alone already covers every target
+            } else {
+                let mut trial = prefix_sim.clone();
+                if suffix.is_empty() {
+                    false // dropping the last vector loses something
+                } else {
+                    trial.extend(&suffix);
+                    trial.detected_count() == targets.len()
+                }
+            };
+            if detects_all {
+                current = current.without(t);
+                changed = true; // prefix unchanged; same index is new vector
+            } else {
+                let mut one = TestSequence::new(current.width());
+                one.push(current.vector(t).to_vec());
+                prefix_sim.extend(&one);
+                t += 1;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let after = SeqFaultSim::run(circuit, faults, &current);
+    let extra_detected = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !before.is_detected(id))
+        .count();
+    Compacted {
+        sequence: current,
+        original_len: sequence.len(),
+        target_count,
+        extra_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_scan::ScanCircuit;
+    use limscan_sim::Logic;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+        }
+        seq
+    }
+
+    #[test]
+    fn omission_never_loses_targets() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 60, 8);
+        let before = SeqFaultSim::run(c, &faults, &seq);
+        let out = omission(c, &faults, &seq, 3);
+        let after = SeqFaultSim::run(c, &faults, &out.sequence);
+        for (id, f) in faults.iter() {
+            if before.is_detected(id) {
+                assert!(after.is_detected(id), "{} lost", f.display_name(c));
+            }
+        }
+        assert!(out.sequence.len() <= seq.len());
+    }
+
+    #[test]
+    fn duplicate_vectors_are_omitted() {
+        // Doubling every vector of a sequence is pure slack for a scan
+        // circuit test; omission must remove a substantial part of it.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let base = random_sequence(c.inputs().len(), 30, 4);
+        let mut padded = TestSequence::new(c.inputs().len());
+        for v in base.iter() {
+            padded.push(v.to_vec());
+            padded.push(v.to_vec());
+        }
+        let out = omission(c, &faults, &padded, 2);
+        assert!(
+            out.sequence.len() <= padded.len() - 10,
+            "padded len {} only shrank to {}",
+            padded.len(),
+            out.sequence.len()
+        );
+    }
+
+    #[test]
+    fn single_pass_is_weaker_or_equal_to_many() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 50, 12);
+        let one = omission(c, &faults, &seq, 1);
+        let many = omission(c, &faults, &seq, 5);
+        assert!(many.sequence.len() <= one.sequence.len());
+    }
+
+    #[test]
+    fn empty_sequence_is_a_fixpoint() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let out = omission(c, &faults, &TestSequence::new(c.inputs().len()), 3);
+        assert!(out.sequence.is_empty());
+        assert_eq!(out.extra_detected, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Vector-restoration-based static compaction (after \[23\]).
+//!
+//! Processing the detected faults in decreasing order of their detection
+//! time under the original sequence, the procedure restores vectors
+//! backwards from each fault's detection time until the kept subsequence
+//! detects the fault again. Earlier vectors restored for hard faults
+//! usually cover the easier ones for free, so large stretches of the
+//! original sequence are never restored.
+//!
+//! Restoration is performed in doubling chunks (single vector first, then
+//! 2, 4, ... back toward time 0). Chunked restoration is the standard way
+//! of keeping the quadratic re-simulation cost in check — the idea behind
+//! the overlapped restoration of \[24\] — and never loses a detection: a
+//! fault's own detection prefix is always a fallback.
+
+use limscan_fault::FaultList;
+use limscan_netlist::Circuit;
+use limscan_sim::{single_fault_detects, SeqFaultSim, TestSequence};
+
+use crate::Compacted;
+
+/// Compacts `sequence` by vector restoration; the target faults are exactly
+/// those the input sequence detects.
+///
+/// The returned sequence detects every target fault (verified internally by
+/// fault simulation) and possibly more ([`Compacted::extra_detected`]).
+pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequence) -> Compacted {
+    let report = SeqFaultSim::run(circuit, faults, sequence);
+    let mut targets: Vec<(u32, limscan_fault::FaultId)> = faults
+        .ids()
+        .filter_map(|id| report.detected_at(id).map(|t| (t, id)))
+        .collect();
+    // Decreasing detection time; ties broken by fault id for determinism.
+    targets.sort_by(|a, b| b.cmp(a));
+    let target_count = targets.len();
+
+    let mut keep = vec![false; sequence.len()];
+    // `covered[i]` marks targets the kept subsequence is known to detect;
+    // refreshed in bulk by a parallel simulation every few restoration
+    // episodes, which skips most targets outright.
+    let mut covered = vec![false; targets.len()];
+    let mut episodes_since_drop = 0usize;
+    for (i, &(t_f, id)) in targets.iter().enumerate() {
+        if covered[i] {
+            continue;
+        }
+        let fault = faults.fault(id);
+        let kept = sequence.select(&keep);
+        if single_fault_detects(circuit, fault, &kept).is_some() {
+            covered[i] = true;
+            continue; // already covered by vectors restored for harder faults
+        }
+        // Restore in doubling chunks from the detection time backwards.
+        let mut next = t_f as isize;
+        let mut chunk = 1isize;
+        loop {
+            let lo = (next - chunk + 1).max(0);
+            for p in lo..=next {
+                keep[p as usize] = true;
+            }
+            let kept = sequence.select(&keep);
+            if single_fault_detects(circuit, fault, &kept).is_some() {
+                break;
+            }
+            // Once the whole prefix [0, t_f] is restored, `kept` starts
+            // with exactly the original prefix, which detects the fault at
+            // t_f — so an undetected fault here would be a simulator bug.
+            assert!(lo > 0, "restoring the full prefix must re-detect the fault");
+            next = lo - 1;
+            chunk *= 2;
+        }
+        covered[i] = true;
+
+        episodes_since_drop += 1;
+        if episodes_since_drop >= 8 {
+            episodes_since_drop = 0;
+            let remaining: Vec<usize> = (i + 1..targets.len()).filter(|&j| !covered[j]).collect();
+            if !remaining.is_empty() {
+                let sub =
+                    FaultList::from_faults(remaining.iter().map(|&j| faults.fault(targets[j].1)));
+                let kept = sequence.select(&keep);
+                let report = SeqFaultSim::run(circuit, &sub, &kept);
+                for (k, &j) in remaining.iter().enumerate() {
+                    if report.is_detected(limscan_fault::FaultId::from_index(k)) {
+                        covered[j] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let sequence_out = sequence.select(&keep);
+    let after = SeqFaultSim::run(circuit, faults, &sequence_out);
+    let extra_detected = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !report.is_detected(id))
+        .count();
+    Compacted {
+        sequence: sequence_out,
+        original_len: sequence.len(),
+        target_count,
+        extra_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_scan::ScanCircuit;
+    use limscan_sim::Logic;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+        }
+        seq
+    }
+
+    #[test]
+    fn restoration_never_loses_targets() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 90, 21);
+        let before = SeqFaultSim::run(c, &faults, &seq);
+        let out = restoration(c, &faults, &seq);
+        let after = SeqFaultSim::run(c, &faults, &out.sequence);
+        for (id, f) in faults.iter() {
+            if before.is_detected(id) {
+                assert!(
+                    after.is_detected(id),
+                    "{} lost by restoration",
+                    f.display_name(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restoration_shrinks_padded_sequences() {
+        // A sequence with long useless stretches must lose them.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let mut seq = random_sequence(c.inputs().len(), 40, 3);
+        // Pad with 60 all-zero vectors that detect nothing new.
+        for _ in 0..60 {
+            seq.push(vec![Logic::Zero; c.inputs().len()]);
+        }
+        let out = restoration(c, &faults, &seq);
+        assert!(
+            out.sequence.len() < 70,
+            "padding should not survive (len {})",
+            out.sequence.len()
+        );
+    }
+
+    #[test]
+    fn empty_sequence_is_a_fixpoint() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let out = restoration(c, &faults, &TestSequence::new(c.inputs().len()));
+        assert!(out.sequence.is_empty());
+        assert_eq!(out.target_count, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 60, 9);
+        assert_eq!(
+            restoration(c, &faults, &seq).sequence,
+            restoration(c, &faults, &seq).sequence
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Compaction of conventional scan-based test sets (the \[26\] stand-in).
+//!
+//! Scan-specific static compaction distinguishes scan operations from
+//! primary input vectors: all it can do is drop whole tests (and with them
+//! whole *complete* scan operations). This module implements the classical
+//! reverse-order / forward-order fault-simulation pruning over `(SI, T)`
+//! test sets, which is the behaviour the paper compares against in the
+//! `[26] cyc` column of Tables 6 and 7 — and whose inability to shorten
+//! scan operations is exactly what the paper's approach removes.
+//!
+//! Detection bookkeeping uses the conventional semantics (clean state load,
+//! primary outputs observed per cycle, final state observed by scan-out).
+
+use limscan_fault::FaultList;
+use limscan_netlist::Circuit;
+use limscan_scan::{ScanTest, ScanTestSet};
+use limscan_sim::{SeqFaultSim, TestSequence};
+
+/// Result of scan test set compaction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompactedSet {
+    /// The pruned test set (test order preserved).
+    pub set: ScanTestSet,
+    /// Number of tests in the input set.
+    pub original_tests: usize,
+    /// Application cycles of the input set.
+    pub original_cycles: usize,
+}
+
+impl CompactedSet {
+    /// Cycle reduction as a fraction of the original cycles.
+    pub fn reduction(&self) -> f64 {
+        if self.original_cycles == 0 {
+            return 0.0;
+        }
+        1.0 - self.set.application_cycles() as f64 / self.original_cycles as f64
+    }
+}
+
+/// Prunes a conventional scan test set by reverse-order then forward-order
+/// fault simulation over `circuit` (the original, non-scan circuit):
+/// a test is kept only if it detects a fault no other kept test detects.
+///
+/// Every fault the input set detects is detected by the output set.
+pub fn scan_test_set(circuit: &Circuit, faults: &FaultList, set: &ScanTestSet) -> CompactedSet {
+    let original_tests = set.len();
+    let original_cycles = set.application_cycles();
+
+    // Which faults does each test detect?
+    let per_test: Vec<Vec<usize>> = set
+        .tests()
+        .iter()
+        .map(|t| test_detections(circuit, faults, t))
+        .collect();
+
+    // Reverse-order pass: later tests get first claim on their faults.
+    let mut kept = vec![false; set.len()];
+    let mut covered = vec![false; faults.len()];
+    for i in (0..set.len()).rev() {
+        if per_test[i].iter().any(|&f| !covered[f]) {
+            kept[i] = true;
+            for &f in &per_test[i] {
+                covered[f] = true;
+            }
+        }
+    }
+
+    // Forward-order pass over the kept tests: drop any test whose faults
+    // are all covered by the other kept tests.
+    for i in 0..set.len() {
+        if !kept[i] {
+            continue;
+        }
+        let mut covered_by_others = vec![false; faults.len()];
+        for j in 0..set.len() {
+            if j != i && kept[j] {
+                for &f in &per_test[j] {
+                    covered_by_others[f] = true;
+                }
+            }
+        }
+        if per_test[i].iter().all(|&f| covered_by_others[f]) {
+            kept[i] = false;
+        }
+    }
+
+    let mut out = ScanTestSet::new(set.n_sv(), set.input_width());
+    for (i, t) in set.tests().iter().enumerate() {
+        if kept[i] {
+            out.push(t.clone());
+        }
+    }
+    CompactedSet {
+        set: out,
+        original_tests,
+        original_cycles,
+    }
+}
+
+/// Fault indices detected by one `(SI, T)` test under the conventional
+/// semantics: both machines load `SI` cleanly (a complete scan-in
+/// overwrites the chain), primary outputs are observed during `T`, and the
+/// final state difference is observed by the scan-out. Word-parallel: 64
+/// faults per batch.
+fn test_detections(circuit: &Circuit, faults: &FaultList, test: &ScanTest) -> Vec<usize> {
+    let mut sim = SeqFaultSim::with_state(circuit, faults, &test.scan_in);
+    if !test.vectors.is_empty() {
+        let seq: TestSequence = test.vectors.iter().cloned().collect();
+        sim.extend(&seq);
+    }
+    let mut detected: Vec<usize> = faults
+        .ids()
+        .filter(|&id| sim.is_detected(id))
+        .map(|id| id.index())
+        .collect();
+    // Final state difference is observed by the scan-out.
+    let good = sim.good_state().to_vec();
+    for id in faults.ids() {
+        if !sim.is_detected(id)
+            && good
+                .iter()
+                .zip(sim.fault_state(id))
+                .any(|(g, b)| g.conflicts(*b))
+        {
+            detected.push(id.index());
+        }
+    }
+    detected.sort_unstable();
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_atpg::first_approach::{generate, CombAtpgConfig};
+    use limscan_netlist::benchmarks;
+
+    #[test]
+    fn pruning_preserves_conventional_coverage() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let outcome = generate(
+            &c,
+            &faults,
+            &CombAtpgConfig {
+                max_vectors_per_test: 1,
+                ..CombAtpgConfig::default()
+            },
+        );
+        let compacted = scan_test_set(&c, &faults, &outcome.set);
+
+        let covered = |set: &ScanTestSet| -> Vec<usize> {
+            let mut v: Vec<usize> = set
+                .tests()
+                .iter()
+                .flat_map(|t| test_detections(&c, &faults, t))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(covered(&outcome.set), covered(&compacted.set));
+        assert!(compacted.set.len() <= outcome.set.len());
+        assert!(compacted.set.application_cycles() <= compacted.original_cycles);
+    }
+
+    #[test]
+    fn redundant_duplicate_tests_are_dropped() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let outcome = generate(&c, &faults, &CombAtpgConfig::default());
+        let mut doubled = ScanTestSet::new(outcome.set.n_sv(), outcome.set.input_width());
+        for t in outcome.set.tests() {
+            doubled.push(t.clone());
+            doubled.push(t.clone());
+        }
+        let compacted = scan_test_set(&c, &faults, &doubled);
+        assert!(
+            compacted.set.len() <= outcome.set.len(),
+            "duplicates must not survive ({} vs {})",
+            compacted.set.len(),
+            outcome.set.len()
+        );
+        assert!(compacted.reduction() > 0.0);
+    }
+
+    #[test]
+    fn empty_set_stays_empty() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let set = ScanTestSet::new(c.dffs().len(), c.inputs().len());
+        let compacted = scan_test_set(&c, &faults, &set);
+        assert!(compacted.set.is_empty());
+        assert_eq!(compacted.reduction(), 0.0);
+    }
+}

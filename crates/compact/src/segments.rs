@@ -1,0 +1,161 @@
+//! Segment-based static compaction (after the segment pruning of \[24\]).
+//!
+//! Omission tries vectors one at a time; on long sequences most of the cost
+//! is spent confirming that *useful* vectors cannot be dropped. Segment
+//! pruning instead tries to drop whole contiguous segments, recursively
+//! splitting a segment in half when it cannot be dropped as a unit, down to
+//! a configurable minimum size. A pass of segment pruning before omission
+//! removes the bulk cheaply; omission then polishes.
+//!
+//! Like the other procedures, dropping is accepted only when every target
+//! fault stays detected, so coverage never decreases.
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::Circuit;
+use limscan_sim::{SeqFaultSim, TestSequence};
+
+use crate::Compacted;
+
+/// Compacts `sequence` by recursive segment pruning; the target faults are
+/// those the input sequence detects. Segments are halved down to
+/// `min_segment` vectors (1 makes the final level equivalent to one
+/// omission pass over the surviving vectors, at higher cost — pair with
+/// [`omission`](crate::omission) instead).
+///
+/// # Panics
+///
+/// Panics if `min_segment == 0`.
+pub fn segment_prune(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    min_segment: usize,
+) -> Compacted {
+    assert!(min_segment > 0, "minimum segment size must be positive");
+    let before = SeqFaultSim::run(circuit, faults, sequence);
+    let target_ids: Vec<FaultId> = before.detected();
+    let targets = FaultList::from_faults(target_ids.iter().map(|&id| faults.fault(id)));
+    let target_count = targets.len();
+
+    let mut keep = vec![true; sequence.len()];
+    // Work queue of half-open ranges to try dropping.
+    let mut ranges = vec![(0usize, sequence.len())];
+    while let Some((lo, hi)) = ranges.pop() {
+        if hi - lo < min_segment || lo >= hi {
+            continue;
+        }
+        // Tentatively drop the whole segment.
+        for k in &mut keep[lo..hi] {
+            *k = false;
+        }
+        let trial = sequence.select(&keep);
+        let ok = if trial.is_empty() {
+            target_count == 0
+        } else {
+            SeqFaultSim::run(circuit, &targets, &trial).detected_count() == target_count
+        };
+        if ok {
+            continue; // segment gone for good
+        }
+        // Restore and split.
+        for k in &mut keep[lo..hi] {
+            *k = true;
+        }
+        let mid = lo + (hi - lo) / 2;
+        if mid > lo && hi > mid && hi - lo > min_segment {
+            ranges.push((lo, mid));
+            ranges.push((mid, hi));
+        }
+    }
+
+    let sequence_out = sequence.select(&keep);
+    let after = SeqFaultSim::run(circuit, faults, &sequence_out);
+    let extra_detected = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !before.is_detected(id))
+        .count();
+    Compacted {
+        sequence: sequence_out,
+        original_len: sequence.len(),
+        target_count,
+        extra_detected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_scan::ScanCircuit;
+    use limscan_sim::Logic;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+        }
+        seq
+    }
+
+    #[test]
+    fn pruning_preserves_targets() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 100, 31);
+        let before = SeqFaultSim::run(c, &faults, &seq);
+        let out = segment_prune(c, &faults, &seq, 4);
+        let after = SeqFaultSim::run(c, &faults, &out.sequence);
+        for (id, f) in faults.iter() {
+            if before.is_detected(id) {
+                assert!(after.is_detected(id), "{} lost", f.display_name(c));
+            }
+        }
+        assert!(out.sequence.len() < seq.len(), "random padding must shrink");
+    }
+
+    #[test]
+    fn trailing_dead_weight_is_dropped_in_one_probe() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let mut seq = random_sequence(c.inputs().len(), 30, 2);
+        for _ in 0..64 {
+            seq.push(vec![Logic::Zero; c.inputs().len()]);
+        }
+        let out = segment_prune(c, &faults, &seq, 8);
+        assert!(out.sequence.len() <= 40, "got {}", out.sequence.len());
+    }
+
+    #[test]
+    fn min_segment_bounds_granularity() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 60, 9);
+        let coarse = segment_prune(c, &faults, &seq, 16);
+        let fine = segment_prune(c, &faults, &seq, 2);
+        assert!(fine.sequence.len() <= coarse.sequence.len());
+    }
+
+    #[test]
+    fn zero_min_segment_is_rejected() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let seq = random_sequence(c.inputs().len(), 10, 1);
+        assert!(std::panic::catch_unwind(|| segment_prune(c, &faults, &seq, 0)).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_is_a_fixpoint() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let out = segment_prune(c, &faults, &TestSequence::new(c.inputs().len()), 4);
+        assert!(out.sequence.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! `limscan` — command-line front end for the library.
+//!
+//! ```text
+//! limscan info <circuit.bench>
+//! limscan generate <circuit.bench> [-o program.txt] [--chains N]
+//!                  [--engine det|genetic] [--max-faults N] [--no-compact]
+//! limscan compact <circuit.bench> <program.txt> [-o out.txt] [--passes N]
+//! ```
+//!
+//! `generate` inserts scan into the circuit, runs the paper's flow and
+//! writes a tester vector file; `compact` re-compacts an existing vector
+//! file against the same scan circuit. Circuits are ISCAS-89 `.bench`
+//! netlists (or a benchmark name like `s27` / `s298`).
+
+use std::process::ExitCode;
+
+use limscan::atpg::genetic::GeneticConfig;
+use limscan::netlist::{bench_format, CircuitStats};
+use limscan::scan::program::{parse_program, program_stats, write_program};
+use limscan::{
+    benchmarks, restore_then_omit, Circuit, Engine, FaultList, FlowConfig, GenerationFlow,
+    ScanCircuit, SeqFaultSim,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("info") => cmd_info(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  limscan info <circuit.bench | benchmark-name>
+  limscan generate <circuit> [-o program.txt] [--chains N]
+                   [--engine det|genetic] [--max-faults N] [--no-compact]
+  limscan compact <circuit> <program.txt> [-o out.txt] [--passes N]";
+
+fn load_circuit(arg: &str) -> Result<Circuit, String> {
+    if arg.ends_with(".bench") || arg.contains('/') {
+        bench_format::read_file(arg).map_err(|e| e.to_string())
+    } else {
+        benchmarks::load(arg)
+            .ok_or_else(|| format!("`{arg}` is neither a .bench file nor a known benchmark"))
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {flag}")),
+    }
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("info: missing circuit argument")?;
+    let circuit = load_circuit(path)?;
+    println!("{}", CircuitStats::of(&circuit));
+    if circuit.dffs().is_empty() {
+        println!("combinational circuit — scan insertion does not apply");
+        return Ok(());
+    }
+    let sc = ScanCircuit::insert(&circuit);
+    let faults = FaultList::collapsed(sc.circuit());
+    println!(
+        "with scan: {} inputs, {} outputs, chain of {} flip-flops, {} collapsed faults",
+        sc.circuit().inputs().len(),
+        sc.circuit().outputs().len(),
+        sc.n_sv(),
+        faults.len(),
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("generate: missing circuit argument")?;
+    let circuit = load_circuit(path)?;
+    if circuit.dffs().is_empty() {
+        return Err("circuit has no flip-flops; nothing to scan".into());
+    }
+    let chains: usize = parse_flag(args, "--chains", 1)?;
+    if chains == 0 || chains > circuit.dffs().len() {
+        return Err(format!(
+            "--chains must be between 1 and the flip-flop count ({})",
+            circuit.dffs().len()
+        ));
+    }
+    let max_faults: usize = parse_flag(args, "--max-faults", 0)?;
+    let engine = match flag_value(args, "--engine") {
+        None | Some("det") => Engine::Deterministic,
+        Some("genetic") => Engine::Genetic(GeneticConfig::default()),
+        Some(other) => return Err(format!("unknown engine `{other}` (det|genetic)")),
+    };
+    let compact = !args.iter().any(|a| a == "--no-compact");
+
+    let config = FlowConfig {
+        engine,
+        scan_chains: chains,
+        max_faults,
+        ..FlowConfig::default()
+    };
+    let flow = GenerationFlow::run(&circuit, &config);
+    let sequence = if compact {
+        &flow.omitted.sequence
+    } else {
+        &flow.generated.sequence
+    };
+
+    eprintln!(
+        "coverage {:.2}% ({}/{} faults, {} via scan knowledge); {} vectors{}",
+        flow.generated.report.coverage_percent(),
+        flow.generated.report.detected_count(),
+        flow.faults.len(),
+        flow.generated.funct_detected,
+        sequence.len(),
+        if compact {
+            format!(" (compacted from {})", flow.generated.sequence.len())
+        } else {
+            String::new()
+        },
+    );
+    let stats = program_stats(&flow.scan, sequence);
+    eprintln!(
+        "{} scan cycles in {} operations, {} of them limited",
+        stats.scan_cycles,
+        stats.scan_ops.len(),
+        stats.limited_ops,
+    );
+
+    let text = write_program(flow.scan.circuit(), sequence);
+    match flag_value(args, "-o") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> Result<(), String> {
+    let circuit_arg = args.first().ok_or("compact: missing circuit argument")?;
+    let prog_arg = args.get(1).ok_or("compact: missing program argument")?;
+    let circuit = load_circuit(circuit_arg)?;
+    if circuit.dffs().is_empty() {
+        return Err("circuit has no flip-flops; nothing to scan".into());
+    }
+    let passes: usize = parse_flag(args, "--passes", 2)?;
+
+    let text =
+        std::fs::read_to_string(prog_arg).map_err(|e| format!("cannot read {prog_arg}: {e}"))?;
+    let sequence = parse_program(&text).map_err(|e| e.to_string())?;
+
+    let sc = ScanCircuit::insert(&circuit);
+    if sequence.width() != sc.circuit().inputs().len() {
+        return Err(format!(
+            "program width {} does not match {} ({} inputs with scan)",
+            sequence.width(),
+            sc.circuit().name(),
+            sc.circuit().inputs().len(),
+        ));
+    }
+    let faults = FaultList::collapsed(sc.circuit());
+    let before = SeqFaultSim::run(sc.circuit(), &faults, &sequence);
+    let compacted = restore_then_omit(sc.circuit(), &faults, &sequence, passes);
+    eprintln!(
+        "{} -> {} vectors ({:.1}% shorter); {}/{} faults detected, +{} gained",
+        sequence.len(),
+        compacted.sequence.len(),
+        100.0 * compacted.reduction(),
+        before.detected_count(),
+        faults.len(),
+        compacted.extra_detected,
+    );
+
+    let text = write_program(sc.circuit(), &compacted.sequence);
+    match flag_value(args, "-o") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

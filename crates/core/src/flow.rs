@@ -1,0 +1,283 @@
+//! The paper's two end-to-end flows.
+//!
+//! * [`GenerationFlow`] (Tables 5 and 6): insert scan, run the Section 2
+//!   generator on `C_scan`, then compact the flat sequence with vector
+//!   restoration followed by vector omission.
+//! * [`TranslationFlow`] (Table 7): generate a conventional `(SI, T)` test
+//!   set with complete scan operations, compact it with the scan-specific
+//!   `[26]`-style pruning, translate it into a flat sequence (Section 3),
+//!   and compact that with the same restoration + omission pipeline.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use limscan_atpg::first_approach::{self, CombAtpgConfig, CombAtpgOutcome};
+use limscan_atpg::genetic::{GeneticAtpg, GeneticConfig};
+use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
+use limscan_compact::{omission, restoration, scan_test_set, Compacted, CompactedSet};
+use limscan_fault::FaultList;
+use limscan_netlist::Circuit;
+use limscan_scan::ScanCircuit;
+use limscan_sim::TestSequence;
+
+/// Which test generation engine drives the generation flow.
+#[derive(Clone, Debug, Default)]
+pub enum Engine {
+    /// The Section 2 procedure: PODEM-driven forward search with
+    /// functional scan knowledge (the paper's generator).
+    #[default]
+    Deterministic,
+    /// Simulation-based (genetic) generation in the style of the paper's
+    /// reference \[9\] — no scan knowledge, typically longer sequences.
+    Genetic(GeneticConfig),
+}
+
+/// Configuration shared by both flows.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Engine used by the generation flow.
+    pub engine: Engine,
+    /// Section 2 generator settings (used by [`Engine::Deterministic`]).
+    pub atpg: AtpgConfig,
+    /// Conventional baseline generator settings.
+    pub baseline: CombAtpgConfig,
+    /// Omission pass budget.
+    pub omission_passes: usize,
+    /// Cap on the number of (collapsed) faults considered; 0 means no cap.
+    /// Large profile circuits use this to bound experiment cost.
+    pub max_faults: usize,
+    /// Number of scan chains inserted by the generation flow (the paper
+    /// evaluates 1; more chains shorten scan loads and shift-outs). The
+    /// translation flow always uses a single chain, matching the
+    /// conventional baseline's cycle accounting.
+    pub scan_chains: usize,
+    /// Seed for random X-specification during translation.
+    pub seed: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            engine: Engine::Deterministic,
+            atpg: AtpgConfig::default(),
+            baseline: CombAtpgConfig::default(),
+            omission_passes: 2,
+            max_faults: 0,
+            scan_chains: 1,
+            seed: 0xda7e_2003,
+        }
+    }
+}
+
+/// Output of the generation flow (Section 2 + Section 4).
+#[derive(Clone, Debug)]
+pub struct GenerationFlow {
+    /// The scan circuit the flow ran on.
+    pub scan: ScanCircuit,
+    /// Target faults over `C_scan` (collapsed, possibly sampled).
+    pub faults: FaultList,
+    /// Section 2 generator outcome (sequence `T` of Table 6).
+    pub generated: AtpgOutcome,
+    /// After vector restoration (`T_restor`).
+    pub restored: Compacted,
+    /// After vector omission applied to `T_restor` (`T_omit`).
+    pub omitted: Compacted,
+}
+
+impl GenerationFlow {
+    /// Runs the full generation flow on the original circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` has no flip-flops.
+    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Self {
+        let scan = ScanCircuit::insert_chains(circuit, config.scan_chains);
+        let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
+        let generated = match &config.engine {
+            Engine::Deterministic => SequentialAtpg::new(&scan, &faults, config.atpg.clone()).run(),
+            Engine::Genetic(gc) => {
+                let (sequence, report) = GeneticAtpg::new(&scan, &faults, gc.clone()).run();
+                let aborted = report.total() - report.detected_count();
+                AtpgOutcome {
+                    sequence,
+                    report,
+                    funct_detected: 0,
+                    scan_loads: 0,
+                    aborted,
+                }
+            }
+        };
+        let restored = restoration(scan.circuit(), &faults, &generated.sequence);
+        let omitted = omission(
+            scan.circuit(),
+            &faults,
+            &restored.sequence,
+            config.omission_passes,
+        );
+        GenerationFlow {
+            scan,
+            faults,
+            generated,
+            restored,
+            omitted,
+        }
+    }
+
+    /// Scan vectors (`scan_sel = 1`) in the generated sequence.
+    pub fn generated_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.generated.sequence)
+    }
+
+    /// Scan vectors in the restored sequence.
+    pub fn restored_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.restored.sequence)
+    }
+
+    /// Scan vectors in the omitted sequence.
+    pub fn omitted_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.omitted.sequence)
+    }
+}
+
+/// Output of the translation flow (Section 3 + Section 4, Table 7).
+#[derive(Clone, Debug)]
+pub struct TranslationFlow {
+    /// The scan circuit the flow ran on.
+    pub scan: ScanCircuit,
+    /// Faults over `C_scan` used to drive the flat-sequence compaction.
+    pub faults: FaultList,
+    /// The conventional baseline test set (before scan-set pruning).
+    pub baseline: CombAtpgOutcome,
+    /// The `[26]`-style pruned test set; its `application_cycles()` is the
+    /// comparison column of Tables 6 and 7.
+    pub baseline_compacted: CompactedSet,
+    /// The translated flat sequence (X-specified), Table 7's `test len`.
+    pub translated: TestSequence,
+    /// After vector restoration.
+    pub restored: Compacted,
+    /// After vector omission.
+    pub omitted: Compacted,
+}
+
+impl TranslationFlow {
+    /// Runs the full translation flow on the original circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` has no flip-flops.
+    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Self {
+        let scan = ScanCircuit::insert(circuit);
+        // The baseline targets faults of the original circuit (that is all
+        // a conventional tool sees).
+        let base_faults = FaultList::collapsed(circuit).sample(config.max_faults);
+        let baseline = first_approach::generate(circuit, &base_faults, &config.baseline);
+        let baseline_compacted = scan_test_set(circuit, &base_faults, &baseline.set);
+
+        let mut translated = scan.translate(&baseline_compacted.set);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        translated.specify_x(&mut rng);
+
+        let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
+        let restored = restoration(scan.circuit(), &faults, &translated);
+        let omitted = omission(
+            scan.circuit(),
+            &faults,
+            &restored.sequence,
+            config.omission_passes,
+        );
+        TranslationFlow {
+            scan,
+            faults,
+            baseline,
+            baseline_compacted,
+            translated,
+            restored,
+            omitted,
+        }
+    }
+
+    /// Scan vectors in the translated sequence.
+    pub fn translated_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.translated)
+    }
+
+    /// Scan vectors in the restored sequence.
+    pub fn restored_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.restored.sequence)
+    }
+
+    /// Scan vectors in the omitted sequence.
+    pub fn omitted_scan_vectors(&self) -> usize {
+        self.scan.count_scan_vectors(&self.omitted.sequence)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_sim::SeqFaultSim;
+
+    #[test]
+    fn generation_flow_is_monotone_in_length() {
+        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        assert!(flow.restored.sequence.len() <= flow.generated.sequence.len());
+        assert!(flow.omitted.sequence.len() <= flow.restored.sequence.len());
+        assert!(flow.restored_scan_vectors() <= flow.generated_scan_vectors());
+    }
+
+    #[test]
+    fn generation_flow_compaction_keeps_coverage() {
+        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let final_report =
+            SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.omitted.sequence);
+        assert!(
+            final_report.detected_count() >= flow.generated.report.detected_count(),
+            "compaction must not lose coverage ({} vs {})",
+            final_report.detected_count(),
+            flow.generated.report.detected_count()
+        );
+    }
+
+    #[test]
+    fn translation_flow_beats_the_baseline_cycles() {
+        // The headline claim of Table 7: compacting the translated sequence
+        // beats the cycle count of the scan-specifically compacted set.
+        let flow = TranslationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        assert_eq!(
+            flow.translated.len(),
+            flow.baseline_compacted.set.application_cycles(),
+            "translation preserves application time"
+        );
+        assert!(
+            flow.omitted.sequence.len() < flow.baseline_compacted.set.application_cycles(),
+            "flat compaction must shorten the conventional set ({} vs {})",
+            flow.omitted.sequence.len(),
+            flow.baseline_compacted.set.application_cycles()
+        );
+    }
+
+    #[test]
+    fn genetic_engine_drives_the_same_pipeline() {
+        let config = FlowConfig {
+            engine: Engine::Genetic(limscan_atpg::genetic::GeneticConfig::default()),
+            ..FlowConfig::default()
+        };
+        let flow = GenerationFlow::run(&benchmarks::s27(), &config);
+        assert!(flow.generated.report.detected_count() > 0);
+        assert!(flow.omitted.sequence.len() <= flow.generated.sequence.len());
+        // Compaction still preserves everything the engine detected.
+        let check = SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.omitted.sequence);
+        assert!(check.detected_count() >= flow.generated.report.detected_count());
+    }
+
+    #[test]
+    fn fault_cap_limits_work() {
+        let config = FlowConfig {
+            max_faults: 20,
+            ..FlowConfig::default()
+        };
+        let flow = GenerationFlow::run(&benchmarks::s27(), &config);
+        assert_eq!(flow.faults.len(), 20);
+    }
+}

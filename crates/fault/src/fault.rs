@@ -1,0 +1,180 @@
+//! Fault types.
+
+use std::fmt;
+
+use limscan_netlist::{Circuit, NetId, Pin};
+
+/// The stuck value of a fault.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StuckAt {
+    /// Stuck-at logic 0.
+    Zero,
+    /// Stuck-at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The stuck value as a boolean.
+    #[inline]
+    pub fn value(self) -> bool {
+        matches!(self, StuckAt::One)
+    }
+
+    /// The opposite polarity.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            StuckAt::Zero => StuckAt::One,
+            StuckAt::One => StuckAt::Zero,
+        }
+    }
+
+    /// Both polarities, in `[Zero, One]` order.
+    pub fn both() -> [StuckAt; 2] {
+        [StuckAt::Zero, StuckAt::One]
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckAt::Zero => f.write_str("sa0"),
+            StuckAt::One => f.write_str("sa1"),
+        }
+    }
+}
+
+/// Where a fault sits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultSite {
+    /// On a net's stem: affects every consumer of the net and its
+    /// observation as a primary output.
+    Stem(NetId),
+    /// On a single fanout branch: affects only the given consumer pin.
+    Branch(Pin),
+}
+
+impl FaultSite {
+    /// The net whose value the fault corrupts (for a branch, the source net
+    /// of the pin).
+    pub fn source_net(self, circuit: &Circuit) -> NetId {
+        match self {
+            FaultSite::Stem(n) => n,
+            FaultSite::Branch(pin) => circuit.net(pin.net).driver().fanins()[pin.pin as usize],
+        }
+    }
+}
+
+/// A single stuck-at fault.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fault {
+    /// Location of the fault.
+    pub site: FaultSite,
+    /// Stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Creates a stem fault on `net`.
+    pub fn stem(net: NetId, stuck: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::Stem(net),
+            stuck,
+        }
+    }
+
+    /// Creates a branch fault on the given consumer pin.
+    pub fn branch(pin: Pin, stuck: StuckAt) -> Self {
+        Fault {
+            site: FaultSite::Branch(pin),
+            stuck,
+        }
+    }
+
+    /// Human-readable name using the circuit's net names, e.g.
+    /// `G11/sa0` for a stem or `G11->G17.0/sa1` for a branch.
+    pub fn display_name(&self, circuit: &Circuit) -> String {
+        match self.site {
+            FaultSite::Stem(n) => format!("{}/{}", circuit.net(n).name(), self.stuck),
+            FaultSite::Branch(pin) => {
+                let src = self.site.source_net(circuit);
+                format!(
+                    "{}->{}.{}/{}",
+                    circuit.net(src).name(),
+                    circuit.net(pin.net).name(),
+                    pin.pin,
+                    self.stuck
+                )
+            }
+        }
+    }
+}
+
+/// Dense identifier of a fault within a [`FaultList`](crate::FaultList).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultId(pub(crate) u32);
+
+impl FaultId {
+    /// The dense index of this fault.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `FaultId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        FaultId(index as u32)
+    }
+}
+
+impl fmt::Debug for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+
+    #[test]
+    fn stuck_at_helpers() {
+        assert!(!StuckAt::Zero.value());
+        assert!(StuckAt::One.value());
+        assert_eq!(StuckAt::Zero.flipped(), StuckAt::One);
+        assert_eq!(StuckAt::both(), [StuckAt::Zero, StuckAt::One]);
+        assert_eq!(StuckAt::Zero.to_string(), "sa0");
+    }
+
+    #[test]
+    fn display_names_use_net_names() {
+        let c = benchmarks::s27();
+        let g11 = c.find_net("G11").unwrap();
+        let f = Fault::stem(g11, StuckAt::Zero);
+        assert_eq!(f.display_name(&c), "G11/sa0");
+        let pin = c.fanouts(g11)[0];
+        let bf = Fault::branch(pin, StuckAt::One);
+        let name = bf.display_name(&c);
+        assert!(
+            name.starts_with("G11->") && name.ends_with("/sa1"),
+            "{name}"
+        );
+    }
+
+    #[test]
+    fn branch_source_net_resolves_through_pin() {
+        let c = benchmarks::s27();
+        let g8 = c.find_net("G8").unwrap();
+        for pin in c.fanouts(g8) {
+            assert_eq!(FaultSite::Branch(*pin).source_net(&c), g8);
+        }
+    }
+}

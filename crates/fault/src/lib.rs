@@ -1,0 +1,33 @@
+//! Single stuck-at fault model for the `limscan` workspace.
+//!
+//! Provides the fault universe over a gate-level circuit — stuck-at-0/1
+//! faults on every net (*stem* faults) and on every fanout branch (*branch*
+//! faults, attached to a consumer pin) — plus classical structural
+//! equivalence collapsing, which is what the paper's fault counts use.
+//!
+//! Because the paper performs test generation on the *scan* circuit
+//! `C_scan`, the universe built over `C_scan` automatically includes the
+//! faults "in the multiplexers we added in order to implement scan chains"
+//! that Table 5 mentions.
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_netlist::benchmarks;
+//! use limscan_fault::FaultList;
+//!
+//! let c = benchmarks::s27();
+//! let all = FaultList::full(&c);
+//! let collapsed = FaultList::collapsed(&c);
+//! assert!(collapsed.len() < all.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collapse;
+mod fault;
+mod universe;
+
+pub use fault::{Fault, FaultId, FaultSite, StuckAt};
+pub use universe::FaultList;

@@ -1,0 +1,219 @@
+//! Fault universe enumeration.
+
+use std::collections::HashMap;
+
+use limscan_netlist::{Circuit, NetId};
+
+use crate::fault::{Fault, FaultId, StuckAt};
+
+/// An ordered list of faults over a circuit, indexable by [`FaultId`].
+///
+/// Built either as the *full* universe (stem faults on every net plus branch
+/// faults on every pin of a net with more than one consumer) or as the
+/// equivalence-*collapsed* universe, where one representative per structural
+/// equivalence class is kept.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+///
+/// let c = benchmarks::s27();
+/// let faults = FaultList::collapsed(&c);
+/// for (id, f) in faults.iter() {
+///     assert_eq!(faults.fault(id), f);
+/// }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultList {
+    faults: Vec<Fault>,
+    index: HashMap<Fault, FaultId>,
+}
+
+impl FaultList {
+    /// Builds a list from an explicit fault set (deduplicated, order kept).
+    pub fn from_faults(faults: impl IntoIterator<Item = Fault>) -> Self {
+        let mut list = FaultList {
+            faults: Vec::new(),
+            index: HashMap::new(),
+        };
+        for f in faults {
+            list.push(f);
+        }
+        list
+    }
+
+    fn push(&mut self, f: Fault) {
+        if !self.index.contains_key(&f) {
+            let id = FaultId::from_index(self.faults.len());
+            self.index.insert(f, id);
+            self.faults.push(f);
+        }
+    }
+
+    /// The full (uncollapsed) single stuck-at universe of `circuit`:
+    /// both polarities on every net stem, and on every fanout branch where
+    /// the branch is distinguishable from the stem — nets with two or more
+    /// consumers, or a single consumer plus observation as a primary output.
+    pub fn full(circuit: &Circuit) -> Self {
+        let mut list = FaultList {
+            faults: Vec::new(),
+            index: HashMap::new(),
+        };
+        for id in (0..circuit.net_count()).map(NetId::from_index) {
+            for stuck in StuckAt::both() {
+                list.push(Fault::stem(id, stuck));
+            }
+            let fanouts = circuit.fanouts(id);
+            if fanouts.len() > 1 || (fanouts.len() == 1 && circuit.is_output(id)) {
+                for &pin in fanouts {
+                    for stuck in StuckAt::both() {
+                        list.push(Fault::branch(pin, stuck));
+                    }
+                }
+            }
+        }
+        list
+    }
+
+    /// The equivalence-collapsed universe: one representative per class
+    /// under the classical gate-local equivalence rules (AND input sa0 ≡
+    /// output sa0, OR input sa1 ≡ output sa1, inverter/buffer and
+    /// flip-flop pass-through; see the `collapse` module source).
+    pub fn collapsed(circuit: &Circuit) -> Self {
+        let full = Self::full(circuit);
+        let classes = crate::collapse::collapse_classes(circuit, &full);
+        let mut reps: Vec<Fault> = Vec::new();
+        let mut seen = vec![false; full.len()];
+        for id in full.ids() {
+            let rep = classes.representative(id);
+            if !seen[rep.index()] {
+                seen[rep.index()] = true;
+                reps.push(full.fault(rep));
+            }
+        }
+        Self::from_faults(reps)
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this list.
+    pub fn fault(&self, id: FaultId) -> Fault {
+        self.faults[id.index()]
+    }
+
+    /// Looks up the id of a fault, if present.
+    pub fn id_of(&self, fault: Fault) -> Option<FaultId> {
+        self.index.get(&fault).copied()
+    }
+
+    /// Iterates over `(id, fault)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultId, Fault)> + '_ {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (FaultId::from_index(i), f))
+    }
+
+    /// Iterates over all ids.
+    pub fn ids(&self) -> impl Iterator<Item = FaultId> + '_ {
+        (0..self.faults.len()).map(FaultId::from_index)
+    }
+
+    /// All faults as a slice, indexable by [`FaultId::index`].
+    pub fn as_slice(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// A deterministic sample of at most `max` faults (uniform stride over
+    /// the list). Used to cap experiment cost on very large circuits; with
+    /// `max >= len` the list is returned unchanged.
+    pub fn sample(&self, max: usize) -> FaultList {
+        if max == 0 || max >= self.len() {
+            return self.clone();
+        }
+        let stride = self.len() as f64 / max as f64;
+        Self::from_faults((0..max).map(|i| self.faults[(i as f64 * stride) as usize]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+
+    #[test]
+    fn full_universe_counts_stems_and_branches() {
+        let c = benchmarks::s27();
+        let list = FaultList::full(&c);
+        let branch_pins: usize = (0..c.net_count())
+            .map(NetId::from_index)
+            .map(|n| {
+                let f = c.fanouts(n).len();
+                if f > 1 || (f == 1 && c.is_output(n)) {
+                    f
+                } else {
+                    0
+                }
+            })
+            .sum();
+        assert_eq!(list.len(), 2 * c.net_count() + 2 * branch_pins);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let c = benchmarks::s27();
+        let list = FaultList::full(&c);
+        for (i, (id, f)) in list.iter().enumerate() {
+            assert_eq!(id.index(), i);
+            assert_eq!(list.id_of(f), Some(id));
+        }
+    }
+
+    #[test]
+    fn from_faults_deduplicates() {
+        let c = benchmarks::s27();
+        let g11 = c.find_net("G11").unwrap();
+        let f = Fault::stem(g11, StuckAt::One);
+        let list = FaultList::from_faults([f, f, Fault::stem(g11, StuckAt::Zero), f]);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_bounded() {
+        let c = benchmarks::s27();
+        let full = FaultList::full(&c);
+        let s = full.sample(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s, full.sample(10));
+        for (_, f) in s.iter() {
+            assert!(full.id_of(f).is_some());
+        }
+        assert_eq!(full.sample(full.len() + 5), full);
+        assert_eq!(full.sample(0), full, "zero means no cap");
+    }
+
+    #[test]
+    fn collapsed_is_a_subset_of_full() {
+        let c = benchmarks::s27();
+        let full = FaultList::full(&c);
+        let collapsed = FaultList::collapsed(&c);
+        assert!(collapsed.len() < full.len());
+        for (_, f) in collapsed.iter() {
+            assert!(full.id_of(f).is_some());
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Parser and writer for the ISCAS-89 `.bench` textual netlist format.
+//!
+//! The format consists of `INPUT(name)` / `OUTPUT(name)` declarations and
+//! assignments `name = KIND(fanin, fanin, ...)`, with `#` comments. `DFF`
+//! assignments declare flip-flops; all other kinds are combinational gates.
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_netlist::bench_format;
+//!
+//! # fn main() -> Result<(), limscan_netlist::NetlistError> {
+//! let src = "\
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(y)
+//! y = NAND(a, b)
+//! ";
+//! let c = bench_format::parse("nand2", src)?;
+//! assert_eq!(c.gate_count(), 1);
+//! let round = bench_format::write(&c);
+//! assert_eq!(bench_format::parse("nand2", &round)?, c);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, Driver, GateKind, NetId};
+use crate::error::NetlistError;
+
+fn kind_from_mnemonic(s: &str) -> Option<GateKind> {
+    Some(match s.to_ascii_uppercase().as_str() {
+        "AND" => GateKind::And,
+        "NAND" => GateKind::Nand,
+        "OR" => GateKind::Or,
+        "NOR" => GateKind::Nor,
+        "XOR" => GateKind::Xor,
+        "XNOR" => GateKind::Xnor,
+        "NOT" | "INV" => GateKind::Not,
+        "BUF" | "BUFF" => GateKind::Buf,
+        "MUX" => GateKind::Mux,
+        "CONST0" => GateKind::Const0,
+        "CONST1" => GateKind::Const1,
+        _ => return None,
+    })
+}
+
+/// Parses `.bench` source text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines and any of the
+/// builder's validation errors (duplicate drivers, undefined signals,
+/// combinational cycles) for structurally invalid netlists.
+pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
+    let mut builder = CircuitBuilder::new(name);
+    let mut outputs = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let err = |message: String| NetlistError::Parse {
+            line: lineno,
+            message,
+        };
+
+        if let Some(rest) = strip_call(line, "INPUT") {
+            builder
+                .try_input(rest.trim())
+                .map_err(|e| err(e.to_string()))?;
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            outputs.push(rest.trim().to_owned());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            let (mnemonic, args) = rhs.split_once('(').ok_or_else(|| {
+                err(format!(
+                    "expected KIND(...) on right-hand side, got `{rhs}`"
+                ))
+            })?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing closing parenthesis".into()))?;
+            let fanins: Vec<&str> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            let mnemonic = mnemonic.trim();
+            if mnemonic.eq_ignore_ascii_case("DFF") {
+                if fanins.len() != 1 {
+                    return Err(err(format!("DFF takes one fanin, got {}", fanins.len())));
+                }
+                builder
+                    .dff(lhs, fanins[0])
+                    .map_err(|e| err(e.to_string()))?;
+            } else {
+                let kind = kind_from_mnemonic(mnemonic)
+                    .ok_or_else(|| err(format!("unknown gate kind `{mnemonic}`")))?;
+                builder
+                    .gate(lhs, kind, &fanins)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+        } else {
+            return Err(err(format!("unrecognised line `{line}`")));
+        }
+    }
+
+    for o in outputs {
+        builder.output(&o);
+    }
+    builder.build()
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    rest.strip_prefix('(')?.strip_suffix(')')
+}
+
+/// Reads and parses a `.bench` file; the circuit is named after the file
+/// stem.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with line 0 for I/O failures, and the
+/// usual parse/validation errors otherwise.
+pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistError> {
+    let path = path.as_ref();
+    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::Parse {
+        line: 0,
+        message: format!("cannot read {}: {e}", path.display()),
+    })?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    parse(name, &source)
+}
+
+/// Writes a circuit to a `.bench` file.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with line 0 describing the I/O failure.
+pub fn write_file(
+    circuit: &Circuit,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), NetlistError> {
+    let path = path.as_ref();
+    std::fs::write(path, write(circuit)).map_err(|e| NetlistError::Parse {
+        line: 0,
+        message: format!("cannot write {}: {e}", path.display()),
+    })
+}
+
+/// Serialises a circuit back to `.bench` text.
+///
+/// Gate assignments are emitted in net-table order, so `parse(write(c))`
+/// reproduces `c` exactly (same net ids, same chain order).
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &i in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net(i).name());
+    }
+    for &o in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net(o).name());
+    }
+    for id in (0..circuit.net_count()).map(NetId::from_index) {
+        let net = circuit.net(id);
+        match net.driver() {
+            Driver::Input => {}
+            Driver::Dff { d } => {
+                let _ = writeln!(out, "{} = DFF({})", net.name(), circuit.net(*d).name());
+            }
+            Driver::Gate { kind, fanins } => {
+                let args: Vec<&str> = fanins.iter().map(|f| circuit.net(*f).name()).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    net.name(),
+                    kind.mnemonic(),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse("bad", "widget"),
+            Err(NetlistError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("bad", "y = FROB(a)"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("bad", "y = AND(a, b"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = NOT(a)\n";
+        let c = parse("c", src).unwrap();
+        assert_eq!(c.net_count(), 2);
+    }
+
+    #[test]
+    fn dff_requires_single_fanin() {
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n";
+        assert!(matches!(parse("c", src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn duplicate_input_is_a_parse_error() {
+        let src = "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n";
+        assert!(matches!(
+            parse("c", src),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn s27_roundtrips() {
+        let c = benchmarks::s27();
+        let text = write(&c);
+        let c2 = parse(c.name(), &text).unwrap();
+        assert_eq!(c, c2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let c = benchmarks::s27();
+        let dir = std::env::temp_dir().join("limscan_bench_format_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("s27.bench");
+        write_file(&c, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(c, back);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_an_error() {
+        let err = read_file("/nonexistent/limscan/file.bench").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 0, .. }));
+    }
+
+    #[test]
+    fn mux_and_constants_roundtrip() {
+        let src = "INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(k)\n\
+                   y = MUX(s, a, b)\nk = CONST1()\n";
+        let c = parse("m", src).unwrap();
+        let c2 = parse("m", &write(&c)).unwrap();
+        assert_eq!(c, c2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NetlistError {
+    /// A signal name was driven more than once.
+    DuplicateDriver {
+        /// The offending signal name.
+        name: String,
+    },
+    /// A signal was referenced but never driven.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A gate was declared with the wrong number of fanins.
+    BadFaninCount {
+        /// The gate's output signal name.
+        name: String,
+        /// The gate kind.
+        kind: &'static str,
+        /// Number of fanins supplied.
+        got: usize,
+    },
+    /// The combinational logic contains a cycle through the named signal.
+    CombinationalCycle {
+        /// A signal participating in the cycle.
+        name: String,
+    },
+    /// The circuit has no primary outputs and no flip-flops, so nothing is
+    /// observable.
+    NothingObservable,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateDriver { name } => {
+                write!(f, "signal `{name}` is driven more than once")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` is referenced but never driven")
+            }
+            NetlistError::BadFaninCount { name, kind, got } => {
+                write!(f, "gate `{name}` of kind {kind} given {got} fanins")
+            }
+            NetlistError::CombinationalCycle { name } => {
+                write!(f, "combinational cycle through signal `{name}`")
+            }
+            NetlistError::NothingObservable => {
+                write!(f, "circuit has no primary outputs and no flip-flops")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateDriver { name: "g1".into() };
+        assert!(e.to_string().contains("g1"));
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(!e.to_string().ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Levelization: topological ordering of the combinational logic.
+
+use crate::circuit::{Circuit, Driver, Net, NetId};
+use crate::error::NetlistError;
+
+/// Computes a topological order of all gate-driven nets, treating primary
+/// inputs and flip-flop outputs as level-0 sources. Detects combinational
+/// cycles.
+pub(crate) fn topo_order(nets: &[Net]) -> Result<Vec<NetId>, NetlistError> {
+    // Kahn's algorithm over gate-driven nets only.
+    let n = nets.len();
+    let mut indegree = vec![0u32; n];
+    let mut is_gate = vec![false; n];
+    for (i, net) in nets.iter().enumerate() {
+        if let Driver::Gate { fanins, .. } = &net.driver {
+            is_gate[i] = true;
+            indegree[i] = fanins
+                .iter()
+                .filter(|f| matches!(nets[f.index()].driver, Driver::Gate { .. }))
+                .count() as u32;
+        }
+    }
+
+    let mut queue: Vec<usize> = (0..n).filter(|&i| is_gate[i] && indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(queue.len());
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, net) in nets.iter().enumerate() {
+        if let Driver::Gate { fanins, .. } = &net.driver {
+            for f in fanins {
+                if is_gate[f.index()] {
+                    consumers[f.index()].push(i);
+                }
+            }
+        }
+    }
+
+    while let Some(i) = queue.pop() {
+        order.push(NetId::from_index(i));
+        for &c in &consumers[i] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                queue.push(c);
+            }
+        }
+    }
+
+    let gate_total = is_gate.iter().filter(|&&g| g).count();
+    if order.len() != gate_total {
+        // Some gate never reached indegree 0: it is on a cycle.
+        let culprit = (0..n)
+            .find(|&i| is_gate[i] && indegree[i] > 0)
+            .expect("cycle implies a gate with positive indegree");
+        return Err(NetlistError::CombinationalCycle {
+            name: nets[culprit].name.clone(),
+        });
+    }
+    Ok(order)
+}
+
+/// Per-net logic levels of a circuit.
+///
+/// Level 0 is assigned to primary inputs, constants and flip-flop outputs;
+/// a gate's level is one more than the maximum level of its fanins. Levels
+/// are used as distance estimates by testability analysis and ATPG guidance.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::{benchmarks, Levels};
+///
+/// let c = benchmarks::s27();
+/// let levels = Levels::compute(&c);
+/// assert!(levels.depth() >= 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Levels {
+    level: Vec<u32>,
+    depth: u32,
+}
+
+impl Levels {
+    /// Computes logic levels for every net in `circuit`.
+    pub fn compute(circuit: &Circuit) -> Self {
+        let mut level = vec![0u32; circuit.net_count()];
+        let mut depth = 0;
+        for &id in circuit.comb_order() {
+            let l = circuit
+                .net(id)
+                .driver()
+                .fanins()
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+            level[id.index()] = l;
+            depth = depth.max(l);
+        }
+        Levels { level, depth }
+    }
+
+    /// The level of a net (0 for sources).
+    pub fn level(&self, id: NetId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum gate level in the circuit (combinational depth).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn levels_monotone_along_paths() {
+        let mut b = CircuitBuilder::new("lvl");
+        b.input("a");
+        b.input("b");
+        b.gate("g1", GateKind::And, &["a", "b"]).unwrap();
+        b.gate("g2", GateKind::Not, &["g1"]).unwrap();
+        b.gate("g3", GateKind::Or, &["g2", "a"]).unwrap();
+        b.output("g3");
+        let c = b.build().unwrap();
+        let lv = Levels::compute(&c);
+        let g1 = c.find_net("g1").unwrap();
+        let g2 = c.find_net("g2").unwrap();
+        let g3 = c.find_net("g3").unwrap();
+        assert_eq!(lv.level(c.find_net("a").unwrap()), 0);
+        assert_eq!(lv.level(g1), 1);
+        assert_eq!(lv.level(g2), 2);
+        assert_eq!(lv.level(g3), 3);
+        assert_eq!(lv.depth(), 3);
+    }
+
+    #[test]
+    fn dff_outputs_are_sources() {
+        let mut b = CircuitBuilder::new("src");
+        b.input("x");
+        b.dff("q", "d").unwrap();
+        b.gate("d", GateKind::Nand, &["q", "x"]).unwrap();
+        b.output("d");
+        let c = b.build().unwrap();
+        let lv = Levels::compute(&c);
+        assert_eq!(lv.level(c.find_net("q").unwrap()), 0);
+        assert_eq!(lv.level(c.find_net("d").unwrap()), 1);
+    }
+}

@@ -1,0 +1,502 @@
+//! Scan chain insertion (single- and multi-chain).
+
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+use limscan_sim::{Logic, TestSequence};
+
+/// One scan chain's metadata.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Chain {
+    /// Position of this chain's `scan_inp` within `circuit.inputs()`.
+    inp_pos: usize,
+    /// First flip-flop of the chain as an index into the global flip-flop
+    /// (declaration) order.
+    start: usize,
+    /// Number of flip-flops in the chain.
+    len: usize,
+}
+
+/// A circuit with inserted scan chains, plus the metadata the rest of the
+/// system needs.
+///
+/// Insertion follows the paper: every flip-flop gets a 2-to-1 multiplexer
+/// in front of its D input; all multiplexers share one new primary input
+/// `scan_sel`; each chain threads a contiguous run of flip-flops **in
+/// their circuit-description order** from its own `scan_inp` input to its
+/// own `scan_out` output (the last flip-flop's Q). The paper evaluates a
+/// single chain ([`insert`](Self::insert)) and notes the procedures extend
+/// directly to multiple chains ([`insert_chains`](Self::insert_chains)).
+///
+/// With `scan_sel = 1`, each clock shifts every chain one position; with
+/// `scan_sel = 0` the circuit behaves exactly like the original.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_scan::ScanCircuit;
+/// use limscan_sim::Logic;
+///
+/// let sc = ScanCircuit::insert(&benchmarks::s27());
+/// let v = sc.assemble(&[Logic::Zero; 4], Logic::One, Logic::Zero);
+/// assert_eq!(v.len(), 6); // 4 original inputs + scan_sel + scan_inp
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanCircuit {
+    circuit: Circuit,
+    original_inputs: usize,
+    scan_sel_pos: usize,
+    chains: Vec<Chain>,
+}
+
+impl ScanCircuit {
+    /// Inserts a single scan chain into `original`, producing `C_scan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the original circuit has no flip-flops (a combinational
+    /// circuit needs no scan).
+    pub fn insert(original: &Circuit) -> Self {
+        Self::insert_chains(original, 1)
+    }
+
+    /// Inserts `n_chains` balanced scan chains (the paper's noted
+    /// extension). Chains partition the flip-flop order into contiguous
+    /// runs whose lengths differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has no flip-flops, if `n_chains == 0`, or if
+    /// `n_chains` exceeds the flip-flop count.
+    pub fn insert_chains(original: &Circuit, n_chains: usize) -> Self {
+        let n_ff = original.dffs().len();
+        assert!(n_ff > 0, "scan insertion requires at least one flip-flop");
+        assert!(n_chains > 0, "at least one chain is required");
+        assert!(
+            n_chains <= n_ff,
+            "cannot spread {n_ff} flip-flops over {n_chains} chains"
+        );
+
+        let unique = |base: &str| -> String {
+            let mut name = base.to_owned();
+            while original.find_net(&name).is_some() {
+                name.push('_');
+            }
+            name
+        };
+        let scan_sel = unique("scan_sel");
+        let mux_base = unique("scan_mux");
+        let inp_names: Vec<String> = (0..n_chains)
+            .map(|k| {
+                if n_chains == 1 {
+                    unique("scan_inp")
+                } else {
+                    unique(&format!("scan_inp{k}"))
+                }
+            })
+            .collect();
+
+        // Balanced contiguous partition of the flip-flop order.
+        let base = n_ff / n_chains;
+        let extra = n_ff % n_chains;
+        let mut chains = Vec::with_capacity(n_chains);
+        let mut start = 0usize;
+        for k in 0..n_chains {
+            let len = base + usize::from(k < extra);
+            chains.push(Chain {
+                inp_pos: original.inputs().len() + 1 + k,
+                start,
+                len,
+            });
+            start += len;
+        }
+
+        let mut b = limscan_netlist::CircuitBuilder::new(format!("{}_scan", original.name()));
+        for &pi in original.inputs() {
+            b.input(original.net(pi).name());
+        }
+        b.input(&scan_sel);
+        for name in &inp_names {
+            b.input(name);
+        }
+
+        // Flip-flops with scan multiplexers, chained per partition.
+        for (k, chain) in chains.iter().enumerate() {
+            let mut prev = inp_names[k].clone();
+            for i in chain.start..chain.start + chain.len {
+                let q = original.dffs()[i];
+                let Driver::Dff { d } = original.net(q).driver() else {
+                    unreachable!("dffs() yields flip-flop outputs");
+                };
+                let qname = original.net(q).name();
+                let dname = original.net(*d).name();
+                let mux = format!("{mux_base}{i}");
+                b.gate(&mux, GateKind::Mux, &[&scan_sel, dname, &prev])
+                    .expect("mux names are fresh");
+                b.dff(qname, &mux).expect("flip-flop names are unique");
+                prev = qname.to_owned();
+            }
+        }
+
+        // Combinational gates copied verbatim.
+        for net in original.nets() {
+            if let Driver::Gate { kind, fanins } = net.driver() {
+                let names: Vec<&str> = fanins.iter().map(|&f| original.net(f).name()).collect();
+                b.gate(net.name(), *kind, &names)
+                    .expect("gate names are unique");
+            }
+        }
+
+        for &po in original.outputs() {
+            b.output(original.net(po).name());
+        }
+        // One scan_out per chain: its last flip-flop's Q, unless already
+        // observed.
+        let mut exported: Vec<NetId> = original.outputs().to_vec();
+        for chain in &chains {
+            let last_q = original.dffs()[chain.start + chain.len - 1];
+            if !exported.contains(&last_q) {
+                b.output(original.net(last_q).name());
+                exported.push(last_q);
+            }
+        }
+
+        let circuit = b.build().expect("scan insertion preserves validity");
+        ScanCircuit {
+            original_inputs: original.inputs().len(),
+            scan_sel_pos: original.inputs().len(),
+            chains,
+            circuit,
+        }
+    }
+
+    /// The scan circuit `C_scan`.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Total number of scan state variables — the paper's `N_SV`.
+    pub fn n_sv(&self) -> usize {
+        self.circuit.dffs().len()
+    }
+
+    /// Number of scan chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Length of the longest chain: the cost in clock cycles of one
+    /// complete scan operation.
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(|c| c.len).max().unwrap_or(0)
+    }
+
+    /// Number of primary inputs of the *original* circuit.
+    pub fn original_inputs(&self) -> usize {
+        self.original_inputs
+    }
+
+    /// Position of `scan_sel` within `circuit().inputs()`.
+    pub fn scan_sel_pos(&self) -> usize {
+        self.scan_sel_pos
+    }
+
+    /// Position of the single chain's `scan_inp` within
+    /// `circuit().inputs()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-chain circuits; use
+    /// [`scan_inp_positions`](Self::scan_inp_positions).
+    pub fn scan_inp_pos(&self) -> usize {
+        assert_eq!(
+            self.chains.len(),
+            1,
+            "scan_inp_pos is single-chain only; use scan_inp_positions"
+        );
+        self.chains[0].inp_pos
+    }
+
+    /// Positions of every chain's `scan_inp` within `circuit().inputs()`.
+    pub fn scan_inp_positions(&self) -> Vec<usize> {
+        self.chains.iter().map(|c| c.inp_pos).collect()
+    }
+
+    /// The net observed as the single chain's `scan_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for multi-chain circuits; use
+    /// [`scan_out_nets`](Self::scan_out_nets).
+    pub fn scan_out_net(&self) -> NetId {
+        assert_eq!(
+            self.chains.len(),
+            1,
+            "scan_out_net is single-chain only; use scan_out_nets"
+        );
+        self.scan_out_nets()[0]
+    }
+
+    /// The nets observed as each chain's `scan_out`.
+    pub fn scan_out_nets(&self) -> Vec<NetId> {
+        self.chains
+            .iter()
+            .map(|c| self.circuit.dffs()[c.start + c.len - 1])
+            .collect()
+    }
+
+    /// The chained flip-flop outputs in global (declaration) order; chains
+    /// are contiguous runs within it.
+    pub fn chain(&self) -> &[NetId] {
+        self.circuit.dffs()
+    }
+
+    /// Number of vectors with `scan_sel = 1` needed to bring a fault effect
+    /// latched in flip-flop `ff_pos` (global order) to its chain's
+    /// `scan_out`, including the vector during which it is observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ff_pos` is out of range.
+    pub fn shifts_to_observe(&self, ff_pos: usize) -> usize {
+        let chain = self
+            .chains
+            .iter()
+            .find(|c| ff_pos >= c.start && ff_pos < c.start + c.len)
+            .expect("flip-flop position out of range");
+        chain.len - (ff_pos - chain.start)
+    }
+
+    /// Builds a full `C_scan` input vector from original-input values, the
+    /// scan select, and one `scan_inp` value shared by every chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original.len()` differs from the original input count.
+    pub fn assemble(&self, original: &[Logic], scan_sel: Logic, scan_inp: Logic) -> Vec<Logic> {
+        self.assemble_multi(original, scan_sel, &vec![scan_inp; self.chains.len()])
+    }
+
+    /// Builds a full `C_scan` input vector with per-chain `scan_inp`
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatches.
+    pub fn assemble_multi(
+        &self,
+        original: &[Logic],
+        scan_sel: Logic,
+        scan_inps: &[Logic],
+    ) -> Vec<Logic> {
+        assert_eq!(
+            original.len(),
+            self.original_inputs,
+            "original input width mismatch"
+        );
+        assert_eq!(
+            scan_inps.len(),
+            self.chains.len(),
+            "one scan_inp value per chain"
+        );
+        let mut v = Vec::with_capacity(self.circuit.inputs().len());
+        v.extend_from_slice(original);
+        v.push(scan_sel);
+        v.extend_from_slice(scan_inps);
+        v
+    }
+
+    /// A vector that shifts every chain once: `scan_sel = 1`, all chain
+    /// inputs set to `scan_inp`, original inputs all X.
+    pub fn shift_vector(&self, scan_inp: Logic) -> Vec<Logic> {
+        self.assemble(&vec![Logic::X; self.original_inputs], Logic::One, scan_inp)
+    }
+
+    /// The shift vectors that load `state` (global flip-flop order,
+    /// `state[i]` destined for position `i`). All chains load in parallel,
+    /// so the sequence has [`max_chain_len`](Self::max_chain_len) vectors;
+    /// each chain's bits are fed in reverse — the reversal the paper points
+    /// out — aligned so shorter chains start late.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != n_sv()`.
+    pub fn load_state_vectors(&self, state: &[Logic]) -> TestSequence {
+        assert_eq!(state.len(), self.n_sv(), "state width mismatch");
+        let total = self.max_chain_len();
+        let mut seq = TestSequence::new(self.circuit.inputs().len());
+        for t in 0..total {
+            let inps: Vec<Logic> = self
+                .chains
+                .iter()
+                .map(|c| {
+                    // The bit fed at time t lands at chain position
+                    // t - (total - len); earlier feeds fall off the end.
+                    let p = (t + c.len).checked_sub(total);
+                    match p {
+                        Some(p) if p < c.len => state[c.start + (c.len - 1 - p)],
+                        _ => Logic::X,
+                    }
+                })
+                .collect();
+            seq.push(self.assemble_multi(&vec![Logic::X; self.original_inputs], Logic::One, &inps));
+        }
+        seq
+    }
+
+    /// Number of vectors in `seq` that shift the scan chains
+    /// (`scan_sel = 1`) — the paper's `scan` columns.
+    pub fn count_scan_vectors(&self, seq: &TestSequence) -> usize {
+        seq.count_ones_at(self.scan_sel_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_sim::SeqGoodSim;
+    use Logic::{One, Zero, X};
+
+    #[test]
+    fn s27_scan_has_published_shape() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        // Paper Table 5 row s27 analogue: 4 + 2 inputs, 3 state variables.
+        assert_eq!(c.inputs().len(), 6);
+        assert_eq!(sc.n_sv(), 3);
+        assert_eq!(c.outputs().len(), 2); // G17 + scan_out
+        assert_eq!(c.gate_count(), 10 + 3); // one mux per flip-flop
+        assert_eq!(c.net(c.inputs()[sc.scan_sel_pos()]).name(), "scan_sel");
+        assert_eq!(c.net(c.inputs()[sc.scan_inp_pos()]).name(), "scan_inp");
+    }
+
+    #[test]
+    fn scan_sel_zero_preserves_functional_behaviour() {
+        let orig = benchmarks::s27();
+        for n_chains in [1, 2, 3] {
+            let sc = ScanCircuit::insert_chains(&orig, n_chains);
+            let mut sim_o = SeqGoodSim::new(&orig);
+            let mut sim_s = SeqGoodSim::new(sc.circuit());
+            let vectors = [
+                [One, One, One, Zero],
+                [Zero, Zero, One, One],
+                [One, Zero, Zero, Zero],
+                [Zero, One, One, One],
+            ];
+            for v in vectors {
+                let o = sim_o.step(&v);
+                let s = sim_s.step(&sc.assemble(&v, Zero, X));
+                assert_eq!(o[0], s[0], "functional output must match");
+                assert_eq!(sim_o.state(), sim_s.state(), "states must match");
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_loads_the_requested_state() {
+        for n_chains in [1, 2, 3] {
+            let sc = ScanCircuit::insert_chains(&benchmarks::s27(), n_chains);
+            let mut sim = SeqGoodSim::new(sc.circuit());
+            let target = [Zero, One, One];
+            sim.run(&sc.load_state_vectors(&target));
+            assert_eq!(sim.state(), target, "{n_chains} chains");
+        }
+    }
+
+    #[test]
+    fn full_shift_cycles_state_out() {
+        // Load a state, then load another; the second must fully replace
+        // the first.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let mut sim = SeqGoodSim::new(sc.circuit());
+        sim.run(&sc.load_state_vectors(&[One, Zero, One]));
+        sim.run(&sc.load_state_vectors(&[Zero, Zero, One]));
+        assert_eq!(sim.state(), [Zero, Zero, One]);
+    }
+
+    #[test]
+    fn scan_out_observes_last_flip_flop() {
+        let orig = benchmarks::s27();
+        let sc = ScanCircuit::insert(&orig);
+        // G7 is the last flip-flop in s27's description order.
+        assert_eq!(sc.circuit().net(sc.scan_out_net()).name(), "G7");
+        assert!(sc.circuit().is_output(sc.scan_out_net()));
+    }
+
+    #[test]
+    fn multi_chain_metadata_is_consistent() {
+        let spec = benchmarks::SyntheticSpec::new("mc", 4, 7, 40, 2);
+        let c = benchmarks::synthetic(&spec);
+        let sc = ScanCircuit::insert_chains(&c, 3);
+        assert_eq!(sc.chain_count(), 3);
+        assert_eq!(sc.n_sv(), 7);
+        assert_eq!(sc.max_chain_len(), 3); // 3 + 2 + 2
+        assert_eq!(sc.scan_inp_positions().len(), 3);
+        assert_eq!(sc.scan_out_nets().len(), 3);
+        // shifts_to_observe: last FF of each chain costs exactly 1.
+        assert_eq!(sc.shifts_to_observe(2), 1); // end of chain 0 (len 3)
+        assert_eq!(sc.shifts_to_observe(0), 3); // head of chain 0
+        assert_eq!(sc.shifts_to_observe(3), 2); // head of chain 1 (len 2)
+        assert_eq!(sc.shifts_to_observe(6), 1); // end of chain 2
+    }
+
+    #[test]
+    fn multi_chain_loading_is_cheaper() {
+        // The point of multiple chains: a complete load takes only
+        // max_chain_len cycles.
+        let spec = benchmarks::SyntheticSpec::new("mc2", 4, 8, 40, 2);
+        let c = benchmarks::synthetic(&spec);
+        let single = ScanCircuit::insert(&c);
+        let quad = ScanCircuit::insert_chains(&c, 4);
+        let state: Vec<Logic> = (0..8).map(|i| Logic::from_bool(i % 3 == 0)).collect();
+        assert_eq!(single.load_state_vectors(&state).len(), 8);
+        assert_eq!(quad.load_state_vectors(&state).len(), 2);
+        let mut sim = SeqGoodSim::new(quad.circuit());
+        sim.run(&quad.load_state_vectors(&state));
+        assert_eq!(sim.state(), state.as_slice());
+    }
+
+    #[test]
+    fn insertion_is_deterministic() {
+        let orig = benchmarks::s27();
+        assert_eq!(ScanCircuit::insert(&orig), ScanCircuit::insert(&orig));
+    }
+
+    #[test]
+    fn name_collisions_get_suffixed() {
+        let mut b = limscan_netlist::CircuitBuilder::new("clash");
+        b.input("scan_sel");
+        b.dff("q", "d").unwrap();
+        b.gate("d", GateKind::Not, &["q"]).unwrap();
+        b.output("q");
+        let c = b.build().unwrap();
+        let sc = ScanCircuit::insert(&c);
+        let names: Vec<&str> = sc
+            .circuit()
+            .inputs()
+            .iter()
+            .map(|&i| sc.circuit().net(i).name())
+            .collect();
+        assert_eq!(names, ["scan_sel", "scan_sel_", "scan_inp"]);
+    }
+
+    #[test]
+    fn count_scan_vectors_reads_the_sel_column() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let mut seq = TestSequence::new(6);
+        seq.push(sc.assemble(&[X; 4], One, Zero));
+        seq.push(sc.assemble(&[X; 4], Zero, Zero));
+        seq.push(sc.assemble(&[X; 4], One, One));
+        assert_eq!(sc.count_scan_vectors(&seq), 2);
+    }
+
+    #[test]
+    fn chain_count_bounds_are_enforced() {
+        let orig = benchmarks::s27();
+        assert!(std::panic::catch_unwind(|| ScanCircuit::insert_chains(&orig, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| ScanCircuit::insert_chains(&orig, 4)).is_err());
+        // Exactly one flip-flop per chain is legal.
+        let sc = ScanCircuit::insert_chains(&orig, 3);
+        assert_eq!(sc.max_chain_len(), 1);
+    }
+}

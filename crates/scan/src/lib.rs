@@ -1,0 +1,39 @@
+//! Scan chain substrate for the `limscan` workspace.
+//!
+//! The paper's starting point: a scan circuit `C_scan` is the non-scan
+//! circuit `C` with a multiplexer in front of every flip-flop, two extra
+//! primary inputs (`scan_sel`, `scan_inp`) and one extra primary output
+//! (`scan_out`). This crate provides:
+//!
+//! * [`ScanCircuit`] — scan insertion and chain metadata (which input is
+//!   `scan_sel`, how many shifts observe a given flip-flop, ...);
+//! * [`ScanTest`] / [`ScanTestSet`] — conventional scan-based tests
+//!   `(SI, T)` as produced by first- and second-approach generators, with
+//!   the standard test-application cycle accounting;
+//! * test set **translation** (Section 3 of the paper): turning an `(SI,
+//!   T)` test set into a flat [`TestSequence`](limscan_sim::TestSequence)
+//!   over `C_scan` in which scan operations are ordinary vectors with
+//!   `scan_sel = 1`.
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_netlist::benchmarks;
+//! use limscan_scan::ScanCircuit;
+//!
+//! let c = benchmarks::s27();
+//! let sc = ScanCircuit::insert(&c);
+//! assert_eq!(sc.circuit().inputs().len(), c.inputs().len() + 2);
+//! assert_eq!(sc.n_sv(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod insert;
+pub mod program;
+mod test_set;
+mod translate;
+
+pub use insert::ScanCircuit;
+pub use test_set::{ScanTest, ScanTestSet};

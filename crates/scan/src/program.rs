@@ -1,0 +1,273 @@
+//! Tester vector-file format.
+//!
+//! A flat test sequence is the deliverable of the paper's flow; this module
+//! serialises one to a simple line-oriented text format a tester (or
+//! another tool) can consume, and parses it back. The format is
+//! self-describing:
+//!
+//! ```text
+//! # limscan test program
+//! CIRCUIT s27_scan
+//! INPUTS 6
+//! VECTORS 16
+//! V 001000
+//! V 110100
+//! ...
+//! END
+//! ```
+//!
+//! Bits appear in the circuit's input declaration order (`0`, `1`, or `x`);
+//! for a scan circuit that means original inputs first, then `scan_sel`,
+//! then the chain inputs — so scan operations are visible as runs of `1` in
+//! the `scan_sel` column, and [`program_stats`] summarises them.
+
+use limscan_netlist::Circuit;
+use limscan_sim::{Logic, TestSequence};
+
+use crate::insert::ScanCircuit;
+
+/// Serialises a sequence for the given circuit to program text.
+///
+/// # Panics
+///
+/// Panics if the sequence width differs from the circuit's input count.
+pub fn write_program(circuit: &Circuit, seq: &TestSequence) -> String {
+    assert_eq!(
+        seq.width(),
+        circuit.inputs().len(),
+        "sequence width does not match circuit inputs"
+    );
+    let mut out = String::new();
+    out.push_str("# limscan test program\n");
+    out.push_str(&format!("CIRCUIT {}\n", circuit.name()));
+    out.push_str(&format!("INPUTS {}\n", seq.width()));
+    out.push_str(&format!("VECTORS {}\n", seq.len()));
+    for v in seq.iter() {
+        out.push_str("V ");
+        for bit in v {
+            out.push(match bit {
+                Logic::Zero => '0',
+                Logic::One => '1',
+                Logic::X => 'x',
+            });
+        }
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Errors from [`parse_program`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseProgramError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "test program line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseProgramError {}
+
+/// Parses program text back into a sequence.
+///
+/// # Errors
+///
+/// Returns [`ParseProgramError`] on malformed headers, inconsistent vector
+/// counts or widths, or unknown characters.
+pub fn parse_program(text: &str) -> Result<TestSequence, ParseProgramError> {
+    let mut width: Option<usize> = None;
+    let mut declared: Option<usize> = None;
+    let mut seq: Option<TestSequence> = None;
+    let mut ended = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        let err = |message: String| ParseProgramError {
+            line: lineno,
+            message,
+        };
+        if line.is_empty() || line.starts_with('#') || line.starts_with("CIRCUIT ") {
+            continue;
+        }
+        if ended {
+            return Err(err("content after END".into()));
+        }
+        if let Some(n) = line.strip_prefix("INPUTS ") {
+            if width.is_some() {
+                return Err(err("duplicate INPUTS header".into()));
+            }
+            let n: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| err("bad INPUTS count".into()))?;
+            width = Some(n);
+            seq = Some(TestSequence::new(n));
+        } else if let Some(n) = line.strip_prefix("VECTORS ") {
+            declared = Some(
+                n.trim()
+                    .parse()
+                    .map_err(|_| err("bad VECTORS count".into()))?,
+            );
+        } else if let Some(bits) = line.strip_prefix("V ") {
+            let width = width.ok_or_else(|| err("V before INPUTS".into()))?;
+            let bits = bits.trim();
+            if bits.len() != width {
+                return Err(err(format!(
+                    "vector has {} bits, expected {width}",
+                    bits.len()
+                )));
+            }
+            let v: Vec<Logic> = bits
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(Logic::Zero),
+                    '1' => Ok(Logic::One),
+                    'x' | 'X' => Ok(Logic::X),
+                    other => Err(err(format!("unknown bit character `{other}`"))),
+                })
+                .collect::<Result<_, _>>()?;
+            seq.as_mut().expect("width implies seq").push(v);
+        } else if line == "END" {
+            ended = true;
+        } else {
+            return Err(err(format!("unrecognised line `{line}`")));
+        }
+    }
+
+    let seq = seq.ok_or(ParseProgramError {
+        line: 0,
+        message: "missing INPUTS header".into(),
+    })?;
+    if !ended {
+        return Err(ParseProgramError {
+            line: 0,
+            message: "missing END".into(),
+        });
+    }
+    if let Some(declared) = declared {
+        if declared != seq.len() {
+            return Err(ParseProgramError {
+                line: 0,
+                message: format!("VECTORS {declared} but {} vectors present", seq.len()),
+            });
+        }
+    }
+    Ok(seq)
+}
+
+/// Summary of the scan structure of a program: total cycles, scan-shift
+/// cycles, and the lengths of each scan operation (run of consecutive
+/// `scan_sel = 1` vectors).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgramStats {
+    /// Total clock cycles (= vectors).
+    pub cycles: usize,
+    /// Cycles that shift the chain.
+    pub scan_cycles: usize,
+    /// Length of every scan operation, in order of occurrence.
+    pub scan_ops: Vec<usize>,
+    /// Scan operations shorter than the longest chain (limited ones).
+    pub limited_ops: usize,
+}
+
+/// Computes [`ProgramStats`] for a sequence over this scan circuit.
+pub fn program_stats(scan: &ScanCircuit, seq: &TestSequence) -> ProgramStats {
+    let sel = scan.scan_sel_pos();
+    let mut scan_ops = Vec::new();
+    let mut run = 0usize;
+    for v in seq.iter() {
+        if v[sel] == Logic::One {
+            run += 1;
+        } else if run > 0 {
+            scan_ops.push(run);
+            run = 0;
+        }
+    }
+    if run > 0 {
+        scan_ops.push(run);
+    }
+    ProgramStats {
+        cycles: seq.len(),
+        scan_cycles: scan_ops.iter().sum(),
+        limited_ops: scan_ops
+            .iter()
+            .filter(|&&r| r < scan.max_chain_len())
+            .count(),
+        scan_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use Logic::{One, Zero, X};
+
+    fn sample_seq(sc: &ScanCircuit) -> TestSequence {
+        let mut seq = TestSequence::new(sc.circuit().inputs().len());
+        seq.push(sc.assemble(&[One, Zero, One, X], One, Zero));
+        seq.push(sc.assemble(&[Zero, Zero, Zero, Zero], One, One));
+        seq.push(sc.assemble(&[One, One, One, One], Zero, X));
+        seq.push(sc.assemble(&[X, X, X, X], One, Zero));
+        seq
+    }
+
+    #[test]
+    fn program_roundtrips() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let seq = sample_seq(&sc);
+        let text = write_program(sc.circuit(), &seq);
+        let back = parse_program(&text).unwrap();
+        assert_eq!(seq, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_programs() {
+        assert!(parse_program("V 010\nEND\n").is_err(), "V before INPUTS");
+        assert!(
+            parse_program("INPUTS 3\nV 01\nEND\n").is_err(),
+            "short vector"
+        );
+        assert!(parse_program("INPUTS 3\nV 012\nEND\n").is_err(), "bad char");
+        assert!(parse_program("INPUTS 3\nV 010\n").is_err(), "missing END");
+        assert!(
+            parse_program("INPUTS 3\nV 010\nINPUTS 3\nV 111\nEND\n").is_err(),
+            "duplicate INPUTS header"
+        );
+        assert!(
+            parse_program("INPUTS 3\nVECTORS 2\nV 010\nEND\n").is_err(),
+            "count mismatch"
+        );
+        assert!(
+            parse_program("INPUTS 3\nV 010\nEND\nV 000\n").is_err(),
+            "content after END"
+        );
+    }
+
+    #[test]
+    fn stats_identify_limited_scan_operations() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let seq = sample_seq(&sc);
+        let stats = program_stats(&sc, &seq);
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(stats.scan_cycles, 3);
+        assert_eq!(stats.scan_ops, vec![2, 1]);
+        // Chain length is 3, so both operations are limited.
+        assert_eq!(stats.limited_ops, 2);
+    }
+
+    #[test]
+    fn comments_and_circuit_lines_are_ignored() {
+        let text = "# hello\nCIRCUIT whatever\nINPUTS 2\nV 01\nEND\n";
+        let seq = parse_program(text).unwrap();
+        assert_eq!(seq.len(), 1);
+        assert_eq!(seq.vector(0), [Zero, One]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Conventional scan-based tests `(SI, T)`.
+
+use std::fmt;
+
+use limscan_sim::Logic;
+
+/// One conventional scan-based test: scan in state `SI`, then apply the
+/// primary-input sequence `T` (over the *original* inputs) with the scan
+/// chain idle, then scan out.
+///
+/// Under the paper's first approach `T` has exactly one vector; under the
+/// second approach it may have several.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanTest {
+    /// The state scanned in, chain order (`scan_in[i]` lands in chain
+    /// position `i`).
+    pub scan_in: Vec<Logic>,
+    /// Primary-input vectors applied after the scan-in.
+    pub vectors: Vec<Vec<Logic>>,
+}
+
+impl ScanTest {
+    /// Creates a test from a scan-in state and its vectors.
+    pub fn new(scan_in: Vec<Logic>, vectors: Vec<Vec<Logic>>) -> Self {
+        ScanTest { scan_in, vectors }
+    }
+
+    /// A first-approach test: one scan-in state plus a single vector.
+    pub fn single(scan_in: Vec<Logic>, vector: Vec<Logic>) -> Self {
+        ScanTest {
+            scan_in,
+            vectors: vec![vector],
+        }
+    }
+}
+
+/// An ordered set of scan-based tests with the standard cycle accounting.
+///
+/// # Example
+///
+/// ```
+/// use limscan_scan::{ScanTest, ScanTestSet};
+/// use limscan_sim::Logic;
+///
+/// let mut s = ScanTestSet::new(3, 4);
+/// s.push(ScanTest::single(vec![Logic::Zero; 3], vec![Logic::One; 4]));
+/// // one complete scan-in (3 cycles) + one vector + final scan-out (3)
+/// assert_eq!(s.application_cycles(), 7);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScanTestSet {
+    n_sv: usize,
+    input_width: usize,
+    tests: Vec<ScanTest>,
+}
+
+impl ScanTestSet {
+    /// Creates an empty set for a chain of `n_sv` flip-flops and circuits
+    /// with `input_width` original primary inputs.
+    pub fn new(n_sv: usize, input_width: usize) -> Self {
+        ScanTestSet {
+            n_sv,
+            input_width,
+            tests: Vec::new(),
+        }
+    }
+
+    /// Scan chain length.
+    pub fn n_sv(&self) -> usize {
+        self.n_sv
+    }
+
+    /// Original primary input count.
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// Appends a test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the test's scan-in length or any vector width does not
+    /// match the set.
+    pub fn push(&mut self, test: ScanTest) {
+        assert_eq!(test.scan_in.len(), self.n_sv, "scan-in length mismatch");
+        for v in &test.vectors {
+            assert_eq!(v.len(), self.input_width, "vector width mismatch");
+        }
+        self.tests.push(test);
+    }
+
+    /// The tests in application order.
+    pub fn tests(&self) -> &[ScanTest] {
+        &self.tests
+    }
+
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Test application time in clock cycles with *complete* scan
+    /// operations, overlapping each test's scan-out with the next test's
+    /// scan-in: `Σ (N_SV + |T_i|) + N_SV` — the accounting used for the
+    /// `[26]`-style comparison column.
+    pub fn application_cycles(&self) -> usize {
+        let per_test: usize = self.tests.iter().map(|t| self.n_sv + t.vectors.len()).sum();
+        if self.tests.is_empty() {
+            0
+        } else {
+            per_test + self.n_sv
+        }
+    }
+
+    /// Total number of primary-input vectors across tests (excluding scan).
+    pub fn vector_count(&self) -> usize {
+        self.tests.iter().map(|t| t.vectors.len()).sum()
+    }
+}
+
+impl fmt::Display for ScanTestSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.tests.iter().enumerate() {
+            write!(f, "{:3}  SI=", i + 1)?;
+            for b in &t.scan_in {
+                write!(f, "{b}")?;
+            }
+            write!(f, "  T=")?;
+            for (j, v) in t.vectors.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                for b in v {
+                    write!(f, "{b}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{One, Zero};
+
+    fn set_with(vlens: &[usize]) -> ScanTestSet {
+        let mut s = ScanTestSet::new(3, 2);
+        for &n in vlens {
+            s.push(ScanTest::new(
+                vec![Zero, One, Zero],
+                (0..n).map(|_| vec![One, Zero]).collect(),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn cycle_accounting_matches_paper_formula() {
+        // Paper example shape: 4 tests on a 3-bit chain, |T| = 4,4,4,8.
+        let s = set_with(&[4, 4, 4, 8]);
+        assert_eq!(s.application_cycles(), 4 * 3 + (4 + 4 + 4 + 8) + 3);
+        assert_eq!(s.vector_count(), 20);
+    }
+
+    #[test]
+    fn empty_set_costs_nothing() {
+        let s = ScanTestSet::new(5, 2);
+        assert_eq!(s.application_cycles(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn push_validates_shapes() {
+        let mut s = ScanTestSet::new(3, 2);
+        let bad_si = ScanTest::single(vec![Zero; 2], vec![One, One]);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { s.push(bad_si) })).is_err()
+        );
+        let bad_vec = ScanTest::single(vec![Zero; 3], vec![One]);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { s.push(bad_vec) })).is_err()
+        );
+    }
+
+    #[test]
+    fn display_shows_si_and_t() {
+        let s = set_with(&[2]);
+        let text = s.to_string();
+        assert!(text.contains("SI=010"));
+        assert!(text.contains("T=10 10"));
+    }
+}

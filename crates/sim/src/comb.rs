@@ -1,0 +1,247 @@
+//! Parallel-fault *combinational frame* simulation.
+//!
+//! The conventional (first/second approach) generators and the scan
+//! test-set compactor evaluate one frame at a time under the conventional
+//! semantics: present state loaded cleanly, primary outputs observed, next
+//! state observed by the eventual scan-out. Doing that fault-by-fault with
+//! scalar evaluation is the dominant cost of the baselines; this module
+//! batches 64 faults per word, exactly like the sequential engine but
+//! without state carry-over.
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::{Circuit, Driver};
+
+use crate::fault_sim::{eval_gate_word, InjectionTable};
+use crate::good::{eval_comb, next_state};
+use crate::logic::Logic;
+use crate::parallel::Word3;
+
+/// Parallel-fault evaluator for single frames of a fixed circuit and fault
+/// list. Construct once, call [`detects`](Self::detects) per frame.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+/// use limscan_sim::{CombFaultSim, Logic};
+///
+/// let c = benchmarks::s27();
+/// let faults = FaultList::collapsed(&c);
+/// let mut sim = CombFaultSim::new(&c, &faults);
+/// let state = vec![Logic::Zero; 3];
+/// let vector = vec![Logic::One, Logic::Zero, Logic::Zero, Logic::One];
+/// let detected = sim.detects(&state, &vector);
+/// assert_eq!(detected.len(), faults.len());
+/// ```
+pub struct CombFaultSim<'a> {
+    circuit: &'a Circuit,
+    faults: &'a FaultList,
+    table: InjectionTable,
+    words: Vec<Word3>,
+    good: Vec<Logic>,
+}
+
+impl<'a> CombFaultSim<'a> {
+    /// Creates an evaluator for the given circuit and fault list.
+    pub fn new(circuit: &'a Circuit, faults: &'a FaultList) -> Self {
+        CombFaultSim {
+            circuit,
+            faults,
+            table: InjectionTable::new(circuit.net_count()),
+            words: vec![Word3::ALL_X; circuit.net_count()],
+            good: vec![Logic::X; circuit.net_count()],
+        }
+    }
+
+    /// Evaluates one frame under the conventional semantics and returns,
+    /// per fault, whether it is detected (primary-output conflict or
+    /// next-state conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` / `vector` widths do not match the circuit.
+    pub fn detects(&mut self, state: &[Logic], vector: &[Logic]) -> Vec<bool> {
+        let ids: Vec<FaultId> = self.faults.ids().collect();
+        self.detects_among(&ids, state, vector)
+    }
+
+    /// Like [`detects`](Self::detects) but only for the given fault ids;
+    /// the result is aligned with `ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` / `vector` widths do not match the circuit.
+    pub fn detects_among(
+        &mut self,
+        ids: &[FaultId],
+        state: &[Logic],
+        vector: &[Logic],
+    ) -> Vec<bool> {
+        let circuit = self.circuit;
+        assert_eq!(vector.len(), circuit.inputs().len(), "vector width");
+        assert_eq!(state.len(), circuit.dffs().len(), "state width");
+
+        // Fault-free frame.
+        self.good.fill(Logic::X);
+        for (&pi, &v) in circuit.inputs().iter().zip(vector) {
+            self.good[pi.index()] = v;
+        }
+        for (&q, &v) in circuit.dffs().iter().zip(state) {
+            self.good[q.index()] = v;
+        }
+        eval_comb(circuit, &mut self.good);
+        let g_next = next_state(circuit, &self.good, None);
+
+        let mut out = vec![false; ids.len()];
+        for (chunk_start, batch) in ids.chunks(64).enumerate().map(|(k, b)| (k * 64, b)) {
+            self.table.load(self.faults, batch);
+            let full_mask = if batch.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << batch.len()) - 1
+            };
+
+            for (&pi, &v) in circuit.inputs().iter().zip(vector) {
+                self.words[pi.index()] = self.table.apply_stem(pi, Word3::broadcast(v));
+            }
+            for (&q, &v) in circuit.dffs().iter().zip(state) {
+                self.words[q.index()] = self.table.apply_stem(q, Word3::broadcast(v));
+            }
+            for &id in circuit.comb_order() {
+                let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                    unreachable!("comb_order contains only gates");
+                };
+                let input = |i: usize| {
+                    self.table
+                        .apply_pin(id, i as u8, self.words[fanins[i].index()])
+                };
+                let w = eval_gate_word(*kind, input, fanins.len());
+                self.words[id.index()] = self.table.apply_stem(id, w);
+            }
+
+            let mut detected = 0u64;
+            for &o in circuit.outputs() {
+                let good = self.good[o.index()];
+                if good.is_binary() {
+                    detected |= self.words[o.index()].conflict_mask(Word3::broadcast(good));
+                }
+            }
+            for (j, &q) in circuit.dffs().iter().enumerate() {
+                let good = g_next[j];
+                if !good.is_binary() {
+                    continue;
+                }
+                let Driver::Dff { d } = circuit.net(q).driver() else {
+                    unreachable!("dffs() contains only flip-flops");
+                };
+                let w = self.table.apply_pin(q, 0, self.words[d.index()]);
+                detected |= w.conflict_mask(Word3::broadcast(good));
+            }
+            detected &= full_mask;
+            while detected != 0 {
+                let lane = detected.trailing_zeros() as usize;
+                detected &= detected - 1;
+                out[chunk_start + lane] = true;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::good::eval_comb_with;
+    use limscan_netlist::benchmarks;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Scalar reference under the same conventional semantics.
+    fn serial_frame(
+        circuit: &Circuit,
+        faults: &FaultList,
+        state: &[Logic],
+        vector: &[Logic],
+    ) -> Vec<bool> {
+        let mut gv = vec![Logic::X; circuit.net_count()];
+        let mut bv = vec![Logic::X; circuit.net_count()];
+        let load = |vals: &mut Vec<Logic>| {
+            vals.fill(Logic::X);
+            for (&pi, &v) in circuit.inputs().iter().zip(vector) {
+                vals[pi.index()] = v;
+            }
+            for (&q, &v) in circuit.dffs().iter().zip(state) {
+                vals[q.index()] = v;
+            }
+        };
+        load(&mut gv);
+        eval_comb(circuit, &mut gv);
+        let gn = next_state(circuit, &gv, None);
+        faults
+            .iter()
+            .map(|(_, f)| {
+                load(&mut bv);
+                eval_comb_with(circuit, &mut bv, Some(f));
+                let po = circuit
+                    .outputs()
+                    .iter()
+                    .any(|&o| gv[o.index()].conflicts(bv[o.index()]));
+                let bn = next_state(circuit, &bv, Some(f));
+                po || gn.iter().zip(&bn).any(|(g, b)| g.conflicts(*b))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_frame_matches_serial() {
+        let c = benchmarks::s27();
+        let faults = FaultList::full(&c);
+        let mut sim = CombFaultSim::new(&c, &faults);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let state: Vec<Logic> = (0..3).map(|_| Logic::from_bool(rng.gen())).collect();
+            let vector: Vec<Logic> = (0..4).map(|_| Logic::from_bool(rng.gen())).collect();
+            assert_eq!(
+                sim.detects(&state, &vector),
+                serial_frame(&c, &faults, &state, &vector)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_frame_matches_serial_with_x_values() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let mut sim = CombFaultSim::new(&c, &faults);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pick = |rng: &mut StdRng| match rng.gen_range(0..3) {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            _ => Logic::X,
+        };
+        for _ in 0..30 {
+            let state: Vec<Logic> = (0..3).map(|_| pick(&mut rng)).collect();
+            let vector: Vec<Logic> = (0..4).map(|_| pick(&mut rng)).collect();
+            assert_eq!(
+                sim.detects(&state, &vector),
+                serial_frame(&c, &faults, &state, &vector)
+            );
+        }
+    }
+
+    #[test]
+    fn detects_among_subsets_align() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let mut sim = CombFaultSim::new(&c, &faults);
+        let state = vec![Logic::One, Logic::Zero, Logic::One];
+        let vector = vec![Logic::Zero, Logic::One, Logic::One, Logic::Zero];
+        let all = sim.detects(&state, &vector);
+        let subset: Vec<FaultId> = faults.ids().step_by(3).collect();
+        let partial = sim.detects_among(&subset, &state, &vector);
+        for (k, &id) in subset.iter().enumerate() {
+            assert_eq!(partial[k], all[id.index()]);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Full-response fault dictionaries and syndrome-based diagnosis.
+//!
+//! A fault dictionary records, for every fault, *all* the (time unit,
+//! primary output) pairs at which a test sequence exposes it — not just the
+//! first, which is all [`SeqFaultSim`](crate::SeqFaultSim) tracks. With the
+//! paper's flat sequences this includes failures observed on `scan_out`
+//! during limited scan operations, so the dictionary is exactly what a
+//! tester log can be matched against.
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::{Circuit, Driver};
+
+use crate::fault_sim::{eval_gate_word, load_sources, InjectionTable};
+use crate::good::{eval_comb, next_state};
+use crate::logic::Logic;
+use crate::parallel::Word3;
+use crate::sequence::TestSequence;
+
+/// One observed failure: the time unit and the primary output (by position
+/// in `circuit.outputs()`) where the faulty value contradicted the
+/// fault-free one.
+pub type Syndrome = (u32, u16);
+
+/// A full-response fault dictionary over a (circuit, fault list, sequence)
+/// triple.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+/// use limscan_sim::{FaultDictionary, Logic, TestSequence};
+///
+/// let c = benchmarks::s27();
+/// let faults = FaultList::collapsed(&c);
+/// let mut seq = TestSequence::new(c.inputs().len());
+/// for i in 0..20u32 {
+///     seq.push((0..4).map(|j| Logic::from_bool((i + j) % 3 == 0)).collect());
+/// }
+/// let dict = FaultDictionary::build(&c, &faults, &seq, 16);
+/// // Diagnosing a fault's own syndrome puts it at rank 1.
+/// let (id, fault) = faults.iter().next().unwrap();
+/// if !dict.syndrome(id).is_empty() {
+///     let ranked = dict.diagnose(dict.syndrome(id));
+///     assert_eq!(faults.fault(ranked[0].0), fault);
+/// }
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultDictionary {
+    syndromes: Vec<Vec<Syndrome>>,
+}
+
+impl FaultDictionary {
+    /// Simulates `seq` over every fault *without fault dropping*, recording
+    /// up to `cap_per_fault` syndromes per fault (0 means unlimited).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width differs from the circuit's input count.
+    pub fn build(
+        circuit: &Circuit,
+        faults: &FaultList,
+        seq: &TestSequence,
+        cap_per_fault: usize,
+    ) -> Self {
+        assert_eq!(
+            seq.width(),
+            circuit.inputs().len(),
+            "sequence width does not match circuit inputs"
+        );
+        let cap = if cap_per_fault == 0 {
+            usize::MAX
+        } else {
+            cap_per_fault
+        };
+        let n_nets = circuit.net_count();
+        let n_ff = circuit.dffs().len();
+
+        // Fault-free trajectory.
+        let mut good_values = vec![Logic::X; n_nets];
+        let mut good_po: Vec<Vec<Logic>> = Vec::with_capacity(seq.len());
+        let mut good_state = vec![Logic::X; n_ff];
+        for v in seq.iter() {
+            load_sources(circuit, &mut good_values, v, &good_state);
+            eval_comb(circuit, &mut good_values);
+            good_po.push(
+                circuit
+                    .outputs()
+                    .iter()
+                    .map(|&o| good_values[o.index()])
+                    .collect(),
+            );
+            good_state = next_state(circuit, &good_values, None);
+        }
+
+        let all: Vec<FaultId> = faults.ids().collect();
+        let mut syndromes = vec![Vec::new(); faults.len()];
+        let mut table = InjectionTable::new(n_nets);
+        let mut words = vec![Word3::ALL_X; n_nets];
+        let mut state_words = vec![Word3::ALL_X; n_ff];
+        let mut next_words = vec![Word3::ALL_X; n_ff];
+
+        for batch in all.chunks(64) {
+            table.load(faults, batch);
+            for w in state_words.iter_mut() {
+                *w = Word3::ALL_X;
+            }
+            let mut capped_mask = 0u64;
+            let full_mask = if batch.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << batch.len()) - 1
+            };
+
+            for (t, v) in seq.iter().enumerate() {
+                for (&pi, &val) in circuit.inputs().iter().zip(v) {
+                    words[pi.index()] = table.apply_stem(pi, Word3::broadcast(val));
+                }
+                for (i, &q) in circuit.dffs().iter().enumerate() {
+                    words[q.index()] = table.apply_stem(q, state_words[i]);
+                }
+                for &id in circuit.comb_order() {
+                    let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                        unreachable!("comb_order contains only gates");
+                    };
+                    let input = |i: usize| table.apply_pin(id, i as u8, words[fanins[i].index()]);
+                    let out = eval_gate_word(*kind, input, fanins.len());
+                    words[id.index()] = table.apply_stem(id, out);
+                }
+                for (oi, &o) in circuit.outputs().iter().enumerate() {
+                    let good = good_po[t][oi];
+                    if !good.is_binary() {
+                        continue;
+                    }
+                    let mut hits = words[o.index()].conflict_mask(Word3::broadcast(good))
+                        & full_mask
+                        & !capped_mask;
+                    while hits != 0 {
+                        let lane = hits.trailing_zeros() as usize;
+                        hits &= hits - 1;
+                        let fid = batch[lane];
+                        let s = &mut syndromes[fid.index()];
+                        s.push((t as u32, oi as u16));
+                        if s.len() >= cap {
+                            capped_mask |= 1 << lane;
+                        }
+                    }
+                }
+                if capped_mask == full_mask {
+                    break;
+                }
+                for (i, &q) in circuit.dffs().iter().enumerate() {
+                    let Driver::Dff { d } = circuit.net(q).driver() else {
+                        unreachable!("dffs() contains only flip-flops");
+                    };
+                    next_words[i] = table.apply_pin(q, 0, words[d.index()]);
+                }
+                std::mem::swap(&mut state_words, &mut next_words);
+            }
+        }
+
+        FaultDictionary { syndromes }
+    }
+
+    /// The recorded syndromes of a fault, in time order.
+    pub fn syndrome(&self, f: FaultId) -> &[Syndrome] {
+        &self.syndromes[f.index()]
+    }
+
+    /// Number of faults with at least one syndrome (= detected faults).
+    pub fn detected_count(&self) -> usize {
+        self.syndromes.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Ranks candidate faults against an observed failure log by Jaccard
+    /// similarity of syndrome sets; ties broken by fault id. Faults with no
+    /// overlap are omitted.
+    pub fn diagnose(&self, observed: &[Syndrome]) -> Vec<(FaultId, f64)> {
+        let mut obs: Vec<Syndrome> = observed.to_vec();
+        obs.sort_unstable();
+        obs.dedup();
+        let mut ranked: Vec<(FaultId, f64)> = self
+            .syndromes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                if s.is_empty() {
+                    return None;
+                }
+                let inter = s.iter().filter(|x| obs.binary_search(x).is_ok()).count();
+                if inter == 0 {
+                    return None;
+                }
+                let union = s.len() + obs.len() - inter;
+                Some((FaultId::from_index(i), inter as f64 / union as f64))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault_sim::SeqFaultSim;
+    use limscan_netlist::benchmarks;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+        }
+        seq
+    }
+
+    #[test]
+    fn first_syndrome_matches_first_detection() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 40, 5);
+        let dict = FaultDictionary::build(&c, &faults, &seq, 0);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        for id in faults.ids() {
+            let first = dict.syndrome(id).first().map(|&(t, _)| t);
+            assert_eq!(first, report.detected_at(id), "{id}");
+        }
+        assert_eq!(dict.detected_count(), report.detected_count());
+    }
+
+    #[test]
+    fn cap_limits_syndrome_length() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 60, 6);
+        let dict = FaultDictionary::build(&c, &faults, &seq, 3);
+        assert!(faults.ids().all(|id| dict.syndrome(id).len() <= 3));
+    }
+
+    #[test]
+    fn self_diagnosis_ranks_the_fault_first_or_equivalent() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 50, 7);
+        let dict = FaultDictionary::build(&c, &faults, &seq, 0);
+        for id in faults.ids() {
+            let s = dict.syndrome(id);
+            if s.is_empty() {
+                continue;
+            }
+            let ranked = dict.diagnose(s);
+            let top_score = ranked[0].1;
+            assert!(
+                ranked
+                    .iter()
+                    .take_while(|(_, sc)| *sc == top_score)
+                    .any(|(f, _)| *f == id),
+                "fault {id} not among top-ranked candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn diagnose_empty_log_matches_nothing() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 20, 8);
+        let dict = FaultDictionary::build(&c, &faults, &seq, 0);
+        assert!(dict.diagnose(&[]).is_empty());
+    }
+}

@@ -1,0 +1,703 @@
+//! Incremental sequential parallel-fault simulation.
+//!
+//! Faults are simulated 64 per machine word; every fault carries its own
+//! flip-flop state across time units, which is what makes the engine
+//! *incremental*: test generation appends subsequences and only the new
+//! vectors are simulated, never the whole sequence again.
+//!
+//! The fault-free trajectory is computed once per extension by a scalar
+//! pass; faulty lanes are then compared against it at every primary output
+//! (three-valued safe: good binary, faulty the complement).
+
+use limscan_fault::{FaultId, FaultList, FaultSite, StuckAt};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::good::{eval_comb, next_state};
+use crate::logic::Logic;
+use crate::parallel::Word3;
+use crate::sequence::TestSequence;
+
+/// Summary of which faults a sequence detects and when.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DetectionReport {
+    detected_at: Vec<Option<u32>>,
+}
+
+impl DetectionReport {
+    /// First detection time (vector index) of the fault, if detected.
+    pub fn detected_at(&self, f: FaultId) -> Option<u32> {
+        self.detected_at[f.index()]
+    }
+
+    /// Whether the fault is detected.
+    pub fn is_detected(&self, f: FaultId) -> bool {
+        self.detected_at[f.index()].is_some()
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detected_at.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Total number of faults in the list this report covers.
+    pub fn total(&self) -> usize {
+        self.detected_at.len()
+    }
+
+    /// Fault coverage in percent.
+    pub fn coverage_percent(&self) -> f64 {
+        if self.detected_at.is_empty() {
+            return 100.0;
+        }
+        100.0 * self.detected_count() as f64 / self.detected_at.len() as f64
+    }
+
+    /// Ids of undetected faults, in id order.
+    pub fn undetected(&self) -> Vec<FaultId> {
+        self.detected_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| FaultId::from_index(i))
+            .collect()
+    }
+
+    /// Ids of detected faults, in id order.
+    pub fn detected(&self) -> Vec<FaultId> {
+        self.detected_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_some())
+            .map(|(i, _)| FaultId::from_index(i))
+            .collect()
+    }
+}
+
+/// Per-batch fault injection masks, rebuilt for each group of ≤64 faults.
+pub(crate) struct InjectionTable {
+    /// Per net: lanes forced to 0 / forced to 1 at the net's stem.
+    stem: Vec<(u64, u64)>,
+    /// Per net: branch forces on this consumer's pins `(pin, sa0, sa1)`.
+    pins: Vec<Vec<(u8, u64, u64)>>,
+    touched: Vec<usize>,
+}
+
+impl InjectionTable {
+    pub(crate) fn new(net_count: usize) -> Self {
+        InjectionTable {
+            stem: vec![(0, 0); net_count],
+            pins: vec![Vec::new(); net_count],
+            touched: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &n in &self.touched {
+            self.stem[n] = (0, 0);
+            self.pins[n].clear();
+        }
+        self.touched.clear();
+    }
+
+    pub(crate) fn load(&mut self, faults: &FaultList, batch: &[FaultId]) {
+        self.clear();
+        for (lane, &fid) in batch.iter().enumerate() {
+            let mask = 1u64 << lane;
+            let fault = faults.fault(fid);
+            match fault.site {
+                FaultSite::Stem(n) => {
+                    let entry = &mut self.stem[n.index()];
+                    match fault.stuck {
+                        StuckAt::Zero => entry.0 |= mask,
+                        StuckAt::One => entry.1 |= mask,
+                    }
+                    self.touched.push(n.index());
+                }
+                FaultSite::Branch(pin) => {
+                    let (sa0, sa1) = match fault.stuck {
+                        StuckAt::Zero => (mask, 0),
+                        StuckAt::One => (0, mask),
+                    };
+                    self.pins[pin.net.index()].push((pin.pin, sa0, sa1));
+                    self.touched.push(pin.net.index());
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn apply_stem(&self, net: NetId, w: Word3) -> Word3 {
+        let (sa0, sa1) = self.stem[net.index()];
+        if sa0 | sa1 == 0 {
+            w
+        } else {
+            w.force_zero(sa0).force_one(sa1)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn apply_pin(&self, consumer: NetId, pin: u8, w: Word3) -> Word3 {
+        let entries = &self.pins[consumer.index()];
+        if entries.is_empty() {
+            return w;
+        }
+        let mut w = w;
+        for &(p, sa0, sa1) in entries {
+            if p == pin {
+                w = w.force_zero(sa0).force_one(sa1);
+            }
+        }
+        w
+    }
+}
+
+/// Incremental sequential parallel-fault simulator.
+///
+/// Construct once per (circuit, fault list) pair, then [`extend`] with
+/// subsequences as they are generated; detection times accumulate across
+/// calls and each undetected fault's machine state is carried forward.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultList;
+/// use limscan_sim::{Logic, SeqFaultSim, TestSequence};
+///
+/// let c = benchmarks::s27();
+/// let faults = FaultList::collapsed(&c);
+/// let mut seq = TestSequence::new(c.inputs().len());
+/// for bits in [[1, 1, 1, 0], [0, 0, 0, 0], [1, 0, 1, 1]] {
+///     seq.push(bits.iter().map(|&b| Logic::from_bool(b == 1)).collect());
+/// }
+/// let report = SeqFaultSim::run(&c, &faults, &seq);
+/// assert!(report.detected_count() > 0);
+/// ```
+///
+/// [`extend`]: SeqFaultSim::extend
+#[derive(Clone)]
+pub struct SeqFaultSim<'a> {
+    circuit: &'a Circuit,
+    faults: &'a FaultList,
+    good_state: Vec<Logic>,
+    fault_state: Vec<Vec<Logic>>,
+    detected_at: Vec<Option<u32>>,
+    time: u32,
+}
+
+impl<'a> SeqFaultSim<'a> {
+    /// Creates a simulator at time 0 with all-X machine states.
+    pub fn new(circuit: &'a Circuit, faults: &'a FaultList) -> Self {
+        let n_ff = circuit.dffs().len();
+        SeqFaultSim {
+            circuit,
+            faults,
+            good_state: vec![Logic::X; n_ff],
+            fault_state: vec![vec![Logic::X; n_ff]; faults.len()],
+            detected_at: vec![None; faults.len()],
+            time: 0,
+        }
+    }
+
+    /// Creates a simulator whose fault-free *and* every faulty machine
+    /// start from the same given state — the "clean load" assumption of
+    /// conventional scan test evaluation (a complete scan-in overwrites
+    /// the whole chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn with_state(circuit: &'a Circuit, faults: &'a FaultList, state: &[Logic]) -> Self {
+        assert_eq!(
+            state.len(),
+            circuit.dffs().len(),
+            "state length does not match flip-flop count"
+        );
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.good_state.copy_from_slice(state);
+        for fs in &mut sim.fault_state {
+            fs.copy_from_slice(state);
+        }
+        sim
+    }
+
+    /// One-shot simulation of a whole sequence from the all-X state.
+    pub fn run(circuit: &Circuit, faults: &FaultList, seq: &TestSequence) -> DetectionReport {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.extend(seq);
+        sim.report()
+    }
+
+    /// Simulates the given vectors as a continuation of everything already
+    /// applied, returning the number of newly detected faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence width differs from the circuit's input count.
+    pub fn extend(&mut self, seq: &TestSequence) -> usize {
+        assert_eq!(
+            seq.width(),
+            self.circuit.inputs().len(),
+            "sequence width does not match circuit inputs"
+        );
+        if seq.is_empty() {
+            return 0;
+        }
+        let before = self.detected_count();
+
+        // Fault-free trajectory for the new vectors (scalar pass).
+        let n_nets = self.circuit.net_count();
+        let mut good_values = vec![Logic::X; n_nets];
+        let mut good_po: Vec<Vec<Logic>> = Vec::with_capacity(seq.len());
+        let mut good_state = self.good_state.clone();
+        for v in seq.iter() {
+            load_sources(self.circuit, &mut good_values, v, &good_state);
+            eval_comb(self.circuit, &mut good_values);
+            good_po.push(
+                self.circuit
+                    .outputs()
+                    .iter()
+                    .map(|&o| good_values[o.index()])
+                    .collect(),
+            );
+            good_state = next_state(self.circuit, &good_values, None);
+        }
+
+        let active: Vec<FaultId> = self
+            .detected_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| FaultId::from_index(i))
+            .collect();
+
+        let mut table = InjectionTable::new(n_nets);
+        let mut words = vec![Word3::ALL_X; n_nets];
+        let n_ff = self.circuit.dffs().len();
+        let mut state_words = vec![Word3::ALL_X; n_ff];
+        let mut next_words = vec![Word3::ALL_X; n_ff];
+
+        for batch in active.chunks(64) {
+            table.load(self.faults, batch);
+            let full_mask = if batch.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << batch.len()) - 1
+            };
+
+            // Load per-fault present states into lanes.
+            for (ff, word) in state_words.iter_mut().enumerate() {
+                *word = Word3::ALL_X;
+                for (lane, &fid) in batch.iter().enumerate() {
+                    word.set_lane(lane, self.fault_state[fid.index()][ff]);
+                }
+            }
+
+            let mut detected_mask = 0u64;
+            for (t, v) in seq.iter().enumerate() {
+                // Sources: primary inputs broadcast, states from lanes;
+                // stem faults on source nets are forced here.
+                for (&pi, &val) in self.circuit.inputs().iter().zip(v) {
+                    words[pi.index()] = table.apply_stem(pi, Word3::broadcast(val));
+                }
+                for (i, &q) in self.circuit.dffs().iter().enumerate() {
+                    words[q.index()] = table.apply_stem(q, state_words[i]);
+                }
+
+                // Combinational evaluation with branch-fault pin forcing.
+                for &id in self.circuit.comb_order() {
+                    let Driver::Gate { kind, fanins } = self.circuit.net(id).driver() else {
+                        unreachable!("comb_order contains only gates");
+                    };
+                    let input = |i: usize| table.apply_pin(id, i as u8, words[fanins[i].index()]);
+                    let out = eval_gate_word(*kind, input, fanins.len());
+                    words[id.index()] = table.apply_stem(id, out);
+                }
+
+                // Detection at primary outputs.
+                for (oi, &o) in self.circuit.outputs().iter().enumerate() {
+                    let good = good_po[t][oi];
+                    if !good.is_binary() {
+                        continue;
+                    }
+                    let conflicts = words[o.index()].conflict_mask(Word3::broadcast(good));
+                    let mut fresh = conflicts & full_mask & !detected_mask;
+                    while fresh != 0 {
+                        let lane = fresh.trailing_zeros() as usize;
+                        fresh &= fresh - 1;
+                        let fid = batch[lane];
+                        self.detected_at[fid.index()] = Some(self.time + t as u32);
+                        detected_mask |= 1 << lane;
+                    }
+                }
+                if detected_mask == full_mask {
+                    break; // every fault in this batch is detected
+                }
+
+                // Next state, honouring branch faults on flip-flop D pins.
+                for (i, &q) in self.circuit.dffs().iter().enumerate() {
+                    let Driver::Dff { d } = self.circuit.net(q).driver() else {
+                        unreachable!("dffs() contains only flip-flops");
+                    };
+                    next_words[i] = table.apply_pin(q, 0, words[d.index()]);
+                }
+                std::mem::swap(&mut state_words, &mut next_words);
+            }
+
+            // Persist machine state for faults that remain undetected.
+            for (lane, &fid) in batch.iter().enumerate() {
+                if detected_mask & (1 << lane) == 0 {
+                    for (ff, word) in state_words.iter().enumerate() {
+                        self.fault_state[fid.index()][ff] = word.lane(lane);
+                    }
+                }
+            }
+        }
+
+        self.good_state = good_state;
+        self.time += seq.len() as u32;
+        self.detected_count() - before
+    }
+
+    /// First detection time of a fault, if detected so far.
+    pub fn detected_at(&self, f: FaultId) -> Option<u32> {
+        self.detected_at[f.index()]
+    }
+
+    /// Whether a fault has been detected so far.
+    pub fn is_detected(&self, f: FaultId) -> bool {
+        self.detected_at[f.index()].is_some()
+    }
+
+    /// Number of faults detected so far.
+    pub fn detected_count(&self) -> usize {
+        self.detected_at.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Ids of faults not yet detected.
+    pub fn undetected(&self) -> Vec<FaultId> {
+        self.detected_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| FaultId::from_index(i))
+            .collect()
+    }
+
+    /// The fault-free machine state after everything applied so far.
+    pub fn good_state(&self) -> &[Logic] {
+        &self.good_state
+    }
+
+    /// The machine state of an (undetected) fault's circuit.
+    ///
+    /// For detected faults the state is stale (frozen at detection).
+    pub fn fault_state(&self, f: FaultId) -> &[Logic] {
+        &self.fault_state[f.index()]
+    }
+
+    /// Total number of vectors applied so far.
+    pub fn time(&self) -> u32 {
+        self.time
+    }
+
+    /// Snapshot of detection times.
+    pub fn report(&self) -> DetectionReport {
+        DetectionReport {
+            detected_at: self.detected_at.clone(),
+        }
+    }
+}
+
+/// Scalar simulation of a single fault over a sequence from the all-X
+/// state, returning the first detection time if any.
+///
+/// Cheaper than [`SeqFaultSim`] when only one fault matters (the inner loop
+/// of restoration-based compaction); stops at the first detection.
+///
+/// # Panics
+///
+/// Panics if the sequence width differs from the circuit's input count.
+pub fn single_fault_detects(
+    circuit: &Circuit,
+    fault: limscan_fault::Fault,
+    seq: &TestSequence,
+) -> Option<u32> {
+    assert_eq!(
+        seq.width(),
+        circuit.inputs().len(),
+        "sequence width does not match circuit inputs"
+    );
+    let mut good_state = vec![Logic::X; circuit.dffs().len()];
+    let mut bad_state = good_state.clone();
+    let mut gv = vec![Logic::X; circuit.net_count()];
+    let mut bv = vec![Logic::X; circuit.net_count()];
+    for (t, v) in seq.iter().enumerate() {
+        load_sources(circuit, &mut gv, v, &good_state);
+        eval_comb(circuit, &mut gv);
+        load_sources(circuit, &mut bv, v, &bad_state);
+        crate::good::eval_comb_with(circuit, &mut bv, Some(fault));
+        for &o in circuit.outputs() {
+            if gv[o.index()].conflicts(bv[o.index()]) {
+                return Some(t as u32);
+            }
+        }
+        good_state = next_state(circuit, &gv, None);
+        bad_state = next_state(circuit, &bv, Some(fault));
+    }
+    None
+}
+
+pub(crate) fn load_sources(
+    circuit: &Circuit,
+    values: &mut [Logic],
+    inputs: &[Logic],
+    state: &[Logic],
+) {
+    values.fill(Logic::X);
+    for (&pi, &v) in circuit.inputs().iter().zip(inputs) {
+        values[pi.index()] = v;
+    }
+    for (&q, &v) in circuit.dffs().iter().zip(state) {
+        values[q.index()] = v;
+    }
+}
+
+pub(crate) fn eval_gate_word(kind: GateKind, input: impl Fn(usize) -> Word3, n: usize) -> Word3 {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut acc = Word3::broadcast(Logic::One);
+            for i in 0..n {
+                acc = acc.and(input(i));
+            }
+            if kind == GateKind::Nand {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = Word3::broadcast(Logic::Zero);
+            for i in 0..n {
+                acc = acc.or(input(i));
+            }
+            if kind == GateKind::Nor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = Word3::broadcast(Logic::Zero);
+            for i in 0..n {
+                acc = acc.xor(input(i));
+            }
+            if kind == GateKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Not => input(0).not(),
+        GateKind::Buf => input(0),
+        GateKind::Mux => input(0).mux(input(1), input(2)),
+        GateKind::Const0 => Word3::broadcast(Logic::Zero),
+        GateKind::Const1 => Word3::broadcast(Logic::One),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::good::eval_comb_with;
+    use limscan_netlist::benchmarks;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+        }
+        seq
+    }
+
+    /// Reference serial fault simulator: one fault at a time, scalar.
+    fn serial_detect_times(
+        circuit: &Circuit,
+        faults: &FaultList,
+        seq: &TestSequence,
+    ) -> Vec<Option<u32>> {
+        let mut out = Vec::new();
+        for (_, fault) in faults.iter() {
+            let mut good_state = vec![Logic::X; circuit.dffs().len()];
+            let mut bad_state = good_state.clone();
+            let mut det = None;
+            let mut gv = vec![Logic::X; circuit.net_count()];
+            let mut bv = vec![Logic::X; circuit.net_count()];
+            for (t, v) in seq.iter().enumerate() {
+                load_sources(circuit, &mut gv, v, &good_state);
+                eval_comb(circuit, &mut gv);
+                load_sources(circuit, &mut bv, v, &bad_state);
+                eval_comb_with(circuit, &mut bv, Some(fault));
+                if det.is_none() {
+                    for &o in circuit.outputs() {
+                        if gv[o.index()].conflicts(bv[o.index()]) {
+                            det = Some(t as u32);
+                            break;
+                        }
+                    }
+                }
+                good_state = next_state(circuit, &gv, None);
+                bad_state = next_state(circuit, &bv, Some(fault));
+                if det.is_some() {
+                    break;
+                }
+            }
+            out.push(det);
+        }
+        out
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_s27() {
+        let c = benchmarks::s27();
+        let faults = FaultList::full(&c);
+        let seq = random_sequence(c.inputs().len(), 40, 11);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        let serial = serial_detect_times(&c, &faults, &seq);
+        for (id, f) in faults.iter() {
+            assert_eq!(
+                report.detected_at(id),
+                serial[id.index()],
+                "fault {} disagrees",
+                f.display_name(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_synthetic() {
+        let spec = limscan_netlist::benchmarks::SyntheticSpec::new("psync", 4, 6, 50, 3);
+        let c = limscan_netlist::benchmarks::synthetic(&spec);
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 30, 5);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        let serial = serial_detect_times(&c, &faults, &seq);
+        for (id, f) in faults.iter() {
+            assert_eq!(
+                report.detected_at(id),
+                serial[id.index()],
+                "fault {} disagrees",
+                f.display_name(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_exotic_gates() {
+        // Covers the gate kinds the benchmark generator never emits:
+        // constants, buffers and multiplexers, in both sim paths.
+        use limscan_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("exotic");
+        b.input("s");
+        b.input("a");
+        b.gate("k1", GateKind::Const1, &[]).unwrap();
+        b.gate("k0", GateKind::Const0, &[]).unwrap();
+        b.gate("buf", GateKind::Buf, &["a"]).unwrap();
+        b.gate("m", GateKind::Mux, &["s", "buf", "k1"]).unwrap();
+        b.gate("x", GateKind::Xnor, &["m", "k0"]).unwrap();
+        b.dff("q", "x").unwrap();
+        b.gate("y", GateKind::Xor, &["q", "m"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let faults = FaultList::full(&c);
+        let seq = random_sequence(c.inputs().len(), 24, 17);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        let serial = serial_detect_times(&c, &faults, &seq);
+        for (id, f) in faults.iter() {
+            assert_eq!(
+                report.detected_at(id),
+                serial[id.index()],
+                "fault {} disagrees",
+                f.display_name(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_extend_equals_one_shot() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 24, 42);
+
+        let oneshot = SeqFaultSim::run(&c, &faults, &seq);
+
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        let a: TestSequence = seq.iter().take(7).map(<[Logic]>::to_vec).collect();
+        let b: TestSequence = seq.iter().skip(7).take(9).map(<[Logic]>::to_vec).collect();
+        let d: TestSequence = seq.iter().skip(16).map(<[Logic]>::to_vec).collect();
+        sim.extend(&a);
+        sim.extend(&b);
+        sim.extend(&d);
+
+        for id in faults.ids() {
+            assert_eq!(sim.detected_at(id), oneshot.detected_at(id), "{id}");
+        }
+        assert_eq!(sim.time(), seq.len() as u32);
+    }
+
+    #[test]
+    fn good_state_tracks_scalar_simulation() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 12, 9);
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        sim.extend(&seq);
+        let mut gs = crate::good::SeqGoodSim::new(&c);
+        gs.run(&seq);
+        assert_eq!(sim.good_state(), gs.state());
+    }
+
+    #[test]
+    fn undetectable_without_vectors() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let sim = SeqFaultSim::new(&c, &faults);
+        assert_eq!(sim.detected_count(), 0);
+        assert_eq!(sim.undetected().len(), faults.len());
+    }
+
+    #[test]
+    fn single_fault_sim_agrees_with_parallel() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 30, 77);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        for (id, fault) in faults.iter() {
+            assert_eq!(
+                single_fault_detects(&c, fault, &seq),
+                report.detected_at(id),
+                "fault {}",
+                fault.display_name(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 60, 2);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        assert_eq!(report.total(), faults.len());
+        assert_eq!(
+            report.detected_count() + report.undetected().len(),
+            faults.len()
+        );
+        assert!(report.coverage_percent() > 10.0);
+        let detected = report.detected();
+        assert!(detected.iter().all(|&f| report.is_detected(f)));
+    }
+}

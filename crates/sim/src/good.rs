@@ -1,0 +1,354 @@
+//! Scalar good-circuit (and single-fault) simulation.
+
+use limscan_fault::{Fault, FaultSite};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::logic::Logic;
+use crate::sequence::TestSequence;
+
+fn eval_gate(kind: GateKind, vals: impl Fn(usize) -> Logic, n: usize) -> Logic {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut acc = Logic::One;
+            for i in 0..n {
+                acc = acc.and(vals(i));
+            }
+            if kind == GateKind::Nand {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = Logic::Zero;
+            for i in 0..n {
+                acc = acc.or(vals(i));
+            }
+            if kind == GateKind::Nor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = Logic::Zero;
+            for i in 0..n {
+                acc = acc.xor(vals(i));
+            }
+            if kind == GateKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Not => vals(0).not(),
+        GateKind::Buf => vals(0),
+        GateKind::Mux => vals(0).mux(vals(1), vals(2)),
+        GateKind::Const0 => Logic::Zero,
+        GateKind::Const1 => Logic::One,
+    }
+}
+
+/// Evaluates the combinational logic of `circuit` in place.
+///
+/// `values` must be indexable by [`NetId::index`] and pre-loaded with
+/// primary input values and flip-flop (present-state) values; on return
+/// every gate-driven net holds its evaluated value.
+///
+/// # Panics
+///
+/// Panics if `values.len() != circuit.net_count()`.
+pub fn eval_comb(circuit: &Circuit, values: &mut [Logic]) {
+    eval_comb_with(circuit, values, None);
+}
+
+/// Like [`eval_comb`] but with an optional stuck-at fault injected.
+///
+/// For a stem fault the net's value is forced after evaluation (so primary
+/// input and state nets can be faulty too — pre-force those before calling
+/// if the fault sits on a source net; this function forces them as well).
+/// For a branch fault only the consuming gate sees the forced value.
+///
+/// # Panics
+///
+/// Panics if `values.len() != circuit.net_count()`.
+pub fn eval_comb_with(circuit: &Circuit, values: &mut [Logic], fault: Option<Fault>) {
+    assert_eq!(
+        values.len(),
+        circuit.net_count(),
+        "value array does not match circuit"
+    );
+    let (stem, branch) = match fault {
+        Some(f) => match f.site {
+            FaultSite::Stem(n) => (Some((n, f.stuck)), None),
+            FaultSite::Branch(p) => (None, Some((p, f.stuck))),
+        },
+        None => (None, None),
+    };
+
+    // A stem fault on a source net (input or state) must be applied before
+    // any gate reads it.
+    if let Some((n, v)) = stem {
+        if !matches!(circuit.net(n).driver(), Driver::Gate { .. }) {
+            values[n.index()] = Logic::from_bool(v.value());
+        }
+    }
+
+    for &id in circuit.comb_order() {
+        let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+            unreachable!("comb_order contains only gate-driven nets");
+        };
+        let out = eval_gate(
+            *kind,
+            |i| {
+                let src = fanins[i];
+                if let Some((pin, v)) = branch {
+                    if pin.net == id && pin.pin as usize == i {
+                        return Logic::from_bool(v.value());
+                    }
+                }
+                values[src.index()]
+            },
+            fanins.len(),
+        );
+        values[id.index()] = out;
+        if let Some((n, v)) = stem {
+            if n == id {
+                values[id.index()] = Logic::from_bool(v.value());
+            }
+        }
+    }
+}
+
+/// Extracts the next flip-flop state from fully evaluated net `values`,
+/// honouring a branch fault on a flip-flop's D pin if one is injected.
+///
+/// Returned in the circuit's flip-flop declaration (scan chain) order.
+pub fn next_state(circuit: &Circuit, values: &[Logic], fault: Option<Fault>) -> Vec<Logic> {
+    circuit
+        .dffs()
+        .iter()
+        .map(|&q| {
+            if let Some(f) = fault {
+                if let FaultSite::Branch(pin) = f.site {
+                    if pin.net == q && pin.pin == 0 {
+                        return Logic::from_bool(f.stuck.value());
+                    }
+                }
+            }
+            let Driver::Dff { d } = circuit.net(q).driver() else {
+                unreachable!("dffs() contains only flip-flop outputs");
+            };
+            values[d.index()]
+        })
+        .collect()
+}
+
+/// Stateful sequential good-circuit simulator.
+///
+/// Holds the present state (all X at construction) and applies vectors one
+/// at a time, exposing full net values after each step.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_sim::{Logic, SeqGoodSim};
+///
+/// let c = benchmarks::s27();
+/// let mut sim = SeqGoodSim::new(&c);
+/// let outs = sim.step(&[Logic::Zero, Logic::Zero, Logic::One, Logic::Zero]);
+/// assert_eq!(outs.len(), 1); // s27 has one primary output
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeqGoodSim<'c> {
+    circuit: &'c Circuit,
+    state: Vec<Logic>,
+    values: Vec<Logic>,
+}
+
+impl<'c> SeqGoodSim<'c> {
+    /// Creates a simulator with all-X initial state.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        SeqGoodSim {
+            circuit,
+            state: vec![Logic::X; circuit.dffs().len()],
+            values: vec![Logic::X; circuit.net_count()],
+        }
+    }
+
+    /// Creates a simulator starting from the given state (scan chain order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn with_state(circuit: &'c Circuit, state: Vec<Logic>) -> Self {
+        assert_eq!(state.len(), circuit.dffs().len(), "state length mismatch");
+        SeqGoodSim {
+            circuit,
+            state,
+            values: vec![Logic::X; circuit.net_count()],
+        }
+    }
+
+    /// Applies one input vector; returns the primary output values and
+    /// advances the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> Vec<Logic> {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.inputs().len(),
+            "input vector length mismatch"
+        );
+        self.values.fill(Logic::X);
+        for (&pi, &v) in self.circuit.inputs().iter().zip(inputs) {
+            self.values[pi.index()] = v;
+        }
+        for (&q, &v) in self.circuit.dffs().iter().zip(&self.state) {
+            self.values[q.index()] = v;
+        }
+        eval_comb(self.circuit, &mut self.values);
+        self.state = next_state(self.circuit, &self.values, None);
+        self.circuit
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Runs a whole sequence, returning the output values at every step.
+    pub fn run(&mut self, seq: &TestSequence) -> Vec<Vec<Logic>> {
+        seq.iter().map(|v| self.step(v)).collect()
+    }
+
+    /// The present state (scan chain order).
+    pub fn state(&self) -> &[Logic] {
+        &self.state
+    }
+
+    /// Net values after the most recent [`step`](Self::step).
+    pub fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// The value on a specific net after the most recent step.
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::{benchmarks, CircuitBuilder};
+    use Logic::{One, Zero, X};
+
+    #[test]
+    fn comb_eval_matches_truth_table() {
+        let mut b = CircuitBuilder::new("tt");
+        b.input("a");
+        b.input("b");
+        b.gate("and", GateKind::And, &["a", "b"]).unwrap();
+        b.gate("nor", GateKind::Nor, &["a", "b"]).unwrap();
+        b.gate("xor", GateKind::Xor, &["a", "b"]).unwrap();
+        b.gate("mux", GateKind::Mux, &["a", "b", "xor"]).unwrap();
+        b.output("and");
+        b.output("nor");
+        b.output("xor");
+        b.output("mux");
+        let c = b.build().unwrap();
+        let idx = |n: &str| c.find_net(n).unwrap().index();
+        for a in [false, true] {
+            for bb in [false, true] {
+                let mut vals = vec![X; c.net_count()];
+                vals[idx("a")] = Logic::from_bool(a);
+                vals[idx("b")] = Logic::from_bool(bb);
+                eval_comb(&c, &mut vals);
+                assert_eq!(vals[idx("and")], Logic::from_bool(a & bb));
+                assert_eq!(vals[idx("nor")], Logic::from_bool(!(a | bb)));
+                assert_eq!(vals[idx("xor")], Logic::from_bool(a ^ bb));
+                let expect = if !a { bb } else { a ^ bb };
+                assert_eq!(vals[idx("mux")], Logic::from_bool(expect));
+            }
+        }
+    }
+
+    #[test]
+    fn stem_fault_on_input_forces_value() {
+        let mut b = CircuitBuilder::new("f");
+        b.input("a");
+        b.gate("y", GateKind::Buf, &["a"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let a = c.find_net("a").unwrap();
+        let y = c.find_net("y").unwrap();
+        let mut vals = vec![X; c.net_count()];
+        vals[a.index()] = One;
+        eval_comb_with(
+            &c,
+            &mut vals,
+            Some(Fault::stem(a, limscan_fault::StuckAt::Zero)),
+        );
+        assert_eq!(vals[y.index()], Zero);
+    }
+
+    #[test]
+    fn branch_fault_only_affects_its_pin() {
+        let mut b = CircuitBuilder::new("br");
+        b.input("a");
+        b.gate("x", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("x");
+        b.output("y");
+        let c = b.build().unwrap();
+        let a = c.find_net("a").unwrap();
+        let pin_to_x = c
+            .fanouts(a)
+            .iter()
+            .copied()
+            .find(|p| p.net == c.find_net("x").unwrap())
+            .unwrap();
+        let mut vals = vec![X; c.net_count()];
+        vals[a.index()] = One;
+        eval_comb_with(
+            &c,
+            &mut vals,
+            Some(Fault::branch(pin_to_x, limscan_fault::StuckAt::Zero)),
+        );
+        assert_eq!(vals[c.find_net("x").unwrap().index()], Zero, "faulty path");
+        assert_eq!(vals[c.find_net("y").unwrap().index()], Zero, "clean path");
+    }
+
+    #[test]
+    fn s27_sequential_behaviour_is_stable() {
+        // With all-X state, the s27 output may be X; after enough vectors
+        // with binary inputs, the state must become binary (s27 has a
+        // synchronising behaviour from NOR gates with controlling inputs).
+        let c = benchmarks::s27();
+        let mut sim = SeqGoodSim::new(&c);
+        assert!(sim.state().iter().all(|v| *v == X));
+        // With a1 = 1, G14 = 0 kills the X feedback through G8, so a couple
+        // of steps synchronise all three flip-flops.
+        for _ in 0..2 {
+            sim.step(&[One, One, One, Zero]);
+        }
+        assert!(
+            sim.state().iter().all(|v| v.is_binary()),
+            "state {:?} should synchronise",
+            sim.state()
+        );
+    }
+
+    #[test]
+    fn with_state_seeds_the_flip_flops() {
+        let c = benchmarks::s27();
+        let mut sim = SeqGoodSim::with_state(&c, vec![Zero, One, One]);
+        // G17 = NOT(G11) and G6 holds G11's previous value; the first step
+        // output depends only on combinational logic of the seeded state.
+        let out = sim.step(&[Zero, Zero, Zero, Zero]);
+        assert!(out[0].is_binary());
+    }
+}

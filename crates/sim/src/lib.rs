@@ -1,0 +1,55 @@
+//! Logic and fault simulation for the `limscan` workspace.
+//!
+//! * [`Logic`] — scalar three-valued logic (0 / 1 / X);
+//! * [`Word3`] — 64-lane bit-parallel three-valued words;
+//! * [`TestSequence`] — a flat sequence of input vectors, the paper's
+//!   central object (scan operations are just vectors with `scan_sel = 1`);
+//! * [`eval_comb`] / [`SeqGoodSim`] — combinational and sequential
+//!   good-circuit simulation;
+//! * [`SeqFaultSim`] — incremental sequential **parallel-fault** simulation:
+//!   63 faults + the fault-free circuit share each 64-bit word, per-fault
+//!   flip-flop state is carried across time units, and first-detection
+//!   times are recorded. This engine powers test generation (fault
+//!   dropping), test set translation checks, and both static compaction
+//!   procedures.
+//!
+//! Detection is three-valued safe: a fault counts as detected only at a
+//! time unit where the fault-free circuit drives a binary value on some
+//! primary output and the faulty circuit drives the complement. No credit
+//! is ever taken for differences involving X, so unknown power-up state
+//! cannot produce optimistic coverage.
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_netlist::benchmarks;
+//! use limscan_fault::FaultList;
+//! use limscan_sim::{Logic, SeqFaultSim, TestSequence};
+//!
+//! let c = benchmarks::s27();
+//! let faults = FaultList::collapsed(&c);
+//! let mut sim = SeqFaultSim::new(&c, &faults);
+//! let mut seq = TestSequence::new(c.inputs().len());
+//! seq.push(vec![Logic::One, Logic::Zero, Logic::One, Logic::Zero]);
+//! sim.extend(&seq);
+//! assert!(sim.detected_count() <= faults.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod comb;
+mod dictionary;
+mod fault_sim;
+mod good;
+mod logic;
+mod parallel;
+mod sequence;
+
+pub use comb::CombFaultSim;
+pub use dictionary::{FaultDictionary, Syndrome};
+pub use fault_sim::{single_fault_detects, DetectionReport, SeqFaultSim};
+pub use good::{eval_comb, eval_comb_with, next_state, SeqGoodSim};
+pub use logic::Logic;
+pub use parallel::Word3;
+pub use sequence::TestSequence;

@@ -1,0 +1,298 @@
+//! Flat test sequences — the paper's central object.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::logic::Logic;
+
+/// A test sequence: one input vector per time unit, each vector assigning a
+/// [`Logic`] value to every primary input of the circuit it targets (in the
+/// circuit's input declaration order).
+///
+/// Under the paper's approach there is no separate notion of a scan
+/// operation: a vector that sets the `scan_sel` input to 1 *is* one shift of
+/// the scan chain. Consequently the sequence length equals the test
+/// application time in clock cycles.
+///
+/// # Example
+///
+/// ```
+/// use limscan_sim::{Logic, TestSequence};
+///
+/// let mut seq = TestSequence::new(3);
+/// seq.push(vec![Logic::One, Logic::X, Logic::Zero]);
+/// assert_eq!(seq.len(), 1);
+/// assert_eq!(seq.vector(0)[0], Logic::One);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TestSequence {
+    width: usize,
+    vectors: Vec<Vec<Logic>>,
+}
+
+impl TestSequence {
+    /// Creates an empty sequence for circuits with `width` primary inputs.
+    pub fn new(width: usize) -> Self {
+        TestSequence {
+            width,
+            vectors: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs each vector assigns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of vectors (equals test application time in clock cycles).
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the sequence has no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Appends a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector's length differs from the sequence width.
+    pub fn push(&mut self, vector: Vec<Logic>) {
+        assert_eq!(
+            vector.len(),
+            self.width,
+            "vector width {} does not match sequence width {}",
+            vector.len(),
+            self.width
+        );
+        self.vectors.push(vector);
+    }
+
+    /// Appends every vector of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn extend_from(&mut self, other: &TestSequence) {
+        assert_eq!(self.width, other.width, "sequence widths differ");
+        self.vectors.extend(other.vectors.iter().cloned());
+    }
+
+    /// The vector at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn vector(&self, t: usize) -> &[Logic] {
+        &self.vectors[t]
+    }
+
+    /// Mutable access to the vector at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn vector_mut(&mut self, t: usize) -> &mut [Logic] {
+        &mut self.vectors[t]
+    }
+
+    /// Iterates over the vectors in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Logic]> {
+        self.vectors.iter().map(|v| v.as_slice())
+    }
+
+    /// A copy with the vector at time `t` omitted (the elementary move of
+    /// omission-based compaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn without(&self, t: usize) -> TestSequence {
+        assert!(t < self.len(), "time {t} out of range");
+        let mut vectors = self.vectors.clone();
+        vectors.remove(t);
+        TestSequence {
+            width: self.width,
+            vectors,
+        }
+    }
+
+    /// A copy containing only the vectors at times where `keep` is true
+    /// (the elementary move of restoration-based compaction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != self.len()`.
+    pub fn select(&self, keep: &[bool]) -> TestSequence {
+        assert_eq!(keep.len(), self.len(), "keep mask length mismatch");
+        TestSequence {
+            width: self.width,
+            vectors: self
+                .vectors
+                .iter()
+                .zip(keep)
+                .filter(|(_, &k)| k)
+                .map(|(v, _)| v.clone())
+                .collect(),
+        }
+    }
+
+    /// The prefix of the first `n` vectors.
+    pub fn prefix(&self, n: usize) -> TestSequence {
+        TestSequence {
+            width: self.width,
+            vectors: self.vectors[..n.min(self.len())].to_vec(),
+        }
+    }
+
+    /// Replaces every X with a random binary value drawn from `rng`
+    /// (the paper: "we randomly specify all the unspecified values").
+    pub fn specify_x<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for v in &mut self.vectors {
+            for bit in v {
+                if *bit == Logic::X {
+                    *bit = Logic::from_bool(rng.gen());
+                }
+            }
+        }
+    }
+
+    /// Number of vectors whose input at `index` is logic 1 — with `index`
+    /// pointing at `scan_sel`, this is the paper's `scan` column (vectors
+    /// that shift the scan chain).
+    pub fn count_ones_at(&self, index: usize) -> usize {
+        self.vectors
+            .iter()
+            .filter(|v| v[index] == Logic::One)
+            .count()
+    }
+
+    /// Number of X values remaining in the sequence.
+    pub fn unspecified_count(&self) -> usize {
+        self.vectors
+            .iter()
+            .flat_map(|v| v.iter())
+            .filter(|&&b| b == Logic::X)
+            .count()
+    }
+}
+
+impl fmt::Display for TestSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, v) in self.vectors.iter().enumerate() {
+            write!(f, "{t:4}  ")?;
+            for bit in v {
+                write!(f, "{bit}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Vec<Logic>> for TestSequence {
+    /// Collects vectors into a sequence, taking the width from the first
+    /// vector (an empty iterator yields an empty zero-width sequence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vectors have inconsistent lengths.
+    fn from_iter<I: IntoIterator<Item = Vec<Logic>>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let width = it.peek().map_or(0, Vec::len);
+        let mut seq = TestSequence::new(width);
+        for v in it {
+            seq.push(v);
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seq3(rows: &[[Logic; 3]]) -> TestSequence {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    use Logic::{One, Zero, X};
+
+    #[test]
+    fn push_checks_width() {
+        let mut s = TestSequence::new(2);
+        s.push(vec![One, Zero]);
+        let r = std::panic::catch_unwind(move || s.push(vec![One]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn without_removes_exactly_one() {
+        let s = seq3(&[[One, One, One], [Zero, Zero, Zero], [X, X, X]]);
+        let t = s.without(1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.vector(0)[0], One);
+        assert_eq!(t.vector(1)[0], X);
+    }
+
+    #[test]
+    fn select_keeps_marked_vectors_in_order() {
+        let s = seq3(&[[One, X, X], [Zero, X, X], [X, X, X], [One, One, One]]);
+        let t = s.select(&[true, false, false, true]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.vector(1)[2], One);
+    }
+
+    #[test]
+    fn specify_x_leaves_no_x_and_keeps_binary() {
+        let mut s = seq3(&[[One, X, Zero], [X, X, X]]);
+        let mut rng = StdRng::seed_from_u64(7);
+        s.specify_x(&mut rng);
+        assert_eq!(s.unspecified_count(), 0);
+        assert_eq!(s.vector(0)[0], One);
+        assert_eq!(s.vector(0)[2], Zero);
+    }
+
+    #[test]
+    fn count_ones_at_counts_scan_vectors() {
+        let s = seq3(&[[One, One, X], [Zero, One, X], [One, Zero, X]]);
+        assert_eq!(s.count_ones_at(0), 2);
+        assert_eq!(s.count_ones_at(1), 2);
+        assert_eq!(s.count_ones_at(2), 0);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = seq3(&[[One, One, One]]);
+        let b = seq3(&[[Zero, Zero, Zero], [X, X, X]]);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.vector(2)[1], X);
+    }
+
+    #[test]
+    fn prefix_truncates_and_clamps() {
+        let s = seq3(&[[One, One, One], [Zero, Zero, Zero], [X, X, X]]);
+        assert_eq!(s.prefix(2).len(), 2);
+        assert_eq!(s.prefix(0).len(), 0);
+        assert_eq!(s.prefix(99), s, "over-long prefix is the whole sequence");
+    }
+
+    #[test]
+    fn collect_empty_iterator_gives_empty_sequence() {
+        let s: TestSequence = std::iter::empty::<Vec<Logic>>().collect();
+        assert!(s.is_empty());
+        assert_eq!(s.width(), 0);
+    }
+
+    #[test]
+    fn display_lists_time_units() {
+        let s = seq3(&[[One, Zero, X]]);
+        assert_eq!(s.to_string().trim(), "0  10x");
+    }
+}

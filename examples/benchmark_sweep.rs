@@ -1,0 +1,71 @@
+//! Sweep a slice of the benchmark suite and print Table 5/6-style rows.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example benchmark_sweep --release [circuit ...]
+//! ```
+//!
+//! Defaults to a fast subset. For the complete tables (and the Table 7
+//! translation experiment) use the dedicated harness:
+//! `cargo run -p limscan-bench --release --bin tables -- all`.
+
+use std::time::Instant;
+
+use limscan::{CircuitExperiment, ExperimentConfig};
+
+fn main() {
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() {
+        names = ["s27", "s298", "s344", "b01", "b02", "b06"]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect();
+    }
+
+    println!(
+        "{:>8} {:>5} {:>5} {:>7} {:>7} {:>7} {:>6} | {:>5} {:>6} {:>5} {:>8} {:>7}",
+        "circ",
+        "inp",
+        "stvr",
+        "faults",
+        "fcov%",
+        "eff%",
+        "funct",
+        "len",
+        "restor",
+        "omit",
+        "[26]cyc",
+        "time"
+    );
+    for name in &names {
+        let mut config = ExperimentConfig::default();
+        config.flow.max_faults = 1_500; // keep the sweep interactive
+        let started = Instant::now();
+        let Some(exp) = CircuitExperiment::run(name, &config) else {
+            eprintln!("{name:>8}  unknown benchmark, skipped");
+            continue;
+        };
+        let t5 = exp.table5();
+        let t6 = exp.table6();
+        println!(
+            "{:>8} {:>5} {:>5} {:>7} {:>7.2} {:>7.2} {:>6} | {:>5} {:>6} {:>5} {:>8} {:>6.1}s",
+            t5.circ,
+            t5.inp,
+            t5.stvr,
+            t5.faults,
+            t5.fcov,
+            t5.eff,
+            t5.funct,
+            t6.test_len.0,
+            t6.restor_len.0,
+            t6.omit_len.0,
+            t6.cyc26,
+            started.elapsed().as_secs_f64(),
+        );
+    }
+    println!(
+        "\nshape checks: omit <= restor <= len, and omit should undercut [26]cyc \
+         (limited vs complete scan operations)."
+    );
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Splice the tables harness output into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py [tables_output.txt] [chains_output.txt]
+
+Replaces the <!-- TABLE5 -->, <!-- TABLE6 -->, <!-- TABLE7 --> and
+<!-- CHAINS --> markers (or the fenced blocks that previously replaced
+them) with fenced code blocks containing the measured tables.
+"""
+import re
+import sys
+
+def extract(text: str, header: str) -> str:
+    start = text.find(header)
+    if start < 0:
+        return "(not present in the recorded run)"
+    body = text[start + len(header):]
+    # A table ends at the first blank-line-then-'==' or end of file.
+    end = body.find("== ")
+    if end > 0:
+        body = body[:end]
+    return body.strip("\n")
+
+def block(content: str) -> str:
+    return "```text\n" + content + "\n```"
+
+def main() -> None:
+    tables_path = sys.argv[1] if len(sys.argv) > 1 else "tables_output.txt"
+    chains_path = sys.argv[2] if len(sys.argv) > 2 else None
+    tables = open(tables_path).read()
+    md = open("EXPERIMENTS.md").read()
+
+    repl = {
+        "TABLE5": extract(tables, "== Table 5: fault coverage after test generation ==\n"),
+        "TABLE6": extract(tables, "== Table 6: test length after generation and compaction ==\n"),
+        "TABLE7": extract(tables, "== Table 7: results for translated test sets ==\n"),
+    }
+    if chains_path:
+        chains = open(chains_path).read()
+        repl["CHAINS"] = extract(chains, "== Extension: multiple scan chains (generation flow) ==\n")
+
+    for key, content in repl.items():
+        marker = f"<!-- {key} -->"
+        fenced = block(content) + f"\n<!-- {key}:end -->"
+        # Fresh marker, or replace a previously spliced block.
+        prev = re.compile(
+            re.escape(marker) + r".*?<!-- " + key + r":end -->", re.S
+        )
+        if prev.search(md):
+            md = prev.sub(marker + "\n" + fenced, md)
+        elif marker in md:
+            md = md.replace(marker, marker + "\n" + fenced)
+    open("EXPERIMENTS.md", "w").write(md)
+    print("EXPERIMENTS.md updated")
+
+if __name__ == "__main__":
+    main()

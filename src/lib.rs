@@ -1,0 +1,7 @@
+//! Umbrella crate for the `limscan` workspace: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! All functionality lives in [`limscan`] and the substrate crates it
+//! re-exports; see the workspace `README.md` for the map.
+
+pub use limscan;

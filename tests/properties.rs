@@ -1,0 +1,186 @@
+//! Property-based tests over randomly generated circuits and sequences.
+//!
+//! The synthetic benchmark generator doubles as a circuit fuzzer: every
+//! property below is checked on freshly generated netlists, not just the
+//! embedded `s27`.
+
+use proptest::prelude::*;
+
+use limscan::benchmarks::{synthetic, SyntheticSpec};
+use limscan::netlist::bench_format;
+use limscan::sim::single_fault_detects;
+use limscan::{
+    omission, restoration, FaultList, Logic, ScanCircuit, SeqFaultSim, SeqGoodSim, TestSequence,
+};
+
+/// Strategy: a small random circuit profile.
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (1usize..6, 1usize..8, 8usize..50, 1usize..4, any::<u64>()).prop_map(
+        |(pi, ff, gates, po, seed)| {
+            let mut s = SyntheticSpec::new(format!("prop{seed:x}"), pi, ff, gates, po);
+            s.seed = seed;
+            s
+        },
+    )
+}
+
+/// Strategy: a random fully specified sequence for a circuit with `width`
+/// inputs.
+fn sequence_strategy(width: usize, max_len: usize) -> impl Strategy<Value = TestSequence> {
+    prop::collection::vec(prop::collection::vec(any::<bool>(), width), 1..max_len).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|r| r.into_iter().map(Logic::from_bool).collect())
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The `.bench` writer/parser round-trips every generated circuit.
+    #[test]
+    fn bench_format_roundtrips(spec in spec_strategy()) {
+        let c = synthetic(&spec);
+        let text = bench_format::write(&c);
+        let back = bench_format::parse(c.name(), &text).expect("writer output parses");
+        prop_assert_eq!(c, back);
+    }
+
+    /// Scan insertion with scan_sel = 0 never changes functional behaviour.
+    #[test]
+    fn scan_insertion_preserves_function(
+        spec in spec_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let c = synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let mut orig = SeqGoodSim::new(&c);
+        let mut scanned = SeqGoodSim::new(sc.circuit());
+        let mut state = seed;
+        for _ in 0..12 {
+            let vals: Vec<Logic> = (0..c.inputs().len()).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Logic::from_bool(state >> 63 == 1)
+            }).collect();
+            let o = orig.step(&vals);
+            let s = scanned.step(&sc.assemble(&vals, Logic::Zero, Logic::X));
+            prop_assert_eq!(&s[..o.len()], &o[..]);
+            prop_assert_eq!(orig.state(), scanned.state());
+        }
+    }
+
+    /// A full scan load always brings the chain to the requested state,
+    /// whatever the circuit and whatever the history.
+    #[test]
+    fn scan_load_reaches_any_state(
+        spec in spec_strategy(),
+        bits in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let c = synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let target: Vec<Logic> = (0..sc.n_sv())
+            .map(|i| Logic::from_bool(bits[i % bits.len()]))
+            .collect();
+        let mut sim = SeqGoodSim::new(sc.circuit());
+        sim.run(&sc.load_state_vectors(&target));
+        prop_assert_eq!(sim.state(), target.as_slice());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel-fault and serial single-fault simulation agree everywhere.
+    #[test]
+    fn parallel_equals_serial_fault_sim(spec in spec_strategy(), seed in any::<u64>()) {
+        let c = synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let cs = sc.circuit();
+        let faults = FaultList::collapsed(cs);
+        let mut state = seed | 1;
+        let mut seq = TestSequence::new(cs.inputs().len());
+        for _ in 0..25 {
+            seq.push((0..cs.inputs().len()).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Logic::from_bool(state >> 63 == 1)
+            }).collect());
+        }
+        let report = SeqFaultSim::run(cs, &faults, &seq);
+        for (id, f) in faults.iter() {
+            prop_assert_eq!(
+                report.detected_at(id),
+                single_fault_detects(cs, f, &seq),
+                "fault {} disagrees", f.display_name(cs)
+            );
+        }
+    }
+
+    /// Neither compaction procedure ever loses a detected fault, on any
+    /// circuit and any sequence.
+    #[test]
+    fn compaction_preserves_detection(
+        spec in spec_strategy(),
+        raw in sequence_strategy(1, 40),
+    ) {
+        let c = synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let cs = sc.circuit();
+        let faults = FaultList::collapsed(cs);
+        // Re-map the random sequence onto this circuit's width.
+        let mut seq = TestSequence::new(cs.inputs().len());
+        for (i, v) in raw.iter().enumerate() {
+            seq.push((0..cs.inputs().len()).map(|j| {
+                Logic::from_bool(v[0] == Logic::One || (i + j) % 3 == 0)
+            }).collect());
+        }
+        let before = SeqFaultSim::run(cs, &faults, &seq);
+
+        let restored = restoration(cs, &faults, &seq);
+        let after_restore = SeqFaultSim::run(cs, &faults, &restored.sequence);
+        let omitted = omission(cs, &faults, &restored.sequence, 1);
+        let after_omit = SeqFaultSim::run(cs, &faults, &omitted.sequence);
+
+        prop_assert!(restored.sequence.len() <= seq.len());
+        prop_assert!(omitted.sequence.len() <= restored.sequence.len());
+        for id in faults.ids() {
+            if before.is_detected(id) {
+                prop_assert!(after_restore.is_detected(id), "restoration lost {id:?}");
+                prop_assert!(after_omit.is_detected(id), "omission lost {id:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequence editing operations compose sensibly.
+    #[test]
+    fn sequence_ops_are_consistent(seq in sequence_strategy(5, 30), t in 0usize..29) {
+        prop_assume!(t < seq.len());
+        let removed = seq.without(t);
+        prop_assert_eq!(removed.len(), seq.len() - 1);
+        let mut keep = vec![true; seq.len()];
+        keep[t] = false;
+        prop_assert_eq!(seq.select(&keep), removed);
+        let all = vec![true; seq.len()];
+        prop_assert_eq!(&seq.select(&all), &seq);
+        let none = vec![false; seq.len()];
+        prop_assert!(seq.select(&none).is_empty());
+    }
+
+    /// Fault-list sampling preserves membership and determinism.
+    #[test]
+    fn fault_sampling_is_sound(spec in spec_strategy(), max in 1usize..200) {
+        let c = synthetic(&spec);
+        let faults = FaultList::collapsed(&c);
+        let sampled = faults.sample(max);
+        prop_assert!(sampled.len() <= max.max(faults.len()));
+        prop_assert!(sampled.len() <= faults.len());
+        for (_, f) in sampled.iter() {
+            prop_assert!(faults.id_of(f).is_some());
+        }
+    }
+}
