@@ -144,7 +144,7 @@ impl<'a> GeneticAtpg<'a> {
             .drain(..)
             .map(|ind| (self.fitness(sim, sample, &ind), ind))
             .collect();
-        scored.sort_by(|a, b| b.0.cmp(&a.0));
+        scored.sort_by_key(|s| std::cmp::Reverse(s.0));
 
         for _ in 0..self.config.generations {
             let mut next: Vec<Individual> = scored
@@ -161,7 +161,7 @@ impl<'a> GeneticAtpg<'a> {
                 .drain(..)
                 .map(|ind| (self.fitness(sim, sample, &ind), ind))
                 .collect();
-            scored.sort_by(|a, b| b.0.cmp(&a.0));
+            scored.sort_by_key(|s| std::cmp::Reverse(s.0));
         }
         scored.remove(0).1
     }

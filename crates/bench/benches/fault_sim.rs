@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use limscan::sim::single_fault_detects;
+use limscan::sim::{set_sim_threads, single_fault_detects};
 use limscan::{benchmarks, FaultList, Logic, ScanCircuit, SeqFaultSim, TestSequence};
 
 fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
@@ -53,6 +53,52 @@ fn bench_fault_sim(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engines(c: &mut Criterion) {
+    // Old dense engine (`extend_reference`) against the event-driven engine
+    // (`extend`), single-threaded and with the default thread count. All
+    // three produce bit-identical reports; only wall-clock differs.
+    let mut group = c.benchmark_group("fault_sim/engine");
+    for (name, vectors) in [("s298", 64), ("s1423", 64), ("s5378", 16)] {
+        let circuit = benchmarks::load(name).expect("suite circuit");
+        let faults = FaultList::collapsed(&circuit);
+        let seq = random_sequence(circuit.inputs().len(), vectors, 11);
+        group.throughput(Throughput::Elements((faults.len() * seq.len()) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reference", name),
+            &(&circuit, &faults, &seq),
+            |b, (circuit, faults, seq)| {
+                b.iter(|| {
+                    let mut sim = SeqFaultSim::new(circuit, faults);
+                    sim.extend_reference(seq)
+                })
+            },
+        );
+        set_sim_threads(Some(1));
+        group.bench_with_input(
+            BenchmarkId::new("event_1thread", name),
+            &(&circuit, &faults, &seq),
+            |b, (circuit, faults, seq)| {
+                b.iter(|| {
+                    let mut sim = SeqFaultSim::new(circuit, faults);
+                    sim.extend(seq)
+                })
+            },
+        );
+        set_sim_threads(None);
+        group.bench_with_input(
+            BenchmarkId::new("event_auto", name),
+            &(&circuit, &faults, &seq),
+            |b, (circuit, faults, seq)| {
+                b.iter(|| {
+                    let mut sim = SeqFaultSim::new(circuit, faults);
+                    sim.extend(seq)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_incremental_extend(c: &mut Criterion) {
     // The incremental property used by the generator: extending by one
     // vector must not re-simulate history.
@@ -71,5 +117,10 @@ fn bench_incremental_extend(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fault_sim, bench_incremental_extend);
+criterion_group!(
+    benches,
+    bench_fault_sim,
+    bench_engines,
+    bench_incremental_extend
+);
 criterion_main!(benches);

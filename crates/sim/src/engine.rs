@@ -1,0 +1,879 @@
+//! Event-driven batch kernel and scratch arenas for [`SeqFaultSim`].
+//!
+//! The simulator's hot loop — [`SeqFaultSim::extend`] — is built from three
+//! pieces that live here:
+//!
+//! * [`Topology`]: per-circuit fanout indexes (consumer gate positions and
+//!   consuming flip-flops per net), computed once per simulator and shared
+//!   by every extension via `Arc`.
+//! * [`TraceBuf`] / [`KernelScratch`]: thread-local scratch arenas. The
+//!   trace holds the fault-free value of every net at every time unit of
+//!   the current extension; the kernel scratch holds the divergence state
+//!   of the batch being simulated plus the injection table. Both are reused
+//!   across calls, so steady-state extension does not allocate.
+//! * [`run_batch`]: the event-driven kernel. Faulty values are represented
+//!   as *divergence from the fault-free trace*: a net without a set
+//!   `diverged` flag carries `broadcast(good)` in all 64 lanes and is never
+//!   touched. Each time unit only evaluates gates reachable from injection
+//!   sites, lane-divergent flip-flops, and gates that diverged in the
+//!   previous time unit, in topological order through level-keyed buckets —
+//!   falling back to a dense full-word sweep for batches whose activity
+//!   saturates the circuit.
+//!
+//! Batches of ≤64 faults are independent, so [`SeqFaultSim::extend`] fans
+//! them out across threads (`std::thread::scope`); results are merged
+//! afterwards and are bit-identical to sequential processing regardless of
+//! thread count, because every fault belongs to exactly one batch.
+//!
+//! [`SeqFaultSim`]: crate::SeqFaultSim
+//! [`SeqFaultSim::extend`]: crate::SeqFaultSim::extend
+
+use std::cell::RefCell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use limscan_fault::{FaultId, FaultList, FaultSite};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::fault_sim::{eval_gate_word, InjectionTable};
+use crate::good::eval_comb;
+use crate::logic::Logic;
+use crate::parallel::Word3;
+use crate::sequence::TestSequence;
+
+// ---------------------------------------------------------------------------
+// Thread-count control
+// ---------------------------------------------------------------------------
+
+/// Programmatic override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment/hardware default, resolved once per process.
+static THREAD_DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// Overrides the number of worker threads the fault simulator may use.
+///
+/// `Some(n)` forces `n` threads (`n = 1` disables parallelism entirely),
+/// `None` restores the default resolution order: `LIMSCAN_THREADS`, then
+/// `RAYON_NUM_THREADS`, then the machine's available parallelism.
+///
+/// Results are bit-identical for every thread count; this knob only trades
+/// latency against CPU usage.
+pub fn set_sim_threads(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::SeqCst);
+}
+
+/// The number of worker threads the fault simulator may use.
+pub fn sim_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::SeqCst) {
+        0 => *THREAD_DEFAULT.get_or_init(default_threads),
+        n => n,
+    }
+}
+
+fn default_threads() -> usize {
+    for var in ["LIMSCAN_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Minimum estimated dense work (time units × gates × batches) before an
+/// extension fans batches out to threads. Below this, thread spawn and
+/// result-merge overhead dominates; the threshold affects latency only,
+/// never results.
+pub(crate) const PARALLEL_THRESHOLD: usize = 250_000;
+
+/// A batch switches from the sparse dirty-list sweep to dense full-word
+/// evaluation when more than `1 / DENSE_FACTOR` of all gates diverged in one
+/// time unit (dirty-list bookkeeping then costs more than it saves), and
+/// stays dense for the rest of the batch. Results are identical either way.
+const DENSE_FACTOR: usize = 3;
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+/// Per-circuit fanout indexes used by the event-driven kernel.
+///
+/// Built once in [`SeqFaultSim::new`](crate::SeqFaultSim::new) and shared by
+/// all clones of the simulator through an `Arc`.
+#[derive(Debug)]
+pub(crate) struct Topology {
+    /// Net index → position in `comb_order`, `u32::MAX` for sources.
+    pub(crate) pos_of: Vec<u32>,
+    /// Comb position → logic level (a gate is one past its deepest fanin
+    /// gate; gates fed only by sources are level 0). Within a level gates
+    /// are independent, so the kernel's dirty lists are buckets keyed by
+    /// level.
+    pub(crate) level_of_pos: Vec<u32>,
+    /// Number of distinct gate levels.
+    pub(crate) n_levels: usize,
+    /// Net index → flip-flop index, `u32::MAX` for non-FF nets.
+    pub(crate) dff_pos_of: Vec<u32>,
+    /// Flat gate table, per comb position: output net, kind, and fanin net
+    /// indexes (CSR). Avoids chasing `Net`/`Driver` in the hot loop.
+    gate_net: Vec<u32>,
+    gate_kind: Vec<GateKind>,
+    fanin_off: Vec<u32>,
+    fanin: Vec<u32>,
+    /// CSR consumer indexes, per net: comb positions of consuming gates
+    /// and indexes of consuming flip-flops.
+    gc_off: Vec<u32>,
+    gc: Vec<u32>,
+    dc_off: Vec<u32>,
+    dc: Vec<u32>,
+    /// Per flip-flop: output (Q) net index and data (D) net index.
+    dff_q: Vec<u32>,
+    dff_d: Vec<u32>,
+    /// Primary input and output net indexes, in declaration order.
+    pi: Vec<u32>,
+    po: Vec<u32>,
+}
+
+impl Topology {
+    pub(crate) fn build(circuit: &Circuit) -> Self {
+        let n = circuit.net_count();
+        let n_comb = circuit.comb_order().len();
+        let mut pos_of = vec![u32::MAX; n];
+        for (pos, &id) in circuit.comb_order().iter().enumerate() {
+            pos_of[id.index()] = pos as u32;
+        }
+        let mut dff_pos_of = vec![u32::MAX; n];
+        for (i, &q) in circuit.dffs().iter().enumerate() {
+            dff_pos_of[q.index()] = i as u32;
+        }
+
+        // Flat gate table and levels in one pass: comb_order is
+        // topological, so every fanin's level is known when its consumer
+        // is reached.
+        let mut level_of_net = vec![0u32; n];
+        let mut level_of_pos = vec![0u32; n_comb];
+        let mut n_levels = 0usize;
+        let mut gate_net = Vec::with_capacity(n_comb);
+        let mut gate_kind = Vec::with_capacity(n_comb);
+        let mut fanin_off = Vec::with_capacity(n_comb + 1);
+        let mut fanin = Vec::new();
+        fanin_off.push(0);
+        for (pos, &id) in circuit.comb_order().iter().enumerate() {
+            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                unreachable!("comb_order contains only gates");
+            };
+            let lvl = fanins
+                .iter()
+                .map(|f| level_of_net[f.index()])
+                .max()
+                .unwrap_or(0);
+            level_of_net[id.index()] = lvl + 1;
+            level_of_pos[pos] = lvl;
+            n_levels = n_levels.max(lvl as usize + 1);
+            gate_net.push(id.index() as u32);
+            gate_kind.push(*kind);
+            fanin.extend(fanins.iter().map(|f| f.index() as u32));
+            fanin_off.push(fanin.len() as u32);
+        }
+
+        // CSR consumer lists (gates by comb position, FFs by index).
+        let mut gate_consumers = vec![Vec::new(); n];
+        let mut dff_consumers = vec![Vec::new(); n];
+        for net in 0..n {
+            let id = NetId::from_index(net);
+            for pin in circuit.fanouts(id) {
+                match circuit.net(pin.net).driver() {
+                    Driver::Gate { .. } => gate_consumers[net].push(pos_of[pin.net.index()]),
+                    Driver::Dff { .. } => dff_consumers[net].push(dff_pos_of[pin.net.index()]),
+                    Driver::Input => unreachable!("primary inputs have no fanin pins"),
+                }
+            }
+            gate_consumers[net].sort_unstable();
+            gate_consumers[net].dedup();
+            dff_consumers[net].sort_unstable();
+            dff_consumers[net].dedup();
+        }
+        let (gc_off, gc) = to_csr(&gate_consumers);
+        let (dc_off, dc) = to_csr(&dff_consumers);
+
+        let dff_q: Vec<u32> = circuit.dffs().iter().map(|q| q.index() as u32).collect();
+        let dff_d: Vec<u32> = circuit
+            .dffs()
+            .iter()
+            .map(|&q| {
+                let Driver::Dff { d } = circuit.net(q).driver() else {
+                    unreachable!("dffs() contains only flip-flops");
+                };
+                d.index() as u32
+            })
+            .collect();
+        let pi: Vec<u32> = circuit.inputs().iter().map(|i| i.index() as u32).collect();
+        let po: Vec<u32> = circuit.outputs().iter().map(|o| o.index() as u32).collect();
+
+        Topology {
+            pos_of,
+            level_of_pos,
+            n_levels,
+            dff_pos_of,
+            gate_net,
+            gate_kind,
+            fanin_off,
+            fanin,
+            gc_off,
+            gc,
+            dc_off,
+            dc,
+            dff_q,
+            dff_d,
+            pi,
+            po,
+        }
+    }
+
+    /// Comb positions of the gates consuming net `net`.
+    #[inline]
+    fn gate_consumers(&self, net: usize) -> &[u32] {
+        &self.gc[self.gc_off[net] as usize..self.gc_off[net + 1] as usize]
+    }
+
+    /// Indexes of the flip-flops whose D input is net `net`.
+    #[inline]
+    fn dff_consumers(&self, net: usize) -> &[u32] {
+        &self.dc[self.dc_off[net] as usize..self.dc_off[net + 1] as usize]
+    }
+
+    /// Fanin net indexes of the gate at comb position `pos`.
+    #[inline]
+    fn gate_fanins(&self, pos: usize) -> &[u32] {
+        &self.fanin[self.fanin_off[pos] as usize..self.fanin_off[pos + 1] as usize]
+    }
+}
+
+fn to_csr(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut flat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    off.push(0);
+    for list in lists {
+        flat.extend_from_slice(list);
+        off.push(flat.len() as u32);
+    }
+    (off, flat)
+}
+
+// ---------------------------------------------------------------------------
+// Fault-free trace
+// ---------------------------------------------------------------------------
+
+/// Fault-free net values and machine states for one extension, computed by
+/// a single scalar pass and then read (not written) by every batch kernel.
+#[derive(Default)]
+pub(crate) struct TraceBuf {
+    n_nets: usize,
+    n_ff: usize,
+    len: usize,
+    /// `len × n_nets`: the value of every net at every time unit.
+    vals: Vec<Logic>,
+    /// `(len + 1) × n_ff`: the machine state *before* each time unit,
+    /// with the post-extension state in the final row.
+    states: Vec<Logic>,
+}
+
+impl TraceBuf {
+    /// Simulates the fault-free circuit over `seq` starting from `init`.
+    pub(crate) fn fill(&mut self, circuit: &Circuit, seq: &TestSequence, init: &[Logic]) {
+        self.n_nets = circuit.net_count();
+        self.n_ff = circuit.dffs().len();
+        self.len = seq.len();
+        self.vals.clear();
+        self.vals.resize(self.len * self.n_nets, Logic::X);
+        self.states.clear();
+        self.states.resize((self.len + 1) * self.n_ff, Logic::X);
+        self.states[..self.n_ff].copy_from_slice(init);
+        for (t, v) in seq.iter().enumerate() {
+            let row = &mut self.vals[t * self.n_nets..(t + 1) * self.n_nets];
+            for (&pi, &val) in circuit.inputs().iter().zip(v) {
+                row[pi.index()] = val;
+            }
+            for (i, &q) in circuit.dffs().iter().enumerate() {
+                row[q.index()] = self.states[t * self.n_ff + i];
+            }
+            eval_comb(circuit, row);
+            for (i, &q) in circuit.dffs().iter().enumerate() {
+                let Driver::Dff { d } = circuit.net(q).driver() else {
+                    unreachable!("dffs() contains only flip-flops");
+                };
+                self.states[(t + 1) * self.n_ff + i] = row[d.index()];
+            }
+        }
+    }
+
+    /// All fault-free net values at time unit `t`, indexed by net.
+    #[inline]
+    pub(crate) fn row(&self, t: usize) -> &[Logic] {
+        &self.vals[t * self.n_nets..(t + 1) * self.n_nets]
+    }
+
+    /// The fault-free machine state before time unit `t` (`t == len` gives
+    /// the post-extension state).
+    #[inline]
+    pub(crate) fn state_before(&self, t: usize) -> &[Logic] {
+        &self.states[t * self.n_ff..(t + 1) * self.n_ff]
+    }
+
+    /// The fault-free machine state after the whole extension.
+    #[inline]
+    pub(crate) fn end_state(&self) -> &[Logic] {
+        self.state_before(self.len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-thread working set of the batch kernel.
+///
+/// All vectors are sized for the circuit by [`ensure`](Self::ensure) and
+/// returned to their quiescent state (flags false, lists empty) by every
+/// kernel run, so reuse across batches and extensions is allocation-free.
+#[derive(Default)]
+pub(crate) struct KernelScratch {
+    table: InjectionTable,
+    table_nets: usize,
+    /// Per net: faulty word, valid only while `diverged` is set.
+    diff: Vec<Word3>,
+    /// Per net: whether the net currently differs from the trace.
+    diverged: Vec<bool>,
+    /// Dirty gate positions, bucketed by logic level and drained in level
+    /// order (every push targets a strictly higher level than the gate
+    /// being processed, so one ascending sweep per time unit suffices).
+    buckets: Vec<Vec<u32>>,
+    /// Per comb position: already queued in `buckets`.
+    in_queue: Vec<bool>,
+    /// Comb positions of gates diverged in the previous / current time unit.
+    diverged_gates: Vec<u32>,
+    diverged_gates_next: Vec<u32>,
+    /// Source nets (PIs / FF outputs) diverged in the current time unit.
+    src_diverged: Vec<u32>,
+    /// Sparse faulty machine state: `(ff index, word)` where any lane
+    /// differs from the fault-free state.
+    ff_diff: Vec<(u32, Word3)>,
+    ff_diff_next: Vec<(u32, Word3)>,
+    /// Per flip-flop: whether `ff_diff` has an entry for it.
+    ff_in_diff: Vec<bool>,
+    /// Per flip-flop: dedupe marker for next-state candidates.
+    ff_seen: Vec<bool>,
+    ff_candidates: Vec<u32>,
+    /// Injection sites of the current batch, split by what they force.
+    forced_src_pis: Vec<u32>,
+    forced_src_ffs: Vec<u32>,
+    forced_gate_pos: Vec<u32>,
+    pin_forced_ffs: Vec<u32>,
+    /// Post-extension faulty machine state of the batch, per flip-flop.
+    pub(crate) final_states: Vec<Word3>,
+}
+
+impl KernelScratch {
+    /// Sizes every buffer for `circuit`, preserving allocations when the
+    /// sizes already match (the steady state).
+    pub(crate) fn ensure(&mut self, circuit: &Circuit, topo: &Topology) {
+        let n = circuit.net_count();
+        let n_comb = circuit.comb_order().len();
+        let n_ff = circuit.dffs().len();
+        if self.table_nets != n {
+            self.table = InjectionTable::new(n);
+            self.table_nets = n;
+        }
+        if self.diff.len() != n {
+            self.diff.clear();
+            self.diff.resize(n, Word3::ALL_X);
+            self.diverged.clear();
+            self.diverged.resize(n, false);
+        }
+        if self.in_queue.len() != n_comb {
+            self.in_queue.clear();
+            self.in_queue.resize(n_comb, false);
+        }
+        if self.buckets.len() < topo.n_levels {
+            self.buckets.resize_with(topo.n_levels, Vec::new);
+        }
+        if self.ff_in_diff.len() != n_ff {
+            self.ff_in_diff.clear();
+            self.ff_in_diff.resize(n_ff, false);
+            self.ff_seen.clear();
+            self.ff_seen.resize(n_ff, false);
+        }
+        if self.final_states.len() != n_ff {
+            self.final_states.clear();
+            self.final_states.resize(n_ff, Word3::ALL_X);
+        }
+    }
+}
+
+thread_local! {
+    static TRACE: RefCell<TraceBuf> = RefCell::new(TraceBuf::default());
+    static KERNEL: RefCell<KernelScratch> = RefCell::new(KernelScratch::default());
+}
+
+/// Runs `f` with this thread's trace buffer.
+pub(crate) fn with_trace<R>(f: impl FnOnce(&mut TraceBuf) -> R) -> R {
+    TRACE.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+/// Runs `f` with this thread's kernel scratch.
+pub(crate) fn with_kernel<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    KERNEL.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernel
+// ---------------------------------------------------------------------------
+
+/// Everything a batch kernel reads; shared freely across worker threads.
+pub(crate) struct ExtendCtx<'a> {
+    pub(crate) circuit: &'a Circuit,
+    pub(crate) topo: &'a Topology,
+    pub(crate) trace: &'a TraceBuf,
+    pub(crate) faults: &'a FaultList,
+    /// Machine state of every fault at the start of the extension.
+    pub(crate) fault_states: &'a [Vec<Logic>],
+    /// Global time of the extension's first vector.
+    pub(crate) base_time: u32,
+}
+
+/// What one batch produced: newly detected lanes and their detection times.
+/// The surviving lanes' machine states are left in
+/// [`KernelScratch::final_states`].
+pub(crate) struct BatchOutcome {
+    pub(crate) detected: u64,
+    pub(crate) times: [u32; 64],
+}
+
+/// Simulates one batch of ≤64 undetected faults over the whole extension.
+///
+/// Lane-exact with a dense evaluation of every gate at every time unit
+/// (the reference engine): a net without a `diverged` flag carries the
+/// broadcast fault-free value, and word operations are lane-independent,
+/// so skipping gates whose fanins all match the trace cannot change any
+/// lane. Detection times and surviving machine states are therefore
+/// bit-identical to the reference.
+pub(crate) fn run_batch(
+    ctx: &ExtendCtx<'_>,
+    batch: &[FaultId],
+    s: &mut KernelScratch,
+) -> BatchOutcome {
+    let circuit = ctx.circuit;
+    let topo = ctx.topo;
+    let trace = ctx.trace;
+    let n_ff = circuit.dffs().len();
+    let n_comb = topo.gate_net.len();
+    let len = trace.len;
+
+    s.table.load(ctx.faults, batch);
+    let full_mask = if batch.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+
+    // Split the batch's injection sites by what they force each time unit.
+    s.forced_src_pis.clear();
+    s.forced_src_ffs.clear();
+    s.forced_gate_pos.clear();
+    s.pin_forced_ffs.clear();
+    for &fid in batch {
+        let fault = ctx.faults.fault(fid);
+        match fault.site {
+            FaultSite::Stem(n) => match circuit.net(n).driver() {
+                Driver::Input => s.forced_src_pis.push(n.index() as u32),
+                Driver::Dff { .. } => s.forced_src_ffs.push(topo.dff_pos_of[n.index()]),
+                Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[n.index()]),
+            },
+            FaultSite::Branch(pin) => match circuit.net(pin.net).driver() {
+                Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[pin.net.index()]),
+                Driver::Dff { .. } => s.pin_forced_ffs.push(topo.dff_pos_of[pin.net.index()]),
+                Driver::Input => unreachable!("primary inputs have no fanin pins"),
+            },
+        }
+    }
+    for list in [
+        &mut s.forced_src_pis,
+        &mut s.forced_src_ffs,
+        &mut s.forced_gate_pos,
+        &mut s.pin_forced_ffs,
+    ] {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Initial sparse machine state: lanes loaded from the per-fault states,
+    // kept only where some lane differs from the fault-free state.
+    for (ff, &good) in trace.state_before(0).iter().enumerate() {
+        let mut word = Word3::broadcast(good);
+        for (lane, &fid) in batch.iter().enumerate() {
+            word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
+        }
+        if word != Word3::broadcast(good) {
+            s.ff_diff.push((ff as u32, word));
+            s.ff_in_diff[ff] = true;
+        }
+    }
+
+    let mut detected = 0u64;
+    let mut times = [0u32; 64];
+    let mut early = false;
+    let mut dense = false;
+
+    for t in 0..len {
+        let row = trace.row(t);
+
+        // --- Mode switch: once a batch's activity exceeds `1 / DENSE_FACTOR`
+        // of the circuit, dirty-list bookkeeping costs more than it saves and
+        // the batch finishes in dense mode (activity never drops — detected
+        // lanes keep diverging until the whole batch is done).
+        if !dense && s.diverged_gates.len() * DENSE_FACTOR > n_comb {
+            dense = true;
+            for &pos in &s.diverged_gates {
+                s.diverged[topo.gate_net[pos as usize] as usize] = false;
+            }
+            s.diverged_gates.clear();
+        }
+
+        // --- Dense step: the reference engine's shape on the flat gate
+        // table. `diff` holds a full faulty word for every net (sources
+        // written first, each gate before its consumers), so fanin reads
+        // need no divergence branch, outputs are checked directly, and the
+        // next state is computed for every flip-flop. Word operations are
+        // lane-exact either way, so results stay bit-identical to the
+        // sparse path.
+        if dense {
+            for &p in &topo.pi {
+                s.diff[p as usize] = s
+                    .table
+                    .apply_stem_at(p as usize, Word3::broadcast(row[p as usize]));
+            }
+            for &q in &topo.dff_q {
+                s.diff[q as usize] = s
+                    .table
+                    .apply_stem_at(q as usize, Word3::broadcast(row[q as usize]));
+            }
+            for &(ffi, word) in &s.ff_diff {
+                let q = topo.dff_q[ffi as usize] as usize;
+                s.diff[q] = s.table.apply_stem_at(q, word);
+            }
+            for pos in 0..n_comb {
+                let out_net = topo.gate_net[pos] as usize;
+                let kind = topo.gate_kind[pos];
+                let fanins = topo.gate_fanins(pos);
+                let raw = {
+                    let diff = &s.diff;
+                    let table = &s.table;
+                    if table.has_pin_forces(out_net) {
+                        eval_gate_word(
+                            kind,
+                            |i| table.apply_pin_at(out_net, i as u8, diff[fanins[i] as usize]),
+                            fanins.len(),
+                        )
+                    } else {
+                        eval_gate_word(kind, |i| diff[fanins[i] as usize], fanins.len())
+                    }
+                };
+                s.diff[out_net] = s.table.apply_stem_at(out_net, raw);
+            }
+            for &o in &topo.po {
+                let good = row[o as usize];
+                if !good.is_binary() {
+                    continue;
+                }
+                let conflicts = s.diff[o as usize].conflict_mask(Word3::broadcast(good));
+                let mut fresh = conflicts & full_mask & !detected;
+                while fresh != 0 {
+                    let lane = fresh.trailing_zeros() as usize;
+                    fresh &= fresh - 1;
+                    times[lane] = ctx.base_time + t as u32;
+                    detected |= 1 << lane;
+                }
+            }
+            if detected == full_mask {
+                early = true;
+                break;
+            }
+            s.ff_diff_next.clear();
+            let good_next = trace.state_before(t + 1);
+            for (ffi, &good) in good_next.iter().enumerate() {
+                let q = topo.dff_q[ffi] as usize;
+                let w = s.table.apply_pin_at(q, 0, s.diff[topo.dff_d[ffi] as usize]);
+                if w != Word3::broadcast(good) {
+                    s.ff_diff_next.push((ffi as u32, w));
+                }
+            }
+            for &(ffi, _) in &s.ff_diff {
+                s.ff_in_diff[ffi as usize] = false;
+            }
+            for &(ffi, _) in &s.ff_diff_next {
+                s.ff_in_diff[ffi as usize] = true;
+            }
+            std::mem::swap(&mut s.ff_diff, &mut s.ff_diff_next);
+            continue;
+        }
+
+        let mut hi = 0usize;
+
+        // --- Diverged sources: lane-divergent and stem-forced PIs / FFs.
+        s.src_diverged.clear();
+        for &(ffi, word) in &s.ff_diff {
+            let q = topo.dff_q[ffi as usize] as usize;
+            let w = s.table.apply_stem_at(q, word);
+            if w != Word3::broadcast(row[q]) {
+                s.diff[q] = w;
+                s.diverged[q] = true;
+                s.src_diverged.push(q as u32);
+            }
+        }
+        for &ffi in &s.forced_src_ffs {
+            if s.ff_in_diff[ffi as usize] {
+                continue; // already handled with its lane divergence above
+            }
+            let q = topo.dff_q[ffi as usize] as usize;
+            let good = Word3::broadcast(row[q]);
+            let w = s.table.apply_stem_at(q, good);
+            if w != good {
+                s.diff[q] = w;
+                s.diverged[q] = true;
+                s.src_diverged.push(q as u32);
+            }
+        }
+        for &p in &s.forced_src_pis {
+            let good = Word3::broadcast(row[p as usize]);
+            let w = s.table.apply_stem_at(p as usize, good);
+            if w != good {
+                s.diff[p as usize] = w;
+                s.diverged[p as usize] = true;
+                s.src_diverged.push(p);
+            }
+        }
+
+        // --- Seed the dirty set: injection-site gates, gates diverged in
+        // the previous time unit, and consumers of diverged sources.
+        s.diverged_gates_next.clear();
+        for &pos in &s.forced_gate_pos {
+            enqueue(&mut s.buckets, &mut s.in_queue, topo, &mut hi, pos);
+        }
+        for &pos in &s.diverged_gates {
+            enqueue(&mut s.buckets, &mut s.in_queue, topo, &mut hi, pos);
+        }
+        for &n in &s.src_diverged {
+            for &pos in topo.gate_consumers(n as usize) {
+                enqueue(&mut s.buckets, &mut s.in_queue, topo, &mut hi, pos);
+            }
+        }
+
+        // --- Process dirty gates level by level. Consumers always sit at
+        // a strictly higher level, so one ascending sweep evaluates every
+        // gate after all its diverged fanins.
+        let mut lvl = 0usize;
+        while lvl <= hi {
+            if s.buckets[lvl].is_empty() {
+                lvl += 1;
+                continue;
+            }
+            let mut bucket = std::mem::take(&mut s.buckets[lvl]);
+            for &pos in &bucket {
+                s.in_queue[pos as usize] = false;
+                let (out_net, out) = eval_pos(topo, &s.table, &s.diff, &s.diverged, row, pos);
+                if out != Word3::broadcast(row[out_net]) {
+                    s.diff[out_net] = out;
+                    s.diverged[out_net] = true;
+                    s.diverged_gates_next.push(pos);
+                    for &cpos in topo.gate_consumers(out_net) {
+                        enqueue(&mut s.buckets, &mut s.in_queue, topo, &mut hi, cpos);
+                    }
+                } else {
+                    s.diverged[out_net] = false;
+                }
+            }
+            bucket.clear();
+            s.buckets[lvl] = bucket;
+            lvl += 1;
+        }
+
+        // --- Detection: only diverged outputs can conflict with the trace.
+        for &o in &topo.po {
+            let o = o as usize;
+            if !s.diverged[o] {
+                continue;
+            }
+            let good = row[o];
+            if !good.is_binary() {
+                continue;
+            }
+            let conflicts = s.diff[o].conflict_mask(Word3::broadcast(good));
+            let mut fresh = conflicts & full_mask & !detected;
+            while fresh != 0 {
+                let lane = fresh.trailing_zeros() as usize;
+                fresh &= fresh - 1;
+                times[lane] = ctx.base_time + t as u32;
+                detected |= 1 << lane;
+            }
+        }
+        if detected == full_mask {
+            early = true;
+            break; // every fault in this batch is detected
+        }
+
+        // --- Next state: only flip-flops fed by a diverged net or carrying
+        // a D-pin branch fault can leave the fault-free trajectory.
+        s.ff_candidates.clear();
+        for &n in &s.src_diverged {
+            for &ffi in topo.dff_consumers(n as usize) {
+                if !s.ff_seen[ffi as usize] {
+                    s.ff_seen[ffi as usize] = true;
+                    s.ff_candidates.push(ffi);
+                }
+            }
+        }
+        for &pos in &s.diverged_gates_next {
+            let n = topo.gate_net[pos as usize] as usize;
+            for &ffi in topo.dff_consumers(n) {
+                if !s.ff_seen[ffi as usize] {
+                    s.ff_seen[ffi as usize] = true;
+                    s.ff_candidates.push(ffi);
+                }
+            }
+        }
+        for &ffi in &s.pin_forced_ffs {
+            if !s.ff_seen[ffi as usize] {
+                s.ff_seen[ffi as usize] = true;
+                s.ff_candidates.push(ffi);
+            }
+        }
+        s.ff_diff_next.clear();
+        let good_next = trace.state_before(t + 1);
+        for &ffi in &s.ff_candidates {
+            s.ff_seen[ffi as usize] = false;
+            let q = topo.dff_q[ffi as usize] as usize;
+            let d = topo.dff_d[ffi as usize] as usize;
+            let dw = if s.diverged[d] {
+                s.diff[d]
+            } else {
+                Word3::broadcast(row[d])
+            };
+            let w = s.table.apply_pin_at(q, 0, dw);
+            if w != Word3::broadcast(good_next[ffi as usize]) {
+                s.ff_diff_next.push((ffi, w));
+            }
+        }
+        for &(ffi, _) in &s.ff_diff {
+            s.ff_in_diff[ffi as usize] = false;
+        }
+        for &(ffi, _) in &s.ff_diff_next {
+            s.ff_in_diff[ffi as usize] = true;
+        }
+        std::mem::swap(&mut s.ff_diff, &mut s.ff_diff_next);
+
+        // --- Source divergence is per time unit; gate divergence markers
+        // carry over so the gates are re-evaluated (and re-checked) next
+        // time unit.
+        for &n in &s.src_diverged {
+            s.diverged[n as usize] = false;
+        }
+        std::mem::swap(&mut s.diverged_gates, &mut s.diverged_gates_next);
+    }
+
+    // Machine state of surviving lanes: the fault-free end state overlaid
+    // with the sparse divergences.
+    if !early {
+        for (ff, &good) in trace.end_state().iter().enumerate() {
+            s.final_states[ff] = Word3::broadcast(good);
+        }
+        for &(ffi, word) in &s.ff_diff {
+            s.final_states[ffi as usize] = word;
+        }
+        debug_assert_eq!(trace.end_state().len(), n_ff);
+    }
+
+    // Return the scratch to its quiescent state (flags false, lists empty).
+    for &n in &s.src_diverged {
+        s.diverged[n as usize] = false;
+    }
+    for list in [&s.diverged_gates, &s.diverged_gates_next] {
+        for &pos in list.iter() {
+            s.diverged[topo.gate_net[pos as usize] as usize] = false;
+        }
+    }
+    s.src_diverged.clear();
+    s.diverged_gates.clear();
+    s.diverged_gates_next.clear();
+    for list in [&s.ff_diff, &s.ff_diff_next] {
+        for &(ffi, _) in list.iter() {
+            s.ff_in_diff[ffi as usize] = false;
+        }
+    }
+    s.ff_diff.clear();
+    s.ff_diff_next.clear();
+    s.ff_candidates.clear();
+    debug_assert!(s.buckets.iter().all(Vec::is_empty));
+    debug_assert!(s.diverged.iter().all(|&d| !d));
+    debug_assert!(s.in_queue.iter().all(|&d| !d));
+
+    BatchOutcome { detected, times }
+}
+
+/// Evaluates the gate at comb position `pos` in divergence space: fanins
+/// read their diff word if diverged, the broadcast trace value otherwise;
+/// branch-pin and stem forces for the gate's output net are applied. Returns
+/// the output net index and its new faulty word.
+#[inline]
+fn eval_pos(
+    topo: &Topology,
+    table: &InjectionTable,
+    diff: &[Word3],
+    diverged: &[bool],
+    row: &[Logic],
+    pos: u32,
+) -> (usize, Word3) {
+    let out_net = topo.gate_net[pos as usize] as usize;
+    let kind = topo.gate_kind[pos as usize];
+    let fanins = topo.gate_fanins(pos as usize);
+    let value = |i: usize| {
+        let f = fanins[i] as usize;
+        if diverged[f] {
+            diff[f]
+        } else {
+            Word3::broadcast(row[f])
+        }
+    };
+    let raw = if table.has_pin_forces(out_net) {
+        eval_gate_word(
+            kind,
+            |i| table.apply_pin_at(out_net, i as u8, value(i)),
+            fanins.len(),
+        )
+    } else {
+        eval_gate_word(kind, value, fanins.len())
+    };
+    (out_net, table.apply_stem_at(out_net, raw))
+}
+
+/// Marks a gate position dirty, bucketing it by logic level.
+#[inline]
+fn enqueue(
+    buckets: &mut [Vec<u32>],
+    in_queue: &mut [bool],
+    topo: &Topology,
+    hi: &mut usize,
+    pos: u32,
+) {
+    if !in_queue[pos as usize] {
+        in_queue[pos as usize] = true;
+        let lvl = topo.level_of_pos[pos as usize] as usize;
+        buckets[lvl].push(pos);
+        *hi = (*hi).max(lvl);
+    }
+}

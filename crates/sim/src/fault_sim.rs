@@ -9,9 +9,16 @@
 //! pass; faulty lanes are then compared against it at every primary output
 //! (three-valued safe: good binary, faulty the complement).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
 use limscan_fault::{FaultId, FaultList, FaultSite, StuckAt};
 use limscan_netlist::{Circuit, Driver, GateKind, NetId};
 
+use crate::engine::{
+    run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx, Topology,
+    PARALLEL_THRESHOLD,
+};
 use crate::good::{eval_comb, next_state};
 use crate::logic::Logic;
 use crate::parallel::Word3;
@@ -21,6 +28,7 @@ use crate::sequence::TestSequence;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DetectionReport {
     detected_at: Vec<Option<u32>>,
+    n_detected: usize,
 }
 
 impl DetectionReport {
@@ -34,9 +42,9 @@ impl DetectionReport {
         self.detected_at[f.index()].is_some()
     }
 
-    /// Number of detected faults.
+    /// Number of detected faults (maintained incrementally, O(1)).
     pub fn detected_count(&self) -> usize {
-        self.detected_at.iter().filter(|d| d.is_some()).count()
+        self.n_detected
     }
 
     /// Total number of faults in the list this report covers.
@@ -74,6 +82,7 @@ impl DetectionReport {
 }
 
 /// Per-batch fault injection masks, rebuilt for each group of ≤64 faults.
+#[derive(Default)]
 pub(crate) struct InjectionTable {
     /// Per net: lanes forced to 0 / forced to 1 at the net's stem.
     stem: Vec<(u64, u64)>,
@@ -127,7 +136,12 @@ impl InjectionTable {
 
     #[inline]
     pub(crate) fn apply_stem(&self, net: NetId, w: Word3) -> Word3 {
-        let (sa0, sa1) = self.stem[net.index()];
+        self.apply_stem_at(net.index(), w)
+    }
+
+    #[inline]
+    pub(crate) fn apply_stem_at(&self, net: usize, w: Word3) -> Word3 {
+        let (sa0, sa1) = self.stem[net];
         if sa0 | sa1 == 0 {
             w
         } else {
@@ -135,9 +149,22 @@ impl InjectionTable {
         }
     }
 
+    /// Whether any branch fault forces a pin of this consumer — the fast
+    /// path skips per-pin checks when false (the overwhelmingly common
+    /// case: at most 64 of the circuit's pins are forced per batch).
+    #[inline]
+    pub(crate) fn has_pin_forces(&self, consumer: usize) -> bool {
+        !self.pins[consumer].is_empty()
+    }
+
     #[inline]
     pub(crate) fn apply_pin(&self, consumer: NetId, pin: u8, w: Word3) -> Word3 {
-        let entries = &self.pins[consumer.index()];
+        self.apply_pin_at(consumer.index(), pin, w)
+    }
+
+    #[inline]
+    pub(crate) fn apply_pin_at(&self, consumer: usize, pin: u8, w: Word3) -> Word3 {
+        let entries = &self.pins[consumer];
         if entries.is_empty() {
             return w;
         }
@@ -179,9 +206,13 @@ impl InjectionTable {
 pub struct SeqFaultSim<'a> {
     circuit: &'a Circuit,
     faults: &'a FaultList,
+    /// Fanout indexes for the event-driven kernel; shared across clones.
+    topo: Arc<Topology>,
     good_state: Vec<Logic>,
     fault_state: Vec<Vec<Logic>>,
     detected_at: Vec<Option<u32>>,
+    /// `Some` entries in `detected_at`, maintained incrementally.
+    n_detected: usize,
     time: u32,
 }
 
@@ -192,9 +223,11 @@ impl<'a> SeqFaultSim<'a> {
         SeqFaultSim {
             circuit,
             faults,
+            topo: Arc::new(Topology::build(circuit)),
             good_state: vec![Logic::X; n_ff],
             fault_state: vec![vec![Logic::X; n_ff]; faults.len()],
             detected_at: vec![None; faults.len()],
+            n_detected: 0,
             time: 0,
         }
     }
@@ -231,6 +264,17 @@ impl<'a> SeqFaultSim<'a> {
     /// Simulates the given vectors as a continuation of everything already
     /// applied, returning the number of newly detected faults.
     ///
+    /// The fault-free trajectory is computed once by a scalar pass; the
+    /// active faults are then simulated in batches of 64 by an event-driven
+    /// kernel that only evaluates gates downstream of an injection site or
+    /// a lane-divergent flip-flop (see the [`engine`](crate::engine)
+    /// module). When the extension is large enough, batches are fanned out
+    /// across worker threads; results are bit-identical to sequential
+    /// processing for every thread count (batches are disjoint). Thread
+    /// count is controlled by [`set_sim_threads`](crate::set_sim_threads)
+    /// or the `LIMSCAN_THREADS` / `RAYON_NUM_THREADS` environment
+    /// variables.
+    ///
     /// # Panics
     ///
     /// Panics if the sequence width differs from the circuit's input count.
@@ -243,7 +287,139 @@ impl<'a> SeqFaultSim<'a> {
         if seq.is_empty() {
             return 0;
         }
-        let before = self.detected_count();
+        let before = self.n_detected;
+
+        let active: Vec<FaultId> = self
+            .detected_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| FaultId::from_index(i))
+            .collect();
+
+        with_trace(|trace| {
+            trace.fill(self.circuit, seq, &self.good_state);
+
+            let batches: Vec<&[FaultId]> = active.chunks(64).collect();
+            let work = seq
+                .len()
+                .saturating_mul(self.circuit.gate_count().max(1))
+                .saturating_mul(batches.len());
+            let threads = sim_threads().min(batches.len().max(1));
+
+            if threads <= 1 || work < PARALLEL_THRESHOLD {
+                with_kernel(|ks| {
+                    ks.ensure(self.circuit, &self.topo);
+                    for batch in &batches {
+                        let out = {
+                            let ctx = ExtendCtx {
+                                circuit: self.circuit,
+                                topo: &self.topo,
+                                trace,
+                                faults: self.faults,
+                                fault_states: &self.fault_state,
+                                base_time: self.time,
+                            };
+                            run_batch(&ctx, batch, ks)
+                        };
+                        for (lane, &fid) in batch.iter().enumerate() {
+                            if out.detected & (1 << lane) != 0 {
+                                self.detected_at[fid.index()] = Some(out.times[lane]);
+                                self.n_detected += 1;
+                            } else {
+                                let state = &mut self.fault_state[fid.index()];
+                                for (ff, word) in ks.final_states.iter().enumerate() {
+                                    state[ff] = word.lane(lane);
+                                }
+                            }
+                        }
+                    }
+                });
+            } else {
+                // Fan the disjoint batches out to worker threads. Workers
+                // only read shared state; every write happens in the merge
+                // below, so the result cannot depend on scheduling.
+                let ctx = ExtendCtx {
+                    circuit: self.circuit,
+                    topo: &self.topo,
+                    trace,
+                    faults: self.faults,
+                    fault_states: &self.fault_state,
+                    base_time: self.time,
+                };
+                let next = AtomicUsize::new(0);
+                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>);
+                let (tx, rx) = mpsc::channel::<Outcome>();
+                let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        let tx = tx.clone();
+                        let ctx = &ctx;
+                        let next = &next;
+                        let batches = &batches;
+                        scope.spawn(move || {
+                            with_kernel(|ks| {
+                                ks.ensure(ctx.circuit, ctx.topo);
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    let Some(batch) = batches.get(i) else { break };
+                                    let out = run_batch(ctx, batch, ks);
+                                    let mut states = Vec::new();
+                                    for (lane, &fid) in batch.iter().enumerate() {
+                                        if out.detected & (1 << lane) == 0 {
+                                            let state: Vec<Logic> = ks
+                                                .final_states
+                                                .iter()
+                                                .map(|w| w.lane(lane))
+                                                .collect();
+                                            states.push((fid, state));
+                                        }
+                                    }
+                                    if tx.send((i, out, states)).is_err() {
+                                        break;
+                                    }
+                                }
+                            });
+                        });
+                    }
+                    drop(tx);
+                    rx.iter().collect()
+                });
+                for (i, out, states) in outcomes {
+                    for (lane, &fid) in batches[i].iter().enumerate() {
+                        if out.detected & (1 << lane) != 0 {
+                            self.detected_at[fid.index()] = Some(out.times[lane]);
+                            self.n_detected += 1;
+                        }
+                    }
+                    for (fid, state) in states {
+                        self.fault_state[fid.index()] = state;
+                    }
+                }
+            }
+
+            self.good_state.clear();
+            self.good_state.extend_from_slice(trace.end_state());
+        });
+
+        self.time += seq.len() as u32;
+        self.n_detected - before
+    }
+
+    /// The pre-event-driven engine: a dense evaluation of every gate at
+    /// every time unit, single-threaded. Kept as the behavioural reference
+    /// for equivalence tests and before/after benchmarks; production code
+    /// should call [`extend`](Self::extend).
+    #[doc(hidden)]
+    pub fn extend_reference(&mut self, seq: &TestSequence) -> usize {
+        assert_eq!(
+            seq.width(),
+            self.circuit.inputs().len(),
+            "sequence width does not match circuit inputs"
+        );
+        if seq.is_empty() {
+            return 0;
+        }
+        let before = self.n_detected;
 
         // Fault-free trajectory for the new vectors (scalar pass).
         let n_nets = self.circuit.net_count();
@@ -327,6 +503,7 @@ impl<'a> SeqFaultSim<'a> {
                         fresh &= fresh - 1;
                         let fid = batch[lane];
                         self.detected_at[fid.index()] = Some(self.time + t as u32);
+                        self.n_detected += 1;
                         detected_mask |= 1 << lane;
                     }
                 }
@@ -356,7 +533,7 @@ impl<'a> SeqFaultSim<'a> {
 
         self.good_state = good_state;
         self.time += seq.len() as u32;
-        self.detected_count() - before
+        self.n_detected - before
     }
 
     /// First detection time of a fault, if detected so far.
@@ -369,9 +546,9 @@ impl<'a> SeqFaultSim<'a> {
         self.detected_at[f.index()].is_some()
     }
 
-    /// Number of faults detected so far.
+    /// Number of faults detected so far (maintained incrementally, O(1)).
     pub fn detected_count(&self) -> usize {
-        self.detected_at.iter().filter(|d| d.is_some()).count()
+        self.n_detected
     }
 
     /// Ids of faults not yet detected.
@@ -405,6 +582,7 @@ impl<'a> SeqFaultSim<'a> {
     pub fn report(&self) -> DetectionReport {
         DetectionReport {
             detected_at: self.detected_at.clone(),
+            n_detected: self.n_detected,
         }
     }
 }
@@ -595,10 +773,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn parallel_matches_serial_on_exotic_gates() {
-        // Covers the gate kinds the benchmark generator never emits:
-        // constants, buffers and multiplexers, in both sim paths.
+    /// A circuit with the gate kinds the benchmark generator never emits:
+    /// constants, buffers and multiplexers.
+    fn exotic_circuit() -> Circuit {
         use limscan_netlist::{CircuitBuilder, GateKind};
         let mut b = CircuitBuilder::new("exotic");
         b.input("s");
@@ -611,7 +788,13 @@ mod tests {
         b.dff("q", "x").unwrap();
         b.gate("y", GateKind::Xor, &["q", "m"]).unwrap();
         b.output("y");
-        let c = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_exotic_gates() {
+        // Covers both sim paths on constants, buffers and multiplexers.
+        let c = exotic_circuit();
         let faults = FaultList::full(&c);
         let seq = random_sequence(c.inputs().len(), 24, 17);
         let report = SeqFaultSim::run(&c, &faults, &seq);
@@ -683,6 +866,171 @@ mod tests {
                 fault.display_name(&c)
             );
         }
+    }
+
+    /// Like [`random_sequence`] but with roughly 30% unspecified bits, so
+    /// the engines are exercised on three-valued trajectories too.
+    fn random_x_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seq = TestSequence::new(width);
+        for _ in 0..len {
+            seq.push(
+                (0..width)
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            Logic::X
+                        } else {
+                            Logic::from_bool(rng.gen())
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        seq
+    }
+
+    #[test]
+    fn injection_table_forces_branch_pins_only() {
+        use limscan_fault::Fault;
+        use limscan_netlist::{CircuitBuilder, GateKind, Pin};
+        // `a` feeds both an AND (pin 1) and an OR; a branch fault on the
+        // AND's pin must not leak to the OR, to the AND's other pin, or to
+        // `a`'s stem.
+        let mut b = CircuitBuilder::new("branchy");
+        b.input("a");
+        b.input("b");
+        b.gate("g_and", GateKind::And, &["b", "a"]).unwrap();
+        b.gate("g_or", GateKind::Or, &["a", "b"]).unwrap();
+        b.output("g_and");
+        b.output("g_or");
+        let c = b.build().unwrap();
+        let a = c.find_net("a").unwrap();
+        let g_and = c.find_net("g_and").unwrap();
+        let g_or = c.find_net("g_or").unwrap();
+
+        let faults =
+            FaultList::from_faults([Fault::branch(Pin { net: g_and, pin: 1 }, StuckAt::One)]);
+        let batch: Vec<FaultId> = faults.ids().collect();
+        let mut table = InjectionTable::new(c.net_count());
+        table.load(&faults, &batch);
+
+        let zero = Word3::broadcast(Logic::Zero);
+        let forced = table.apply_pin(g_and, 1, zero);
+        assert_eq!(forced.lane(0), Logic::One, "faulted pin, faulted lane");
+        assert_eq!(forced.lane(1), Logic::Zero, "faulted pin, other lane");
+        assert_eq!(table.apply_pin(g_and, 0, zero), zero, "other pin");
+        assert_eq!(table.apply_pin(g_or, 0, zero), zero, "other consumer");
+        assert_eq!(table.apply_stem(a, zero), zero, "stem unaffected");
+
+        // End-to-end: the branch fault behaves exactly like its scalar
+        // reference on the full simulator.
+        let seq = random_sequence(c.inputs().len(), 16, 3);
+        let report = SeqFaultSim::run(&c, &faults, &seq);
+        for (id, fault) in faults.iter() {
+            assert_eq!(
+                report.detected_at(id),
+                single_fault_detects(&c, fault, &seq)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_boundary_at_65_faults_matches_scalar() {
+        // 65 active faults split into a full batch of 64 plus a second
+        // batch holding one fault; lane bookkeeping must survive the split.
+        let spec = limscan_netlist::benchmarks::SyntheticSpec::new("b65", 5, 7, 60, 4);
+        for c in [
+            benchmarks::s27(),
+            limscan_netlist::benchmarks::synthetic(&spec),
+        ] {
+            // Cycle the universe up to exactly 65 entries; duplicated
+            // faults occupy independent lanes, which is precisely what the
+            // boundary bookkeeping has to keep straight.
+            let full = FaultList::full(&c);
+            let faults = FaultList::from_faults(full.as_slice().iter().copied().cycle().take(65));
+            let seq = random_sequence(c.inputs().len(), 30, 123);
+            let report = SeqFaultSim::run(&c, &faults, &seq);
+            for (id, fault) in faults.iter() {
+                assert_eq!(
+                    report.detected_at(id),
+                    single_fault_detects(&c, fault, &seq),
+                    "fault {} on {}",
+                    fault.display_name(&c),
+                    c.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_engine_matches_reference_engine() {
+        // The production engine must be bit-identical to the dense
+        // reference engine: detection times, surviving machine states,
+        // good state and counters, across incremental extensions and
+        // X-heavy stimuli.
+        let spec = limscan_netlist::benchmarks::SyntheticSpec::new("evref", 6, 9, 80, 5);
+        let circuits = [
+            benchmarks::s27(),
+            limscan_netlist::benchmarks::synthetic(&spec),
+            exotic_circuit(),
+        ];
+        for c in &circuits {
+            let faults = FaultList::full(c);
+            let first = random_x_sequence(c.inputs().len(), 20, 31);
+            let second = random_x_sequence(c.inputs().len(), 20, 32);
+            let mut event = SeqFaultSim::new(c, &faults);
+            let mut reference = SeqFaultSim::new(c, &faults);
+            for seq in [&first, &second] {
+                let a = event.extend(seq);
+                let b = reference.extend_reference(seq);
+                assert_eq!(a, b, "newly detected counts on {}", c.name());
+            }
+            assert_eq!(event.report(), reference.report(), "{}", c.name());
+            assert_eq!(event.good_state(), reference.good_state());
+            assert_eq!(event.time(), reference.time());
+            for id in faults.ids() {
+                if !event.is_detected(id) {
+                    assert_eq!(
+                        event.fault_state(id),
+                        reference.fault_state(id),
+                        "state of fault {} on {}",
+                        faults.fault(id).display_name(c),
+                        c.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        // One thread, a fixed pool and the automatic default must produce
+        // byte-identical reports and persisted fault states. The circuit is
+        // sized so the multi-threaded runs genuinely take the parallel path.
+        let c = benchmarks::load("s1423").expect("profile exists");
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 40, 7);
+        assert!(
+            seq.len() * c.gate_count() * faults.len().div_ceil(64)
+                >= crate::engine::PARALLEL_THRESHOLD,
+            "test workload no longer reaches the parallel path"
+        );
+        let run_with = |threads: Option<usize>| {
+            crate::set_sim_threads(threads);
+            let mut sim = SeqFaultSim::new(&c, &faults);
+            sim.extend(&seq);
+            crate::set_sim_threads(None);
+            let states: Vec<Vec<Logic>> = faults
+                .ids()
+                .map(|id| sim.fault_state(id).to_vec())
+                .collect();
+            (sim.report(), states, sim.good_state().to_vec())
+        };
+        let single = run_with(Some(1));
+        let pooled = run_with(Some(4));
+        let auto = run_with(None);
+        assert_eq!(single, pooled, "1 thread vs fixed pool of 4");
+        assert_eq!(single, auto, "1 thread vs automatic thread count");
     }
 
     #[test]

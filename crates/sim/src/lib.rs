@@ -40,6 +40,7 @@
 
 mod comb;
 mod dictionary;
+mod engine;
 mod fault_sim;
 mod good;
 mod logic;
@@ -48,6 +49,7 @@ mod sequence;
 
 pub use comb::CombFaultSim;
 pub use dictionary::{FaultDictionary, Syndrome};
+pub use engine::{set_sim_threads, sim_threads};
 pub use fault_sim::{single_fault_detects, DetectionReport, SeqFaultSim};
 pub use good::{eval_comb, eval_comb_with, next_state, SeqGoodSim};
 pub use logic::Logic;
