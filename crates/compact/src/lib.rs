@@ -20,6 +20,16 @@
 //!   `(SI, T)` test sets with complete scan operations, standing in for
 //!   the \[26\] comparison point.
 //!
+//! Both procedures run on an **incremental trial engine**: omission
+//! answers each candidate from per-vector checkpoints recorded once per
+//! pass ([`limscan_sim::TrialCheckpoints`]), and restoration resumes each
+//! doubling-chunk probe from a per-episode detection-prefix cache. The
+//! original full-re-simulation implementations are retained as
+//! [`omission_reference`] / [`restoration_reference`]: bit-exact oracles
+//! whose kept-vector sets the incremental engines must reproduce (see
+//! `tests/compaction_differential.rs`), selectable at the flow level via
+//! [`CompactionEngine`].
+//!
 //! # Example
 //!
 //! ```
@@ -44,14 +54,28 @@ mod restoration;
 mod scan_compact;
 mod segments;
 
-pub use omission::omission;
-pub use restoration::restoration;
+pub use omission::{omission, omission_reference};
+pub use restoration::{restoration, restoration_reference};
 pub use scan_compact::{scan_test_set, CompactedSet};
 pub use segments::segment_prune;
 
 use limscan_fault::FaultList;
 use limscan_netlist::Circuit;
 use limscan_sim::TestSequence;
+
+/// Selects the trial engine behind [`restore_then_omit_with`].
+///
+/// Both engines produce identical kept-vector sets; `Reference` exists for
+/// differential testing and for benchmarking the incremental engine's
+/// speedup (`compact_bench`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompactionEngine {
+    /// Checkpointed suffix re-simulation with early exits (the default).
+    #[default]
+    Incremental,
+    /// Full re-simulation per trial — the bit-exact oracle.
+    Reference,
+}
 
 /// A compacted sequence plus bookkeeping about the compaction run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -88,8 +112,35 @@ pub fn restore_then_omit(
     sequence: &TestSequence,
     omission_passes: usize,
 ) -> Compacted {
-    let restored = restoration(circuit, faults, sequence);
-    let omitted = omission(circuit, faults, &restored.sequence, omission_passes);
+    restore_then_omit_with(
+        circuit,
+        faults,
+        sequence,
+        omission_passes,
+        CompactionEngine::Incremental,
+    )
+}
+
+/// [`restore_then_omit`] with an explicit [`CompactionEngine`] choice.
+pub fn restore_then_omit_with(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    omission_passes: usize,
+    engine: CompactionEngine,
+) -> Compacted {
+    let (restored, omitted) = match engine {
+        CompactionEngine::Incremental => {
+            let r = restoration(circuit, faults, sequence);
+            let o = omission(circuit, faults, &r.sequence, omission_passes);
+            (r, o)
+        }
+        CompactionEngine::Reference => {
+            let r = restoration_reference(circuit, faults, sequence);
+            let o = omission_reference(circuit, faults, &r.sequence, omission_passes);
+            (r, o)
+        }
+    };
     Compacted {
         sequence: omitted.sequence,
         original_len: sequence.len(),

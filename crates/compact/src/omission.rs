@@ -11,10 +11,27 @@
 //! shortens a scan operation by one shift — turning complete scan
 //! operations into limited ones, which is precisely the flexibility
 //! scan-specific compaction procedures lack.
+//!
+//! Two implementations share this module:
+//!
+//! * [`omission`] — the production engine. Each pass records one set of
+//!   [`TrialCheckpoints`] (fault-free trace, per-batch divergence
+//!   snapshots, detection frontier) and answers every candidate trial
+//!   from the checkpoint at its time unit, simulating forward only until
+//!   every remaining target is re-detected or provably lost (see
+//!   `limscan_sim::checkpoint`). Independent candidates fan out across
+//!   threads (`set_sim_threads`), committed in order so results are
+//!   bit-identical for every thread count.
+//! * [`omission_reference`] — the original implementation: a cloned
+//!   [`SeqFaultSim`] per trial, full suffix re-simulation. Kept as the
+//!   bit-exact oracle anchoring the differential test suite; production
+//!   code should call [`omission`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use limscan_fault::{FaultId, FaultList};
 use limscan_netlist::Circuit;
-use limscan_sim::{SeqFaultSim, TestSequence};
+use limscan_sim::{sim_threads, SeqFaultSim, TestSequence, TrialCheckpoints};
 
 use crate::Compacted;
 
@@ -23,7 +40,132 @@ use crate::Compacted;
 ///
 /// The returned sequence detects every target fault, and
 /// [`Compacted::extra_detected`] counts the detections gained on top.
+/// Kept-vector decisions are identical to [`omission_reference`] — the
+/// checkpointed trial engine changes the cost of a trial, never its
+/// verdict — for every thread count.
 pub fn omission(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    max_passes: usize,
+) -> Compacted {
+    let before = SeqFaultSim::run(circuit, faults, sequence);
+    let target_ids: Vec<FaultId> = before.detected();
+    let targets = FaultList::from_faults(target_ids.iter().map(|&id| faults.fault(id)));
+    let target_count = targets.len();
+
+    let mut current = sequence.clone();
+    for _ in 0..max_passes {
+        if current.is_empty() {
+            break;
+        }
+        // One recorded pass per omission pass: every trial below restarts
+        // from its candidate's checkpoint instead of simulating from 0.
+        let ck = TrialCheckpoints::record(circuit, &targets, &current);
+        assert_eq!(
+            ck.recorded_detected(),
+            ck.total_lanes(),
+            "omission invariant: the current sequence must detect every target"
+        );
+        let len = current.len();
+        let mut keep = vec![true; len];
+        let mut prefix = ck.initial_prefix();
+        let mut changed = false;
+        let threads = sim_threads().max(1);
+
+        let mut o = 0usize;
+        while o < len {
+            if prefix.all_detected() {
+                // The kept prefix alone covers every target: every
+                // remaining candidate trivially succeeds.
+                for k in &mut keep[o..] {
+                    *k = false;
+                }
+                changed = true;
+                break;
+            }
+            // Speculative wave: candidates `o..o+wave` are decided
+            // concurrently, each assuming the ones before it fail. The
+            // in-order commit below keeps only verdicts whose assumption
+            // held, so the keep mask cannot depend on scheduling.
+            let wave = threads.min(len - o);
+            let verdicts: Vec<bool> = if wave <= 1 {
+                vec![ck.trial(&prefix, o)]
+            } else {
+                let next = AtomicUsize::new(0);
+                let mut verdicts = vec![false; wave];
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..wave)
+                        .map(|_| {
+                            let (next, ck, prefix) = (&next, &ck, &prefix);
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= wave {
+                                        break;
+                                    }
+                                    let mut p = prefix.clone();
+                                    for kept in o..o + i {
+                                        ck.advance(&mut p, kept);
+                                    }
+                                    out.push((i, ck.trial(&p, o + i)));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (i, v) in handle.join().expect("trial worker panicked") {
+                            verdicts[i] = v;
+                        }
+                    }
+                });
+                verdicts
+            };
+            let mut omitted = false;
+            for (i, &ok) in verdicts.iter().enumerate() {
+                let c = o + i;
+                if ok {
+                    keep[c] = false;
+                    changed = true;
+                    o = c + 1;
+                    omitted = true;
+                    break; // later verdicts assumed `c` kept — invalid now
+                }
+                ck.advance(&mut prefix, c);
+            }
+            if !omitted {
+                o += wave;
+            }
+        }
+
+        current = current.select(&keep);
+        if !changed {
+            break;
+        }
+    }
+
+    let after = SeqFaultSim::run(circuit, faults, &current);
+    let extra_detected = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !before.is_detected(id))
+        .count();
+    Compacted {
+        sequence: current,
+        original_len: sequence.len(),
+        target_count,
+        extra_detected,
+    }
+}
+
+/// The pre-checkpoint omission engine: one cloned [`SeqFaultSim`] and a
+/// full suffix re-simulation per candidate vector.
+///
+/// Kept as the bit-exact oracle for [`omission`] — the differential tests
+/// assert identical kept-vector sets — and for before/after benchmarks
+/// (`compact_bench`). Production code should call [`omission`].
+pub fn omission_reference(
     circuit: &Circuit,
     faults: &FaultList,
     sequence: &TestSequence,
@@ -161,5 +303,108 @@ mod tests {
         let out = omission(c, &faults, &TestSequence::new(c.inputs().len()), 3);
         assert!(out.sequence.is_empty());
         assert_eq!(out.extra_detected, 0);
+    }
+
+    #[test]
+    fn final_vector_omission_when_redundant() {
+        // Appending a detection-free vector to a sequence: a single pass
+        // must drop it (the trial at the last position has an empty tail
+        // and succeeds only because the prefix already covers everything).
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let mut seq = random_sequence(c.inputs().len(), 40, 19);
+        let covered = SeqFaultSim::run(c, &faults, &seq);
+        seq.push(vec![Logic::Zero; c.inputs().len()]);
+        let padded = SeqFaultSim::run(c, &faults, &seq);
+        assert_eq!(
+            covered.detected_count(),
+            padded.detected_count(),
+            "the all-zero vector must not detect anything new for this test"
+        );
+        for engine in [omission, omission_reference] {
+            let out = engine(c, &faults, &seq, 1);
+            assert!(
+                out.sequence.len() < seq.len(),
+                "the redundant final vector must be droppable"
+            );
+            assert_eq!(out.sequence, omission(c, &faults, &seq, 1).sequence);
+        }
+    }
+
+    #[test]
+    fn final_vector_kept_when_it_carries_a_detection() {
+        // If some fault is detected only at the very last vector, dropping
+        // it must be rejected (the empty-tail trial fails).
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        for seed in 0..20u64 {
+            let seq = random_sequence(c.inputs().len(), 25, seed);
+            let report = SeqFaultSim::run(c, &faults, &seq);
+            let last_detects = faults
+                .ids()
+                .any(|id| report.detected_at(id) == Some(seq.len() as u32 - 1));
+            if !last_detects {
+                continue;
+            }
+            let out = omission(c, &faults, &seq, 1);
+            let last = seq.vector(seq.len() - 1);
+            assert_eq!(
+                out.sequence.vector(out.sequence.len() - 1),
+                last,
+                "seed {seed}: a final vector carrying a unique detection must survive"
+            );
+            return;
+        }
+        panic!("no seed produced a last-vector detection; test needs new seeds");
+    }
+
+    #[test]
+    fn prefix_covering_all_targets_drops_the_rest() {
+        // Duplicate a sequence after itself: the first copy detects every
+        // target, so one pass must omit (at least) the whole second copy.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let base = random_sequence(c.inputs().len(), 40, 23);
+        let mut doubled = base.clone();
+        doubled.extend_from(&base);
+        for engine in [omission, omission_reference] {
+            let out = engine(c, &faults, &doubled, 1);
+            assert!(
+                out.sequence.len() <= base.len(),
+                "prefix covers all targets; the second copy must go (len {})",
+                out.sequence.len()
+            );
+        }
+        assert_eq!(
+            omission(c, &faults, &doubled, 1).sequence,
+            omission_reference(c, &faults, &doubled, 1).sequence
+        );
+    }
+
+    #[test]
+    fn all_x_vector_is_handled_and_omitted() {
+        // An all-X vector detects nothing and (in a scan circuit, where
+        // scan_sel = X makes every flip-flop X) usually hurts; it must
+        // neither crash the three-valued kernels nor survive compaction.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        let mut seq = random_sequence(c.inputs().len(), 20, 31);
+        seq.push(vec![Logic::X; c.inputs().len()]);
+        let tail = random_sequence(c.inputs().len(), 20, 32);
+        seq.extend_from(&tail);
+        let inc = omission(c, &faults, &seq, 2);
+        let reference = omission_reference(c, &faults, &seq, 2);
+        assert_eq!(inc.sequence, reference.sequence);
+        assert_eq!(inc.extra_detected, reference.extra_detected);
+        let xs = |s: &TestSequence| {
+            (0..s.len())
+                .filter(|&t| s.vector(t).iter().all(|v| *v == Logic::X))
+                .count()
+        };
+        assert_eq!(xs(&inc.sequence), 0, "the all-X vector must be omitted");
     }
 }

@@ -12,19 +12,214 @@
 //! of keeping the quadratic re-simulation cost in check — the idea behind
 //! the overlapped restoration of \[24\] — and never loses a detection: a
 //! fault's own detection prefix is always a fallback.
+//!
+//! Two implementations share this module:
+//!
+//! * [`restoration`] — the production engine. Each restoration episode
+//!   starts with one *recorded pass* of [`SingleFaultSim`] over the kept
+//!   subsequence, which doubles as the covered check and caches the
+//!   (good, faulty) flip-flop state pair at every kept position. A
+//!   doubling-chunk probe then resumes from the cached state just before
+//!   the restored window instead of re-simulating the shared prefix, and
+//!   fails early in the kept tail as soon as its state pair converges back
+//!   onto the recorded pass (whose remainder is known not to detect).
+//! * [`restoration_reference`] — the original implementation: one full
+//!   [`single_fault_detects`] scan per probe. Kept as the bit-exact oracle
+//!   for the differential test suite; production code should call
+//!   [`restoration`].
 
-use limscan_fault::FaultList;
+use limscan_fault::{Fault, FaultList};
 use limscan_netlist::Circuit;
-use limscan_sim::{single_fault_detects, SeqFaultSim, TestSequence};
+use limscan_sim::{single_fault_detects, Logic, SeqFaultSim, SingleFaultSim, TestSequence};
 
 use crate::Compacted;
+
+/// One recorded [`SingleFaultSim`] pass over the kept subsequence: the
+/// detection-prefix cache shared by every probe of a restoration episode.
+///
+/// `states[k]` is the (good, faulty) flip-flop state pair *before* kept
+/// position `k`, for `k in 0..=kept_idx.len()`; the states are only stored
+/// when the pass detects nothing, which is exactly when probes happen.
+struct RecordedPass<'a> {
+    circuit: &'a Circuit,
+    fault: Fault,
+    sequence: &'a TestSequence,
+    kept_idx: Vec<usize>,
+    states: Vec<(Vec<Logic>, Vec<Logic>)>,
+    detected: bool,
+}
+
+impl<'a> RecordedPass<'a> {
+    /// Simulates `fault` over the vectors of `sequence` selected by `keep`,
+    /// recording the state pair at every kept position.
+    fn record(
+        circuit: &'a Circuit,
+        fault: Fault,
+        sequence: &'a TestSequence,
+        keep: &[bool],
+    ) -> Self {
+        let kept_idx: Vec<usize> = (0..sequence.len()).filter(|&p| keep[p]).collect();
+        let mut sim = SingleFaultSim::new(circuit, fault);
+        let mut states = Vec::with_capacity(kept_idx.len() + 1);
+        let mut detected = false;
+        states.push((sim.good_state().to_vec(), sim.bad_state().to_vec()));
+        for &p in &kept_idx {
+            if sim.step(sequence.vector(p)) {
+                detected = true;
+                break; // states are never consulted once detection is known
+            }
+            states.push((sim.good_state().to_vec(), sim.bad_state().to_vec()));
+        }
+        RecordedPass {
+            circuit,
+            fault,
+            sequence,
+            kept_idx,
+            states,
+            detected,
+        }
+    }
+
+    /// Does the kept subsequence extended by the restored window
+    /// `[lo, t_f]` detect the fault?
+    ///
+    /// Equivalent to `single_fault_detects` over `sequence.select(keep)`
+    /// after the caller set `keep[lo..=t_f] = true`, but resumes from the
+    /// cached state pair at the window boundary and exits the kept tail
+    /// early once its state pair re-converges onto the recorded pass.
+    fn probe(&self, lo: usize, t_f: usize) -> bool {
+        debug_assert!(!self.detected);
+        // Kept positions < lo are untouched by this episode, so the cached
+        // state just before the first of them at-or-after `lo` is exact.
+        let k0 = self.kept_idx.partition_point(|&p| p < lo);
+        let (good, bad) = &self.states[k0];
+        let mut sim = SingleFaultSim::new(self.circuit, self.fault);
+        sim.set_states(good, bad);
+        // The restored window: every original vector in [lo, t_f] is kept
+        // (this probe's chunk plus the chunks of earlier iterations).
+        for p in lo..=t_f {
+            if sim.step(self.sequence.vector(p)) {
+                return true;
+            }
+        }
+        // The kept tail beyond t_f, with convergence early exit: once the
+        // probe's state pair equals the recorded pass's at the same kept
+        // position, the futures coincide — and the recorded pass detects
+        // nothing from here on.
+        let k_tail = self.kept_idx.partition_point(|&p| p <= t_f);
+        for (k, &p) in self.kept_idx.iter().enumerate().skip(k_tail) {
+            let (rec_good, rec_bad) = &self.states[k];
+            if sim.good_state() == &rec_good[..] && sim.bad_state() == &rec_bad[..] {
+                return false;
+            }
+            if sim.step(self.sequence.vector(p)) {
+                return true;
+            }
+        }
+        false
+    }
+}
 
 /// Compacts `sequence` by vector restoration; the target faults are exactly
 /// those the input sequence detects.
 ///
 /// The returned sequence detects every target fault (verified internally by
 /// fault simulation) and possibly more ([`Compacted::extra_detected`]).
+/// Kept-vector decisions are identical to [`restoration_reference`] — the
+/// recorded pass and the convergence exit change the cost of a probe, never
+/// its verdict.
 pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequence) -> Compacted {
+    let report = SeqFaultSim::run(circuit, faults, sequence);
+    let mut targets: Vec<(u32, limscan_fault::FaultId)> = faults
+        .ids()
+        .filter_map(|id| report.detected_at(id).map(|t| (t, id)))
+        .collect();
+    // Decreasing detection time; ties broken by fault id for determinism.
+    targets.sort_by(|a, b| b.cmp(a));
+    let target_count = targets.len();
+
+    let mut keep = vec![false; sequence.len()];
+    // `covered[i]` marks targets the kept subsequence is known to detect;
+    // refreshed in bulk by a parallel simulation every few restoration
+    // episodes, which skips most targets outright.
+    let mut covered = vec![false; targets.len()];
+    let mut episodes_since_drop = 0usize;
+    for (i, &(t_f, id)) in targets.iter().enumerate() {
+        if covered[i] {
+            continue;
+        }
+        let fault = faults.fault(id);
+        // One recorded pass per episode: the covered check and the probe
+        // cache in a single simulation of the kept subsequence.
+        let rec = RecordedPass::record(circuit, fault, sequence, &keep);
+        if rec.detected {
+            covered[i] = true;
+            continue; // already covered by vectors restored for harder faults
+        }
+        // Restore in doubling chunks from the detection time backwards.
+        let mut next = t_f as isize;
+        let mut chunk = 1isize;
+        loop {
+            let lo = (next - chunk + 1).max(0);
+            for p in lo..=next {
+                keep[p as usize] = true;
+            }
+            if rec.probe(lo as usize, t_f as usize) {
+                break;
+            }
+            // Once the whole prefix [0, t_f] is restored, `kept` starts
+            // with exactly the original prefix, which detects the fault at
+            // t_f — so an undetected fault here would be a simulator bug.
+            assert!(lo > 0, "restoring the full prefix must re-detect the fault");
+            next = lo - 1;
+            chunk *= 2;
+        }
+        covered[i] = true;
+
+        episodes_since_drop += 1;
+        if episodes_since_drop >= 8 {
+            episodes_since_drop = 0;
+            let remaining: Vec<usize> = (i + 1..targets.len()).filter(|&j| !covered[j]).collect();
+            if !remaining.is_empty() {
+                let sub =
+                    FaultList::from_faults(remaining.iter().map(|&j| faults.fault(targets[j].1)));
+                let kept = sequence.select(&keep);
+                let report = SeqFaultSim::run(circuit, &sub, &kept);
+                for (k, &j) in remaining.iter().enumerate() {
+                    if report.is_detected(limscan_fault::FaultId::from_index(k)) {
+                        covered[j] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    let sequence_out = sequence.select(&keep);
+    let after = SeqFaultSim::run(circuit, faults, &sequence_out);
+    let extra_detected = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !report.is_detected(id))
+        .count();
+    Compacted {
+        sequence: sequence_out,
+        original_len: sequence.len(),
+        target_count,
+        extra_detected,
+    }
+}
+
+/// The pre-cache restoration engine: one full [`single_fault_detects`]
+/// scan of the kept subsequence per covered check and per probe.
+///
+/// Kept as the bit-exact oracle for [`restoration`] — the differential
+/// tests assert identical kept-vector sets — and for before/after
+/// benchmarks (`compact_bench`). Production code should call
+/// [`restoration`].
+pub fn restoration_reference(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+) -> Compacted {
     let report = SeqFaultSim::run(circuit, faults, sequence);
     let mut targets: Vec<(u32, limscan_fault::FaultId)> = faults
         .ids()
@@ -108,7 +303,6 @@ mod tests {
     use super::*;
     use limscan_netlist::benchmarks;
     use limscan_scan::ScanCircuit;
-    use limscan_sim::Logic;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -180,5 +374,22 @@ mod tests {
             restoration(c, &faults, &seq).sequence,
             restoration(c, &faults, &seq).sequence
         );
+    }
+
+    #[test]
+    fn matches_reference_on_padded_sequences() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let c = sc.circuit();
+        let faults = FaultList::collapsed(c);
+        for seed in [3u64, 7, 11] {
+            let mut seq = random_sequence(c.inputs().len(), 50, seed);
+            for _ in 0..20 {
+                seq.push(vec![Logic::Zero; c.inputs().len()]);
+            }
+            let inc = restoration(c, &faults, &seq);
+            let reference = restoration_reference(c, &faults, &seq);
+            assert_eq!(inc.sequence, reference.sequence, "seed {seed}");
+            assert_eq!(inc.extra_detected, reference.extra_detected, "seed {seed}");
+        }
     }
 }

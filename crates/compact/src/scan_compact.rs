@@ -46,11 +46,14 @@ pub fn scan_test_set(circuit: &Circuit, faults: &FaultList, set: &ScanTestSet) -
     let original_tests = set.len();
     let original_cycles = set.application_cycles();
 
-    // Which faults does each test detect?
+    // Which faults does each test detect? One simulator is built up front
+    // (injection tables, topology) and reset per test — a complete scan-in
+    // overwrites the whole chain, so tests are independent.
+    let mut sim = SeqFaultSim::new(circuit, faults);
     let per_test: Vec<Vec<usize>> = set
         .tests()
         .iter()
-        .map(|t| test_detections(circuit, faults, t))
+        .map(|t| test_detections(&mut sim, faults, t))
         .collect();
 
     // Reverse-order pass: later tests get first claim on their faults.
@@ -101,9 +104,9 @@ pub fn scan_test_set(circuit: &Circuit, faults: &FaultList, set: &ScanTestSet) -
 /// semantics: both machines load `SI` cleanly (a complete scan-in
 /// overwrites the chain), primary outputs are observed during `T`, and the
 /// final state difference is observed by the scan-out. Word-parallel: 64
-/// faults per batch.
-fn test_detections(circuit: &Circuit, faults: &FaultList, test: &ScanTest) -> Vec<usize> {
-    let mut sim = SeqFaultSim::with_state(circuit, faults, &test.scan_in);
+/// faults per batch; `sim` is reset, not rebuilt, per test.
+fn test_detections(sim: &mut SeqFaultSim, faults: &FaultList, test: &ScanTest) -> Vec<usize> {
+    sim.reset_with_state(&test.scan_in);
     if !test.vectors.is_empty() {
         let seq: TestSequence = test.vectors.iter().cloned().collect();
         sim.extend(&seq);
@@ -150,10 +153,11 @@ mod tests {
         let compacted = scan_test_set(&c, &faults, &outcome.set);
 
         let covered = |set: &ScanTestSet| -> Vec<usize> {
+            let mut sim = SeqFaultSim::new(&c, &faults);
             let mut v: Vec<usize> = set
                 .tests()
                 .iter()
-                .flat_map(|t| test_detections(&c, &faults, t))
+                .flat_map(|t| test_detections(&mut sim, &faults, t))
                 .collect();
             v.sort_unstable();
             v.dedup();

@@ -14,7 +14,10 @@ use rand::SeedableRng;
 use limscan_atpg::first_approach::{self, CombAtpgConfig, CombAtpgOutcome};
 use limscan_atpg::genetic::{GeneticAtpg, GeneticConfig};
 use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
-use limscan_compact::{omission, restoration, scan_test_set, Compacted, CompactedSet};
+use limscan_compact::{
+    omission, omission_reference, restoration, restoration_reference, scan_test_set, Compacted,
+    CompactedSet, CompactionEngine,
+};
 use limscan_fault::FaultList;
 use limscan_netlist::Circuit;
 use limscan_scan::ScanCircuit;
@@ -43,6 +46,10 @@ pub struct FlowConfig {
     pub baseline: CombAtpgConfig,
     /// Omission pass budget.
     pub omission_passes: usize,
+    /// Trial engine behind the restoration + omission pipeline. Both
+    /// engines produce identical sequences; `Reference` is the slow oracle
+    /// kept for differential testing and benchmarking.
+    pub compaction: CompactionEngine,
     /// Cap on the number of (collapsed) faults considered; 0 means no cap.
     /// Large profile circuits use this to bound experiment cost.
     pub max_faults: usize,
@@ -62,9 +69,34 @@ impl Default for FlowConfig {
             atpg: AtpgConfig::default(),
             baseline: CombAtpgConfig::default(),
             omission_passes: 2,
+            compaction: CompactionEngine::default(),
             max_faults: 0,
             scan_chains: 1,
             seed: 0xda7e_2003,
+        }
+    }
+}
+
+/// The restoration → omission pipeline behind both flows, dispatched on
+/// the configured [`CompactionEngine`]. Both engines produce identical
+/// sequences; `Reference` runs the retained full-re-simulation oracles.
+fn compact_pipeline(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    omission_passes: usize,
+    engine: CompactionEngine,
+) -> (Compacted, Compacted) {
+    match engine {
+        CompactionEngine::Incremental => {
+            let restored = restoration(circuit, faults, sequence);
+            let omitted = omission(circuit, faults, &restored.sequence, omission_passes);
+            (restored, omitted)
+        }
+        CompactionEngine::Reference => {
+            let restored = restoration_reference(circuit, faults, sequence);
+            let omitted = omission_reference(circuit, faults, &restored.sequence, omission_passes);
+            (restored, omitted)
         }
     }
 }
@@ -107,12 +139,12 @@ impl GenerationFlow {
                 }
             }
         };
-        let restored = restoration(scan.circuit(), &faults, &generated.sequence);
-        let omitted = omission(
+        let (restored, omitted) = compact_pipeline(
             scan.circuit(),
             &faults,
-            &restored.sequence,
+            &generated.sequence,
             config.omission_passes,
+            config.compaction,
         );
         GenerationFlow {
             scan,
@@ -178,12 +210,12 @@ impl TranslationFlow {
         translated.specify_x(&mut rng);
 
         let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
-        let restored = restoration(scan.circuit(), &faults, &translated);
-        let omitted = omission(
+        let (restored, omitted) = compact_pipeline(
             scan.circuit(),
             &faults,
-            &restored.sequence,
+            &translated,
             config.omission_passes,
+            config.compaction,
         );
         TranslationFlow {
             scan,
@@ -236,6 +268,26 @@ mod tests {
             "compaction must not lose coverage ({} vs {})",
             final_report.detected_count(),
             flow.generated.report.detected_count()
+        );
+    }
+
+    #[test]
+    fn reference_engine_reproduces_the_incremental_flow() {
+        // The flow-level knob dispatches to the oracle implementations,
+        // which must produce the exact same compacted sequences.
+        let incremental = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let reference = GenerationFlow::run(
+            &benchmarks::s27(),
+            &FlowConfig {
+                compaction: CompactionEngine::Reference,
+                ..FlowConfig::default()
+            },
+        );
+        assert_eq!(incremental.restored.sequence, reference.restored.sequence);
+        assert_eq!(incremental.omitted.sequence, reference.omitted.sequence);
+        assert_eq!(
+            incremental.omitted.extra_detected,
+            reference.omitted.extra_detected
         );
     }
 

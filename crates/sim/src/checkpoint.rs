@@ -1,0 +1,463 @@
+//! Checkpointed omission-trial engine.
+//!
+//! Vector-omission compaction asks the same question over and over: *if
+//! vector `t` is dropped, does the rest of the sequence still detect every
+//! target fault?* Answering it from scratch costs a full suffix
+//! re-simulation per candidate. [`TrialCheckpoints`] records one pass over
+//! the sequence — the fault-free trace, every batch's sparse flip-flop
+//! divergence at checkpointed time units, and the per-time-unit primary-
+//! output conflict masks — and then answers each trial with two early
+//! exits:
+//!
+//! * **early success** — the trial stops as soon as every remaining target
+//!   lane has produced a conflict;
+//! * **convergence** — scan circuits re-synchronise quickly (a complete
+//!   scan-in overwrites the whole chain), so a trial's machine state
+//!   usually re-joins the recorded trajectory within a few vectors. Once
+//!   the fault-free state *and* every lane's flip-flop divergence equal
+//!   the recording at an aligned time unit, the trial's future is the
+//!   recording's future: the suffix-OR of the recorded conflict masks
+//!   (`future_conflicts`) then decides the trial — success if every
+//!   still-undetected lane conflicts again later, provably lost otherwise.
+//!
+//! The alignment is sound because omission only ever drops vectors to the
+//! *left* of the trial point: the vectors applied after a trial at `t` are
+//! exactly the recorded vectors `t+1..len`, so recorded snapshots and
+//! conflict masks line up with the trial by original vector index, no
+//! matter how many earlier vectors the current pass has already dropped.
+//!
+//! Everything is simulated by the same lane-exact [`BatchStepper`] kernel
+//! as [`SeqFaultSim::extend`](crate::SeqFaultSim::extend), so trial
+//! verdicts are bit-identical to re-simulating the shortened sequence from
+//! scratch.
+
+use std::cell::RefCell;
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::{Circuit, Driver};
+
+use crate::engine::{with_kernel, BatchStepper, Topology};
+use crate::good::eval_comb;
+use crate::logic::Logic;
+use crate::parallel::Word3;
+use crate::sequence::TestSequence;
+
+/// Soft cap on the memory the recorded divergence snapshots may take; the
+/// snapshot stride grows with the worst-case footprint, trading a bounded
+/// early-exit delay (< stride vectors) for bounded memory.
+const SNAPSHOT_BUDGET: usize = 48 << 20;
+
+/// One recorded batch of ≤64 target faults.
+struct BatchRec {
+    /// The batch's faults; lane `i` simulates `lanes[i]`.
+    lanes: Vec<FaultId>,
+    /// Lane mask covering exactly this batch's faults.
+    full_mask: u64,
+    /// Lanes the recorded (full-sequence) pass detected.
+    detected: u64,
+    /// Sparse flip-flop divergence before time unit `k * stride`, sorted by
+    /// flip-flop index; slot 0 is unused.
+    snapshots: Vec<Vec<(u32, Word3)>>,
+    /// `future_conflicts[t]`: OR of the raw primary-output conflict masks
+    /// at time units `t..len` of the recorded pass (`len + 1` entries, the
+    /// last one 0). A lane bit is set iff the recorded future detects it.
+    future_conflicts: Vec<u64>,
+}
+
+/// Per-thread scratch for [`TrialCheckpoints::advance`] and
+/// [`TrialCheckpoints::trial`]; grows to the largest trial seen and is then
+/// allocation-free.
+#[derive(Default)]
+struct TrialScratch {
+    /// Fresh fault-free net values for the pre-convergence part of a trial
+    /// tail (`fresh × n_nets`).
+    rows: Vec<Logic>,
+    /// Fresh fault-free states for the same window (`(fresh + 1) × n_ff`).
+    states: Vec<Logic>,
+    /// One fault-free row / next state for `advance`.
+    row: Vec<Logic>,
+    next: Vec<Logic>,
+    /// Sort buffer for divergence-snapshot comparisons.
+    sorted: Vec<(u32, Word3)>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TrialScratch> = RefCell::new(TrialScratch::default());
+}
+
+/// Fault-free scalar step: loads `vector` and `state` into `row`, evaluates
+/// the combinational logic and extracts the next state. Identical to the
+/// trace pass of [`SeqFaultSim::extend`](crate::SeqFaultSim::extend).
+fn eval_row(
+    circuit: &Circuit,
+    vector: &[Logic],
+    state: &[Logic],
+    row: &mut [Logic],
+    next: &mut [Logic],
+) {
+    row.fill(Logic::X);
+    for (&pi, &v) in circuit.inputs().iter().zip(vector) {
+        row[pi.index()] = v;
+    }
+    for (&q, &v) in circuit.dffs().iter().zip(state) {
+        row[q.index()] = v;
+    }
+    eval_comb(circuit, row);
+    for (i, &q) in circuit.dffs().iter().enumerate() {
+        let Driver::Dff { d } = circuit.net(q).driver() else {
+            unreachable!("dffs() contains only flip-flops");
+        };
+        next[i] = row[d.index()];
+    }
+}
+
+/// The machine state of an omission pass's kept prefix: the fault-free
+/// state plus every target batch's absolute per-lane flip-flop states and
+/// detection mask. Cheap to clone, which is what lets speculative trials
+/// fan out across threads.
+#[derive(Clone)]
+pub struct PrefixState {
+    good: Vec<Logic>,
+    /// Per batch: absolute per-lane state word of every flip-flop. Stale
+    /// for batches whose lanes are all detected (they are skipped).
+    lanes: Vec<Vec<Word3>>,
+    detected: Vec<u64>,
+    n_detected: usize,
+    total_lanes: usize,
+}
+
+impl PrefixState {
+    /// Whether the prefix alone already detects every target.
+    pub fn all_detected(&self) -> bool {
+        self.n_detected == self.total_lanes
+    }
+
+    /// Number of target lanes the prefix detects.
+    pub fn detected_lanes(&self) -> usize {
+        self.n_detected
+    }
+}
+
+/// One recorded omission pass: checkpoints every trial can restart from.
+///
+/// Recorded once per pass by [`record`](Self::record); [`advance`] folds
+/// kept vectors into a [`PrefixState`] and [`trial`] decides a candidate
+/// omission with early exits. See the module docs for the design.
+///
+/// [`advance`]: Self::advance
+/// [`trial`]: Self::trial
+pub struct TrialCheckpoints<'a> {
+    circuit: &'a Circuit,
+    targets: &'a FaultList,
+    seq: &'a TestSequence,
+    topo: Topology,
+    n_nets: usize,
+    n_ff: usize,
+    len: usize,
+    stride: usize,
+    /// `len × n_nets` fault-free net values of the recorded pass.
+    good_rows: Vec<Logic>,
+    /// `(len + 1) × n_ff` fault-free states (state *before* each time unit).
+    good_states: Vec<Logic>,
+    batches: Vec<BatchRec>,
+    total_lanes: usize,
+}
+
+impl<'a> TrialCheckpoints<'a> {
+    /// Records one full pass of `targets` over `seq` from the all-X state.
+    ///
+    /// Costs one un-truncated extension (no per-batch early exit — trials
+    /// need the complete trajectory), paid once per omission pass.
+    pub fn record(circuit: &'a Circuit, targets: &'a FaultList, seq: &'a TestSequence) -> Self {
+        assert_eq!(
+            seq.width(),
+            circuit.inputs().len(),
+            "sequence width does not match circuit inputs"
+        );
+        let topo = Topology::build(circuit);
+        let n_nets = circuit.net_count();
+        let n_ff = circuit.dffs().len();
+        let len = seq.len();
+
+        // Fault-free trace (scalar pass), kept for the trials.
+        let mut good_rows = vec![Logic::X; len * n_nets];
+        let mut good_states = vec![Logic::X; (len + 1) * n_ff];
+        for (t, v) in seq.iter().enumerate() {
+            let (head, rest) = good_states.split_at_mut((t + 1) * n_ff);
+            eval_row(
+                circuit,
+                v,
+                &head[t * n_ff..],
+                &mut good_rows[t * n_nets..(t + 1) * n_nets],
+                &mut rest[..n_ff],
+            );
+        }
+
+        let ids: Vec<FaultId> = targets.ids().collect();
+        let n_batches = ids.len().div_ceil(64);
+        let entry = std::mem::size_of::<(u32, Word3)>();
+        let worst = (len + 1)
+            .saturating_mul(n_ff)
+            .saturating_mul(n_batches.max(1))
+            .saturating_mul(entry);
+        let stride = worst.div_ceil(SNAPSHOT_BUDGET).max(1);
+
+        let mut batches = Vec::with_capacity(n_batches);
+        with_kernel(|ks| {
+            for lanes in ids.chunks(64) {
+                let mut stepper = BatchStepper::begin(
+                    circuit,
+                    &topo,
+                    targets,
+                    lanes,
+                    ks,
+                    &good_states[..n_ff],
+                    |_| Word3::broadcast(Logic::X),
+                );
+                let full_mask = stepper.full_mask();
+                let mut detected = 0u64;
+                let mut conflicts = vec![0u64; len];
+                let mut snapshots = vec![Vec::new(); len / stride + 1];
+                for t in 0..len {
+                    let mask = stepper.step(
+                        &good_rows[t * n_nets..(t + 1) * n_nets],
+                        &good_states[(t + 1) * n_ff..(t + 2) * n_ff],
+                    );
+                    conflicts[t] = mask;
+                    detected |= mask;
+                    if (t + 1) % stride == 0 {
+                        let mut snap = stepper.ff_diff().to_vec();
+                        snap.sort_unstable_by_key(|e| e.0);
+                        snapshots[(t + 1) / stride] = snap;
+                    }
+                }
+                stepper.finish();
+                let mut future_conflicts = vec![0u64; len + 1];
+                for t in (0..len).rev() {
+                    future_conflicts[t] = conflicts[t] | future_conflicts[t + 1];
+                }
+                batches.push(BatchRec {
+                    lanes: lanes.to_vec(),
+                    full_mask,
+                    detected,
+                    snapshots,
+                    future_conflicts,
+                });
+            }
+        });
+
+        TrialCheckpoints {
+            circuit,
+            targets,
+            seq,
+            topo,
+            n_nets,
+            n_ff,
+            len,
+            stride,
+            good_rows,
+            good_states,
+            batches,
+            total_lanes: ids.len(),
+        }
+    }
+
+    /// Number of vectors in the recorded sequence.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the recorded sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of target lanes.
+    pub fn total_lanes(&self) -> usize {
+        self.total_lanes
+    }
+
+    /// Number of target lanes the recorded (full-sequence) pass detected.
+    pub fn recorded_detected(&self) -> usize {
+        self.batches
+            .iter()
+            .map(|b| b.detected.count_ones() as usize)
+            .sum()
+    }
+
+    /// A prefix at time 0 (all-X states, nothing detected).
+    pub fn initial_prefix(&self) -> PrefixState {
+        PrefixState {
+            good: vec![Logic::X; self.n_ff],
+            lanes: self
+                .batches
+                .iter()
+                .map(|_| vec![Word3::broadcast(Logic::X); self.n_ff])
+                .collect(),
+            detected: vec![0; self.batches.len()],
+            n_detected: 0,
+            total_lanes: self.total_lanes,
+        }
+    }
+
+    #[inline]
+    fn good_row(&self, t: usize) -> &[Logic] {
+        &self.good_rows[t * self.n_nets..(t + 1) * self.n_nets]
+    }
+
+    #[inline]
+    fn good_state_before(&self, t: usize) -> &[Logic] {
+        &self.good_states[t * self.n_ff..(t + 1) * self.n_ff]
+    }
+
+    /// Applies original vector `t` to the prefix (the vector was kept).
+    ///
+    /// Batches whose lanes are all detected are skipped — their state can
+    /// no longer influence any trial verdict.
+    pub fn advance(&self, prefix: &mut PrefixState, t: usize) {
+        debug_assert!(t < self.len);
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            sc.row.resize(self.n_nets, Logic::X);
+            sc.next.resize(self.n_ff, Logic::X);
+            eval_row(
+                self.circuit,
+                self.seq.vector(t),
+                &prefix.good,
+                &mut sc.row,
+                &mut sc.next,
+            );
+            with_kernel(|ks| {
+                for (b, rec) in self.batches.iter().enumerate() {
+                    if prefix.detected[b] == rec.full_mask {
+                        continue;
+                    }
+                    let mut stepper = BatchStepper::begin(
+                        self.circuit,
+                        &self.topo,
+                        self.targets,
+                        &rec.lanes,
+                        ks,
+                        &prefix.good,
+                        |ff| prefix.lanes[b][ff],
+                    );
+                    let mask = stepper.step(&sc.row, &sc.next);
+                    stepper.write_final_states(&sc.next);
+                    stepper.finish();
+                    let fresh = mask & !prefix.detected[b];
+                    prefix.detected[b] |= mask;
+                    prefix.n_detected += fresh.count_ones() as usize;
+                    prefix.lanes[b].copy_from_slice(&ks.final_states);
+                }
+            });
+            prefix.good.copy_from_slice(&sc.next);
+        });
+    }
+
+    /// Decides the omission of original vector `skip`: does applying the
+    /// original vectors `skip+1..len` after `prefix` detect every target?
+    ///
+    /// Exact — bit-identical to simulating the shortened sequence from
+    /// scratch — but usually far cheaper thanks to the early-success and
+    /// convergence exits described in the module docs.
+    pub fn trial(&self, prefix: &PrefixState, skip: usize) -> bool {
+        debug_assert!(skip < self.len);
+        if prefix.n_detected == self.total_lanes {
+            return true; // the prefix alone already covers every target
+        }
+        let tail_start = skip + 1;
+        SCRATCH.with(|cell| {
+            let sc = &mut *cell.borrow_mut();
+            let (n_nets, n_ff) = (self.n_nets, self.n_ff);
+            let tail = self.len - tail_start;
+            if sc.rows.len() < tail * n_nets {
+                sc.rows.resize(tail * n_nets, Logic::X);
+            }
+            if sc.states.len() < (tail + 1) * n_ff {
+                sc.states.resize((tail + 1) * n_ff, Logic::X);
+            }
+
+            // --- Fault-free tail, stopped as soon as it re-joins the
+            // recorded trajectory: from `g_conv` on, rows and states come
+            // from the recording.
+            sc.states[..n_ff].copy_from_slice(&prefix.good);
+            let mut g_conv = self.len;
+            let mut fresh = 0usize;
+            while tail_start + fresh < self.len {
+                let u = tail_start + fresh;
+                if sc.states[fresh * n_ff..(fresh + 1) * n_ff] == *self.good_state_before(u) {
+                    g_conv = u;
+                    break;
+                }
+                let (head, rest) = sc.states.split_at_mut((fresh + 1) * n_ff);
+                eval_row(
+                    self.circuit,
+                    self.seq.vector(u),
+                    &head[fresh * n_ff..],
+                    &mut sc.rows[fresh * n_nets..(fresh + 1) * n_nets],
+                    &mut rest[..n_ff],
+                );
+                fresh += 1;
+            }
+
+            // --- Faulty batches, one at a time; the first lost batch sinks
+            // the trial.
+            with_kernel(|ks| {
+                for (b, rec) in self.batches.iter().enumerate() {
+                    let mut detected = prefix.detected[b];
+                    if detected == rec.full_mask {
+                        continue;
+                    }
+                    let mut stepper = BatchStepper::begin(
+                        self.circuit,
+                        &self.topo,
+                        self.targets,
+                        &rec.lanes,
+                        ks,
+                        &prefix.good,
+                        |ff| prefix.lanes[b][ff],
+                    );
+                    let mut verdict = None;
+                    for u in tail_start..self.len {
+                        let (row, next): (&[Logic], &[Logic]) = if u >= g_conv {
+                            (self.good_row(u), self.good_state_before(u + 1))
+                        } else {
+                            let i = u - tail_start;
+                            (
+                                &sc.rows[i * n_nets..(i + 1) * n_nets],
+                                &sc.states[(i + 1) * n_ff..(i + 2) * n_ff],
+                            )
+                        };
+                        detected |= stepper.step(row, next);
+                        if detected == rec.full_mask {
+                            verdict = Some(true); // every lane re-detected
+                            break;
+                        }
+                        let t1 = u + 1;
+                        if t1 >= g_conv && t1 % self.stride == 0 {
+                            let snap = &rec.snapshots[t1 / self.stride];
+                            if stepper.ff_diff().len() == snap.len() {
+                                sc.sorted.clear();
+                                sc.sorted.extend_from_slice(stepper.ff_diff());
+                                sc.sorted.sort_unstable_by_key(|e| e.0);
+                                if sc.sorted == *snap {
+                                    // Converged: the future equals the
+                                    // recording's, which detects exactly
+                                    // the `future_conflicts` lanes.
+                                    let undetected = rec.full_mask & !detected;
+                                    verdict = Some(undetected & !rec.future_conflicts[t1] == 0);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    stepper.finish();
+                    if !verdict.unwrap_or(false) {
+                        return false;
+                    }
+                }
+                true
+            })
+        })
+    }
+}

@@ -468,77 +468,151 @@ pub(crate) fn run_batch(
     batch: &[FaultId],
     s: &mut KernelScratch,
 ) -> BatchOutcome {
-    let circuit = ctx.circuit;
-    let topo = ctx.topo;
     let trace = ctx.trace;
-    let n_ff = circuit.dffs().len();
-    let n_comb = topo.gate_net.len();
     let len = trace.len;
-
-    s.table.load(ctx.faults, batch);
-    let full_mask = if batch.len() == 64 {
-        !0u64
-    } else {
-        (1u64 << batch.len()) - 1
-    };
-
-    // Split the batch's injection sites by what they force each time unit.
-    s.forced_src_pis.clear();
-    s.forced_src_ffs.clear();
-    s.forced_gate_pos.clear();
-    s.pin_forced_ffs.clear();
-    for &fid in batch {
-        let fault = ctx.faults.fault(fid);
-        match fault.site {
-            FaultSite::Stem(n) => match circuit.net(n).driver() {
-                Driver::Input => s.forced_src_pis.push(n.index() as u32),
-                Driver::Dff { .. } => s.forced_src_ffs.push(topo.dff_pos_of[n.index()]),
-                Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[n.index()]),
-            },
-            FaultSite::Branch(pin) => match circuit.net(pin.net).driver() {
-                Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[pin.net.index()]),
-                Driver::Dff { .. } => s.pin_forced_ffs.push(topo.dff_pos_of[pin.net.index()]),
-                Driver::Input => unreachable!("primary inputs have no fanin pins"),
-            },
-        }
-    }
-    for list in [
-        &mut s.forced_src_pis,
-        &mut s.forced_src_ffs,
-        &mut s.forced_gate_pos,
-        &mut s.pin_forced_ffs,
-    ] {
-        list.sort_unstable();
-        list.dedup();
-    }
-
-    // Initial sparse machine state: lanes loaded from the per-fault states,
-    // kept only where some lane differs from the fault-free state.
-    for (ff, &good) in trace.state_before(0).iter().enumerate() {
-        let mut word = Word3::broadcast(good);
-        for (lane, &fid) in batch.iter().enumerate() {
-            word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
-        }
-        if word != Word3::broadcast(good) {
-            s.ff_diff.push((ff as u32, word));
-            s.ff_in_diff[ff] = true;
-        }
-    }
+    let init = trace.state_before(0);
+    let mut stepper =
+        BatchStepper::begin(ctx.circuit, ctx.topo, ctx.faults, batch, s, init, |ff| {
+            let mut word = Word3::broadcast(init[ff]);
+            for (lane, &fid) in batch.iter().enumerate() {
+                word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
+            }
+            word
+        });
+    let full_mask = stepper.full_mask();
 
     let mut detected = 0u64;
     let mut times = [0u32; 64];
     let mut early = false;
-    let mut dense = false;
-
     for t in 0..len {
-        let row = trace.row(t);
+        let conflicts = stepper.step(trace.row(t), trace.state_before(t + 1));
+        let mut fresh = conflicts & !detected;
+        while fresh != 0 {
+            let lane = fresh.trailing_zeros() as usize;
+            fresh &= fresh - 1;
+            times[lane] = ctx.base_time + t as u32;
+            detected |= 1 << lane;
+        }
+        if detected == full_mask {
+            early = true;
+            break; // every fault in this batch is detected
+        }
+    }
+
+    if !early {
+        stepper.write_final_states(trace.end_state());
+    }
+    stepper.finish();
+    BatchOutcome { detected, times }
+}
+
+/// One batch of ≤64 faults stepped a time unit at a time.
+///
+/// [`run_batch`] drives a whole extension through it; the checkpointed
+/// trial engine (`crate::checkpoint`) uses it to resume batches from
+/// arbitrary per-lane machine states and to observe the sparse flip-flop
+/// divergence after every step. Word operations are lane-exact, so the
+/// per-step conflict masks and divergences are bit-identical to the dense
+/// reference engine regardless of the sparse/dense mode history.
+pub(crate) struct BatchStepper<'a, 'b> {
+    topo: &'a Topology,
+    s: &'b mut KernelScratch,
+    n_comb: usize,
+    full_mask: u64,
+    dense: bool,
+}
+
+impl<'a, 'b> BatchStepper<'a, 'b> {
+    /// Loads the injection table, splits the batch's injection sites and
+    /// seeds the sparse machine state. `seed(ff)` returns the absolute
+    /// per-lane state word of flip-flop `ff`; only words differing from
+    /// the broadcast fault-free state `good_init` are kept.
+    pub(crate) fn begin(
+        circuit: &Circuit,
+        topo: &'a Topology,
+        faults: &FaultList,
+        batch: &[FaultId],
+        s: &'b mut KernelScratch,
+        good_init: &[Logic],
+        seed: impl Fn(usize) -> Word3,
+    ) -> Self {
+        s.ensure(circuit, topo);
+        s.table.load(faults, batch);
+        let full_mask = if batch.len() == 64 {
+            !0u64
+        } else {
+            (1u64 << batch.len()) - 1
+        };
+
+        // Split the batch's injection sites by what they force each time unit.
+        s.forced_src_pis.clear();
+        s.forced_src_ffs.clear();
+        s.forced_gate_pos.clear();
+        s.pin_forced_ffs.clear();
+        for &fid in batch {
+            let fault = faults.fault(fid);
+            match fault.site {
+                FaultSite::Stem(n) => match circuit.net(n).driver() {
+                    Driver::Input => s.forced_src_pis.push(n.index() as u32),
+                    Driver::Dff { .. } => s.forced_src_ffs.push(topo.dff_pos_of[n.index()]),
+                    Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[n.index()]),
+                },
+                FaultSite::Branch(pin) => match circuit.net(pin.net).driver() {
+                    Driver::Gate { .. } => s.forced_gate_pos.push(topo.pos_of[pin.net.index()]),
+                    Driver::Dff { .. } => s.pin_forced_ffs.push(topo.dff_pos_of[pin.net.index()]),
+                    Driver::Input => unreachable!("primary inputs have no fanin pins"),
+                },
+            }
+        }
+        for list in [
+            &mut s.forced_src_pis,
+            &mut s.forced_src_ffs,
+            &mut s.forced_gate_pos,
+            &mut s.pin_forced_ffs,
+        ] {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        // Initial sparse machine state: kept only where some lane differs
+        // from the fault-free state.
+        for (ff, &good) in good_init.iter().enumerate() {
+            let word = seed(ff);
+            if word != Word3::broadcast(good) {
+                s.ff_diff.push((ff as u32, word));
+                s.ff_in_diff[ff] = true;
+            }
+        }
+
+        BatchStepper {
+            topo,
+            s,
+            n_comb: topo.gate_net.len(),
+            full_mask,
+            dense: false,
+        }
+    }
+
+    /// Lane mask covering exactly the batch's faults.
+    pub(crate) fn full_mask(&self) -> u64 {
+        self.full_mask
+    }
+
+    /// Simulates one time unit given the fault-free net values `row` and
+    /// the fault-free next state `good_next`, returning the raw primary-
+    /// output conflict mask (masked to the batch's lanes, *not* masked by
+    /// previously detected lanes — every lane keeps being simulated).
+    pub(crate) fn step(&mut self, row: &[Logic], good_next: &[Logic]) -> u64 {
+        let topo = self.topo;
+        let s = &mut *self.s;
+        let mut conflict_mask = 0u64;
 
         // --- Mode switch: once a batch's activity exceeds `1 / DENSE_FACTOR`
         // of the circuit, dirty-list bookkeeping costs more than it saves and
         // the batch finishes in dense mode (activity never drops — detected
         // lanes keep diverging until the whole batch is done).
-        if !dense && s.diverged_gates.len() * DENSE_FACTOR > n_comb {
-            dense = true;
+        if !self.dense && s.diverged_gates.len() * DENSE_FACTOR > self.n_comb {
+            self.dense = true;
             for &pos in &s.diverged_gates {
                 s.diverged[topo.gate_net[pos as usize] as usize] = false;
             }
@@ -552,7 +626,7 @@ pub(crate) fn run_batch(
         // next state is computed for every flip-flop. Word operations are
         // lane-exact either way, so results stay bit-identical to the
         // sparse path.
-        if dense {
+        if self.dense {
             for &p in &topo.pi {
                 s.diff[p as usize] = s
                     .table
@@ -567,7 +641,7 @@ pub(crate) fn run_batch(
                 let q = topo.dff_q[ffi as usize] as usize;
                 s.diff[q] = s.table.apply_stem_at(q, word);
             }
-            for pos in 0..n_comb {
+            for pos in 0..self.n_comb {
                 let out_net = topo.gate_net[pos] as usize;
                 let kind = topo.gate_kind[pos];
                 let fanins = topo.gate_fanins(pos);
@@ -591,21 +665,10 @@ pub(crate) fn run_batch(
                 if !good.is_binary() {
                     continue;
                 }
-                let conflicts = s.diff[o as usize].conflict_mask(Word3::broadcast(good));
-                let mut fresh = conflicts & full_mask & !detected;
-                while fresh != 0 {
-                    let lane = fresh.trailing_zeros() as usize;
-                    fresh &= fresh - 1;
-                    times[lane] = ctx.base_time + t as u32;
-                    detected |= 1 << lane;
-                }
-            }
-            if detected == full_mask {
-                early = true;
-                break;
+                conflict_mask |=
+                    s.diff[o as usize].conflict_mask(Word3::broadcast(good)) & self.full_mask;
             }
             s.ff_diff_next.clear();
-            let good_next = trace.state_before(t + 1);
             for (ffi, &good) in good_next.iter().enumerate() {
                 let q = topo.dff_q[ffi] as usize;
                 let w = s.table.apply_pin_at(q, 0, s.diff[topo.dff_d[ffi] as usize]);
@@ -620,7 +683,7 @@ pub(crate) fn run_batch(
                 s.ff_in_diff[ffi as usize] = true;
             }
             std::mem::swap(&mut s.ff_diff, &mut s.ff_diff_next);
-            continue;
+            return conflict_mask;
         }
 
         let mut hi = 0usize;
@@ -713,18 +776,7 @@ pub(crate) fn run_batch(
             if !good.is_binary() {
                 continue;
             }
-            let conflicts = s.diff[o].conflict_mask(Word3::broadcast(good));
-            let mut fresh = conflicts & full_mask & !detected;
-            while fresh != 0 {
-                let lane = fresh.trailing_zeros() as usize;
-                fresh &= fresh - 1;
-                times[lane] = ctx.base_time + t as u32;
-                detected |= 1 << lane;
-            }
-        }
-        if detected == full_mask {
-            early = true;
-            break; // every fault in this batch is detected
+            conflict_mask |= s.diff[o].conflict_mask(Word3::broadcast(good)) & self.full_mask;
         }
 
         // --- Next state: only flip-flops fed by a diverged net or carrying
@@ -754,7 +806,6 @@ pub(crate) fn run_batch(
             }
         }
         s.ff_diff_next.clear();
-        let good_next = trace.state_before(t + 1);
         for &ffi in &s.ff_candidates {
             s.ff_seen[ffi as usize] = false;
             let q = topo.dff_q[ffi as usize] as usize;
@@ -784,45 +835,56 @@ pub(crate) fn run_batch(
             s.diverged[n as usize] = false;
         }
         std::mem::swap(&mut s.diverged_gates, &mut s.diverged_gates_next);
+        conflict_mask
     }
 
-    // Machine state of surviving lanes: the fault-free end state overlaid
-    // with the sparse divergences.
-    if !early {
-        for (ff, &good) in trace.end_state().iter().enumerate() {
-            s.final_states[ff] = Word3::broadcast(good);
-        }
-        for &(ffi, word) in &s.ff_diff {
-            s.final_states[ffi as usize] = word;
-        }
-        debug_assert_eq!(trace.end_state().len(), n_ff);
+    /// The sparse machine state after the last [`step`](Self::step): the
+    /// flip-flops whose word differs from the broadcast of that step's
+    /// `good_next`, in no particular order.
+    pub(crate) fn ff_diff(&self) -> &[(u32, Word3)] {
+        &self.s.ff_diff
     }
 
-    // Return the scratch to its quiescent state (flags false, lists empty).
-    for &n in &s.src_diverged {
-        s.diverged[n as usize] = false;
-    }
-    for list in [&s.diverged_gates, &s.diverged_gates_next] {
-        for &pos in list.iter() {
-            s.diverged[topo.gate_net[pos as usize] as usize] = false;
+    /// Writes the batch's absolute machine state — the fault-free
+    /// `end_state` overlaid with the sparse divergences — into
+    /// [`KernelScratch::final_states`].
+    pub(crate) fn write_final_states(&mut self, end_state: &[Logic]) {
+        for (ff, &good) in end_state.iter().enumerate() {
+            self.s.final_states[ff] = Word3::broadcast(good);
+        }
+        for &(ffi, word) in &self.s.ff_diff {
+            self.s.final_states[ffi as usize] = word;
         }
     }
-    s.src_diverged.clear();
-    s.diverged_gates.clear();
-    s.diverged_gates_next.clear();
-    for list in [&s.ff_diff, &s.ff_diff_next] {
-        for &(ffi, _) in list.iter() {
-            s.ff_in_diff[ffi as usize] = false;
-        }
-    }
-    s.ff_diff.clear();
-    s.ff_diff_next.clear();
-    s.ff_candidates.clear();
-    debug_assert!(s.buckets.iter().all(Vec::is_empty));
-    debug_assert!(s.diverged.iter().all(|&d| !d));
-    debug_assert!(s.in_queue.iter().all(|&d| !d));
 
-    BatchOutcome { detected, times }
+    /// Returns the scratch to its quiescent state (flags false, lists
+    /// empty) so the next batch can reuse it.
+    pub(crate) fn finish(self) {
+        let s = self.s;
+        let topo = self.topo;
+        for &n in &s.src_diverged {
+            s.diverged[n as usize] = false;
+        }
+        for list in [&s.diverged_gates, &s.diverged_gates_next] {
+            for &pos in list.iter() {
+                s.diverged[topo.gate_net[pos as usize] as usize] = false;
+            }
+        }
+        s.src_diverged.clear();
+        s.diverged_gates.clear();
+        s.diverged_gates_next.clear();
+        for list in [&s.ff_diff, &s.ff_diff_next] {
+            for &(ffi, _) in list.iter() {
+                s.ff_in_diff[ffi as usize] = false;
+            }
+        }
+        s.ff_diff.clear();
+        s.ff_diff_next.clear();
+        s.ff_candidates.clear();
+        debug_assert!(s.buckets.iter().all(Vec::is_empty));
+        debug_assert!(s.diverged.iter().all(|&d| !d));
+        debug_assert!(s.in_queue.iter().all(|&d| !d));
+    }
 }
 
 /// Evaluates the gate at comb position `pos` in divergence space: fanins

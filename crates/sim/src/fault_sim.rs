@@ -241,17 +241,33 @@ impl<'a> SeqFaultSim<'a> {
     ///
     /// Panics if `state.len()` differs from the flip-flop count.
     pub fn with_state(circuit: &'a Circuit, faults: &'a FaultList, state: &[Logic]) -> Self {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.reset_with_state(state);
+        sim
+    }
+
+    /// Rewinds the simulator to time 0 with every machine (fault-free and
+    /// faulty) in the given state and no fault detected, reusing the
+    /// already-built topology — much cheaper than constructing a new
+    /// simulator when many independent tests are evaluated against the
+    /// same circuit and fault list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the flip-flop count.
+    pub fn reset_with_state(&mut self, state: &[Logic]) {
         assert_eq!(
             state.len(),
-            circuit.dffs().len(),
+            self.circuit.dffs().len(),
             "state length does not match flip-flop count"
         );
-        let mut sim = SeqFaultSim::new(circuit, faults);
-        sim.good_state.copy_from_slice(state);
-        for fs in &mut sim.fault_state {
+        self.good_state.copy_from_slice(state);
+        for fs in &mut self.fault_state {
             fs.copy_from_slice(state);
         }
-        sim
+        self.detected_at.fill(None);
+        self.n_detected = 0;
+        self.time = 0;
     }
 
     /// One-shot simulation of a whole sequence from the all-X state.
@@ -601,29 +617,96 @@ pub fn single_fault_detects(
     fault: limscan_fault::Fault,
     seq: &TestSequence,
 ) -> Option<u32> {
-    assert_eq!(
-        seq.width(),
-        circuit.inputs().len(),
-        "sequence width does not match circuit inputs"
-    );
-    let mut good_state = vec![Logic::X; circuit.dffs().len()];
-    let mut bad_state = good_state.clone();
-    let mut gv = vec![Logic::X; circuit.net_count()];
-    let mut bv = vec![Logic::X; circuit.net_count()];
+    let mut sim = SingleFaultSim::new(circuit, fault);
     for (t, v) in seq.iter().enumerate() {
-        load_sources(circuit, &mut gv, v, &good_state);
-        eval_comb(circuit, &mut gv);
-        load_sources(circuit, &mut bv, v, &bad_state);
-        crate::good::eval_comb_with(circuit, &mut bv, Some(fault));
-        for &o in circuit.outputs() {
-            if gv[o.index()].conflicts(bv[o.index()]) {
-                return Some(t as u32);
-            }
+        if sim.step(v) {
+            return Some(t as u32);
         }
-        good_state = next_state(circuit, &gv, None);
-        bad_state = next_state(circuit, &bv, Some(fault));
     }
     None
+}
+
+/// Scalar single-fault simulator with checkpointable machine states.
+///
+/// The resumable form of [`single_fault_detects`]: both machine states
+/// (fault-free and faulty) can be read after any step and written back
+/// later, so a caller evaluating many variations of a sequence — the inner
+/// loop of restoration-based compaction — can restart from a saved
+/// checkpoint instead of simulating the shared prefix again. Detection
+/// verdicts are identical to [`single_fault_detects`].
+pub struct SingleFaultSim<'a> {
+    circuit: &'a Circuit,
+    fault: limscan_fault::Fault,
+    good_state: Vec<Logic>,
+    bad_state: Vec<Logic>,
+    gv: Vec<Logic>,
+    bv: Vec<Logic>,
+}
+
+impl<'a> SingleFaultSim<'a> {
+    /// Creates a simulator at the all-X state.
+    pub fn new(circuit: &'a Circuit, fault: limscan_fault::Fault) -> Self {
+        SingleFaultSim {
+            circuit,
+            fault,
+            good_state: vec![Logic::X; circuit.dffs().len()],
+            bad_state: vec![Logic::X; circuit.dffs().len()],
+            gv: vec![Logic::X; circuit.net_count()],
+            bv: vec![Logic::X; circuit.net_count()],
+        }
+    }
+
+    /// Applies one input vector to both machines; returns whether the
+    /// fault is detected at this time unit (some primary output conflicts)
+    /// and advances both states either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn step(&mut self, inputs: &[Logic]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.inputs().len(),
+            "vector width does not match circuit inputs"
+        );
+        load_sources(self.circuit, &mut self.gv, inputs, &self.good_state);
+        eval_comb(self.circuit, &mut self.gv);
+        load_sources(self.circuit, &mut self.bv, inputs, &self.bad_state);
+        crate::good::eval_comb_with(self.circuit, &mut self.bv, Some(self.fault));
+        let mut detected = false;
+        for &o in self.circuit.outputs() {
+            if self.gv[o.index()].conflicts(self.bv[o.index()]) {
+                detected = true;
+                break;
+            }
+        }
+        self.good_state = next_state(self.circuit, &self.gv, None);
+        self.bad_state = next_state(self.circuit, &self.bv, Some(self.fault));
+        detected
+    }
+
+    /// The fault-free machine state after the last step.
+    pub fn good_state(&self) -> &[Logic] {
+        &self.good_state
+    }
+
+    /// The faulty machine state after the last step.
+    pub fn bad_state(&self) -> &[Logic] {
+        &self.bad_state
+    }
+
+    /// Restores a `(fault-free, faulty)` state checkpoint taken earlier
+    /// via [`good_state`](Self::good_state) / [`bad_state`](Self::bad_state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state's length differs from the flip-flop count.
+    pub fn set_states(&mut self, good: &[Logic], bad: &[Logic]) {
+        assert_eq!(good.len(), self.circuit.dffs().len(), "state length");
+        assert_eq!(bad.len(), self.circuit.dffs().len(), "state length");
+        self.good_state.copy_from_slice(good);
+        self.bad_state.copy_from_slice(bad);
+    }
 }
 
 pub(crate) fn load_sources(

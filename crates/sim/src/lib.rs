@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod comb;
 mod dictionary;
 mod engine;
@@ -47,10 +48,11 @@ mod logic;
 mod parallel;
 mod sequence;
 
+pub use checkpoint::{PrefixState, TrialCheckpoints};
 pub use comb::CombFaultSim;
 pub use dictionary::{FaultDictionary, Syndrome};
 pub use engine::{set_sim_threads, sim_threads};
-pub use fault_sim::{single_fault_detects, DetectionReport, SeqFaultSim};
+pub use fault_sim::{single_fault_detects, DetectionReport, SeqFaultSim, SingleFaultSim};
 pub use good::{eval_comb, eval_comb_with, next_state, SeqGoodSim};
 pub use logic::Logic;
 pub use parallel::Word3;

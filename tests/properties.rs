@@ -48,6 +48,44 @@ proptest! {
         prop_assert_eq!(c, back);
     }
 
+    /// Corrupting a well-formed `.bench` file is always a clean parse
+    /// error — correct line number, no panic — whatever the circuit and
+    /// whatever the junk.
+    #[test]
+    fn bench_format_rejects_malformed_lines(
+        spec in spec_strategy(),
+        junk_seed in any::<u64>(),
+    ) {
+        let c = synthetic(&spec);
+        let good = bench_format::write(&c);
+        let lines = good.lines().count();
+        // A pseudo-random lowercase token that matches no `.bench` form.
+        let junk: String = (0..1 + (junk_seed % 8))
+            .map(|i| char::from(b'a' + ((junk_seed >> (i * 5)) % 26) as u8))
+            .collect();
+
+        // A stray token line after a valid netlist.
+        let appended = format!("{good}{junk}\n");
+        let err = bench_format::parse(c.name(), &appended)
+            .expect_err("junk line must not parse");
+        prop_assert!(
+            matches!(err, limscan::netlist::NetlistError::Parse { line, .. }
+                if line == lines + 1),
+            "wrong error location: {err}"
+        );
+
+        // An unknown gate mnemonic.
+        let bad_gate = format!("{good}zz_{junk_id} = FROB(zz_{junk_id})\n",
+            junk_id = "x");
+        prop_assert!(bench_format::parse(c.name(), &bad_gate).is_err());
+
+        // Re-declaring an existing signal as a second primary input.
+        if let Some(first) = c.inputs().first() {
+            let dup = format!("INPUT({})\n{good}", c.net(*first).name());
+            prop_assert!(bench_format::parse(c.name(), &dup).is_err());
+        }
+    }
+
     /// Scan insertion with scan_sel = 0 never changes functional behaviour.
     #[test]
     fn scan_insertion_preserves_function(
@@ -113,6 +151,59 @@ proptest! {
                 report.detected_at(id),
                 single_fault_detects(cs, f, &seq),
                 "fault {} disagrees", f.display_name(cs)
+            );
+        }
+    }
+
+    /// Both compaction procedures keep their bookkeeping honest on any
+    /// circuit and any sequence: the output is never longer than the
+    /// input, every originally detected target stays detected, and
+    /// `extra_detected` matches a fresh from-scratch fault simulation of
+    /// the compacted sequence.
+    #[test]
+    fn compaction_bookkeeping_is_consistent(
+        spec in spec_strategy(),
+        raw in sequence_strategy(1, 32),
+    ) {
+        let c = synthetic(&spec);
+        let sc = ScanCircuit::insert(&c);
+        let cs = sc.circuit();
+        let faults = FaultList::collapsed(cs);
+        let mut seq = TestSequence::new(cs.inputs().len());
+        for (i, v) in raw.iter().enumerate() {
+            seq.push((0..cs.inputs().len()).map(|j| {
+                Logic::from_bool(v[0] == Logic::One || (i * 5 + j) % 7 < 3)
+            }).collect());
+        }
+        let before = SeqFaultSim::run(cs, &faults, &seq);
+
+        let outcomes = [
+            ("omission", omission(cs, &faults, &seq, 2)),
+            ("restoration", restoration(cs, &faults, &seq)),
+        ];
+        for (kind, out) in outcomes {
+            prop_assert!(
+                out.sequence.len() <= seq.len(),
+                "{kind} grew the sequence"
+            );
+            prop_assert_eq!(out.original_len, seq.len());
+            let after = SeqFaultSim::run(cs, &faults, &out.sequence);
+            let mut extra = 0usize;
+            for id in faults.ids() {
+                if before.is_detected(id) {
+                    prop_assert!(after.is_detected(id), "{} lost {:?}", kind, id);
+                } else if after.is_detected(id) {
+                    extra += 1;
+                }
+            }
+            prop_assert_eq!(
+                out.extra_detected, extra,
+                "{} extra_detected disagrees with a fresh run", kind
+            );
+            prop_assert_eq!(
+                out.target_count,
+                before.detected_count(),
+                "{} target_count must be the input coverage", kind
             );
         }
     }
