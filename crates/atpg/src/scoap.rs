@@ -8,7 +8,7 @@
 
 use limscan_netlist::{Circuit, Driver, GateKind, NetId};
 
-const INF: u32 = u32::MAX / 4;
+const INF: u32 = Scoap::UNREACHABLE;
 
 /// SCOAP measures for every net of a circuit's combinational frame.
 ///
@@ -31,6 +31,13 @@ pub struct Scoap {
 }
 
 impl Scoap {
+    /// Cost value meaning "not achievable": a net whose `cc0`/`cc1` reaches
+    /// this bound cannot be set to that value at all (for example the
+    /// output of a constant gate), and a net whose `co` reaches it cannot
+    /// be observed. Used by testability lint rules to separate "expensive"
+    /// from "impossible".
+    pub const UNREACHABLE: u32 = u32::MAX / 4;
+
     /// Computes the measures for `circuit`, treating flip-flop outputs as
     /// controllable frame inputs and flip-flop D nets as observable frame
     /// outputs.

@@ -80,6 +80,7 @@ fn main() {
 
 fn s27_flow() -> limscan::GenerationFlow {
     limscan::GenerationFlow::run(&benchmarks::s27(), &limscan::FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit")
 }
 
 fn print_sequence(sc: &ScanCircuit, seq: &TestSequence) {
@@ -179,7 +180,8 @@ fn chains_extension() {
                 max_faults: 800,
                 ..limscan::FlowConfig::default()
             };
-            let flow = limscan::GenerationFlow::run(&circuit, &config);
+            let flow = limscan::GenerationFlow::run(&circuit, &config)
+                .expect("flow runs on a lint-clean circuit");
             rows.push(vec![
                 if benchmarks::is_synthetic(name) {
                     format!("~{name}")

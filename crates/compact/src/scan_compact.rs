@@ -114,7 +114,7 @@ fn test_detections(sim: &mut SeqFaultSim, faults: &FaultList, test: &ScanTest) -
     let mut detected: Vec<usize> = faults
         .ids()
         .filter(|&id| sim.is_detected(id))
-        .map(|id| id.index())
+        .map(limscan_fault::FaultId::index)
         .collect();
     // Final state difference is observed by the scan-out.
     let good = sim.good_state().to_vec();

@@ -121,7 +121,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         max_faults,
         ..FlowConfig::default()
     };
-    let flow = GenerationFlow::run(&circuit, &config);
+    let flow = GenerationFlow::run(&circuit, &config).map_err(|e| e.to_string())?;
     let sequence = if compact {
         &flow.omitted.sequence
     } else {

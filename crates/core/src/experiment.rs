@@ -110,10 +110,11 @@ impl CircuitExperiment {
 
     /// Runs the experiment on an explicit circuit.
     pub fn run_on(name: &str, circuit: &Circuit, config: &ExperimentConfig) -> Self {
-        let generation = GenerationFlow::run(circuit, &config.flow);
-        let translation = config
-            .with_translation
-            .then(|| TranslationFlow::run(circuit, &config.flow));
+        let generation =
+            GenerationFlow::run(circuit, &config.flow).expect("flow runs on a lint-clean circuit");
+        let translation = config.with_translation.then(|| {
+            TranslationFlow::run(circuit, &config.flow).expect("flow runs on a lint-clean circuit")
+        });
         CircuitExperiment {
             name: name.to_owned(),
             synthetic: benchmarks::is_synthetic(name),

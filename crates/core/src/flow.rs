@@ -8,6 +8,8 @@
 //!   `[26]`-style pruning, translate it into a flat sequence (Section 3),
 //!   and compact that with the same restoration + omission pipeline.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,9 +21,121 @@ use limscan_compact::{
     CompactedSet, CompactionEngine,
 };
 use limscan_fault::FaultList;
-use limscan_netlist::Circuit;
+use limscan_lint::{Diagnostic, LintConfig, Linter, Severity};
+use limscan_netlist::{bench_format, Circuit, NetlistError};
 use limscan_scan::ScanCircuit;
 use limscan_sim::TestSequence;
+
+/// Why a flow refused to run.
+#[derive(Clone, Debug)]
+pub enum FlowError {
+    /// The lint gate found error-severity diagnostics: the circuit is
+    /// structurally unsound for simulation and generation. Carries every
+    /// error-severity finding, spans included.
+    Lint(Vec<Diagnostic>),
+    /// The source text could not be parsed or built at all (only possible
+    /// with the lint gate disabled, which otherwise reports the same
+    /// defects as diagnostics).
+    Netlist(NetlistError),
+    /// The circuit has no flip-flops; scan insertion does not apply.
+    NoFlipFlops,
+    /// `scan_chains` is zero or exceeds the flip-flop count.
+    ChainCount {
+        /// The configured chain count.
+        requested: usize,
+        /// The circuit's flip-flop count.
+        flip_flops: usize,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Lint(diags) => {
+                write!(f, "circuit fails lint with {} error(s)", diags.len())?;
+                if let Some(d) = diags.first() {
+                    write!(f, "; first: [{}] {}", d.code.code(), d.message)?;
+                    if let Some(line) = d.span.line() {
+                        write!(f, " (line {line})")?;
+                    }
+                }
+                Ok(())
+            }
+            FlowError::Netlist(e) => write!(f, "{e}"),
+            FlowError::NoFlipFlops => {
+                f.write_str("circuit has no flip-flops; scan insertion does not apply")
+            }
+            FlowError::ChainCount {
+                requested,
+                flip_flops,
+            } => write!(
+                f,
+                "cannot spread {flip_flops} flip-flop(s) over {requested} scan chain(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+/// The lint configuration the flow gate runs with: testability warnings
+/// can never gate a run, so the SCOAP pass is skipped.
+fn gate_linter() -> Linter {
+    Linter::with_config(LintConfig {
+        testability: false,
+        ..LintConfig::default()
+    })
+}
+
+/// Refuses circuits with error-severity lint findings.
+fn lint_gate(circuit: &Circuit) -> Result<(), FlowError> {
+    let report = gate_linter().lint_circuit(circuit);
+    if report.has_errors() {
+        return Err(FlowError::Lint(
+            report.filtered(Severity::Error).diagnostics().to_vec(),
+        ));
+    }
+    Ok(())
+}
+
+/// Parses `.bench` source for a flow entry point. With `lint` enabled the
+/// permissive parse is linted first, so structural defects (cycles,
+/// multiple drivers, bad arities, ...) surface as [`FlowError::Lint`]
+/// diagnostics with line spans — all of them, not just the first — before
+/// any simulation work starts.
+fn build_source(name: &str, source: &str, lint: bool) -> Result<Circuit, FlowError> {
+    let raw = bench_format::parse_raw(name, source);
+    if lint {
+        let report = gate_linter().lint_raw(&raw);
+        if report.has_errors() {
+            return Err(FlowError::Lint(
+                report.filtered(Severity::Error).diagnostics().to_vec(),
+            ));
+        }
+    }
+    Ok(raw.build()?)
+}
+
+/// Validates flip-flop and chain-count preconditions.
+fn check_scannable(circuit: &Circuit, chains: usize) -> Result<(), FlowError> {
+    let n_ff = circuit.dffs().len();
+    if n_ff == 0 {
+        return Err(FlowError::NoFlipFlops);
+    }
+    if chains == 0 || chains > n_ff {
+        return Err(FlowError::ChainCount {
+            requested: chains,
+            flip_flops: n_ff,
+        });
+    }
+    Ok(())
+}
 
 /// Which test generation engine drives the generation flow.
 #[derive(Clone, Debug, Default)]
@@ -60,6 +174,11 @@ pub struct FlowConfig {
     pub scan_chains: usize,
     /// Seed for random X-specification during translation.
     pub seed: u64,
+    /// Whether to run the error-severity lint gate before any generation
+    /// work (default `true`). Circuits with structural or scan-integrity
+    /// errors are refused with [`FlowError::Lint`] instead of feeding the
+    /// simulators undefined structures.
+    pub lint: bool,
 }
 
 impl Default for FlowConfig {
@@ -73,6 +192,7 @@ impl Default for FlowConfig {
             max_faults: 0,
             scan_chains: 1,
             seed: 0xda7e_2003,
+            lint: true,
         }
     }
 }
@@ -119,10 +239,36 @@ pub struct GenerationFlow {
 impl GenerationFlow {
     /// Runs the full generation flow on the original circuit.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `circuit` has no flip-flops.
-    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Self {
+    /// [`FlowError::Lint`] when the lint gate (enabled by
+    /// [`FlowConfig::lint`]) finds error-severity diagnostics,
+    /// [`FlowError::NoFlipFlops`] for combinational circuits, and
+    /// [`FlowError::ChainCount`] for an unusable `scan_chains` setting.
+    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+        if config.lint {
+            lint_gate(circuit)?;
+        }
+        Self::run_validated(circuit, config)
+    }
+
+    /// Parses `.bench` source text and runs the generation flow on it.
+    /// With the lint gate enabled, structural defects are reported as
+    /// [`FlowError::Lint`] diagnostics with line spans — all of them, not
+    /// just the first the validating parser would stop at.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`FlowError::Netlist`] when the source
+    /// does not build and the gate is disabled.
+    pub fn run_source(name: &str, source: &str, config: &FlowConfig) -> Result<Self, FlowError> {
+        let circuit = build_source(name, source, config.lint)?;
+        // The source lint already covered the built form's rule families.
+        Self::run_validated(&circuit, config)
+    }
+
+    fn run_validated(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+        check_scannable(circuit, config.scan_chains)?;
         let scan = ScanCircuit::insert_chains(circuit, config.scan_chains);
         let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
         let generated = match &config.engine {
@@ -146,13 +292,13 @@ impl GenerationFlow {
             config.omission_passes,
             config.compaction,
         );
-        GenerationFlow {
+        Ok(GenerationFlow {
             scan,
             faults,
             generated,
             restored,
             omitted,
-        }
+        })
     }
 
     /// Scan vectors (`scan_sel = 1`) in the generated sequence.
@@ -192,12 +338,36 @@ pub struct TranslationFlow {
 }
 
 impl TranslationFlow {
-    /// Runs the full translation flow on the original circuit.
+    /// Runs the full translation flow on the original circuit. The
+    /// translation flow always uses a single scan chain, so
+    /// [`FlowConfig::scan_chains`] is ignored here.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `circuit` has no flip-flops.
-    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Self {
+    /// [`FlowError::Lint`] when the lint gate finds error-severity
+    /// diagnostics and [`FlowError::NoFlipFlops`] for combinational
+    /// circuits.
+    pub fn run(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+        if config.lint {
+            lint_gate(circuit)?;
+        }
+        Self::run_validated(circuit, config)
+    }
+
+    /// Parses `.bench` source text and runs the translation flow on it
+    /// (see [`GenerationFlow::run_source`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`FlowError::Netlist`] when the source
+    /// does not build and the gate is disabled.
+    pub fn run_source(name: &str, source: &str, config: &FlowConfig) -> Result<Self, FlowError> {
+        let circuit = build_source(name, source, config.lint)?;
+        Self::run_validated(&circuit, config)
+    }
+
+    fn run_validated(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+        check_scannable(circuit, 1)?;
         let scan = ScanCircuit::insert(circuit);
         // The baseline targets faults of the original circuit (that is all
         // a conventional tool sees).
@@ -217,7 +387,7 @@ impl TranslationFlow {
             config.omission_passes,
             config.compaction,
         );
-        TranslationFlow {
+        Ok(TranslationFlow {
             scan,
             faults,
             baseline,
@@ -225,7 +395,7 @@ impl TranslationFlow {
             translated,
             restored,
             omitted,
-        }
+        })
     }
 
     /// Scan vectors in the translated sequence.
@@ -252,7 +422,7 @@ mod tests {
 
     #[test]
     fn generation_flow_is_monotone_in_length() {
-        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default()).unwrap();
         assert!(flow.restored.sequence.len() <= flow.generated.sequence.len());
         assert!(flow.omitted.sequence.len() <= flow.restored.sequence.len());
         assert!(flow.restored_scan_vectors() <= flow.generated_scan_vectors());
@@ -260,7 +430,7 @@ mod tests {
 
     #[test]
     fn generation_flow_compaction_keeps_coverage() {
-        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default()).unwrap();
         let final_report =
             SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.omitted.sequence);
         assert!(
@@ -275,14 +445,15 @@ mod tests {
     fn reference_engine_reproduces_the_incremental_flow() {
         // The flow-level knob dispatches to the oracle implementations,
         // which must produce the exact same compacted sequences.
-        let incremental = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let incremental = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default()).unwrap();
         let reference = GenerationFlow::run(
             &benchmarks::s27(),
             &FlowConfig {
                 compaction: CompactionEngine::Reference,
                 ..FlowConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(incremental.restored.sequence, reference.restored.sequence);
         assert_eq!(incremental.omitted.sequence, reference.omitted.sequence);
         assert_eq!(
@@ -295,7 +466,7 @@ mod tests {
     fn translation_flow_beats_the_baseline_cycles() {
         // The headline claim of Table 7: compacting the translated sequence
         // beats the cycle count of the scan-specifically compacted set.
-        let flow = TranslationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+        let flow = TranslationFlow::run(&benchmarks::s27(), &FlowConfig::default()).unwrap();
         assert_eq!(
             flow.translated.len(),
             flow.baseline_compacted.set.application_cycles(),
@@ -315,7 +486,7 @@ mod tests {
             engine: Engine::Genetic(limscan_atpg::genetic::GeneticConfig::default()),
             ..FlowConfig::default()
         };
-        let flow = GenerationFlow::run(&benchmarks::s27(), &config);
+        let flow = GenerationFlow::run(&benchmarks::s27(), &config).unwrap();
         assert!(flow.generated.report.detected_count() > 0);
         assert!(flow.omitted.sequence.len() <= flow.generated.sequence.len());
         // Compaction still preserves everything the engine detected.
@@ -329,7 +500,79 @@ mod tests {
             max_faults: 20,
             ..FlowConfig::default()
         };
-        let flow = GenerationFlow::run(&benchmarks::s27(), &config);
+        let flow = GenerationFlow::run(&benchmarks::s27(), &config).unwrap();
         assert_eq!(flow.faults.len(), 20);
+    }
+
+    const CYCLIC_SRC: &str = "\
+INPUT(a)
+OUTPUT(y)
+y = AND(a, q)
+q = DFF(g)
+g = NOT(y)
+loopy = OR(loopy, a)
+";
+
+    #[test]
+    fn lint_gate_refuses_cyclic_source_with_spans() {
+        let err = GenerationFlow::run_source("cyc", CYCLIC_SRC, &FlowConfig::default())
+            .expect_err("cyclic circuit must be refused");
+        let FlowError::Lint(diags) = err else {
+            panic!("expected a lint error, got {err:?}");
+        };
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code.code(), "L001");
+        assert_eq!(diags[0].span.line(), Some(6), "points at the self-loop");
+        // The translation flow shares the same gate.
+        let err = TranslationFlow::run_source("cyc", CYCLIC_SRC, &FlowConfig::default())
+            .expect_err("cyclic circuit must be refused");
+        assert!(matches!(err, FlowError::Lint(_)));
+    }
+
+    #[test]
+    fn disabling_the_gate_falls_back_to_the_parser_error() {
+        let config = FlowConfig {
+            lint: false,
+            ..FlowConfig::default()
+        };
+        let err = GenerationFlow::run_source("cyc", CYCLIC_SRC, &config)
+            .expect_err("the builder still rejects cycles");
+        assert!(matches!(err, FlowError::Netlist(_)), "{err:?}");
+    }
+
+    #[test]
+    fn combinational_circuits_are_a_typed_error() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let err = GenerationFlow::run_source("comb", src, &FlowConfig::default())
+            .expect_err("no flip-flops to scan");
+        assert!(matches!(err, FlowError::NoFlipFlops));
+        assert!(err.to_string().contains("no flip-flops"));
+    }
+
+    #[test]
+    fn bad_chain_counts_are_a_typed_error() {
+        let config = FlowConfig {
+            scan_chains: 99,
+            ..FlowConfig::default()
+        };
+        let err = GenerationFlow::run(&benchmarks::s27(), &config)
+            .expect_err("s27 has only 3 flip-flops");
+        assert!(
+            matches!(
+                err,
+                FlowError::ChainCount {
+                    requested: 99,
+                    flip_flops: 3
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn clean_source_runs_end_to_end() {
+        let text = limscan_netlist::bench_format::write(&benchmarks::s27());
+        let flow = GenerationFlow::run_source("s27", &text, &FlowConfig::default()).unwrap();
+        assert!(flow.generated.report.detected_count() > 0);
     }
 }

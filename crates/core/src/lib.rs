@@ -23,6 +23,7 @@
 //! | scan | [`scan`] | scan insertion, `(SI, T)` tests, Section-3 translation |
 //! | generation | [`atpg`] | PODEM, Section-2 sequential generator, baselines |
 //! | compaction | [`compact`] | vector restoration \[23\], omission \[22\], scan-set pruning \[26\] |
+//! | diagnostics | [`lint`] | static lint/DRC rules over netlists and scan chains |
 //! | flows | this crate | the end-to-end pipelines and experiment harness |
 //!
 //! ## Quick start
@@ -30,8 +31,9 @@
 //! ```
 //! use limscan::{benchmarks, FlowConfig, GenerationFlow};
 //!
+//! # fn main() -> Result<(), limscan::FlowError> {
 //! let circuit = benchmarks::s27();
-//! let flow = GenerationFlow::run(&circuit, &FlowConfig::default());
+//! let flow = GenerationFlow::run(&circuit, &FlowConfig::default())?;
 //! println!(
 //!     "coverage {:.2}% with {} vectors ({} scan), compacted to {} ({} scan)",
 //!     flow.generated.report.coverage_percent(),
@@ -41,7 +43,14 @@
 //!     flow.omitted_scan_vectors(),
 //! );
 //! assert!(flow.omitted.sequence.len() <= flow.generated.sequence.len());
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Flows run an error-severity lint gate first (see [`lint`]): structurally
+//! unsound circuits are refused with a typed [`FlowError`] instead of
+//! feeding the simulators undefined structures. Disable it with
+//! [`FlowConfig::lint`]` = false`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,11 +59,12 @@ mod experiment;
 mod flow;
 
 pub use experiment::{CircuitExperiment, ExperimentConfig, Table5Row, Table6Row, Table7Row};
-pub use flow::{Engine, FlowConfig, GenerationFlow, TranslationFlow};
+pub use flow::{Engine, FlowConfig, FlowError, GenerationFlow, TranslationFlow};
 
 pub use limscan_atpg as atpg;
 pub use limscan_compact as compact;
 pub use limscan_fault as fault;
+pub use limscan_lint as lint;
 pub use limscan_netlist as netlist;
 pub use limscan_scan as scan;
 pub use limscan_sim as sim;

@@ -1,0 +1,333 @@
+//! Static lint/DRC diagnostics for limscan netlists and scan chains.
+//!
+//! The limscan construction APIs are *validating*: [`CircuitBuilder`]
+//! rejects the first structural defect it meets and the simulation and
+//! generation layers assume their invariants hold. This crate is the
+//! diagnostic counterpart — a rule engine that inspects a netlist (in its
+//! permissive [`RawNetlist`] form, so *every* defect is visible, not just
+//! the first) and reports findings with stable rule codes, severities, and
+//! `.bench` source spans.
+//!
+//! # Rule catalog
+//!
+//! | Code | Rule | Severity |
+//! |------|------|----------|
+//! | `L000` | syntax-error | error |
+//! | `L001` | combinational-cycle | error |
+//! | `L002` | undriven-net | error |
+//! | `L003` | multiply-driven-net | error |
+//! | `L004` | dangling-gate | warning |
+//! | `L005` | bad-fanin-arity | error |
+//! | `L006` | nothing-observable | error |
+//! | `L101` | missing-scan-mux | error |
+//! | `L102` | chain-order | error |
+//! | `L103` | scan-port-wiring | error |
+//! | `L104` | chain-length | error |
+//! | `L201` | hard-to-control | warning |
+//! | `L202` | hard-to-observe | warning |
+//! | `L203` | x-source | warning |
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_lint::{Linter, Severity};
+//!
+//! let report = Linter::new().lint_source("broken", "INPUT(a)\nOUTPUT(y)\ny = NOT(y)\n");
+//! assert!(report.has_errors());
+//! let d = &report.diagnostics()[0];
+//! assert_eq!(d.code.code(), "L001");
+//! assert_eq!(d.span.line(), Some(3));
+//! assert_eq!(d.severity, Severity::Error);
+//! ```
+//!
+//! [`CircuitBuilder`]: limscan_netlist::CircuitBuilder
+
+mod diag;
+mod scan_rules;
+mod structural;
+mod testability;
+
+use std::collections::HashMap;
+
+use limscan_atpg::Scoap;
+use limscan_netlist::raw::RawNetlist;
+use limscan_netlist::{bench_format, Circuit, Span};
+use limscan_scan::ScanCircuit;
+
+pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
+
+use scan_rules::ScanInfo;
+
+/// Tunable knobs for a lint run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintConfig {
+    /// Input name identifying the scan select when linting bare circuits
+    /// (a [`ScanCircuit`] carries exact metadata instead).
+    pub scan_sel_name: String,
+    /// Input-name prefix identifying scan chain inputs (`scan_inp`,
+    /// `scan_inp0`, `scan_inp1`, ...).
+    pub scan_inp_prefix: String,
+    /// SCOAP controllability at or above this cost raises `L201`. The
+    /// default, [`Scoap::UNREACHABLE`], flags only impossible values.
+    pub control_threshold: u32,
+    /// SCOAP observability at or above this cost raises `L202`. The
+    /// default, [`Scoap::UNREACHABLE`], flags only unobservable nets.
+    pub observe_threshold: u32,
+    /// Per-rule finding cap; excess findings are summarised in one info
+    /// diagnostic. `0` means unlimited.
+    pub max_per_rule: usize,
+    /// Whether to run the (comparatively expensive) SCOAP-based `L2xx`
+    /// rules.
+    pub testability: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            scan_sel_name: "scan_sel".to_owned(),
+            scan_inp_prefix: "scan_inp".to_owned(),
+            control_threshold: Scoap::UNREACHABLE,
+            observe_threshold: Scoap::UNREACHABLE,
+            max_per_rule: 20,
+            testability: true,
+        }
+    }
+}
+
+/// The rule engine. Construct one (optionally with a custom
+/// [`LintConfig`]) and feed it sources, raw netlists, circuits, or scan
+/// circuits.
+#[derive(Clone, Debug, Default)]
+pub struct Linter {
+    config: LintConfig,
+}
+
+impl Linter {
+    /// A linter with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A linter with a custom configuration.
+    pub fn with_config(config: LintConfig) -> Self {
+        Linter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LintConfig {
+        &self.config
+    }
+
+    /// Lints `.bench` source text. Structural rules run on the permissive
+    /// parse; when the netlist also builds into a valid [`Circuit`], the
+    /// scan-integrity rules (if scan ports are detected by name) and
+    /// testability rules run too.
+    pub fn lint_source(&self, name: &str, source: &str) -> LintReport {
+        self.lint_raw(&bench_format::parse_raw(name, source))
+    }
+
+    /// Lints an already-parsed raw netlist (see
+    /// [`lint_source`](Self::lint_source)).
+    pub fn lint_raw(&self, raw: &RawNetlist) -> LintReport {
+        let mut diags = structural::check(raw);
+        if let Ok(c) = raw.build() {
+            // Structural dangling detection already ran on the raw form;
+            // only add the semantic rule families here.
+            diags.extend(self.semantic_rules(&c, None));
+        }
+        self.finish(diags)
+    }
+
+    /// Lints a built circuit: dangling-gate detection, scan-integrity
+    /// rules (when scan ports are detected by input name), and
+    /// testability rules. Structural errors cannot occur — the builder
+    /// already rejects them.
+    pub fn lint_circuit(&self, circuit: &Circuit) -> LintReport {
+        let mut diags = self.dangling_rules(circuit);
+        diags.extend(self.semantic_rules(circuit, None));
+        self.finish(diags)
+    }
+
+    /// Lints a [`ScanCircuit`] using its exact chain metadata instead of
+    /// name-based port detection.
+    pub fn lint_scan(&self, sc: &ScanCircuit) -> LintReport {
+        let mut diags = self.dangling_rules(sc.circuit());
+        diags.extend(self.semantic_rules(sc.circuit(), Some(ScanInfo::from_scan_circuit(sc))));
+        self.finish(diags)
+    }
+
+    /// `L004` over a built circuit (the raw-form path has its own copy).
+    fn dangling_rules(&self, c: &Circuit) -> Vec<Diagnostic> {
+        if c.outputs().is_empty() && c.dffs().is_empty() {
+            // Unreachable through the builder (NothingObservable), but a
+            // guard keeps the rule total.
+            return vec![Diagnostic::new(
+                RuleCode::NothingObservable,
+                Span::NONE,
+                "circuit has no primary outputs and no flip-flops; nothing is observable",
+            )];
+        }
+        let mask = c.observation_mask();
+        let mut out = Vec::new();
+        for &id in c.comb_order() {
+            if !mask[id.index()] {
+                let name = c.net(id).name();
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::DanglingGate,
+                        c.span(id),
+                        format!(
+                            "gate `{name}` drives no primary output or flip-flop in any \
+                             time frame"
+                        ),
+                    )
+                    .with_net(name)
+                    .with_suggestion(format!("add OUTPUT({name}) or remove the dead logic")),
+                );
+            }
+        }
+        out
+    }
+
+    /// Scan-integrity + testability rule families over a valid circuit.
+    fn semantic_rules(&self, c: &Circuit, scan: Option<ScanInfo>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let info = scan.or_else(|| {
+            ScanInfo::detect(c, &self.config.scan_sel_name, &self.config.scan_inp_prefix)
+        });
+        if let Some(info) = info {
+            out.extend(scan_rules::check(c, &info));
+        }
+        if self.config.testability {
+            out.extend(testability::check(c, &self.config));
+        }
+        out
+    }
+
+    /// Sorts, applies the per-rule cap, and wraps into a report.
+    fn finish(&self, diags: Vec<Diagnostic>) -> LintReport {
+        let sorted = LintReport::new(diags);
+        if self.config.max_per_rule == 0 {
+            return sorted;
+        }
+        let mut kept: Vec<Diagnostic> = Vec::new();
+        let mut counts: HashMap<RuleCode, usize> = HashMap::new();
+        let mut suppressed: HashMap<RuleCode, usize> = HashMap::new();
+        for d in sorted.diagnostics() {
+            let n = counts.entry(d.code).or_insert(0);
+            *n += 1;
+            if *n <= self.config.max_per_rule {
+                kept.push(d.clone());
+            } else {
+                *suppressed.entry(d.code).or_insert(0) += 1;
+            }
+        }
+        let mut codes: Vec<(&RuleCode, &usize)> = suppressed.iter().collect();
+        codes.sort();
+        for (&code, &n) in codes {
+            let mut note = Diagnostic::new(
+                code,
+                Span::NONE,
+                format!(
+                    "{n} more {} finding(s) suppressed (max_per_rule = {})",
+                    code.code(),
+                    self.config.max_per_rule
+                ),
+            );
+            note.severity = Severity::Info;
+            kept.push(note);
+        }
+        LintReport::new(kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use limscan_netlist::benchmarks;
+    use limscan_scan::ScanCircuit;
+
+    use super::*;
+
+    #[test]
+    fn embedded_benchmarks_are_error_clean() {
+        let linter = Linter::new();
+        assert!(linter
+            .lint_circuit(&benchmarks::s27())
+            .is_clean(Severity::Error));
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        assert!(linter.lint_scan(&sc).is_clean(Severity::Error));
+    }
+
+    #[test]
+    fn source_lint_reports_every_defect_not_just_the_first() {
+        let src = "\
+INPUT(a)
+INPUT(a)
+OUTPUT(y)
+y = AND(a, ghost)
+z = NOT(y)
+";
+        let report = Linter::new().lint_source("multi", src);
+        let codes: Vec<&str> = report.diagnostics().iter().map(|d| d.code.code()).collect();
+        // Duplicate input, missing fanin — both reported even though the
+        // validating parser would stop at the first.
+        assert!(codes.contains(&"L003"), "{codes:?}");
+        assert!(codes.contains(&"L002"), "{codes:?}");
+    }
+
+    #[test]
+    fn scan_sourced_bench_text_round_trips_clean() {
+        let sc = ScanCircuit::insert_chains(&benchmarks::s27(), 2);
+        let text = limscan_netlist::bench_format::write(sc.circuit());
+        let report = Linter::new().lint_source("s27_scan", &text);
+        assert!(
+            report.is_clean(Severity::Error),
+            "{}",
+            report.render_human("s27_scan")
+        );
+    }
+
+    #[test]
+    fn per_rule_cap_suppresses_with_an_info_note() {
+        // 6 dangling gates with a cap of 2.
+        let mut src = String::from("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+        for i in 0..6 {
+            src.push_str(&format!("dead{i} = NOT(a)\n"));
+        }
+        let linter = Linter::with_config(LintConfig {
+            max_per_rule: 2,
+            ..LintConfig::default()
+        });
+        let report = linter.lint_source("capped", &src);
+        let dangling = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == RuleCode::DanglingGate && d.severity == Severity::Warning)
+            .count();
+        assert_eq!(dangling, 2);
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.severity == Severity::Info && d.message.contains("4 more")));
+    }
+
+    #[test]
+    fn testability_can_be_switched_off() {
+        let mut b = limscan_netlist::CircuitBuilder::new("locked");
+        b.input("a");
+        b.gate("zero", limscan_netlist::GateKind::Const0, &[])
+            .unwrap();
+        b.gate("y", limscan_netlist::GateKind::And, &["a", "zero"])
+            .unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let on = Linter::new().lint_circuit(&c);
+        assert!(!on.is_clean(Severity::Warning));
+        let off = Linter::with_config(LintConfig {
+            testability: false,
+            ..LintConfig::default()
+        })
+        .lint_circuit(&c);
+        assert!(off.is_clean(Severity::Warning), "{off:?}");
+    }
+}

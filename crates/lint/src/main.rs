@@ -1,0 +1,217 @@
+//! `limscan-lint` — static lint/DRC diagnostics for `.bench` netlists and
+//! scan circuits.
+//!
+//! ```text
+//! limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
+//!              [--min-severity error|warning|info] [--scoap-threshold N]
+//!              [--no-testability]
+//! limscan-lint --self-check [--json]
+//! ```
+//!
+//! Exit code 0 when no error-severity findings remain, 1 when the circuit
+//! has errors, 2 on usage or I/O problems.
+
+use std::process::ExitCode;
+
+use limscan_lint::{LintConfig, Linter, Severity};
+use limscan_netlist::{bench_format, benchmarks};
+use limscan_scan::ScanCircuit;
+
+const USAGE: &str = "usage:
+  limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
+               [--min-severity error|warning|info] [--scoap-threshold N]
+               [--no-testability]
+  limscan-lint --self-check [--json]
+
+Lints a netlist and prints findings as `file:line: severity[CODE] rule:
+message` lines (or a JSON array with --json). --chains N inserts N scan
+chains first and lints the scanned circuit against its chain metadata.
+--self-check lints every embedded benchmark, bare and scan-inserted, and
+fails if any produces an error-severity finding.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        eprintln!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let result = if args.iter().any(|a| a == "--self-check") {
+        self_check(&args)
+    } else {
+        lint_one(&args)
+    };
+    match result {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn config_from(args: &[String]) -> Result<LintConfig, String> {
+    let mut config = LintConfig::default();
+    if let Some(v) = flag_value(args, "--scoap-threshold") {
+        let t: u32 = v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --scoap-threshold"))?;
+        config.control_threshold = t;
+        config.observe_threshold = t;
+    }
+    if args.iter().any(|a| a == "--no-testability") {
+        config.testability = false;
+    }
+    Ok(config)
+}
+
+/// Lints one circuit; returns whether it is error-clean.
+fn lint_one(args: &[String]) -> Result<bool, String> {
+    let value_flags = ["--chains", "--min-severity", "--scoap-threshold"];
+    let mut target: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if value_flags.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            target = Some(a);
+            break;
+        }
+    }
+    let target = target.ok_or("missing circuit argument")?;
+    let json = args.iter().any(|a| a == "--json");
+    let min = match flag_value(args, "--min-severity") {
+        None => Severity::Info,
+        Some(v) => {
+            Severity::parse(v).ok_or_else(|| format!("invalid value `{v}` for --min-severity"))?
+        }
+    };
+    let chains: usize = match flag_value(args, "--chains") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --chains"))?,
+    };
+    let linter = Linter::with_config(config_from(args)?);
+
+    // A `.bench` path (or file argument) lints from source so findings
+    // carry line spans; a benchmark name lints the written-out netlist for
+    // the same effect.
+    let (label, source) = if target.ends_with(".bench") || target.contains('/') {
+        let source =
+            std::fs::read_to_string(target).map_err(|e| format!("cannot read {target}: {e}"))?;
+        (target.clone(), source)
+    } else {
+        let c = benchmarks::load(target)
+            .ok_or_else(|| format!("`{target}` is neither a .bench file nor a known benchmark"))?;
+        (target.clone(), bench_format::write(&c))
+    };
+
+    let report = if chains > 0 {
+        let c = bench_format::parse(&label, &source)
+            .map_err(|e| format!("{label}: cannot build circuit for --chains: {e}"))?;
+        if c.dffs().is_empty() {
+            return Err(format!(
+                "{label}: circuit has no flip-flops; --chains does not apply"
+            ));
+        }
+        if chains > c.dffs().len() {
+            return Err(format!(
+                "--chains must be between 1 and the flip-flop count ({})",
+                c.dffs().len()
+            ));
+        }
+        linter.lint_scan(&ScanCircuit::insert_chains(&c, chains))
+    } else {
+        linter.lint_source(&label, &source)
+    };
+
+    let shown = report.filtered(min);
+    if json {
+        println!("{}", shown.render_json(&label));
+    } else {
+        println!("{}", shown.render_human(&label));
+    }
+    Ok(!report.has_errors())
+}
+
+/// Lints every embedded benchmark, bare and scan-inserted; returns whether
+/// all are error-clean.
+fn self_check(args: &[String]) -> Result<bool, String> {
+    let json = args.iter().any(|a| a == "--json");
+    let linter = Linter::with_config(config_from(args)?);
+
+    let mut names: Vec<&str> = vec!["s27"];
+    for suite in [
+        benchmarks::iscas89_suite(),
+        benchmarks::itc99_suite(),
+        benchmarks::table7_suite(),
+    ] {
+        for &n in suite {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+
+    let mut all_clean = true;
+    let mut json_items: Vec<String> = Vec::new();
+    for name in names {
+        let c = benchmarks::load(name)
+            .ok_or_else(|| format!("embedded benchmark `{name}` failed to load"))?;
+        // Lint the written-out source (line spans + structural rules) and
+        // the scan-inserted circuit (chain metadata rules).
+        let source_report = linter.lint_source(name, &bench_format::write(&c));
+        let scan_report = linter.lint_scan(&ScanCircuit::insert(&c));
+        let clean = !source_report.has_errors() && !scan_report.has_errors();
+        all_clean &= clean;
+        if json {
+            json_items.push(format!(
+                "{{\"benchmark\":\"{name}\",\"clean\":{clean},\"bare\":{},\"scan\":{}}}",
+                source_report.render_json(name),
+                scan_report.render_json(&format!("{name}_scan")),
+            ));
+        } else {
+            println!(
+                "{name}: {} ({} finding(s) bare, {} scan-inserted)",
+                if clean { "ok" } else { "FAIL" },
+                source_report.diagnostics().len(),
+                scan_report.diagnostics().len(),
+            );
+            for d in source_report.diagnostics() {
+                println!("  {}", d.render_human(name).replace('\n', "\n  "));
+            }
+            for d in scan_report.diagnostics() {
+                let label = format!("{name}_scan");
+                println!("  {}", d.render_human(&label).replace('\n', "\n  "));
+            }
+        }
+    }
+    if json {
+        println!("[{}]", json_items.join(","));
+    } else if all_clean {
+        println!("self-check: all embedded benchmarks are error-clean");
+    } else {
+        println!("self-check: FAILED");
+    }
+    Ok(all_clean)
+}

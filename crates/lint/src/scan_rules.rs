@@ -1,0 +1,472 @@
+//! Scan-integrity rules (`L101`–`L104`): every flip-flop fronted by a scan
+//! multiplexer, chains threaded in declaration order, ports wired so shift
+//! and observe behave the way `shifts_to_observe` and state loading assume.
+
+use std::collections::HashMap;
+
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+use limscan_scan::{ChainSpec, ScanCircuit};
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Where the scan structure's ports are, plus (when available) the chain
+/// layout metadata the rest of the system trusts.
+pub(crate) struct ScanInfo {
+    /// The shared multiplexer select input.
+    pub scan_sel: NetId,
+    /// Per-chain scan-in inputs, in chain order.
+    pub scan_inps: Vec<NetId>,
+    /// Exact chain layout, when linting a [`ScanCircuit`] rather than a
+    /// bare netlist.
+    pub spec: Option<Vec<ChainSpec>>,
+}
+
+impl ScanInfo {
+    /// Exact port and chain metadata from a [`ScanCircuit`].
+    pub fn from_scan_circuit(sc: &ScanCircuit) -> Self {
+        let c = sc.circuit();
+        ScanInfo {
+            scan_sel: c.inputs()[sc.scan_sel_pos()],
+            scan_inps: sc
+                .scan_inp_positions()
+                .iter()
+                .map(|&p| c.inputs()[p])
+                .collect(),
+            spec: Some(sc.chains_spec()),
+        }
+    }
+
+    /// Detects scan ports in a bare circuit by input name: `sel_name` for
+    /// the select, `inp_prefix` or `inp_prefix<k>` for the chain inputs.
+    /// Returns `None` when the circuit does not look scan-inserted (no
+    /// select or no chain inputs), in which case the scan rules are
+    /// skipped entirely.
+    pub fn detect(c: &Circuit, sel_name: &str, inp_prefix: &str) -> Option<Self> {
+        let scan_sel = c
+            .inputs()
+            .iter()
+            .copied()
+            .find(|&i| c.net(i).name() == sel_name)?;
+        let mut inps: Vec<(usize, NetId)> = Vec::new();
+        for &i in c.inputs() {
+            let name = c.net(i).name();
+            if name == inp_prefix {
+                inps.push((0, i));
+            } else if let Some(rest) = name.strip_prefix(inp_prefix) {
+                if let Ok(k) = rest.parse::<usize>() {
+                    inps.push((k, i));
+                }
+            }
+        }
+        if inps.is_empty() {
+            return None;
+        }
+        inps.sort_by_key(|&(k, _)| k);
+        Some(ScanInfo {
+            scan_sel,
+            scan_inps: inps.into_iter().map(|(_, i)| i).collect(),
+            spec: None,
+        })
+    }
+}
+
+/// Runs every scan-integrity rule.
+pub(crate) fn check(c: &Circuit, info: &ScanInfo) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let sel_name = c.net(info.scan_sel).name();
+
+    // L101: every flip-flop's D must come from a MUX whose select is
+    // scan_sel; the mux's fanin 2 is the chain (shift) side.
+    let mut scan_side: Vec<Option<NetId>> = Vec::with_capacity(c.dffs().len());
+    let mut ff_mux: Vec<Option<NetId>> = Vec::with_capacity(c.dffs().len());
+    for &q in c.dffs() {
+        let Driver::Dff { d } = c.net(q).driver() else {
+            unreachable!("dffs() yields flip-flop outputs");
+        };
+        let mut side = None;
+        if let Driver::Gate {
+            kind: GateKind::Mux,
+            fanins,
+        } = c.net(*d).driver()
+        {
+            if fanins[0] == info.scan_sel {
+                side = Some(fanins[2]);
+            }
+        }
+        if side.is_none() {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::MissingScanMux,
+                    c.span(q),
+                    format!(
+                        "flip-flop `{}` is not fronted by a scan multiplexer selected by `{sel_name}`",
+                        c.net(q).name()
+                    ),
+                )
+                .with_net(c.net(q).name())
+                .with_suggestion(format!(
+                    "drive its D through MUX({sel_name}, <functional D>, <chain predecessor>)"
+                )),
+            );
+        }
+        ff_mux.push(side.is_some().then_some(*d));
+        scan_side.push(side);
+    }
+    if !out.is_empty() {
+        // Chain threading and port wiring would only echo the missing
+        // muxes; report the root cause alone.
+        return out;
+    }
+    let scan_side: Vec<NetId> = scan_side.into_iter().map(Option::unwrap).collect();
+    let mux_of: HashMap<NetId, usize> = ff_mux
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.unwrap(), i))
+        .collect();
+
+    // Thread the chains: successor = the flip-flop whose mux shift side is
+    // this net.
+    let mut succs: HashMap<NetId, Vec<usize>> = HashMap::new();
+    for (i, &p) in scan_side.iter().enumerate() {
+        succs.entry(p).or_default().push(i);
+    }
+    let mut owner: Vec<Option<usize>> = vec![None; c.dffs().len()];
+    let mut chains: Vec<Vec<usize>> = Vec::new();
+    for (k, &inp) in info.scan_inps.iter().enumerate() {
+        let mut chain = Vec::new();
+        let mut cur = inp;
+        loop {
+            let next = succs.get(&cur).map_or(&[][..], Vec::as_slice);
+            if next.len() > 1 {
+                let names: Vec<&str> = next.iter().map(|&i| c.net(c.dffs()[i]).name()).collect();
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ChainOrder,
+                        c.span(c.dffs()[next[1]]),
+                        format!(
+                            "chain {k} forks at `{}`: it feeds the shift side of {} \
+                             flip-flops ({})",
+                            c.net(cur).name(),
+                            next.len(),
+                            names.join(", ")
+                        ),
+                    )
+                    .with_net(c.net(cur).name()),
+                );
+                break;
+            }
+            let Some(&i) = next.first() else { break };
+            if owner[i].is_some() {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ChainOrder,
+                        c.span(c.dffs()[i]),
+                        format!(
+                            "chain {k} loops back to flip-flop `{}`, which is already threaded",
+                            c.net(c.dffs()[i]).name()
+                        ),
+                    )
+                    .with_net(c.net(c.dffs()[i]).name()),
+                );
+                break;
+            }
+            owner[i] = Some(k);
+            chain.push(i);
+            cur = c.dffs()[i];
+        }
+        chains.push(chain);
+    }
+
+    // L102: within each chain, flip-flops must appear as a contiguous run
+    // of the declaration order — the order state loading and
+    // `shifts_to_observe` assume.
+    for (k, chain) in chains.iter().enumerate() {
+        for w in chain.windows(2) {
+            if w[1] != w[0] + 1 {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ChainOrder,
+                        c.span(c.dffs()[w[1]]),
+                        format!(
+                            "chain {k} threads `{}` (declaration position {}) right after \
+                             `{}` (position {}); chains must follow flip-flop declaration \
+                             order contiguously",
+                            c.net(c.dffs()[w[1]]).name(),
+                            w[1],
+                            c.net(c.dffs()[w[0]]).name(),
+                            w[0]
+                        ),
+                    )
+                    .with_net(c.net(c.dffs()[w[1]]).name())
+                    .with_suggestion(
+                        "re-thread the shift sides so each chain follows declaration order",
+                    ),
+                );
+            }
+        }
+    }
+
+    // L104: every flip-flop on exactly one chain.
+    for (i, o) in owner.iter().enumerate() {
+        if o.is_none() {
+            let q = c.dffs()[i];
+            out.push(
+                Diagnostic::new(
+                    RuleCode::ChainLength,
+                    c.span(q),
+                    format!(
+                        "flip-flop `{}` is not reachable from any scan input; no chain \
+                         covers it",
+                        c.net(q).name()
+                    ),
+                )
+                .with_net(c.net(q).name()),
+            );
+        }
+    }
+
+    // L104: the derived threading must match the declared chain layout.
+    if let Some(spec) = &info.spec {
+        for (k, (chain, cs)) in chains.iter().zip(spec).enumerate() {
+            let expect: Vec<usize> = (cs.start..cs.start + cs.len).collect();
+            if *chain != expect {
+                out.push(Diagnostic::new(
+                    RuleCode::ChainLength,
+                    chain
+                        .first()
+                        .map_or(limscan_netlist::Span::NONE, |&i| c.span(c.dffs()[i])),
+                    format!(
+                        "chain {k} threads {} flip-flop(s) but its metadata declares {} \
+                         starting at position {}",
+                        chain.len(),
+                        cs.len,
+                        cs.start
+                    ),
+                ));
+            }
+        }
+    }
+
+    // L103: each non-empty chain's scan-out (last flip-flop's Q) must be
+    // observed as a primary output.
+    for (k, chain) in chains.iter().enumerate() {
+        if let Some(&last) = chain.last() {
+            let q = c.dffs()[last];
+            if !c.is_output(q) {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ScanPortWiring,
+                        c.span(q),
+                        format!(
+                            "chain {k}'s scan-out `{}` is not observed as a primary output",
+                            c.net(q).name()
+                        ),
+                    )
+                    .with_net(c.net(q).name())
+                    .with_suggestion(format!("add OUTPUT({})", c.net(q).name())),
+                );
+            }
+        }
+    }
+
+    // L103: scan_sel must drive only multiplexer selects, and each
+    // scan_inp only its head mux's shift side — anything else lets shift
+    // operations disturb (or be disturbed by) functional logic.
+    for pin in c.fanouts(info.scan_sel) {
+        if !(pin.pin == 0 && mux_of.contains_key(&pin.net)) {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::ScanPortWiring,
+                    c.span(pin.net),
+                    format!(
+                        "`{sel_name}` drives `{}` (fanin {}); the scan select must drive \
+                         only scan multiplexer selects",
+                        c.net(pin.net).name(),
+                        pin.pin
+                    ),
+                )
+                .with_net(c.net(pin.net).name()),
+            );
+        }
+    }
+    for (k, &inp) in info.scan_inps.iter().enumerate() {
+        for pin in c.fanouts(inp) {
+            if !(pin.pin == 2 && mux_of.contains_key(&pin.net)) {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::ScanPortWiring,
+                        c.span(pin.net),
+                        format!(
+                            "scan input `{}` (chain {k}) drives `{}` (fanin {}); it must \
+                             drive only its head multiplexer's shift side",
+                            c.net(inp).name(),
+                            c.net(pin.net).name(),
+                            pin.pin
+                        ),
+                    )
+                    .with_net(c.net(pin.net).name()),
+                );
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use limscan_netlist::{bench_format, benchmarks, CircuitBuilder};
+    use limscan_scan::ScanCircuit;
+
+    use super::*;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    fn check_named(c: &Circuit) -> Vec<Diagnostic> {
+        let info = ScanInfo::detect(c, "scan_sel", "scan_inp").expect("scan ports present");
+        check(c, &info)
+    }
+
+    #[test]
+    fn inserted_scan_circuits_are_clean() {
+        for n_chains in [1, 2, 3] {
+            let sc = ScanCircuit::insert_chains(&benchmarks::s27(), n_chains);
+            let info = ScanInfo::from_scan_circuit(&sc);
+            let diags = check(sc.circuit(), &info);
+            assert!(diags.is_empty(), "{n_chains} chains: {diags:?}");
+            // Name detection agrees with the metadata.
+            let diags = check_named(sc.circuit());
+            assert!(diags.is_empty(), "{n_chains} chains by name: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn l101_fires_with_the_bench_line_of_the_bare_flip_flop() {
+        // A two-flip-flop scan circuit with q2's multiplexer removed.
+        let src = "\
+INPUT(a)
+INPUT(scan_sel)
+INPUT(scan_inp)
+OUTPUT(y)
+OUTPUT(q2)
+m0 = MUX(scan_sel, d0, scan_inp)
+q1 = DFF(m0)
+q2 = DFF(d1)
+d0 = NOT(q2)
+d1 = AND(q1, a)
+y = OR(q1, q2)
+";
+        let c = bench_format::parse("broken", src).unwrap();
+        let diags = check_named(&c);
+        assert_eq!(codes(&diags), ["L101"]);
+        assert_eq!(diags[0].span.line(), Some(8), "points at `q2 = DFF(d1)`");
+        assert_eq!(diags[0].net.as_deref(), Some("q2"));
+    }
+
+    #[test]
+    fn l102_fires_when_chain_skips_declaration_order() {
+        // Thread q1 -> q3 -> q2: contiguity broken at q3.
+        let mut b = CircuitBuilder::new("disorder");
+        b.input("a");
+        b.input("scan_sel");
+        b.input("scan_inp");
+        for (q, m, prev) in [
+            ("q1", "m1", "scan_inp"),
+            ("q2", "m2", "q3"),
+            ("q3", "m3", "q1"),
+        ] {
+            b.gate(m, GateKind::Mux, &["scan_sel", "a", prev]).unwrap();
+            b.dff(q, m).unwrap();
+        }
+        b.output("q2");
+        let c = b.build().unwrap();
+        let diags = check_named(&c);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::ChainOrder),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l103_fires_when_scan_out_is_not_observed() {
+        let mut b = CircuitBuilder::new("noout");
+        b.input("a");
+        b.input("scan_sel");
+        b.input("scan_inp");
+        b.gate("m1", GateKind::Mux, &["scan_sel", "a", "scan_inp"])
+            .unwrap();
+        b.dff("q1", "m1").unwrap();
+        b.gate("y", GateKind::Not, &["q1"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let diags = check_named(&c);
+        assert_eq!(codes(&diags), ["L103"]);
+        assert_eq!(diags[0].net.as_deref(), Some("q1"));
+    }
+
+    #[test]
+    fn l103_fires_when_scan_sel_leaks_into_logic() {
+        let mut b = CircuitBuilder::new("leak");
+        b.input("a");
+        b.input("scan_sel");
+        b.input("scan_inp");
+        b.gate("m1", GateKind::Mux, &["scan_sel", "a", "scan_inp"])
+            .unwrap();
+        b.dff("q1", "m1").unwrap();
+        b.gate("y", GateKind::And, &["q1", "scan_sel"]).unwrap();
+        b.output("y");
+        b.output("q1");
+        let c = b.build().unwrap();
+        let diags = check_named(&c);
+        assert_eq!(codes(&diags), ["L103"]);
+        assert!(diags[0].message.contains("scan_sel"), "{:?}", diags[0]);
+    }
+
+    #[test]
+    fn l104_fires_for_uncovered_flip_flops() {
+        // q2's shift side taps `a`, so no chain reaches it.
+        let mut b = CircuitBuilder::new("uncovered");
+        b.input("a");
+        b.input("scan_sel");
+        b.input("scan_inp");
+        b.gate("m1", GateKind::Mux, &["scan_sel", "a", "scan_inp"])
+            .unwrap();
+        b.dff("q1", "m1").unwrap();
+        b.gate("m2", GateKind::Mux, &["scan_sel", "a", "a"])
+            .unwrap();
+        b.dff("q2", "m2").unwrap();
+        b.output("q1");
+        b.output("q2");
+        let c = b.build().unwrap();
+        let diags = check_named(&c);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::ChainLength && d.net.as_deref() == Some("q2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn spec_mismatch_is_reported_against_metadata() {
+        // Build a valid single-chain circuit but lie about the layout.
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let mut info = ScanInfo::from_scan_circuit(&sc);
+        if let Some(spec) = &mut info.spec {
+            spec[0].len = 2; // metadata claims a shorter chain
+        }
+        let diags = check(sc.circuit(), &info);
+        assert!(
+            diags.iter().any(|d| d.code == RuleCode::ChainLength),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn detection_requires_both_ports() {
+        let c = benchmarks::s27();
+        assert!(ScanInfo::detect(&c, "scan_sel", "scan_inp").is_none());
+    }
+}

@@ -1,0 +1,515 @@
+//! Structural rules (`L000`–`L006`): they run on the permissive
+//! [`RawNetlist`] form so every defect is reported, not just the first.
+
+use std::collections::{HashMap, HashSet};
+
+use limscan_netlist::raw::{RawDriverKind, RawNetlist};
+use limscan_netlist::Span;
+
+use crate::diag::{Diagnostic, RuleCode};
+
+/// Runs every structural rule over a raw netlist.
+pub(crate) fn check(raw: &RawNetlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    syntax_errors(raw, &mut out);
+    undriven_nets(raw, &mut out);
+    multiply_driven_nets(raw, &mut out);
+    bad_fanin_arity(raw, &mut out);
+    combinational_cycles(raw, &mut out);
+    let observable = nothing_observable(raw, &mut out);
+    if observable {
+        dangling_gates(raw, &mut out);
+    }
+    out
+}
+
+/// `L000`: unparseable lines and unknown gate mnemonics.
+fn syntax_errors(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    for e in &raw.syntax_errors {
+        out.push(Diagnostic::new(
+            RuleCode::SyntaxError,
+            e.span,
+            e.message.clone(),
+        ));
+    }
+    for d in &raw.decls {
+        if let RawDriverKind::UnknownGate(mnemonic) = &d.kind {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::SyntaxError,
+                    d.span,
+                    format!("unknown gate kind `{mnemonic}`"),
+                )
+                .with_net(&d.name)
+                .with_suggestion(
+                    "use one of AND, NAND, OR, NOR, XOR, XNOR, NOT, BUFF, MUX, \
+                     CONST0, CONST1, DFF",
+                ),
+            );
+        }
+    }
+}
+
+/// `L002`: names referenced as fanins or outputs but never declared.
+fn undriven_nets(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    let declared: HashSet<&str> = raw.decls.iter().map(|d| d.name.as_str()).collect();
+    let mut reported: HashSet<&str> = HashSet::new();
+    for d in &raw.decls {
+        for (pin, f) in d.fanins.iter().enumerate() {
+            if !declared.contains(f.as_str()) && reported.insert(f.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::UndrivenNet,
+                        d.span,
+                        format!("net `{f}` (fanin {pin} of `{}`) is never driven", d.name),
+                    )
+                    .with_net(f)
+                    .with_suggestion(format!(
+                        "declare `{f}` with INPUT({f}) or a gate assignment"
+                    )),
+                );
+            }
+        }
+    }
+    for o in &raw.outputs {
+        if !declared.contains(o.name.as_str()) && reported.insert(o.name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::UndrivenNet,
+                    o.span,
+                    format!("output net `{}` is never driven", o.name),
+                )
+                .with_net(&o.name)
+                .with_suggestion(format!(
+                    "declare `{0}` with INPUT({0}) or a gate assignment",
+                    o.name
+                )),
+            );
+        }
+    }
+}
+
+/// `L003`: every re-declaration of an already-driven name.
+fn multiply_driven_nets(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    let mut first: HashMap<&str, Span> = HashMap::new();
+    for d in &raw.decls {
+        match first.get(d.name.as_str()) {
+            None => {
+                first.insert(&d.name, d.span);
+            }
+            Some(&first_span) => {
+                let at = match first_span.line() {
+                    Some(line) => format!("; first driven at line {line}"),
+                    None => String::new(),
+                };
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::MultiplyDrivenNet,
+                        d.span,
+                        format!("net `{}` is driven more than once{at}", d.name),
+                    )
+                    .with_net(&d.name)
+                    .with_suggestion("rename one of the drivers or delete the duplicate"),
+                );
+            }
+        }
+    }
+}
+
+/// `L005`: fanin counts that contradict the gate kind's arity (mirrors
+/// [`CircuitBuilder::gate`](limscan_netlist::CircuitBuilder::gate): fixed
+/// arities exact, variadic gates at least two, DFF exactly one).
+fn bad_fanin_arity(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    for d in &raw.decls {
+        let expect: Option<String> = match &d.kind {
+            RawDriverKind::Gate(kind) => match kind.arity() {
+                Some(n) if d.fanins.len() != n => {
+                    Some(format!("{} takes exactly {n} fanin(s)", kind.mnemonic()))
+                }
+                None if d.fanins.len() < 2 => {
+                    Some(format!("{} takes at least two fanins", kind.mnemonic()))
+                }
+                _ => None,
+            },
+            RawDriverKind::Dff if d.fanins.len() != 1 => {
+                Some("DFF takes exactly one fanin".to_owned())
+            }
+            _ => None,
+        };
+        if let Some(expect) = expect {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::BadFaninArity,
+                    d.span,
+                    format!("{expect}, but `{}` lists {}", d.name, d.fanins.len()),
+                )
+                .with_net(&d.name),
+            );
+        }
+    }
+}
+
+/// `L001`: cycles through combinational gates only (flip-flops legally
+/// break loops). Reports at least one representative cycle per tangle.
+fn combinational_cycles(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    let first = raw.first_decl_index();
+    // Combinational nodes: first declaration of each gate-driven name.
+    let is_comb = |i: usize| {
+        matches!(
+            raw.decls[i].kind,
+            RawDriverKind::Gate(_) | RawDriverKind::UnknownGate(_)
+        )
+    };
+    let n = raw.decls.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (i, d) in raw.decls.iter().enumerate() {
+        if first[d.name.as_str()] != i || !is_comb(i) {
+            continue;
+        }
+        for f in &d.fanins {
+            if let Some(&src) = first.get(f.as_str()) {
+                if is_comb(src) {
+                    adj[src].push(i);
+                    indeg[i] += 1;
+                }
+            }
+        }
+    }
+
+    // Kahn's algorithm; what cannot be scheduled lies on or behind a cycle.
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&i| is_comb(i) && first[raw.decls[i].name.as_str()] == i && indeg[i] == 0)
+        .collect();
+    let mut removed = vec![false; n];
+    while let Some(v) = queue.pop() {
+        removed[v] = true;
+        for &w in &adj[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    let leftover: Vec<usize> = (0..n)
+        .filter(|&i| is_comb(i) && first[raw.decls[i].name.as_str()] == i && !removed[i])
+        .collect();
+    if leftover.is_empty() {
+        return;
+    }
+
+    // DFS over the leftover subgraph, extracting one cycle per traversal.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![BLACK; n];
+    for &i in &leftover {
+        color[i] = WHITE;
+    }
+    for &start in &leftover {
+        if color[start] != WHITE {
+            continue;
+        }
+        let mut path = vec![start];
+        let mut iters = vec![0usize];
+        color[start] = GRAY;
+        let mut cycle: Option<Vec<usize>> = None;
+        while let Some(&v) = path.last() {
+            let i = *iters.last().unwrap();
+            if i < adj[v].len() {
+                *iters.last_mut().unwrap() += 1;
+                let w = adj[v][i];
+                match color[w] {
+                    GRAY => {
+                        let pos = path.iter().position(|&x| x == w).unwrap();
+                        cycle = Some(path[pos..].to_vec());
+                        break;
+                    }
+                    WHITE => {
+                        color[w] = GRAY;
+                        path.push(w);
+                        iters.push(0);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                path.pop();
+                iters.pop();
+            }
+        }
+        for &v in &path {
+            color[v] = BLACK;
+        }
+        if let Some(mut cycle) = cycle {
+            // Anchor the diagnostic at the earliest declaration in the loop.
+            let anchor = cycle
+                .iter()
+                .position(|&i| {
+                    raw.decls[i].span == cycle.iter().map(|&j| raw.decls[j].span).min().unwrap()
+                })
+                .unwrap();
+            cycle.rotate_left(anchor);
+            let names: Vec<&str> = cycle
+                .iter()
+                .chain(std::iter::once(&cycle[0]))
+                .map(|&i| raw.decls[i].name.as_str())
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    RuleCode::CombinationalCycle,
+                    raw.decls[cycle[0]].span,
+                    format!("combinational cycle: {}", names.join(" -> ")),
+                )
+                .with_net(&raw.decls[cycle[0]].name)
+                .with_suggestion(
+                    "break the loop with a flip-flop or re-express the logic acyclically",
+                ),
+            );
+        }
+    }
+}
+
+/// `L006`: nothing in the circuit can ever be observed. Returns whether the
+/// circuit has observation points at all (so `L004` can skip the all-dead
+/// degenerate case).
+fn nothing_observable(raw: &RawNetlist, out: &mut Vec<Diagnostic>) -> bool {
+    let has_dff = raw
+        .decls
+        .iter()
+        .any(|d| matches!(d.kind, RawDriverKind::Dff));
+    if raw.outputs.is_empty() && !has_dff {
+        out.push(
+            Diagnostic::new(
+                RuleCode::NothingObservable,
+                Span::NONE,
+                "circuit has no primary outputs and no flip-flops; nothing is observable",
+            )
+            .with_suggestion("add at least one OUTPUT(...) declaration"),
+        );
+        return false;
+    }
+    true
+}
+
+/// `L004`: gates from whose output no primary output or flip-flop D input
+/// is reachable — their value is invisible in every time frame.
+fn dangling_gates(raw: &RawNetlist, out: &mut Vec<Diagnostic>) {
+    // `observed` and `stack` hold borrows of the declaration table's keys so
+    // the borrow outlives the loop below, not the lookup name.
+    fn push<'a>(
+        first: &HashMap<&'a str, usize>,
+        name: &str,
+        observed: &mut HashSet<&'a str>,
+        stack: &mut Vec<&'a str>,
+    ) {
+        if let Some((&decl_name, _)) = first.get_key_value(name) {
+            if observed.insert(decl_name) {
+                stack.push(decl_name);
+            }
+        }
+    }
+    let first = raw.first_decl_index();
+    let mut observed: HashSet<&str> = HashSet::new();
+    let mut stack: Vec<&str> = Vec::new();
+    for o in &raw.outputs {
+        push(&first, &o.name, &mut observed, &mut stack);
+    }
+    for d in &raw.decls {
+        if matches!(d.kind, RawDriverKind::Dff) {
+            if let Some(f) = d.fanins.first() {
+                push(&first, f, &mut observed, &mut stack);
+            }
+        }
+    }
+    // Walk fanins backwards across combinational gates only: crossing a
+    // flip-flop would claim its Q observable merely because its D cone is.
+    while let Some(name) = stack.pop() {
+        let d = &raw.decls[first[name]];
+        if matches!(
+            d.kind,
+            RawDriverKind::Gate(_) | RawDriverKind::UnknownGate(_)
+        ) {
+            for f in &d.fanins {
+                push(&first, f, &mut observed, &mut stack);
+            }
+        }
+    }
+    for (i, d) in raw.decls.iter().enumerate() {
+        if first[d.name.as_str()] != i {
+            continue;
+        }
+        if matches!(d.kind, RawDriverKind::Gate(_)) && !observed.contains(d.name.as_str()) {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::DanglingGate,
+                    d.span,
+                    format!(
+                        "gate `{}` drives no primary output or flip-flop in any time frame",
+                        d.name
+                    ),
+                )
+                .with_net(&d.name)
+                .with_suggestion(format!("add OUTPUT({}) or remove the dead logic", d.name)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use limscan_netlist::bench_format;
+
+    use super::*;
+    use crate::diag::Severity;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        check(&bench_format::parse_raw("t", src))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn clean_circuit_is_clean() {
+        let diags = lint("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l000_flags_junk_and_unknown_gates() {
+        let diags = lint("INPUT(a)\nwidget\ny = FROB(a)\nOUTPUT(y)\n");
+        assert_eq!(codes(&diags), ["L000", "L000"]);
+        assert_eq!(diags[0].span.line(), Some(2));
+        assert_eq!(diags[1].span.line(), Some(3));
+        assert_eq!(diags[1].net.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn l001_reports_the_cycle_path_with_a_span() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = AND(a, g2)
+g1 = NOT(y)
+g2 = BUFF(g1)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L001"]);
+        let d = &diags[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.span.line(), Some(3), "anchored at earliest decl in loop");
+        assert!(d.message.contains("y -> g1 -> g2 -> y"), "{}", d.message);
+    }
+
+    #[test]
+    fn l001_is_silent_when_a_dff_breaks_the_loop() {
+        let diags = lint("INPUT(a)\nOUTPUT(y)\ny = AND(a, q)\nq = DFF(y)\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l001_finds_cycles_in_separate_components() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+OUTPUT(w)
+y = NOT(y)
+w = AND(a, v)
+v = NOT(w)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L001", "L001"]);
+    }
+
+    #[test]
+    fn l002_flags_each_missing_net_once_at_first_reference() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+OUTPUT(zap)
+y = AND(a, ghost)
+z = OR(ghost, a)
+q = DFF(z)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L002", "L002"]);
+        let ghost = diags
+            .iter()
+            .find(|d| d.net.as_deref() == Some("ghost"))
+            .unwrap();
+        assert_eq!(ghost.span.line(), Some(4), "first reference wins");
+        let zap = diags
+            .iter()
+            .find(|d| d.net.as_deref() == Some("zap"))
+            .unwrap();
+        assert_eq!(zap.span.line(), Some(3));
+    }
+
+    #[test]
+    fn l003_flags_every_redeclaration() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+y = BUFF(a)
+y = AND(a, a)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L003", "L003"]);
+        assert_eq!(diags[0].span.line(), Some(4));
+        assert!(diags[0].message.contains("first driven at line 3"));
+        assert_eq!(diags[1].span.line(), Some(5));
+    }
+
+    #[test]
+    fn l004_marks_cones_feeding_nothing() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+dead = NOT(a)
+deader = BUFF(dead)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L004", "L004"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert_eq!(diags[0].net.as_deref(), Some("dead"));
+        assert_eq!(diags[1].net.as_deref(), Some("deader"));
+    }
+
+    #[test]
+    fn l004_sees_through_flip_flops() {
+        // `g` feeds only a DFF's D input: observable at the frame boundary.
+        let diags = lint("INPUT(a)\nOUTPUT(q)\ng = NOT(a)\nq = DFF(g)\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l005_checks_fixed_and_variadic_arities() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(a, a)
+z = AND(a)
+q = DFF(a, a)
+OUTPUT(z)
+OUTPUT(q)
+";
+        let diags = lint(src);
+        assert_eq!(codes(&diags), ["L005", "L005", "L005"]);
+        assert!(diags[0].message.contains("exactly 1"));
+        assert!(diags[1].message.contains("at least two"));
+        assert!(diags[2].message.contains("exactly one"));
+    }
+
+    #[test]
+    fn l006_fires_on_unobservable_circuits() {
+        let diags = lint("INPUT(a)\ny = NOT(a)\n");
+        assert_eq!(codes(&diags), ["L006"]);
+        assert_eq!(diags[0].span, Span::NONE);
+        // And L004 stays quiet: everything dangles, one finding is enough.
+        assert!(!diags.iter().any(|d| d.code == RuleCode::DanglingGate));
+    }
+}

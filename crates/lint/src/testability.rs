@@ -1,0 +1,165 @@
+//! Testability rules (`L201`–`L203`): SCOAP-based hard-to-control /
+//! hard-to-observe warnings and X-source detection.
+
+use limscan_atpg::Scoap;
+use limscan_netlist::{Circuit, NetId};
+
+use crate::diag::{Diagnostic, RuleCode};
+use crate::LintConfig;
+
+fn cost(v: u32) -> String {
+    if v >= Scoap::UNREACHABLE {
+        "unreachable".to_owned()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Runs the testability rules. With the default thresholds
+/// ([`Scoap::UNREACHABLE`]) only impossible-to-control/observe nets are
+/// flagged; lower thresholds turn the rules into a cost screen.
+pub(crate) fn check(c: &Circuit, config: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let scoap = Scoap::compute(c);
+
+    for i in 0..c.net_count() {
+        let id = NetId::from_index(i);
+        let name = c.net(id).name();
+        let (cc0, cc1, co) = (scoap.cc0(id), scoap.cc1(id), scoap.co(id));
+        if cc0 >= config.control_threshold || cc1 >= config.control_threshold {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::HardToControl,
+                    c.span(id),
+                    format!(
+                        "net `{name}` is hard to control (SCOAP cc0 = {}, cc1 = {})",
+                        cost(cc0),
+                        cost(cc1)
+                    ),
+                )
+                .with_net(name),
+            );
+        }
+        if co >= config.observe_threshold {
+            out.push(
+                Diagnostic::new(
+                    RuleCode::HardToObserve,
+                    c.span(id),
+                    format!("net `{name}` is hard to observe (SCOAP co = {})", cost(co)),
+                )
+                .with_net(name),
+            );
+        }
+    }
+
+    // L203: flip-flops no primary input can ever influence. Without scan
+    // access their power-up X is permanent.
+    let reach = c.input_reach_mask();
+    for &q in c.dffs() {
+        if !reach[q.index()] {
+            let name = c.net(q).name();
+            out.push(
+                Diagnostic::new(
+                    RuleCode::XSource,
+                    c.span(q),
+                    format!(
+                        "flip-flop `{name}` is unreachable from every primary input; its \
+                         power-up X can never be flushed functionally"
+                    ),
+                )
+                .with_net(name)
+                .with_suggestion("give it scan access or an input-driven load path"),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use limscan_netlist::{benchmarks, CircuitBuilder, GateKind};
+
+    use super::*;
+    use crate::diag::Severity;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.code()).collect()
+    }
+
+    #[test]
+    fn s27_is_clean_at_default_thresholds() {
+        let diags = check(&benchmarks::s27(), &LintConfig::default());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn l201_flags_constant_locked_nets() {
+        // y = AND(a, zero) can never be 1.
+        let mut b = CircuitBuilder::new("locked");
+        b.input("a");
+        b.gate("zero", GateKind::Const0, &[]).unwrap();
+        b.gate("y", GateKind::And, &["a", "zero"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::HardToControl && d.net.as_deref() == Some("y")),
+            "{diags:?}"
+        );
+        assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn l202_flags_blocked_observation() {
+        // `a` is only observable through an AND with constant 0: blocked.
+        let mut b = CircuitBuilder::new("blocked");
+        b.input("a");
+        b.gate("zero", GateKind::Const0, &[]).unwrap();
+        b.gate("y", GateKind::And, &["a", "zero"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::HardToObserve && d.net.as_deref() == Some("a")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l201_threshold_turns_into_a_cost_screen() {
+        let c = benchmarks::s27();
+        let config = LintConfig {
+            control_threshold: 2,
+            ..LintConfig::default()
+        };
+        // Any gate output costs at least 2 to control, so the screen fires.
+        let n = codes(&check(&c, &config))
+            .iter()
+            .filter(|&&c| c == "L201")
+            .count();
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn l203_flags_isolated_state() {
+        let mut b = CircuitBuilder::new("iso");
+        b.input("a");
+        b.dff("iso", "isod").unwrap();
+        b.gate("isod", GateKind::Not, &["iso"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "iso"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RuleCode::XSource && d.net.as_deref() == Some("iso")),
+            "{diags:?}"
+        );
+    }
+}

@@ -26,9 +26,9 @@
 
 use std::fmt::Write as _;
 
-use crate::builder::CircuitBuilder;
-use crate::circuit::{Circuit, Driver, GateKind, NetId};
+use crate::circuit::{Circuit, Driver, GateKind, NetId, Span};
 use crate::error::NetlistError;
+use crate::raw::{RawDecl, RawDriverKind, RawNetlist, RawOutput, SyntaxError};
 
 fn kind_from_mnemonic(s: &str) -> Option<GateKind> {
     Some(match s.to_ascii_uppercase().as_str() {
@@ -47,6 +47,105 @@ fn kind_from_mnemonic(s: &str) -> Option<GateKind> {
     })
 }
 
+/// One syntactically well-formed `.bench` statement.
+enum Stmt<'a> {
+    Input(&'a str),
+    Output(&'a str),
+    Assign {
+        lhs: &'a str,
+        mnemonic: &'a str,
+        fanins: Vec<&'a str>,
+    },
+}
+
+/// Scans one comment-stripped, non-empty line into a statement, without any
+/// semantic validation (unknown mnemonics and wrong arities pass through).
+fn scan_statement(line: &str) -> Result<Stmt<'_>, String> {
+    if let Some(rest) = strip_call(line, "INPUT") {
+        return Ok(Stmt::Input(rest.trim()));
+    }
+    if let Some(rest) = strip_call(line, "OUTPUT") {
+        return Ok(Stmt::Output(rest.trim()));
+    }
+    if let Some((lhs, rhs)) = line.split_once('=') {
+        let lhs = lhs.trim();
+        let rhs = rhs.trim();
+        let (mnemonic, args) = rhs
+            .split_once('(')
+            .ok_or_else(|| format!("expected KIND(...) on right-hand side, got `{rhs}`"))?;
+        let args = args
+            .strip_suffix(')')
+            .ok_or_else(|| "missing closing parenthesis".to_owned())?;
+        let fanins: Vec<&str> = args
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        return Ok(Stmt::Assign {
+            lhs,
+            mnemonic: mnemonic.trim(),
+            fanins,
+        });
+    }
+    Err(format!("unrecognised line `{line}`"))
+}
+
+/// Parses `.bench` source text permissively into a [`RawNetlist`]: every
+/// declaration is recorded as written (duplicates, unknown mnemonics and
+/// wrong arities included) together with its line [`Span`], and malformed
+/// lines are collected instead of aborting the parse. This is the entry
+/// point for the `limscan-lint` diagnostics engine, which wants *all*
+/// defects, not the first one.
+pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
+    let mut raw = RawNetlist {
+        name: name.to_owned(),
+        decls: Vec::new(),
+        outputs: Vec::new(),
+        syntax_errors: Vec::new(),
+    };
+    for (lineno, text) in source.lines().enumerate() {
+        let line = text.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let span = Span::at_line(lineno + 1);
+        match scan_statement(line) {
+            Ok(Stmt::Input(name)) => raw.decls.push(RawDecl {
+                name: name.to_owned(),
+                kind: RawDriverKind::Input,
+                fanins: Vec::new(),
+                span,
+            }),
+            Ok(Stmt::Output(name)) => raw.outputs.push(RawOutput {
+                name: name.to_owned(),
+                span,
+            }),
+            Ok(Stmt::Assign {
+                lhs,
+                mnemonic,
+                fanins,
+            }) => {
+                let kind = if mnemonic.eq_ignore_ascii_case("DFF") {
+                    RawDriverKind::Dff
+                } else {
+                    match kind_from_mnemonic(mnemonic) {
+                        Some(k) => RawDriverKind::Gate(k),
+                        None => RawDriverKind::UnknownGate(mnemonic.to_owned()),
+                    }
+                };
+                raw.decls.push(RawDecl {
+                    name: lhs.to_owned(),
+                    kind,
+                    fanins: fanins.into_iter().map(str::to_owned).collect(),
+                    span,
+                });
+            }
+            Err(message) => raw.syntax_errors.push(SyntaxError { span, message }),
+        }
+    }
+    raw
+}
+
 /// Parses `.bench` source text into a validated [`Circuit`].
 ///
 /// # Errors
@@ -55,66 +154,7 @@ fn kind_from_mnemonic(s: &str) -> Option<GateKind> {
 /// builder's validation errors (duplicate drivers, undefined signals,
 /// combinational cycles) for structurally invalid netlists.
 pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
-    let mut builder = CircuitBuilder::new(name);
-    let mut outputs = Vec::new();
-
-    for (lineno, raw) in source.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let lineno = lineno + 1;
-        let err = |message: String| NetlistError::Parse {
-            line: lineno,
-            message,
-        };
-
-        if let Some(rest) = strip_call(line, "INPUT") {
-            builder
-                .try_input(rest.trim())
-                .map_err(|e| err(e.to_string()))?;
-        } else if let Some(rest) = strip_call(line, "OUTPUT") {
-            outputs.push(rest.trim().to_owned());
-        } else if let Some((lhs, rhs)) = line.split_once('=') {
-            let lhs = lhs.trim();
-            let rhs = rhs.trim();
-            let (mnemonic, args) = rhs.split_once('(').ok_or_else(|| {
-                err(format!(
-                    "expected KIND(...) on right-hand side, got `{rhs}`"
-                ))
-            })?;
-            let args = args
-                .strip_suffix(')')
-                .ok_or_else(|| err("missing closing parenthesis".into()))?;
-            let fanins: Vec<&str> = args
-                .split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .collect();
-            let mnemonic = mnemonic.trim();
-            if mnemonic.eq_ignore_ascii_case("DFF") {
-                if fanins.len() != 1 {
-                    return Err(err(format!("DFF takes one fanin, got {}", fanins.len())));
-                }
-                builder
-                    .dff(lhs, fanins[0])
-                    .map_err(|e| err(e.to_string()))?;
-            } else {
-                let kind = kind_from_mnemonic(mnemonic)
-                    .ok_or_else(|| err(format!("unknown gate kind `{mnemonic}`")))?;
-                builder
-                    .gate(lhs, kind, &fanins)
-                    .map_err(|e| err(e.to_string()))?;
-            }
-        } else {
-            return Err(err(format!("unrecognised line `{line}`")));
-        }
-    }
-
-    for o in outputs {
-        builder.output(&o);
-    }
-    builder.build()
+    parse_raw(name, source).build()
 }
 
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -127,13 +167,13 @@ fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] with line 0 for I/O failures, and the
-/// usual parse/validation errors otherwise.
+/// Returns [`NetlistError::Io`] with the offending path for I/O failures,
+/// and the usual parse/validation errors otherwise.
 pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistError> {
     let path = path.as_ref();
-    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::Parse {
-        line: 0,
-        message: format!("cannot read {}: {e}", path.display()),
+    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
     })?;
     let name = path
         .file_stem()
@@ -146,15 +186,16 @@ pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistEr
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::Parse`] with line 0 describing the I/O failure.
+/// Returns [`NetlistError::Io`] with the offending path describing the I/O
+/// failure.
 pub fn write_file(
     circuit: &Circuit,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), NetlistError> {
     let path = path.as_ref();
-    std::fs::write(path, write(circuit)).map_err(|e| NetlistError::Parse {
-        line: 0,
-        message: format!("cannot write {}: {e}", path.display()),
+    std::fs::write(path, write(circuit)).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
     })
 }
 
@@ -257,9 +298,29 @@ mod tests {
     }
 
     #[test]
-    fn read_missing_file_is_an_error() {
+    fn read_missing_file_is_an_io_error_with_the_path() {
         let err = read_file("/nonexistent/limscan/file.bench").unwrap_err();
-        assert!(matches!(err, NetlistError::Parse { line: 0, .. }));
+        let NetlistError::Io { path, message } = &err else {
+            panic!("expected Io error, got {err:?}");
+        };
+        assert_eq!(path, "/nonexistent/limscan/file.bench");
+        assert!(!message.is_empty());
+        assert!(err.to_string().contains("file.bench"), "{err}");
+    }
+
+    #[test]
+    fn write_to_unwritable_path_is_an_io_error() {
+        let c = benchmarks::s27();
+        let err = write_file(&c, "/nonexistent/limscan/out.bench").unwrap_err();
+        assert!(matches!(err, NetlistError::Io { .. }));
+    }
+
+    #[test]
+    fn parsed_circuits_carry_line_spans() {
+        let src = "# header\nINPUT(a)\nOUTPUT(y)\n\ny = NOT(a)  # gate\n";
+        let c = parse("c", src).unwrap();
+        assert_eq!(c.span(c.find_net("a").unwrap()).line(), Some(2));
+        assert_eq!(c.span(c.find_net("y").unwrap()).line(), Some(5));
     }
 
     #[test]

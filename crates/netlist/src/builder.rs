@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::circuit::{Circuit, Driver, GateKind, Net, NetId, Pin};
+use crate::circuit::{Circuit, Driver, GateKind, Net, NetId, Pin, Span};
 use crate::error::NetlistError;
 
 enum ProtoDriver {
@@ -34,10 +34,12 @@ enum ProtoDriver {
 /// ```
 pub struct CircuitBuilder {
     name: String,
-    /// (signal name, driver) in declaration order.
-    signals: Vec<(String, ProtoDriver)>,
+    /// (signal name, driver, declaration span) in declaration order.
+    signals: Vec<(String, ProtoDriver, Span)>,
     by_name: HashMap<String, usize>,
     outputs: Vec<String>,
+    /// Span stamped onto subsequent declarations; see [`at`](Self::at).
+    current_span: Span,
 }
 
 impl CircuitBuilder {
@@ -48,7 +50,17 @@ impl CircuitBuilder {
             signals: Vec::new(),
             by_name: HashMap::new(),
             outputs: Vec::new(),
+            current_span: Span::NONE,
         }
+    }
+
+    /// Sets the source [`Span`] stamped onto declarations made after this
+    /// call (until the next `at`). The `.bench` parser uses this to thread
+    /// line numbers into the circuit; programmatic construction can ignore
+    /// it and leave every net at [`Span::NONE`].
+    pub fn at(&mut self, span: Span) -> &mut Self {
+        self.current_span = span;
+        self
     }
 
     fn declare(&mut self, name: &str, driver: ProtoDriver) -> Result<(), NetlistError> {
@@ -56,7 +68,8 @@ impl CircuitBuilder {
             return Err(NetlistError::DuplicateDriver { name: name.into() });
         }
         self.by_name.insert(name.to_owned(), self.signals.len());
-        self.signals.push((name.to_owned(), driver));
+        self.signals
+            .push((name.to_owned(), driver, self.current_span));
         Ok(())
     }
 
@@ -150,9 +163,10 @@ impl CircuitBuilder {
         };
 
         let mut nets = Vec::with_capacity(self.signals.len());
+        let mut spans = Vec::with_capacity(self.signals.len());
         let mut inputs = Vec::new();
         let mut dffs = Vec::new();
-        for (i, (name, proto)) in self.signals.iter().enumerate() {
+        for (i, (name, proto, span)) in self.signals.iter().enumerate() {
             let driver = match proto {
                 ProtoDriver::Input => {
                     inputs.push(NetId::from_index(i));
@@ -174,6 +188,7 @@ impl CircuitBuilder {
                 name: name.clone(),
                 driver,
             });
+            spans.push(*span);
         }
 
         let outputs = self
@@ -197,6 +212,7 @@ impl CircuitBuilder {
             dffs,
             fanouts,
             comb_order,
+            spans,
         })
     }
 }

@@ -2,6 +2,43 @@
 
 use std::fmt;
 
+/// Location of a declaration in `.bench` source text: a 1-based line
+/// number, or [`Span::NONE`] for nets created programmatically (through
+/// [`CircuitBuilder`](crate::CircuitBuilder) without an explicit span).
+///
+/// Spans are diagnostic metadata: they are carried by [`Circuit`] so that
+/// tools such as the `limscan-lint` rule engine can point back at the
+/// source line of an offending net, but they do **not** participate in
+/// circuit equality.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Span(u32);
+
+impl Span {
+    /// The absent span, used for synthesized nets.
+    pub const NONE: Span = Span(0);
+
+    /// A span pointing at the given 1-based source line.
+    ///
+    /// Line 0 is reserved for [`Span::NONE`].
+    pub fn at_line(line: usize) -> Self {
+        Span(u32::try_from(line).unwrap_or(u32::MAX))
+    }
+
+    /// The 1-based source line, or `None` for [`Span::NONE`].
+    pub fn line(self) -> Option<usize> {
+        (self.0 != 0).then_some(self.0 as usize)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line() {
+            Some(line) => write!(f, "line {line}"),
+            None => f.write_str("<no source>"),
+        }
+    }
+}
+
 /// Identifier of a net (signal) inside a [`Circuit`].
 ///
 /// A `NetId` is a dense index into the circuit's net table, which makes it
@@ -198,7 +235,7 @@ pub struct Pin {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Circuit {
     pub(crate) name: String,
     pub(crate) nets: Vec<Net>,
@@ -209,7 +246,27 @@ pub struct Circuit {
     pub(crate) fanouts: Vec<Vec<Pin>>,
     /// Nets driven by combinational gates, in topological (level) order.
     pub(crate) comb_order: Vec<NetId>,
+    /// Source span of each net's declaration ([`Span::NONE`] when built
+    /// programmatically). Diagnostic metadata, excluded from equality.
+    pub(crate) spans: Vec<Span>,
 }
+
+/// Equality compares the logical circuit — name, nets, port lists — and
+/// deliberately ignores source [`Span`]s, so a circuit written out with
+/// [`bench_format::write`](crate::bench_format::write) and re-parsed (with
+/// different line numbers) still compares equal. `fanouts` and `comb_order`
+/// are functions of `nets` and need no separate comparison.
+impl PartialEq for Circuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.nets == other.nets
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.dffs == other.dffs
+    }
+}
+
+impl Eq for Circuit {}
 
 impl Circuit {
     /// The circuit's name.
@@ -287,6 +344,80 @@ impl Circuit {
     pub fn gate_count(&self) -> usize {
         self.comb_order.len()
     }
+
+    /// The source span of the net's declaration ([`Span::NONE`] for nets
+    /// created programmatically).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn span(&self, id: NetId) -> Span {
+        self.spans[id.index()]
+    }
+
+    /// For each net, whether its value can reach an observation point — a
+    /// primary output or a flip-flop D input — through combinational logic.
+    ///
+    /// Gate-driven nets for which this is `false` are dangling: their value
+    /// can never influence anything a tester (or the next time frame) sees.
+    pub fn observation_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.nets.len()];
+        let mut stack: Vec<NetId> = Vec::new();
+        let mut seed = |id: NetId, stack: &mut Vec<NetId>| {
+            if !mask[id.index()] {
+                mask[id.index()] = true;
+                stack.push(id);
+            }
+        };
+        for &po in &self.outputs {
+            seed(po, &mut stack);
+        }
+        for &q in &self.dffs {
+            let Driver::Dff { d } = &self.nets[q.index()].driver else {
+                unreachable!("dffs holds flip-flop outputs");
+            };
+            seed(*d, &mut stack);
+        }
+        // Walk fanins, but only across combinational gates: crossing a
+        // flip-flop backwards would claim its Q observable merely because
+        // its D cone is.
+        while let Some(id) = stack.pop() {
+            if let Driver::Gate { fanins, .. } = &self.nets[id.index()].driver {
+                for &f in fanins {
+                    if !mask[f.index()] {
+                        mask[f.index()] = true;
+                        stack.push(f);
+                    }
+                }
+            }
+        }
+        mask
+    }
+
+    /// For each net, whether it is reachable from some primary input,
+    /// through any number of gates and flip-flops (that is, across time
+    /// frames).
+    ///
+    /// A flip-flop for which this is `false` can never be influenced by the
+    /// primary inputs: without scan access its state is a perpetual X
+    /// source.
+    pub fn input_reach_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.nets.len()];
+        let mut stack: Vec<NetId> = Vec::new();
+        for &pi in &self.inputs {
+            mask[pi.index()] = true;
+            stack.push(pi);
+        }
+        while let Some(id) = stack.pop() {
+            for pin in &self.fanouts[id.index()] {
+                if !mask[pin.net.index()] {
+                    mask[pin.net.index()] = true;
+                    stack.push(pin.net);
+                }
+            }
+        }
+        mask
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +483,58 @@ mod tests {
         let q = c.find_net("q").unwrap();
         assert_eq!(c.dff_position(q), Some(0));
         assert_eq!(c.dff_position(c.find_net("a").unwrap()), None);
+    }
+
+    #[test]
+    fn spans_default_to_none_and_are_ignored_by_equality() {
+        let c = tiny();
+        for i in 0..c.net_count() {
+            assert_eq!(c.span(NetId::from_index(i)), Span::NONE);
+        }
+        let mut with_spans = c.clone();
+        with_spans.spans[0] = Span::at_line(7);
+        assert_eq!(c, with_spans, "spans are metadata, not identity");
+        assert_eq!(Span::at_line(7).line(), Some(7));
+        assert_eq!(Span::NONE.line(), None);
+        assert_eq!(Span::at_line(7).to_string(), "line 7");
+    }
+
+    #[test]
+    fn observation_mask_spots_dangling_gates() {
+        let mut b = CircuitBuilder::new("dangle");
+        b.input("a");
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.gate("dead", GateKind::Not, &["a"]).unwrap();
+        b.gate("deader", GateKind::Not, &["dead"]).unwrap();
+        b.dff("q", "a").unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let mask = c.observation_mask();
+        assert!(mask[c.find_net("y").unwrap().index()]);
+        assert!(mask[c.find_net("a").unwrap().index()], "feeds y and q");
+        assert!(!mask[c.find_net("dead").unwrap().index()]);
+        assert!(!mask[c.find_net("deader").unwrap().index()]);
+        // Q observes nothing combinationally here.
+        assert!(!mask[c.find_net("q").unwrap().index()]);
+    }
+
+    #[test]
+    fn input_reach_mask_crosses_flip_flops() {
+        let mut b = CircuitBuilder::new("reach");
+        b.input("a");
+        b.dff("q1", "a").unwrap();
+        b.dff("q2", "q1").unwrap();
+        // A flip-flop loop never touched by any input.
+        b.dff("iso", "isod").unwrap();
+        b.gate("isod", GateKind::Not, &["iso"]).unwrap();
+        b.gate("y", GateKind::And, &["q2", "isod"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let mask = c.input_reach_mask();
+        assert!(mask[c.find_net("q2").unwrap().index()], "two frames deep");
+        assert!(!mask[c.find_net("iso").unwrap().index()], "isolated state");
+        assert!(!mask[c.find_net("isod").unwrap().index()]);
+        assert!(mask[c.find_net("y").unwrap().index()]);
     }
 
     #[test]

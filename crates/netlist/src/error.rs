@@ -40,6 +40,14 @@ pub enum NetlistError {
         /// Description of the problem.
         message: String,
     },
+    /// A `.bench` file could not be read or written.
+    Io {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error, rendered to text so the error stays
+        /// `Clone` + `PartialEq`.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -62,6 +70,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::Io { path, message } => {
+                write!(f, "I/O error on `{path}`: {message}")
             }
         }
     }

@@ -31,10 +31,12 @@ mod builder;
 mod circuit;
 mod error;
 mod level;
+pub mod raw;
 mod stats;
 
 pub use builder::CircuitBuilder;
-pub use circuit::{Circuit, Driver, GateKind, Net, NetId, Pin};
+pub use circuit::{Circuit, Driver, GateKind, Net, NetId, Pin, Span};
 pub use error::NetlistError;
 pub use level::Levels;
+pub use raw::RawNetlist;
 pub use stats::CircuitStats;

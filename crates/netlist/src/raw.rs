@@ -1,0 +1,236 @@
+//! A permissive, span-carrying netlist representation for diagnostics.
+//!
+//! [`CircuitBuilder`](crate::CircuitBuilder) and
+//! [`bench_format::parse`](crate::bench_format::parse) are *validating*: they
+//! reject the first structural defect they meet (duplicate driver, dangling
+//! reference, combinational cycle), which is the right behaviour for
+//! consumers but useless for a lint tool that wants to report **every**
+//! defect with its source location. [`RawNetlist`] is the permissive
+//! counterpart: it records declarations exactly as written — duplicates,
+//! unresolved names, wrong arities, even unparseable lines — each with the
+//! [`Span`] of the `.bench` line it came from.
+//!
+//! A raw netlist can be [`build`](RawNetlist::build)-ed into a validated
+//! [`Circuit`] with the same fail-fast semantics (and error values) as
+//! [`bench_format::parse`](crate::bench_format::parse); the `limscan-lint`
+//! rule engine instead walks the raw form directly and reports everything
+//! it finds.
+
+use std::collections::HashMap;
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::{Circuit, GateKind, Span};
+use crate::error::NetlistError;
+
+/// What a raw declaration says drives its signal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RawDriverKind {
+    /// `INPUT(name)` — a primary input.
+    Input,
+    /// `name = KIND(...)` with a recognised combinational gate kind.
+    Gate(GateKind),
+    /// `name = KIND(...)` with a mnemonic nobody recognises; the original
+    /// mnemonic is preserved for the diagnostic.
+    UnknownGate(String),
+    /// `name = DFF(...)` — a flip-flop (possibly with a wrong fanin count,
+    /// which the raw form does not reject).
+    Dff,
+}
+
+/// One signal declaration, exactly as written.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawDecl {
+    /// The declared signal name.
+    pub name: String,
+    /// The driver kind.
+    pub kind: RawDriverKind,
+    /// Fanin names in pin order (empty for inputs).
+    pub fanins: Vec<String>,
+    /// Where the declaration appears in the source.
+    pub span: Span,
+}
+
+/// An `OUTPUT(name)` declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawOutput {
+    /// The observed signal name.
+    pub name: String,
+    /// Where the declaration appears in the source.
+    pub span: Span,
+}
+
+/// A line that could not be parsed at all.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyntaxError {
+    /// The offending line.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// A permissive parse of a `.bench` netlist: every declaration and every
+/// malformed line, in source order, with spans. Produced by
+/// [`bench_format::parse_raw`](crate::bench_format::parse_raw).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawNetlist {
+    /// The circuit name (`.bench` has none; callers supply one).
+    pub name: String,
+    /// Signal declarations in source order, duplicates included.
+    pub decls: Vec<RawDecl>,
+    /// `OUTPUT` declarations in source order.
+    pub outputs: Vec<RawOutput>,
+    /// Unparseable lines, in source order.
+    pub syntax_errors: Vec<SyntaxError>,
+}
+
+impl RawNetlist {
+    /// The first declaration of `name`, if any.
+    pub fn decl_of(&self, name: &str) -> Option<&RawDecl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Index of the first declaration of every distinct signal name.
+    pub fn first_decl_index(&self) -> HashMap<&str, usize> {
+        let mut map = HashMap::new();
+        for (i, d) in self.decls.iter().enumerate() {
+            map.entry(d.name.as_str()).or_insert(i);
+        }
+        map
+    }
+
+    /// Validates and builds the raw netlist into a [`Circuit`], failing on
+    /// the **first** defect in source order with the same error values as
+    /// [`bench_format::parse`](crate::bench_format::parse): line-mapped
+    /// [`NetlistError::Parse`] for per-line defects, and the builder's bare
+    /// validation errors (undefined signal, combinational cycle, nothing
+    /// observable) for whole-netlist ones.
+    ///
+    /// # Errors
+    ///
+    /// See above; a raw netlist with no defects builds successfully.
+    pub fn build(&self) -> Result<Circuit, NetlistError> {
+        let mut builder = CircuitBuilder::new(self.name.clone());
+        let mut syntax = self.syntax_errors.iter().peekable();
+        let bail_syntax_before =
+            |span: Span,
+             syntax: &mut std::iter::Peekable<std::slice::Iter<'_, SyntaxError>>|
+             -> Result<(), NetlistError> {
+                if let Some(e) = syntax.peek() {
+                    if e.span <= span {
+                        return Err(NetlistError::Parse {
+                            line: e.span.line().unwrap_or(0),
+                            message: e.message.clone(),
+                        });
+                    }
+                }
+                Ok(())
+            };
+
+        for decl in &self.decls {
+            bail_syntax_before(decl.span, &mut syntax)?;
+            let line = decl.span.line().unwrap_or(0);
+            let err = |message: String| NetlistError::Parse { line, message };
+            builder.at(decl.span);
+            let fanins: Vec<&str> = decl.fanins.iter().map(String::as_str).collect();
+            match &decl.kind {
+                RawDriverKind::Input => {
+                    builder
+                        .try_input(&decl.name)
+                        .map_err(|e| err(e.to_string()))?;
+                }
+                RawDriverKind::Gate(kind) => {
+                    builder
+                        .gate(&decl.name, *kind, &fanins)
+                        .map_err(|e| err(e.to_string()))?;
+                }
+                RawDriverKind::UnknownGate(mnemonic) => {
+                    return Err(err(format!("unknown gate kind `{mnemonic}`")));
+                }
+                RawDriverKind::Dff => {
+                    if fanins.len() != 1 {
+                        return Err(err(format!("DFF takes one fanin, got {}", fanins.len())));
+                    }
+                    builder
+                        .dff(&decl.name, fanins[0])
+                        .map_err(|e| err(e.to_string()))?;
+                }
+            }
+        }
+        bail_syntax_before(Span::at_line(u32::MAX as usize), &mut syntax)?;
+
+        for o in &self.outputs {
+            builder.output(&o.name);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bench_format;
+    use crate::error::NetlistError;
+
+    use super::*;
+
+    #[test]
+    fn raw_parse_keeps_every_defect() {
+        let src = "\
+INPUT(a)
+INPUT(a)
+widget
+y = FROB(a)
+y = AND(a, ghost)
+q = DFF(a, a)
+OUTPUT(y)
+";
+        let raw = bench_format::parse_raw("bad", src);
+        assert_eq!(raw.decls.len(), 5, "duplicates and bad arities kept");
+        assert_eq!(raw.syntax_errors.len(), 1);
+        assert_eq!(raw.syntax_errors[0].span.line(), Some(3));
+        assert_eq!(raw.outputs.len(), 1);
+        assert_eq!(raw.outputs[0].span.line(), Some(7));
+        let frob = &raw.decls[2];
+        assert_eq!(frob.kind, RawDriverKind::UnknownGate("FROB".into()));
+        assert_eq!(frob.span.line(), Some(4));
+        let dff = raw.decls.iter().find(|d| d.name == "q").unwrap();
+        assert_eq!(dff.kind, RawDriverKind::Dff);
+        assert_eq!(dff.fanins.len(), 2);
+    }
+
+    #[test]
+    fn build_fails_on_first_defect_in_source_order() {
+        // The duplicate on line 2 precedes the junk on line 3.
+        let src = "INPUT(a)\nINPUT(a)\nwidget\nOUTPUT(a)\n";
+        let raw = bench_format::parse_raw("bad", src);
+        assert!(matches!(
+            raw.build(),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+        // And vice versa.
+        let src = "INPUT(a)\nwidget\nINPUT(a)\nOUTPUT(a)\n";
+        let raw = bench_format::parse_raw("bad", src);
+        assert!(matches!(
+            raw.build(),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn clean_source_builds_with_spans() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+        let raw = bench_format::parse_raw("c", src);
+        assert!(raw.syntax_errors.is_empty());
+        let c = raw.build().unwrap();
+        let y = c.find_net("y").unwrap();
+        assert_eq!(c.span(y).line(), Some(3));
+        assert_eq!(c.span(c.find_net("a").unwrap()).line(), Some(1));
+    }
+
+    #[test]
+    fn decl_lookup_returns_first_declaration() {
+        let src = "INPUT(a)\na = NOT(a)\nOUTPUT(a)\n";
+        let raw = bench_format::parse_raw("dup", src);
+        assert_eq!(raw.decl_of("a").unwrap().span.line(), Some(1));
+        assert_eq!(raw.first_decl_index()["a"], 0);
+    }
+}

@@ -15,6 +15,20 @@ struct Chain {
     len: usize,
 }
 
+/// Public description of one scan chain, for tools (such as the
+/// `limscan-lint` scan-integrity rules) that need to cross-check the
+/// inserted structure against the metadata the rest of the system uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChainSpec {
+    /// Position of this chain's `scan_inp` within `circuit().inputs()`.
+    pub inp_pos: usize,
+    /// First flip-flop of the chain, as an index into the global flip-flop
+    /// (declaration) order [`ScanCircuit::chain`].
+    pub start: usize,
+    /// Number of flip-flops in the chain.
+    pub len: usize,
+}
+
 /// A circuit with inserted scan chains, plus the metadata the rest of the
 /// system needs.
 ///
@@ -219,6 +233,19 @@ impl ScanCircuit {
     /// Positions of every chain's `scan_inp` within `circuit().inputs()`.
     pub fn scan_inp_positions(&self) -> Vec<usize> {
         self.chains.iter().map(|c| c.inp_pos).collect()
+    }
+
+    /// Every chain's layout — scan-in position and the contiguous run of
+    /// flip-flops it threads — in chain order.
+    pub fn chains_spec(&self) -> Vec<ChainSpec> {
+        self.chains
+            .iter()
+            .map(|c| ChainSpec {
+                inp_pos: c.inp_pos,
+                start: c.start,
+                len: c.len,
+            })
+            .collect()
     }
 
     /// The net observed as the single chain's `scan_out`.
@@ -438,6 +465,28 @@ mod tests {
         assert_eq!(sc.shifts_to_observe(0), 3); // head of chain 0
         assert_eq!(sc.shifts_to_observe(3), 2); // head of chain 1 (len 2)
         assert_eq!(sc.shifts_to_observe(6), 1); // end of chain 2
+    }
+
+    #[test]
+    fn chains_spec_matches_the_internal_layout() {
+        let spec = benchmarks::SyntheticSpec::new("mc", 4, 7, 40, 2);
+        let c = benchmarks::synthetic(&spec);
+        let sc = ScanCircuit::insert_chains(&c, 3);
+        let chains = sc.chains_spec();
+        assert_eq!(chains.len(), 3);
+        assert_eq!(
+            chains[0],
+            ChainSpec {
+                inp_pos: 5, // 4 original inputs + scan_sel
+                start: 0,
+                len: 3,
+            }
+        );
+        assert_eq!(chains.iter().map(|c| c.len).sum::<usize>(), sc.n_sv());
+        for pair in chains.windows(2) {
+            assert_eq!(pair[0].start + pair[0].len, pair[1].start);
+            assert_eq!(pair[0].inp_pos + 1, pair[1].inp_pos);
+        }
     }
 
     #[test]

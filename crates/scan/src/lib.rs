@@ -35,5 +35,5 @@ pub mod program;
 mod test_set;
 mod translate;
 
-pub use insert::ScanCircuit;
+pub use insert::{ChainSpec, ScanCircuit};
 pub use test_set::{ScanTest, ScanTestSet};

@@ -102,9 +102,7 @@ impl FaultDictionary {
 
         for batch in all.chunks(64) {
             table.load(faults, batch);
-            for w in state_words.iter_mut() {
-                *w = Word3::ALL_X;
-            }
+            state_words.fill(Word3::ALL_X);
             let mut capped_mask = 0u64;
             let full_mask = if batch.len() == 64 {
                 !0u64

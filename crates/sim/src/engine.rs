@@ -82,9 +82,7 @@ fn default_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
 /// Minimum estimated dense work (time units × gates × batches) before an
@@ -866,7 +864,7 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             s.diverged[n as usize] = false;
         }
         for list in [&s.diverged_gates, &s.diverged_gates_next] {
-            for &pos in list.iter() {
+            for &pos in list {
                 s.diverged[topo.gate_net[pos as usize] as usize] = false;
             }
         }
@@ -874,7 +872,7 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
         s.diverged_gates.clear();
         s.diverged_gates_next.clear();
         for list in [&s.ff_diff, &s.ff_diff_next] {
-            for &(ffi, _) in list.iter() {
+            for &(ffi, _) in list {
                 s.ff_in_diff[ffi as usize] = false;
             }
         }

@@ -101,7 +101,7 @@ impl TestSequence {
 
     /// Iterates over the vectors in time order.
     pub fn iter(&self) -> impl Iterator<Item = &[Logic]> {
-        self.vectors.iter().map(|v| v.as_slice())
+        self.vectors.iter().map(Vec::as_slice)
     }
 
     /// A copy with the vector at time `t` omitted (the elementary move of

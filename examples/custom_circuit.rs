@@ -69,7 +69,8 @@ fn main() {
     );
 
     // Full flow: Section 2 generation + restoration + omission.
-    let flow = GenerationFlow::run(&circuit, &FlowConfig::default());
+    let flow = GenerationFlow::run(&circuit, &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     println!(
         "coverage {:.2}% ({} / {} faults, {} via scan knowledge)",
         flow.generated.report.coverage_percent(),

@@ -15,7 +15,8 @@
 use limscan::{benchmarks, FaultDictionary, FaultId, FlowConfig, GenerationFlow};
 
 fn main() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let c = flow.scan.circuit();
     let seq = &flow.omitted.sequence;
     println!(

@@ -17,7 +17,8 @@ fn main() {
     let circuit = benchmarks::s27();
     println!("circuit: {}", limscan::netlist::CircuitStats::of(&circuit));
 
-    let flow = GenerationFlow::run(&circuit, &FlowConfig::default());
+    let flow = GenerationFlow::run(&circuit, &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let scan = &flow.scan;
     println!(
         "scan circuit: {} inputs (+scan_sel/+scan_inp), {} chain positions, {} faults",

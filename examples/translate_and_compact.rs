@@ -25,7 +25,8 @@ fn main() {
         println!("note: `{name}` is a profile-synthetic stand-in (DESIGN.md §5)\n");
     }
 
-    let flow = TranslationFlow::run(&circuit, &FlowConfig::default());
+    let flow = TranslationFlow::run(&circuit, &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
 
     println!(
         "conventional test set: {} tests, {} primary-input vectors",

@@ -1,0 +1,107 @@
+//! Every circuit this workspace ships — embedded benchmarks, synthetic
+//! generator output, and everything `ScanCircuit::insert_chains` produces
+//! from them — must be lint-clean at error severity. The lint gate in
+//! `FlowConfig` depends on this: if a shipped benchmark tripped an error
+//! rule, the default flow would refuse it.
+
+use proptest::prelude::*;
+
+use limscan::benchmarks::{self, synthetic, SyntheticSpec};
+use limscan::lint::{LintReport, Linter};
+use limscan::netlist::bench_format;
+use limscan::{Circuit, ScanCircuit};
+
+/// Names of every embedded benchmark, deduplicated across the suites.
+fn all_benchmark_names() -> Vec<&'static str> {
+    let mut names = vec!["s27"];
+    for suite in [
+        benchmarks::iscas89_suite(),
+        benchmarks::itc99_suite(),
+        benchmarks::table7_suite(),
+    ] {
+        for name in suite {
+            if !names.contains(name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+fn assert_error_clean(report: &LintReport, what: &str) {
+    assert!(
+        !report.has_errors(),
+        "{what} has lint errors:\n{}",
+        report.render_human(what)
+    );
+}
+
+/// Lint a circuit both directly and through the `.bench` writer, so the
+/// raw-netlist rule path (the one with line spans) is exercised too.
+fn assert_circuit_clean(linter: &Linter, c: &Circuit, what: &str) {
+    assert_error_clean(&linter.lint_circuit(c), what);
+    let text = bench_format::write(c);
+    assert_error_clean(
+        &linter.lint_source(c.name(), &text),
+        &format!("{what} (round-tripped source)"),
+    );
+}
+
+#[test]
+fn every_embedded_benchmark_is_error_clean() {
+    let linter = Linter::new();
+    for name in all_benchmark_names() {
+        let c = benchmarks::load(name).expect("suite names all load");
+        assert_circuit_clean(&linter, &c, name);
+    }
+}
+
+#[test]
+fn every_embedded_benchmark_stays_clean_after_scan_insertion() {
+    let linter = Linter::new();
+    for name in all_benchmark_names() {
+        let c = benchmarks::load(name).expect("suite names all load");
+        if c.dffs().is_empty() {
+            continue;
+        }
+        let max_chains = 4.min(c.dffs().len());
+        for chains in 1..=max_chains {
+            let sc = ScanCircuit::insert_chains(&c, chains);
+            assert_error_clean(
+                &linter.lint_scan(&sc),
+                &format!("{name} with {chains} scan chain(s)"),
+            );
+        }
+    }
+}
+
+/// Strategy: a small random circuit profile (mirrors `tests/properties.rs`).
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (1usize..6, 1usize..8, 8usize..50, 1usize..4, any::<u64>()).prop_map(
+        |(pi, ff, gates, po, seed)| {
+            let mut s = SyntheticSpec::new(format!("lint{seed:x}"), pi, ff, gates, po);
+            s.seed = seed;
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The synthetic generator never produces a circuit the lint gate
+    /// would reject, bare or after scan insertion with any chain count.
+    #[test]
+    fn synthetic_circuits_are_error_clean(spec in spec_strategy(), chains in 1usize..5) {
+        let c = synthetic(&spec);
+        let linter = Linter::new();
+        assert_circuit_clean(&linter, &c, c.name());
+
+        let chains = chains.min(c.dffs().len());
+        let sc = ScanCircuit::insert_chains(&c, chains);
+        assert_error_clean(
+            &linter.lint_scan(&sc),
+            &format!("{} with {chains} scan chain(s)", c.name()),
+        );
+    }
+}

@@ -36,7 +36,8 @@ fn paper_table2() -> ScanTestSet {
 /// compaction either).
 #[test]
 fn table1_sequence_structure() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let seq = &flow.generated.sequence;
     assert!(
         flow.generated.report.coverage_percent() >= 99.99,
@@ -82,7 +83,8 @@ fn table3_translation_matches_paper() {
 /// preserved (checked independently).
 #[test]
 fn table4_compaction_effect() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     assert!(flow.omitted.sequence.len() < flow.generated.sequence.len());
     assert!(flow.omitted_scan_vectors() < flow.generated_scan_vectors());
     let report = SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.omitted.sequence);

@@ -8,7 +8,8 @@ use limscan::{
 
 #[test]
 fn s27_generation_flow_end_to_end() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
 
     // Table 5 shape: full coverage on the genuine s27.
     assert_eq!(
@@ -29,7 +30,8 @@ fn s27_generation_flow_end_to_end() {
 
 #[test]
 fn s27_translation_flow_beats_complete_scan_compaction() {
-    let flow = TranslationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = TranslationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let baseline_cycles = flow.baseline_compacted.set.application_cycles();
     assert_eq!(flow.translated.len(), baseline_cycles);
     assert!(
@@ -41,7 +43,8 @@ fn s27_translation_flow_beats_complete_scan_compaction() {
 
 #[test]
 fn compacted_sequences_contain_limited_scan_operations() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let sel = flow.scan.scan_sel_pos();
     let n_sv = flow.scan.n_sv();
     let mut has_limited = false;
@@ -68,7 +71,8 @@ fn compacted_sequences_contain_limited_scan_operations() {
 #[test]
 fn experiment_runner_matches_direct_flows() {
     let exp = CircuitExperiment::run("s27", &ExperimentConfig::default()).unwrap();
-    let direct = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let direct = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     assert_eq!(
         exp.generation.generated.sequence, direct.generated.sequence,
         "experiment runner must be a thin wrapper over the flows"
@@ -86,12 +90,12 @@ fn synthetic_profile_flow_has_paper_shape() {
         ..FlowConfig::default()
     };
     let circuit = benchmarks::load("b03").unwrap();
-    let gen = GenerationFlow::run(&circuit, &config);
+    let gen = GenerationFlow::run(&circuit, &config).expect("flow runs on a lint-clean circuit");
     assert!(gen.generated.report.coverage_percent() > 70.0);
     assert!(gen.omitted.sequence.len() <= gen.restored.sequence.len());
     assert!(gen.restored.sequence.len() <= gen.generated.sequence.len());
 
-    let tr = TranslationFlow::run(&circuit, &config);
+    let tr = TranslationFlow::run(&circuit, &config).expect("flow runs on a lint-clean circuit");
     assert!(
         tr.omitted.sequence.len() <= tr.baseline_compacted.set.application_cycles(),
         "flat compaction must not be worse than complete-scan compaction"
@@ -100,7 +104,8 @@ fn synthetic_profile_flow_has_paper_shape() {
 
 #[test]
 fn restore_then_omit_helper_equals_staged_calls() {
-    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default());
+    let flow = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default())
+        .expect("flow runs on a lint-clean circuit");
     let c = flow.scan.circuit();
     let staged = &flow.omitted.sequence;
     let helper = restore_then_omit(c, &flow.faults, &flow.generated.sequence, 2);
@@ -144,8 +149,8 @@ fn multi_chain_flow_end_to_end() {
         ..single.clone()
     };
 
-    let f1 = GenerationFlow::run(&circuit, &single);
-    let f3 = GenerationFlow::run(&circuit, &triple);
+    let f1 = GenerationFlow::run(&circuit, &single).expect("flow runs on a lint-clean circuit");
+    let f3 = GenerationFlow::run(&circuit, &triple).expect("flow runs on a lint-clean circuit");
     assert_eq!(f3.scan.chain_count(), 3);
     assert_eq!(f3.scan.n_sv(), f1.scan.n_sv());
     assert!(f3.scan.max_chain_len() < f1.scan.max_chain_len());
