@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 
 use limscan_fault::{Fault, FaultList};
 use limscan_netlist::Circuit;
+use limscan_obs::{Metric, ObsHandle, SpanKind};
 use limscan_scan::ScanCircuit;
 use limscan_sim::{
     eval_comb, eval_comb_with, next_state, DetectionReport, Logic, SeqFaultSim, TestSequence,
@@ -111,6 +112,7 @@ pub struct SequentialAtpg<'a> {
     faults: &'a FaultList,
     config: AtpgConfig,
     scoap: Scoap,
+    obs: ObsHandle,
 }
 
 enum EpisodeKind {
@@ -133,7 +135,19 @@ impl<'a> SequentialAtpg<'a> {
             faults,
             config,
             scoap,
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// Attaches an observability scope: the run emits one span for the
+    /// random phase and one `Episode`-kind span per deterministic-search
+    /// episode, plus the `atpg_episodes` / `scan_loads` counters. The
+    /// generator is single-threaded at the episode level, so all of its
+    /// counters are deterministic.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &ObsHandle) -> Self {
+        self.obs = obs.clone();
+        self
     }
 
     /// Runs test generation over all target faults and returns the
@@ -147,12 +161,24 @@ impl<'a> SequentialAtpg<'a> {
         let mut scan_loads = 0;
         let mut aborted = 0;
 
-        self.random_phase(&mut rng, &mut sim, &mut sequence);
+        {
+            let phase = self.obs.span(SpanKind::Pass, "random-phase");
+            sim.set_obs(phase.handle());
+            self.random_phase(&mut rng, &mut sim, &mut sequence);
+        }
 
+        let mut episode_index = 0u64;
         for fid in self.faults.ids() {
             if sim.is_detected(fid) {
                 continue;
             }
+            let span = self
+                .obs
+                .span_indexed(SpanKind::Episode, "atpg-episode", episode_index);
+            episode_index += 1;
+            let span_obs = span.handle();
+            span_obs.counter(Metric::AtpgEpisodes, 1);
+            sim.set_obs(span_obs);
             let fault = self.faults.fault(fid);
             match self.episode(fault, &sim, &mut rng) {
                 Some((mut episode, kind)) => {
@@ -165,6 +191,7 @@ impl<'a> SequentialAtpg<'a> {
                             EpisodeKind::ShiftOut => funct_detected += 1,
                             EpisodeKind::ScanLoad { shifted } => {
                                 scan_loads += 1;
+                                span_obs.counter(Metric::ScanLoads, 1);
                                 if shifted {
                                     funct_detected += 1;
                                 }
@@ -177,6 +204,7 @@ impl<'a> SequentialAtpg<'a> {
                 None => aborted += 1,
             }
         }
+        sim.set_obs(&self.obs);
 
         AtpgOutcome {
             sequence,

@@ -20,13 +20,18 @@
 //!
 //! Output defaults to `BENCH_compact.json` in the current directory.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use limscan::compact::{
-    omission, omission_reference, restoration, restoration_reference, Compacted,
+    omission, omission_observed, omission_reference, restoration, restoration_observed,
+    restoration_reference, Compacted,
 };
+use limscan::obs::Metric;
 use limscan::sim::sim_threads;
-use limscan::{benchmarks, FaultList, Logic, ScanCircuit, TestSequence};
+use limscan::{
+    benchmarks, FaultList, Logic, MetricsCollector, ObsHandle, ScanCircuit, TestSequence,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -102,6 +107,17 @@ fn main() {
         );
         assert_eq!(r_ref.extra_detected, r_inc.extra_detected);
 
+        // One extra observed run of each incremental engine feeds the
+        // `metrics` block. Untimed, and inert when `trace` is compiled out
+        // (every counter reads back 0).
+        let collector = {
+            let collector = MetricsCollector::default();
+            let obs = ObsHandle::from_sink(Arc::new(collector.clone()));
+            omission_observed(c, &faults, &seq, OMISSION_PASSES, &obs);
+            restoration_observed(c, &faults, &seq, &obs);
+            collector
+        };
+
         println!(
             "{name}: faults={} vectors={vectors} | omission ref={t_oref:.3}s inc={t_oinc:.3}s \
              ({:.2}x, len {} -> {}) | restoration ref={t_rref:.3}s inc={t_rinc:.3}s \
@@ -134,7 +150,11 @@ fn main() {
                 "        \"speedup\": {:.3},\n",
                 "        \"final_len\": {},\n",
                 "        \"extra_detected\": {}\n",
-                "      }}\n",
+                "      }},\n",
+                "      \"metrics\": {{\"trace_enabled\": {}, \"trials_attempted\": {}, ",
+                "\"trials_committed\": {}, \"trials_early_exited\": {}, ",
+                "\"checkpoint_hits\": {}, \"restoration_episodes\": {}, ",
+                "\"restoration_probes\": {}}}\n",
                 "    }}"
             ),
             name,
@@ -151,6 +171,13 @@ fn main() {
             t_rref / t_rinc,
             r_inc.sequence.len(),
             r_inc.extra_detected,
+            !collector.is_empty(),
+            collector.counter(Metric::TrialsAttempted),
+            collector.counter(Metric::TrialsCommitted),
+            collector.counter(Metric::TrialsEarlyExited),
+            collector.counter(Metric::CheckpointHits),
+            collector.counter(Metric::RestorationEpisodes),
+            collector.counter(Metric::RestorationProbes),
         ));
     }
 

@@ -14,10 +14,14 @@
 //!
 //! Output defaults to `BENCH_faultsim.json` in the current directory.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use limscan::obs::Metric;
 use limscan::sim::{set_sim_threads, sim_threads};
-use limscan::{benchmarks, Circuit, FaultList, Logic, SeqFaultSim, TestSequence};
+use limscan::{
+    benchmarks, Circuit, FaultList, Logic, MetricsCollector, ObsHandle, SeqFaultSim, TestSequence,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -74,6 +78,20 @@ fn main() {
         assert_eq!(d_ref, d_ev1, "{name}: single-thread engine diverged");
         assert_eq!(d_ref, d_mt, "{name}: multi-thread engine diverged");
 
+        // One extra single-thread extension with a live collector feeds the
+        // `metrics` block. Untimed, and inert when `trace` is compiled out
+        // (every counter reads back 0).
+        let collector = {
+            let collector = MetricsCollector::default();
+            let obs = ObsHandle::from_sink(Arc::new(collector.clone()));
+            set_sim_threads(Some(1));
+            let mut sim = SeqFaultSim::new(&circuit, &faults);
+            sim.set_obs(&obs);
+            sim.extend(&seq);
+            set_sim_threads(None);
+            collector
+        };
+
         let vps = |t: f64| vectors as f64 / t;
         println!(
             "{name}: faults={} vectors={vectors} ref={:.4}s event/1t={:.4}s ({:.2}x) \
@@ -95,7 +113,9 @@ fn main() {
                 "      \"detected\": {},\n",
                 "      \"reference\": {{\"seconds\": {:.6}, \"vectors_per_sec\": {:.1}}},\n",
                 "      \"event_1thread\": {{\"seconds\": {:.6}, \"vectors_per_sec\": {:.1}, \"speedup\": {:.3}}},\n",
-                "      \"event_auto\": {{\"seconds\": {:.6}, \"vectors_per_sec\": {:.1}, \"speedup\": {:.3}}}\n",
+                "      \"event_auto\": {{\"seconds\": {:.6}, \"vectors_per_sec\": {:.1}, \"speedup\": {:.3}}},\n",
+                "      \"metrics\": {{\"trace_enabled\": {}, \"vectors_simulated\": {}, ",
+                "\"batches_simulated\": {}, \"faults_detected\": {}, \"scratch_bytes_peak\": {}}}\n",
                 "    }}"
             ),
             name,
@@ -111,6 +131,11 @@ fn main() {
             t_mt,
             vps(t_mt),
             t_ref / t_mt,
+            !collector.is_empty(),
+            collector.counter(Metric::VectorsSimulated),
+            collector.counter(Metric::BatchesSimulated),
+            collector.counter(Metric::FaultsDetected),
+            collector.gauge_max(Metric::ScratchBytes),
         ));
     }
 

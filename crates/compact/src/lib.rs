@@ -54,13 +54,14 @@ mod restoration;
 mod scan_compact;
 mod segments;
 
-pub use omission::{omission, omission_reference};
-pub use restoration::{restoration, restoration_reference};
+pub use omission::{omission, omission_observed, omission_reference};
+pub use restoration::{restoration, restoration_observed, restoration_reference};
 pub use scan_compact::{scan_test_set, CompactedSet};
 pub use segments::segment_prune;
 
 use limscan_fault::FaultList;
 use limscan_netlist::Circuit;
+use limscan_obs::{ObsHandle, SpanKind};
 use limscan_sim::TestSequence;
 
 /// Selects the trial engine behind [`restore_then_omit_with`].
@@ -129,15 +130,52 @@ pub fn restore_then_omit_with(
     omission_passes: usize,
     engine: CompactionEngine,
 ) -> Compacted {
+    restore_then_omit_observed(
+        circuit,
+        faults,
+        sequence,
+        omission_passes,
+        engine,
+        &ObsHandle::noop(),
+    )
+}
+
+/// [`restore_then_omit_with`] under an observability scope.
+///
+/// The restoration and omission phases each run inside their own
+/// `Pass`-kind span. The `Reference` engine stays unobserved internally
+/// (it is the bit-exact oracle and must not depend on instrumentation),
+/// but its phases are still bracketed by spans so flow traces keep their
+/// shape regardless of engine choice.
+pub fn restore_then_omit_observed(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    omission_passes: usize,
+    engine: CompactionEngine,
+    obs: &ObsHandle,
+) -> Compacted {
     let (restored, omitted) = match engine {
         CompactionEngine::Incremental => {
-            let r = restoration(circuit, faults, sequence);
-            let o = omission(circuit, faults, &r.sequence, omission_passes);
+            let r = {
+                let span = obs.span(SpanKind::Pass, "restore");
+                restoration_observed(circuit, faults, sequence, span.handle())
+            };
+            let o = {
+                let span = obs.span(SpanKind::Pass, "omit");
+                omission_observed(circuit, faults, &r.sequence, omission_passes, span.handle())
+            };
             (r, o)
         }
         CompactionEngine::Reference => {
-            let r = restoration_reference(circuit, faults, sequence);
-            let o = omission_reference(circuit, faults, &r.sequence, omission_passes);
+            let r = {
+                let _span = obs.span(SpanKind::Pass, "restore");
+                restoration_reference(circuit, faults, sequence)
+            };
+            let o = {
+                let _span = obs.span(SpanKind::Pass, "omit");
+                omission_reference(circuit, faults, &r.sequence, omission_passes)
+            };
             (r, o)
         }
     };

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use limscan_fault::{FaultId, FaultList};
 use limscan_netlist::Circuit;
+use limscan_obs::{Metric, ObsHandle, SpanKind};
 use limscan_sim::{sim_threads, SeqFaultSim, TestSequence, TrialCheckpoints};
 
 use crate::Compacted;
@@ -49,19 +50,43 @@ pub fn omission(
     sequence: &TestSequence,
     max_passes: usize,
 ) -> Compacted {
-    let before = SeqFaultSim::run(circuit, faults, sequence);
+    omission_observed(circuit, faults, sequence, max_passes, &ObsHandle::noop())
+}
+
+/// [`omission`] with an observability scope: emits one `omission-pass`
+/// span per pass, a `trial` span per candidate decision, and the
+/// trial/checkpoint counters. Trial spans run on the speculative-wave
+/// worker threads, so their order (and the attempted/early-exit counts)
+/// is only deterministic for a single-threaded run; committed omissions
+/// are counted on the coordinating thread and are deterministic for any
+/// thread count.
+pub fn omission_observed(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    max_passes: usize,
+    obs: &ObsHandle,
+) -> Compacted {
+    let before = {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.set_obs(obs);
+        sim.extend(sequence);
+        sim.report()
+    };
     let target_ids: Vec<FaultId> = before.detected();
     let targets = FaultList::from_faults(target_ids.iter().map(|&id| faults.fault(id)));
     let target_count = targets.len();
 
     let mut current = sequence.clone();
-    for _ in 0..max_passes {
+    for pass in 0..max_passes {
         if current.is_empty() {
             break;
         }
+        let pass_span = obs.span_indexed(SpanKind::Pass, "omission-pass", pass as u64 + 1);
+        let pass_obs = pass_span.handle();
         // One recorded pass per omission pass: every trial below restarts
         // from its candidate's checkpoint instead of simulating from 0.
-        let ck = TrialCheckpoints::record(circuit, &targets, &current);
+        let ck = TrialCheckpoints::record_observed(circuit, &targets, &current, pass_obs);
         assert_eq!(
             ck.recorded_detected(),
             ck.total_lanes(),
@@ -78,9 +103,11 @@ pub fn omission(
             if prefix.all_detected() {
                 // The kept prefix alone covers every target: every
                 // remaining candidate trivially succeeds.
+                let dropped = keep[o..].iter().filter(|k| **k).count();
                 for k in &mut keep[o..] {
                     *k = false;
                 }
+                pass_obs.counter(Metric::TrialsCommitted, dropped as u64);
                 changed = true;
                 break;
             }
@@ -90,6 +117,7 @@ pub fn omission(
             // held, so the keep mask cannot depend on scheduling.
             let wave = threads.min(len - o);
             let verdicts: Vec<bool> = if wave <= 1 {
+                let _trial = pass_span.child_indexed(SpanKind::Trial, "trial", o as u64);
                 vec![ck.trial(&prefix, o)]
             } else {
                 let next = AtomicUsize::new(0);
@@ -109,6 +137,11 @@ pub fn omission(
                                     for kept in o..o + i {
                                         ck.advance(&mut p, kept);
                                     }
+                                    let _trial = pass_obs.span_indexed(
+                                        SpanKind::Trial,
+                                        "trial",
+                                        (o + i) as u64,
+                                    );
                                     out.push((i, ck.trial(&p, o + i)));
                                 }
                                 out
@@ -128,6 +161,7 @@ pub fn omission(
                 let c = o + i;
                 if ok {
                     keep[c] = false;
+                    pass_obs.counter(Metric::TrialsCommitted, 1);
                     changed = true;
                     o = c + 1;
                     omitted = true;
@@ -146,7 +180,12 @@ pub fn omission(
         }
     }
 
-    let after = SeqFaultSim::run(circuit, faults, &current);
+    let after = {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.set_obs(obs);
+        sim.extend(&current);
+        sim.report()
+    };
     let extra_detected = faults
         .ids()
         .filter(|&id| after.is_detected(id) && !before.is_detected(id))

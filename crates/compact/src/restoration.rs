@@ -30,6 +30,7 @@
 
 use limscan_fault::{Fault, FaultList};
 use limscan_netlist::Circuit;
+use limscan_obs::{Metric, ObsHandle, SpanKind};
 use limscan_sim::{single_fault_detects, Logic, SeqFaultSim, SingleFaultSim, TestSequence};
 
 use crate::Compacted;
@@ -129,7 +130,25 @@ impl<'a> RecordedPass<'a> {
 /// recorded pass and the convergence exit change the cost of a probe, never
 /// its verdict.
 pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequence) -> Compacted {
-    let report = SeqFaultSim::run(circuit, faults, sequence);
+    restoration_observed(circuit, faults, sequence, &ObsHandle::noop())
+}
+
+/// [`restoration`] with an observability scope: emits one
+/// `restore-episode` span per restoration episode, a `probe` span per
+/// doubling-chunk probe, and the episode/probe counters. Restoration is
+/// single-threaded, so all of its counters are deterministic.
+pub fn restoration_observed(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    obs: &ObsHandle,
+) -> Compacted {
+    let report = {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.set_obs(obs);
+        sim.extend(sequence);
+        sim.report()
+    };
     let mut targets: Vec<(u32, limscan_fault::FaultId)> = faults
         .ids()
         .filter_map(|id| report.detected_at(id).map(|t| (t, id)))
@@ -149,6 +168,8 @@ pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequenc
             continue;
         }
         let fault = faults.fault(id);
+        let episode = obs.span_indexed(SpanKind::Episode, "restore-episode", i as u64);
+        episode.handle().counter(Metric::RestorationEpisodes, 1);
         // One recorded pass per episode: the covered check and the probe
         // cache in a single simulation of the kept subsequence.
         let rec = RecordedPass::record(circuit, fault, sequence, &keep);
@@ -164,7 +185,12 @@ pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequenc
             for p in lo..=next {
                 keep[p as usize] = true;
             }
-            if rec.probe(lo as usize, t_f as usize) {
+            episode.handle().counter(Metric::RestorationProbes, 1);
+            let hit = {
+                let _probe = episode.child_indexed(SpanKind::Trial, "probe", lo as u64);
+                rec.probe(lo as usize, t_f as usize)
+            };
+            if hit {
                 break;
             }
             // Once the whole prefix [0, t_f] is restored, `kept` starts
@@ -175,6 +201,7 @@ pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequenc
             chunk *= 2;
         }
         covered[i] = true;
+        drop(episode);
 
         episodes_since_drop += 1;
         if episodes_since_drop >= 8 {
@@ -184,7 +211,12 @@ pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequenc
                 let sub =
                     FaultList::from_faults(remaining.iter().map(|&j| faults.fault(targets[j].1)));
                 let kept = sequence.select(&keep);
-                let report = SeqFaultSim::run(circuit, &sub, &kept);
+                let report = {
+                    let mut sim = SeqFaultSim::new(circuit, &sub);
+                    sim.set_obs(obs);
+                    sim.extend(&kept);
+                    sim.report()
+                };
                 for (k, &j) in remaining.iter().enumerate() {
                     if report.is_detected(limscan_fault::FaultId::from_index(k)) {
                         covered[j] = true;
@@ -195,7 +227,12 @@ pub fn restoration(circuit: &Circuit, faults: &FaultList, sequence: &TestSequenc
     }
 
     let sequence_out = sequence.select(&keep);
-    let after = SeqFaultSim::run(circuit, faults, &sequence_out);
+    let after = {
+        let mut sim = SeqFaultSim::new(circuit, faults);
+        sim.set_obs(obs);
+        sim.extend(&sequence_out);
+        sim.report()
+    };
     let extra_detected = faults
         .ids()
         .filter(|&id| after.is_detected(id) && !report.is_detected(id))

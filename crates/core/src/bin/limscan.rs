@@ -4,21 +4,29 @@
 //! limscan info <circuit.bench>
 //! limscan generate <circuit.bench> [-o program.txt] [--chains N]
 //!                  [--engine det|genetic] [--max-faults N] [--no-compact]
+//!                  [--trace out.jsonl] [--metrics]
 //! limscan compact <circuit.bench> <program.txt> [-o out.txt] [--passes N]
+//!                 [--trace out.jsonl] [--metrics]
 //! ```
 //!
 //! `generate` inserts scan into the circuit, runs the paper's flow and
 //! writes a tester vector file; `compact` re-compacts an existing vector
 //! file against the same scan circuit. Circuits are ISCAS-89 `.bench`
-//! netlists (or a benchmark name like `s27` / `s298`).
+//! netlists (or a benchmark name like `s27` / `s298`). `--trace` streams
+//! the span/metric event log as JSONL; `--metrics` prints the per-phase
+//! summary and detection profile to stderr (both need the `trace` feature,
+//! which is on by default).
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use limscan::atpg::genetic::GeneticConfig;
+use limscan::compact::{restore_then_omit_observed, CompactionEngine};
 use limscan::netlist::{bench_format, CircuitStats};
+use limscan::obs::SpanKind;
 use limscan::scan::program::{parse_program, program_stats, write_program};
 use limscan::{
-    benchmarks, restore_then_omit, Circuit, Engine, FaultList, FlowConfig, GenerationFlow,
+    benchmarks, Circuit, Engine, FaultList, FlowConfig, FlowReport, GenerationFlow, ObsHandle,
     ScanCircuit, SeqFaultSim,
 };
 
@@ -47,7 +55,38 @@ const USAGE: &str = "usage:
   limscan info <circuit.bench | benchmark-name>
   limscan generate <circuit> [-o program.txt] [--chains N]
                    [--engine det|genetic] [--max-faults N] [--no-compact]
-  limscan compact <circuit> <program.txt> [-o out.txt] [--passes N]";
+                   [--trace out.jsonl] [--metrics]
+  limscan compact <circuit> <program.txt> [-o out.txt] [--passes N]
+                  [--trace out.jsonl] [--metrics]";
+
+/// Parses `--trace` / `--metrics` into an observability handle. Warns
+/// (without failing) when the binary was built without the `trace`
+/// feature, in which case the handle stays inert and the trace file is
+/// not created.
+fn obs_from_args(args: &[String]) -> Result<(ObsHandle, bool), String> {
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let obs = match flag_value(args, "--trace") {
+        Some(path) => {
+            let handle = ObsHandle::jsonl_file(Path::new(path))
+                .map_err(|e| format!("cannot create trace file {path}: {e}"))?;
+            if !handle.is_enabled() {
+                eprintln!(
+                    "warning: this build has the `trace` feature disabled; \
+                     --trace is ignored and {path} is not created"
+                );
+            }
+            handle
+        }
+        None => ObsHandle::noop(),
+    };
+    if metrics && !cfg!(feature = "trace") {
+        eprintln!(
+            "warning: this build has the `trace` feature disabled; \
+             --metrics will report nothing"
+        );
+    }
+    Ok((obs, metrics))
+}
 
 fn load_circuit(arg: &str) -> Result<Circuit, String> {
     if arg.ends_with(".bench") || arg.contains('/') {
@@ -114,14 +153,19 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown engine `{other}` (det|genetic)")),
     };
     let compact = !args.iter().any(|a| a == "--no-compact");
+    let (obs, metrics) = obs_from_args(args)?;
 
     let config = FlowConfig {
         engine,
         scan_chains: chains,
         max_faults,
+        obs,
         ..FlowConfig::default()
     };
     let flow = GenerationFlow::run(&circuit, &config).map_err(|e| e.to_string())?;
+    if metrics {
+        eprint!("{}", flow.report.render());
+    }
     let sequence = if compact {
         &flow.omitted.sequence
     } else {
@@ -183,8 +227,34 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
         ));
     }
     let faults = FaultList::collapsed(sc.circuit());
-    let before = SeqFaultSim::run(sc.circuit(), &faults, &sequence);
-    let compacted = restore_then_omit(sc.circuit(), &faults, &sequence, passes);
+    let (obs, metrics) = obs_from_args(args)?;
+    let (obs, collector) = obs.with_collector();
+    let (before, compacted) = {
+        let flow_span = obs.span(SpanKind::Flow, "compact-flow");
+        let before = {
+            let span = flow_span.child(SpanKind::Pass, "baseline-sim");
+            let mut sim = SeqFaultSim::new(sc.circuit(), &faults);
+            sim.set_obs(span.handle());
+            sim.extend(&sequence);
+            sim.report()
+        };
+        let compacted = restore_then_omit_observed(
+            sc.circuit(),
+            &faults,
+            &sequence,
+            passes,
+            CompactionEngine::Incremental,
+            flow_span.handle(),
+        );
+        (before, compacted)
+    };
+    if metrics {
+        let mut report = FlowReport::from_collector(&collector);
+        if report.enabled {
+            report.detection_profile = before.detection_profile();
+        }
+        eprint!("{}", report.render());
+    }
     eprintln!(
         "{} -> {} vectors ({:.1}% shorter); {}/{} faults detected, +{} gained",
         sequence.len(),

@@ -17,14 +17,15 @@ use limscan_atpg::first_approach::{self, CombAtpgConfig, CombAtpgOutcome};
 use limscan_atpg::genetic::{GeneticAtpg, GeneticConfig};
 use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
 use limscan_compact::{
-    omission, omission_reference, restoration, restoration_reference, scan_test_set, Compacted,
-    CompactedSet, CompactionEngine,
+    omission_observed, omission_reference, restoration_observed, restoration_reference,
+    scan_test_set, Compacted, CompactedSet, CompactionEngine,
 };
 use limscan_fault::FaultList;
 use limscan_lint::{Diagnostic, LintConfig, Linter, Severity};
 use limscan_netlist::{bench_format, Circuit, NetlistError};
+use limscan_obs::{FlowReport, MetricsCollector, ObsHandle, SpanKind};
 use limscan_scan::ScanCircuit;
-use limscan_sim::TestSequence;
+use limscan_sim::{SeqFaultSim, TestSequence};
 
 /// Why a flow refused to run.
 #[derive(Clone, Debug)]
@@ -179,6 +180,13 @@ pub struct FlowConfig {
     /// errors are refused with [`FlowError::Lint`] instead of feeding the
     /// simulators undefined structures.
     pub lint: bool,
+    /// Observability scope for the run. The default no-op handle keeps
+    /// instrumentation silent; attach a sink (e.g. a JSONL writer via
+    /// [`ObsHandle::jsonl_file`](limscan_obs::ObsHandle::jsonl_file)) to
+    /// stream the span/metric trace. The flow always tees its own
+    /// in-memory collector on top to build the result's
+    /// [`FlowReport`].
+    pub obs: ObsHandle,
 }
 
 impl Default for FlowConfig {
@@ -193,29 +201,52 @@ impl Default for FlowConfig {
             scan_chains: 1,
             seed: 0xda7e_2003,
             lint: true,
+            obs: ObsHandle::noop(),
         }
     }
 }
 
 /// The restoration → omission pipeline behind both flows, dispatched on
 /// the configured [`CompactionEngine`]. Both engines produce identical
-/// sequences; `Reference` runs the retained full-re-simulation oracles.
+/// sequences; `Reference` runs the retained full-re-simulation oracles
+/// (unobserved internally — the oracle must not depend on instrumentation
+/// — but still bracketed by the same phase spans so traces keep their
+/// shape).
 fn compact_pipeline(
     circuit: &Circuit,
     faults: &FaultList,
     sequence: &TestSequence,
     omission_passes: usize,
     engine: CompactionEngine,
+    obs: &ObsHandle,
 ) -> (Compacted, Compacted) {
     match engine {
         CompactionEngine::Incremental => {
-            let restored = restoration(circuit, faults, sequence);
-            let omitted = omission(circuit, faults, &restored.sequence, omission_passes);
+            let restored = {
+                let span = obs.span(SpanKind::Pass, "restore");
+                restoration_observed(circuit, faults, sequence, span.handle())
+            };
+            let omitted = {
+                let span = obs.span(SpanKind::Pass, "omit");
+                omission_observed(
+                    circuit,
+                    faults,
+                    &restored.sequence,
+                    omission_passes,
+                    span.handle(),
+                )
+            };
             (restored, omitted)
         }
         CompactionEngine::Reference => {
-            let restored = restoration_reference(circuit, faults, sequence);
-            let omitted = omission_reference(circuit, faults, &restored.sequence, omission_passes);
+            let restored = {
+                let _span = obs.span(SpanKind::Pass, "restore");
+                restoration_reference(circuit, faults, sequence)
+            };
+            let omitted = {
+                let _span = obs.span(SpanKind::Pass, "omit");
+                omission_reference(circuit, faults, &restored.sequence, omission_passes)
+            };
             (restored, omitted)
         }
     }
@@ -234,6 +265,10 @@ pub struct GenerationFlow {
     pub restored: Compacted,
     /// After vector omission applied to `T_restor` (`T_omit`).
     pub omitted: Compacted,
+    /// Phase timings, metric totals, and the detection-profile curve of
+    /// the generated sequence. Empty (with `enabled = false`) unless the
+    /// `trace` feature is on.
+    pub report: FlowReport,
 }
 
 impl GenerationFlow {
@@ -246,10 +281,19 @@ impl GenerationFlow {
     /// [`FlowError::NoFlipFlops`] for combinational circuits, and
     /// [`FlowError::ChainCount`] for an unusable `scan_chains` setting.
     pub fn run(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
-        if config.lint {
-            lint_gate(circuit)?;
-        }
-        Self::run_validated(circuit, config)
+        let (obs, collector) = config.obs.with_collector();
+        let result = {
+            let flow = obs.span(SpanKind::Flow, "generation-flow");
+            let gate = || -> Result<(), FlowError> {
+                if config.lint {
+                    let _span = flow.child(SpanKind::Pass, "lint-gate");
+                    lint_gate(circuit)?;
+                }
+                Ok(())
+            };
+            gate().and_then(|()| Self::run_validated(circuit, config, flow.handle()))
+        };
+        Self::attach_report(result, &collector)
     }
 
     /// Parses `.bench` source text and runs the generation flow on it.
@@ -262,26 +306,47 @@ impl GenerationFlow {
     /// As [`run`](Self::run), plus [`FlowError::Netlist`] when the source
     /// does not build and the gate is disabled.
     pub fn run_source(name: &str, source: &str, config: &FlowConfig) -> Result<Self, FlowError> {
-        let circuit = build_source(name, source, config.lint)?;
-        // The source lint already covered the built form's rule families.
-        Self::run_validated(&circuit, config)
+        let (obs, collector) = config.obs.with_collector();
+        let result = {
+            let flow = obs.span(SpanKind::Flow, "generation-flow");
+            let built = {
+                let _span = flow.child(SpanKind::Pass, "lint-gate");
+                build_source(name, source, config.lint)
+            };
+            // The source lint already covered the built form's rule families.
+            built.and_then(|circuit| Self::run_validated(&circuit, config, flow.handle()))
+        };
+        Self::attach_report(result, &collector)
     }
 
-    fn run_validated(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+    fn run_validated(
+        circuit: &Circuit,
+        config: &FlowConfig,
+        obs: &ObsHandle,
+    ) -> Result<Self, FlowError> {
         check_scannable(circuit, config.scan_chains)?;
-        let scan = ScanCircuit::insert_chains(circuit, config.scan_chains);
-        let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
-        let generated = match &config.engine {
-            Engine::Deterministic => SequentialAtpg::new(&scan, &faults, config.atpg.clone()).run(),
-            Engine::Genetic(gc) => {
-                let (sequence, report) = GeneticAtpg::new(&scan, &faults, gc.clone()).run();
-                let aborted = report.total() - report.detected_count();
-                AtpgOutcome {
-                    sequence,
-                    report,
-                    funct_detected: 0,
-                    scan_loads: 0,
-                    aborted,
+        let (scan, faults) = {
+            let _span = obs.span(SpanKind::Pass, "scan-insert");
+            let scan = ScanCircuit::insert_chains(circuit, config.scan_chains);
+            let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
+            (scan, faults)
+        };
+        let generated = {
+            let span = obs.span(SpanKind::Pass, "generate");
+            match &config.engine {
+                Engine::Deterministic => SequentialAtpg::new(&scan, &faults, config.atpg.clone())
+                    .with_obs(span.handle())
+                    .run(),
+                Engine::Genetic(gc) => {
+                    let (sequence, report) = GeneticAtpg::new(&scan, &faults, gc.clone()).run();
+                    let aborted = report.total() - report.detected_count();
+                    AtpgOutcome {
+                        sequence,
+                        report,
+                        funct_detected: 0,
+                        scan_loads: 0,
+                        aborted,
+                    }
                 }
             }
         };
@@ -291,6 +356,7 @@ impl GenerationFlow {
             &generated.sequence,
             config.omission_passes,
             config.compaction,
+            obs,
         );
         Ok(GenerationFlow {
             scan,
@@ -298,6 +364,25 @@ impl GenerationFlow {
             generated,
             restored,
             omitted,
+            report: FlowReport::default(),
+        })
+    }
+
+    /// Builds the [`FlowReport`] once the flow span has closed. The
+    /// detection profile comes straight from the generator's
+    /// [`limscan_sim::DetectionReport`] — deriving it from the event log
+    /// would double-count, because compaction re-simulates prefixes.
+    fn attach_report(
+        result: Result<Self, FlowError>,
+        collector: &MetricsCollector,
+    ) -> Result<Self, FlowError> {
+        result.map(|mut flow| {
+            let mut report = FlowReport::from_collector(collector);
+            if report.enabled {
+                report.detection_profile = flow.generated.report.detection_profile();
+            }
+            flow.report = report;
+            flow
         })
     }
 
@@ -335,6 +420,10 @@ pub struct TranslationFlow {
     pub restored: Compacted,
     /// After vector omission.
     pub omitted: Compacted,
+    /// Phase timings, metric totals, and the detection-profile curve of
+    /// the translated sequence before compaction. Empty (with
+    /// `enabled = false`) unless the `trace` feature is on.
+    pub report: FlowReport,
 }
 
 impl TranslationFlow {
@@ -348,10 +437,19 @@ impl TranslationFlow {
     /// diagnostics and [`FlowError::NoFlipFlops`] for combinational
     /// circuits.
     pub fn run(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
-        if config.lint {
-            lint_gate(circuit)?;
-        }
-        Self::run_validated(circuit, config)
+        let (obs, collector) = config.obs.with_collector();
+        let result = {
+            let flow = obs.span(SpanKind::Flow, "translation-flow");
+            let gate = || -> Result<(), FlowError> {
+                if config.lint {
+                    let _span = flow.child(SpanKind::Pass, "lint-gate");
+                    lint_gate(circuit)?;
+                }
+                Ok(())
+            };
+            gate().and_then(|()| Self::run_validated(circuit, config, flow.handle()))
+        };
+        Self::attach_report(result, &collector)
     }
 
     /// Parses `.bench` source text and runs the translation flow on it
@@ -362,30 +460,53 @@ impl TranslationFlow {
     /// As [`run`](Self::run), plus [`FlowError::Netlist`] when the source
     /// does not build and the gate is disabled.
     pub fn run_source(name: &str, source: &str, config: &FlowConfig) -> Result<Self, FlowError> {
-        let circuit = build_source(name, source, config.lint)?;
-        Self::run_validated(&circuit, config)
+        let (obs, collector) = config.obs.with_collector();
+        let result = {
+            let flow = obs.span(SpanKind::Flow, "translation-flow");
+            let built = {
+                let _span = flow.child(SpanKind::Pass, "lint-gate");
+                build_source(name, source, config.lint)
+            };
+            built.and_then(|circuit| Self::run_validated(&circuit, config, flow.handle()))
+        };
+        Self::attach_report(result, &collector)
     }
 
-    fn run_validated(circuit: &Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+    fn run_validated(
+        circuit: &Circuit,
+        config: &FlowConfig,
+        obs: &ObsHandle,
+    ) -> Result<Self, FlowError> {
         check_scannable(circuit, 1)?;
-        let scan = ScanCircuit::insert(circuit);
+        let scan = {
+            let _span = obs.span(SpanKind::Pass, "scan-insert");
+            ScanCircuit::insert(circuit)
+        };
         // The baseline targets faults of the original circuit (that is all
         // a conventional tool sees).
-        let base_faults = FaultList::collapsed(circuit).sample(config.max_faults);
-        let baseline = first_approach::generate(circuit, &base_faults, &config.baseline);
-        let baseline_compacted = scan_test_set(circuit, &base_faults, &baseline.set);
+        let (baseline, baseline_compacted) = {
+            let _span = obs.span(SpanKind::Pass, "baseline");
+            let base_faults = FaultList::collapsed(circuit).sample(config.max_faults);
+            let baseline = first_approach::generate(circuit, &base_faults, &config.baseline);
+            let baseline_compacted = scan_test_set(circuit, &base_faults, &baseline.set);
+            (baseline, baseline_compacted)
+        };
 
-        let mut translated = scan.translate(&baseline_compacted.set);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        translated.specify_x(&mut rng);
-
-        let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
+        let (translated, faults) = {
+            let _span = obs.span(SpanKind::Pass, "translate");
+            let mut translated = scan.translate(&baseline_compacted.set);
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            translated.specify_x(&mut rng);
+            let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
+            (translated, faults)
+        };
         let (restored, omitted) = compact_pipeline(
             scan.circuit(),
             &faults,
             &translated,
             config.omission_passes,
             config.compaction,
+            obs,
         );
         Ok(TranslationFlow {
             scan,
@@ -395,6 +516,28 @@ impl TranslationFlow {
             translated,
             restored,
             omitted,
+            report: FlowReport::default(),
+        })
+    }
+
+    /// Builds the [`FlowReport`] once the flow span has closed. The
+    /// detection profile is re-derived from an unobserved simulation of
+    /// the translated sequence (only when tracing is live): the event log
+    /// cannot provide it, because compaction re-simulates prefixes and
+    /// would double-count detections.
+    fn attach_report(
+        result: Result<Self, FlowError>,
+        collector: &MetricsCollector,
+    ) -> Result<Self, FlowError> {
+        result.map(|mut flow| {
+            let mut report = FlowReport::from_collector(collector);
+            if report.enabled {
+                report.detection_profile =
+                    SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.translated)
+                        .detection_profile();
+            }
+            flow.report = report;
+            flow
         })
     }
 

@@ -66,6 +66,7 @@ pub use limscan_compact as compact;
 pub use limscan_fault as fault;
 pub use limscan_lint as lint;
 pub use limscan_netlist as netlist;
+pub use limscan_obs as obs;
 pub use limscan_scan as scan;
 pub use limscan_sim as sim;
 
@@ -74,6 +75,7 @@ pub use limscan_compact::{omission, restoration, restore_then_omit, segment_prun
 pub use limscan_fault::{Fault, FaultId, FaultList, StuckAt};
 pub use limscan_netlist::benchmarks;
 pub use limscan_netlist::{Circuit, CircuitBuilder, GateKind, NetId};
+pub use limscan_obs::{FlowReport, MetricsCollector, ObsHandle};
 pub use limscan_scan::{ScanCircuit, ScanTest, ScanTestSet};
 pub use limscan_sim::{
     DetectionReport, FaultDictionary, Logic, SeqFaultSim, SeqGoodSim, TestSequence,

@@ -1,0 +1,167 @@
+//! In-memory metrics collector sink.
+
+use crate::event::{Event, Metric};
+use crate::handle::Sink;
+
+#[cfg(feature = "trace")]
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "trace")]
+#[derive(Default)]
+struct State {
+    events: Vec<Event>,
+    counters: [u64; Metric::ALL.len()],
+    gauge_max: [u64; Metric::ALL.len()],
+}
+
+/// A thread-safe sink that accumulates counter totals, gauge maxima, and the
+/// full event log in memory.
+///
+/// Cloning is cheap and clones share state. With the `trace` feature
+/// disabled the collector is a zero-sized stub that always reads as empty.
+#[derive(Clone, Default)]
+pub struct MetricsCollector {
+    #[cfg(feature = "trace")]
+    state: Arc<Mutex<State>>,
+}
+
+impl std::fmt::Debug for MetricsCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MetricsCollector(events={})", self.len())
+    }
+}
+
+impl Sink for MetricsCollector {
+    fn record(&self, event: &Event) {
+        #[cfg(feature = "trace")]
+        {
+            let mut state = self.state.lock().expect("collector poisoned");
+            match *event {
+                Event::Counter { metric, delta, .. } => {
+                    state.counters[metric.index()] += delta;
+                }
+                Event::Gauge { metric, value, .. } => {
+                    let slot = &mut state.gauge_max[metric.index()];
+                    *slot = (*slot).max(value);
+                }
+                _ => {}
+            }
+            state.events.push(event.clone());
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = event;
+        }
+    }
+}
+
+impl MetricsCollector {
+    /// Total accumulated for a counter (0 for gauges; use
+    /// [`MetricsCollector::gauge_max`]).
+    #[must_use]
+    pub fn counter(&self, metric: Metric) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.state.lock().expect("collector poisoned").counters[metric.index()]
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = metric;
+            0
+        }
+    }
+
+    /// Maximum value observed for a gauge.
+    #[must_use]
+    pub fn gauge_max(&self, metric: Metric) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.state.lock().expect("collector poisoned").gauge_max[metric.index()]
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = metric;
+            0
+        }
+    }
+
+    /// Snapshot of the full event log, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        #[cfg(feature = "trace")]
+        {
+            self.state
+                .lock()
+                .expect("collector poisoned")
+                .events
+                .clone()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "trace")]
+        {
+            self.state.lock().expect("collector poisoned").events.len()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// True when no events have been recorded (always true with `trace`
+    /// disabled).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(metric, total)` pairs for the thread-count-deterministic counters,
+    /// in [`Metric::ALL`] order. Comparing these across runs with different
+    /// `set_sim_threads` settings must yield identical vectors.
+    #[must_use]
+    pub fn deterministic_counters(&self) -> Vec<(Metric, u64)> {
+        Metric::ALL
+            .iter()
+            .filter(|m| !m.is_gauge() && m.is_deterministic())
+            .map(|m| (*m, self.counter(*m)))
+            .collect()
+    }
+
+    /// Number of simulation-work events (vector/batch counters, batch spans,
+    /// detection points). Zero for flows that fail validation before
+    /// touching an engine — asserted by the negative-path tests.
+    #[must_use]
+    pub fn sim_event_count(&self) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| match e {
+                Event::Counter { metric, .. } => {
+                    matches!(metric, Metric::VectorsSimulated | Metric::BatchesSimulated)
+                }
+                Event::Detect { .. } => true,
+                Event::SpanBegin { kind, .. } => *kind == crate::event::SpanKind::Batch,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// The merged detection-profile curve: `(time, newly)` pairs aggregated
+    /// over every [`Event::Detect`] in the log, ascending in time.
+    #[must_use]
+    pub fn detection_profile(&self) -> Vec<(u32, u32)> {
+        let mut acc: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for event in self.events() {
+            if let Event::Detect { time, newly, .. } = event {
+                *acc.entry(time).or_insert(0) += newly;
+            }
+        }
+        acc.into_iter().collect()
+    }
+}

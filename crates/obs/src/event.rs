@@ -1,0 +1,218 @@
+//! The trace vocabulary: span kinds, metric ids, and the event enum.
+//!
+//! These types are compiled in both feature modes so that sinks, reports, and
+//! the golden-trace tooling can be written against one vocabulary; only the
+//! *emission* side ([`crate::ObsHandle`]) is feature-gated.
+
+/// The nesting level a span belongs to.
+///
+/// Spans form a tree: a `Flow` span covers a whole `GenerationFlow` /
+/// `TranslationFlow` run, `Pass` spans cover its phases (and the per-pass
+/// loops inside compaction), `Episode` spans cover one restoration or ATPG
+/// episode, `Trial` spans cover one omission trial or restoration probe, and
+/// `Batch` spans cover one 64-fault simulation batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A whole flow run (generation or translation).
+    Flow,
+    /// A flow phase or a per-pass loop inside an engine.
+    Pass,
+    /// One restoration episode or ATPG target episode.
+    Episode,
+    /// One omission trial or restoration probe.
+    Trial,
+    /// One 64-fault simulation batch inside `SeqFaultSim::extend`.
+    Batch,
+}
+
+impl SpanKind {
+    /// Stable lower-case name used in JSONL output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Flow => "flow",
+            SpanKind::Pass => "pass",
+            SpanKind::Episode => "episode",
+            SpanKind::Trial => "trial",
+            SpanKind::Batch => "batch",
+        }
+    }
+}
+
+/// Typed metric identifiers.
+///
+/// Counters accumulate deltas; gauges record instantaneous values (the
+/// collector keeps their maximum). [`Metric::is_deterministic`] marks the
+/// counters whose totals are guaranteed bit-identical for any
+/// `set_sim_threads` setting — the speculative-wave counters
+/// (`TrialsAttempted`, `TrialsEarlyExited`, `CheckpointHits`) legitimately
+/// vary with thread count because discarded speculative trials still run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Time steps simulated by an observed fault-simulation pass.
+    VectorsSimulated,
+    /// Faults newly marked detected by an observed pass.
+    FaultsDetected,
+    /// 64-fault batches dispatched by observed passes.
+    BatchesSimulated,
+    /// Omission trials attempted (including discarded speculative ones).
+    TrialsAttempted,
+    /// Omission trials committed (vector actually dropped).
+    TrialsCommitted,
+    /// Trials decided early because every lane re-detected its fault.
+    TrialsEarlyExited,
+    /// Trials decided by a checkpoint convergence snapshot.
+    CheckpointHits,
+    /// Restoration episodes executed.
+    RestorationEpisodes,
+    /// Restoration detection-prefix probes executed.
+    RestorationProbes,
+    /// Deterministic ATPG per-fault episodes executed.
+    AtpgEpisodes,
+    /// Scan-load operations emitted by deterministic ATPG.
+    ScanLoads,
+    /// Gauge: worker threads used by an observed simulation pass.
+    SimThreads,
+    /// Gauge: estimated scratch-arena bytes for an observed pass.
+    ScratchBytes,
+}
+
+impl Metric {
+    /// Every metric, in a stable order (used for collector storage).
+    pub const ALL: [Metric; 13] = [
+        Metric::VectorsSimulated,
+        Metric::FaultsDetected,
+        Metric::BatchesSimulated,
+        Metric::TrialsAttempted,
+        Metric::TrialsCommitted,
+        Metric::TrialsEarlyExited,
+        Metric::CheckpointHits,
+        Metric::RestorationEpisodes,
+        Metric::RestorationProbes,
+        Metric::AtpgEpisodes,
+        Metric::ScanLoads,
+        Metric::SimThreads,
+        Metric::ScratchBytes,
+    ];
+
+    /// Stable snake_case name used in JSONL output and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::VectorsSimulated => "vectors_simulated",
+            Metric::FaultsDetected => "faults_detected",
+            Metric::BatchesSimulated => "batches_simulated",
+            Metric::TrialsAttempted => "trials_attempted",
+            Metric::TrialsCommitted => "trials_committed",
+            Metric::TrialsEarlyExited => "trials_early_exited",
+            Metric::CheckpointHits => "checkpoint_hits",
+            Metric::RestorationEpisodes => "restoration_episodes",
+            Metric::RestorationProbes => "restoration_probes",
+            Metric::AtpgEpisodes => "atpg_episodes",
+            Metric::ScanLoads => "scan_loads",
+            Metric::SimThreads => "sim_threads",
+            Metric::ScratchBytes => "scratch_bytes",
+        }
+    }
+
+    /// Dense index into [`Metric::ALL`]-shaped arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Metric::ALL.iter().position(|m| *m == self).unwrap_or(0)
+    }
+
+    /// True for gauges (instantaneous values); false for counters.
+    #[must_use]
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Metric::SimThreads | Metric::ScratchBytes)
+    }
+
+    /// True when the counter total is bit-identical for any thread count.
+    #[must_use]
+    pub fn is_deterministic(self) -> bool {
+        matches!(
+            self,
+            Metric::VectorsSimulated
+                | Metric::FaultsDetected
+                | Metric::BatchesSimulated
+                | Metric::TrialsCommitted
+                | Metric::RestorationEpisodes
+                | Metric::RestorationProbes
+                | Metric::AtpgEpisodes
+                | Metric::ScanLoads
+        )
+    }
+}
+
+/// One trace event as delivered to a [`crate::Sink`].
+///
+/// Span ids are process-unique (a global counter) and strictly increasing in
+/// allocation order; `parent == 0` marks a root span. Timestamps (`t_us`,
+/// `dur_us`) are microseconds and are masked by the golden-trace normalizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A span opened.
+    SpanBegin {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span id, or 0 for a root span.
+        parent: u64,
+        /// Nesting level of the span.
+        kind: SpanKind,
+        /// Static label, e.g. `"omission-pass"`.
+        label: &'static str,
+        /// Ordinal payload (pass number, trial index, batch index).
+        index: u64,
+        /// Microseconds since the process trace epoch.
+        t_us: u64,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u64,
+        /// Wall-clock duration of the span in microseconds.
+        dur_us: u64,
+    },
+    /// A counter increment attributed to the enclosing span.
+    Counter {
+        /// Enclosing span id (0 when emitted outside any span).
+        span: u64,
+        /// Which counter.
+        metric: Metric,
+        /// Increment (always positive).
+        delta: u64,
+    },
+    /// A gauge observation attributed to the enclosing span.
+    Gauge {
+        /// Enclosing span id (0 when emitted outside any span).
+        span: u64,
+        /// Which gauge.
+        metric: Metric,
+        /// Observed value.
+        value: u64,
+    },
+    /// One point of the detection-profile curve: `newly` faults were first
+    /// detected at simulated time `time` by the observed pass.
+    Detect {
+        /// Enclosing span id (0 when emitted outside any span).
+        span: u64,
+        /// Absolute simulated time step of first detection.
+        time: u32,
+        /// Number of faults first detected at that time step.
+        newly: u32,
+    },
+}
+
+impl Event {
+    /// The span this event is attributed to (the span's own id for
+    /// begin/end events).
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        match *self {
+            Event::SpanBegin { id, .. } | Event::SpanEnd { id, .. } => id,
+            Event::Counter { span, .. }
+            | Event::Gauge { span, .. }
+            | Event::Detect { span, .. } => span,
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Structural normalization of JSONL traces for golden-trace testing.
+//!
+//! A raw trace is not directly comparable across runs: span ids come from a
+//! process-global counter and timing fields are wall-clock. This module
+//! parses the JSONL subset emitted by [`crate::jsonl`], masks the volatile
+//! fields (timestamps, durations, gauge values), renumbers span ids in
+//! first-appearance order, and validates structural invariants (balanced
+//! nesting, parents open at child begin, positive counter deltas, monotone
+//! detection times) — yielding canonical lines that are stable run-to-run
+//! for a deterministic single-threaded flow.
+
+use std::collections::HashMap;
+
+/// A value in the flat JSON objects our trace lines use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A string value (labels, kinds, metric names).
+    Str(String),
+    /// An unsigned integer value (ids, times, deltas).
+    Num(u64),
+}
+
+impl JsonValue {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            JsonValue::Str(_) => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object line of the form
+/// `{"k":"str","n":123,...}` into key/value pairs in source order.
+///
+/// # Errors
+/// Returns a description of the first syntax error encountered.
+pub fn parse_line(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let bytes = line.trim().as_bytes();
+    let mut pos = 0usize;
+    let err = |pos: usize, what: &str| format!("byte {pos}: {what}");
+    if bytes.first() != Some(&b'{') {
+        return Err(err(0, "expected '{'"));
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    loop {
+        if bytes.get(pos) == Some(&b'}') {
+            pos += 1;
+            break;
+        }
+        // Key.
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(err(pos, "expected '\"' starting a key"));
+        }
+        pos += 1;
+        let key_start = pos;
+        while bytes.get(pos).is_some_and(|b| *b != b'"') {
+            pos += 1;
+        }
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(err(pos, "unterminated key"));
+        }
+        let key = String::from_utf8_lossy(&bytes[key_start..pos]).into_owned();
+        pos += 1;
+        if bytes.get(pos) != Some(&b':') {
+            return Err(err(pos, "expected ':'"));
+        }
+        pos += 1;
+        // Value: string or unsigned integer.
+        let value = if bytes.get(pos) == Some(&b'"') {
+            pos += 1;
+            let val_start = pos;
+            while bytes.get(pos).is_some_and(|b| *b != b'"') {
+                if bytes[pos] == b'\\' {
+                    return Err(err(
+                        pos,
+                        "escape sequences are not part of the trace subset",
+                    ));
+                }
+                pos += 1;
+            }
+            if bytes.get(pos) != Some(&b'"') {
+                return Err(err(pos, "unterminated string value"));
+            }
+            let s = String::from_utf8_lossy(&bytes[val_start..pos]).into_owned();
+            pos += 1;
+            JsonValue::Str(s)
+        } else {
+            let num_start = pos;
+            while bytes.get(pos).is_some_and(u8::is_ascii_digit) {
+                pos += 1;
+            }
+            if pos == num_start {
+                return Err(err(pos, "expected a string or unsigned integer value"));
+            }
+            let text = std::str::from_utf8(&bytes[num_start..pos]).expect("digits are utf8");
+            JsonValue::Num(
+                text.parse::<u64>()
+                    .map_err(|e| err(num_start, &format!("bad integer: {e}")))?,
+            )
+        };
+        fields.push((key, value));
+        match bytes.get(pos) {
+            Some(&b',') => pos += 1,
+            Some(&b'}') => {}
+            _ => return Err(err(pos, "expected ',' or '}'")),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing garbage after object"));
+    }
+    Ok(fields)
+}
+
+struct Normalizer {
+    /// Raw span id -> canonical id (1-based, first-appearance order).
+    remap: HashMap<u64, u64>,
+    /// Canonical ids of currently open spans.
+    open: Vec<u64>,
+    /// Last detection time seen per canonical span id, for monotonicity.
+    last_detect: HashMap<u64, u32>,
+    /// Whether the previous event was a detect on the same span.
+    prev_detect_span: Option<u64>,
+    next_id: u64,
+    out: Vec<String>,
+}
+
+impl Normalizer {
+    fn get(fields: &[(String, JsonValue)], key: &str) -> Option<JsonValue> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    fn num(fields: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+        Self::get(fields, key)
+            .and_then(|v| v.as_num())
+            .ok_or_else(|| format!("missing numeric field '{key}'"))
+    }
+
+    fn string(fields: &[(String, JsonValue)], key: &str) -> Result<String, String> {
+        Self::get(fields, key)
+            .and_then(|v| v.as_str().map(ToOwned::to_owned))
+            .ok_or_else(|| format!("missing string field '{key}'"))
+    }
+
+    fn scope(&self, raw: u64) -> Result<u64, String> {
+        if raw == 0 {
+            return Ok(0);
+        }
+        let id = self
+            .remap
+            .get(&raw)
+            .copied()
+            .ok_or_else(|| format!("reference to unknown span {raw}"))?;
+        if !self.open.contains(&id) {
+            return Err(format!("reference to closed span {id}"));
+        }
+        Ok(id)
+    }
+
+    fn event(&mut self, fields: &[(String, JsonValue)]) -> Result<(), String> {
+        let kind = Self::string(fields, "ev")?;
+        if kind != "detect" {
+            self.prev_detect_span = None;
+        }
+        match kind.as_str() {
+            "span_begin" => {
+                let raw_id = Self::num(fields, "id")?;
+                let raw_parent = Self::num(fields, "parent")?;
+                let parent = self.scope(raw_parent)?;
+                if self.remap.contains_key(&raw_id) {
+                    return Err(format!("span id {raw_id} begun twice"));
+                }
+                let id = self.next_id;
+                self.next_id += 1;
+                self.remap.insert(raw_id, id);
+                self.open.push(id);
+                self.out.push(format!(
+                    "span_begin id={id} parent={parent} kind={} label={} index={}",
+                    Self::string(fields, "kind")?,
+                    Self::string(fields, "label")?,
+                    Self::num(fields, "index")?,
+                ));
+            }
+            "span_end" => {
+                let raw_id = Self::num(fields, "id")?;
+                let id = self
+                    .remap
+                    .get(&raw_id)
+                    .copied()
+                    .ok_or_else(|| format!("span_end for unknown span {raw_id}"))?;
+                let pos = self
+                    .open
+                    .iter()
+                    .position(|o| *o == id)
+                    .ok_or_else(|| format!("span {id} ended twice"))?;
+                self.open.remove(pos);
+                self.last_detect.remove(&id);
+                self.out.push(format!("span_end id={id}"));
+            }
+            "counter" => {
+                let span = self.scope(Self::num(fields, "span")?)?;
+                let delta = Self::num(fields, "delta")?;
+                if delta == 0 {
+                    return Err("counter delta of 0 violates monotonicity".to_string());
+                }
+                self.out.push(format!(
+                    "counter span={span} metric={} delta={delta}",
+                    Self::string(fields, "metric")?,
+                ));
+            }
+            "gauge" => {
+                let span = self.scope(Self::num(fields, "span")?)?;
+                // Gauge values (scratch bytes, thread counts) are masked:
+                // they may legitimately change across engine-tuning PRs.
+                self.out.push(format!(
+                    "gauge span={span} metric={}",
+                    Self::string(fields, "metric")?,
+                ));
+            }
+            "detect" => {
+                let span = self.scope(Self::num(fields, "span")?)?;
+                let time_raw = Self::num(fields, "time")?;
+                let time = u32::try_from(time_raw)
+                    .map_err(|_| format!("detect time {time_raw} out of range"))?;
+                let newly = Self::num(fields, "newly")?;
+                if newly == 0 {
+                    return Err("detect with newly=0 violates monotonicity".to_string());
+                }
+                if self.prev_detect_span == Some(span) {
+                    if let Some(last) = self.last_detect.get(&span) {
+                        if time <= *last {
+                            return Err(format!(
+                                "detection times not monotone on span {span}: {last} then {time}"
+                            ));
+                        }
+                    }
+                }
+                self.last_detect.insert(span, time);
+                self.prev_detect_span = Some(span);
+                self.out
+                    .push(format!("detect span={span} time={time} newly={newly}"));
+            }
+            other => return Err(format!("unknown event kind '{other}'")),
+        }
+        Ok(())
+    }
+}
+
+/// Normalize JSONL trace text into canonical structural lines.
+///
+/// Volatile fields (`t_us`, `dur_us`, gauge values) are dropped, span ids
+/// are renumbered in first-appearance order, and structural invariants are
+/// checked along the way.
+///
+/// # Errors
+/// Returns `line N: <problem>` for the first malformed line or violated
+/// invariant (unbalanced spans, unknown parent, zero counter delta,
+/// non-monotone detection times, spans left open at end of trace).
+pub fn structural_lines(text: &str) -> Result<Vec<String>, String> {
+    let mut norm = Normalizer {
+        remap: HashMap::new(),
+        open: Vec::new(),
+        last_detect: HashMap::new(),
+        prev_detect_span: None,
+        next_id: 1,
+        out: Vec::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = parse_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        norm.event(&fields)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    if !norm.open.is_empty() {
+        return Err(format!(
+            "{} span(s) left open at end of trace",
+            norm.open.len()
+        ));
+    }
+    Ok(norm.out)
+}

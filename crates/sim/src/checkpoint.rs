@@ -35,6 +35,7 @@ use std::cell::RefCell;
 
 use limscan_fault::{FaultId, FaultList};
 use limscan_netlist::{Circuit, Driver};
+use limscan_obs::{Metric, ObsHandle};
 
 use crate::engine::{with_kernel, BatchStepper, Topology};
 use crate::good::eval_comb;
@@ -161,6 +162,10 @@ pub struct TrialCheckpoints<'a> {
     good_states: Vec<Logic>,
     batches: Vec<BatchRec>,
     total_lanes: usize,
+    /// Observability handle; no-op unless [`set_obs`](Self::set_obs) was
+    /// called. Trials emit through it from worker threads, so sinks must
+    /// tolerate concurrency (they are required to be `Sync`).
+    obs: ObsHandle,
 }
 
 impl<'a> TrialCheckpoints<'a> {
@@ -259,7 +264,30 @@ impl<'a> TrialCheckpoints<'a> {
             good_states,
             batches,
             total_lanes: ids.len(),
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// Like [`record`](Self::record), but attaches an observability scope
+    /// and accounts the recording pass (one un-truncated extension) to it.
+    pub fn record_observed(
+        circuit: &'a Circuit,
+        targets: &'a FaultList,
+        seq: &'a TestSequence,
+        obs: &ObsHandle,
+    ) -> Self {
+        let mut ck = Self::record(circuit, targets, seq);
+        ck.obs = obs.clone();
+        ck.obs.counter(Metric::VectorsSimulated, ck.len as u64);
+        ck.obs
+            .counter(Metric::BatchesSimulated, ck.batches.len() as u64);
+        ck
+    }
+
+    /// Attach (or replace) the observability scope used by
+    /// [`advance`](Self::advance) and [`trial`](Self::trial).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 
     /// Number of vectors in the recorded sequence.
@@ -314,6 +342,10 @@ impl<'a> TrialCheckpoints<'a> {
     ///
     /// Batches whose lanes are all detected are skipped — their state can
     /// no longer influence any trial verdict.
+    // NOTE: `advance` deliberately emits no counter. Speculative-wave
+    // workers replay it to rebuild candidate prefixes, so any count here
+    // would vary with the thread fan-out and break the determinism
+    // guarantee of `Metric::VectorsSimulated`.
     pub fn advance(&self, prefix: &mut PrefixState, t: usize) {
         debug_assert!(t < self.len);
         SCRATCH.with(|cell| {
@@ -362,6 +394,7 @@ impl<'a> TrialCheckpoints<'a> {
     /// convergence exits described in the module docs.
     pub fn trial(&self, prefix: &PrefixState, skip: usize) -> bool {
         debug_assert!(skip < self.len);
+        self.obs.counter(Metric::TrialsAttempted, 1);
         if prefix.n_detected == self.total_lanes {
             return true; // the prefix alone already covers every target
         }
@@ -431,6 +464,7 @@ impl<'a> TrialCheckpoints<'a> {
                         detected |= stepper.step(row, next);
                         if detected == rec.full_mask {
                             verdict = Some(true); // every lane re-detected
+                            self.obs.counter(Metric::TrialsEarlyExited, 1);
                             break;
                         }
                         let t1 = u + 1;
@@ -446,6 +480,7 @@ impl<'a> TrialCheckpoints<'a> {
                                     // the `future_conflicts` lanes.
                                     let undetected = rec.full_mask & !detected;
                                     verdict = Some(undetected & !rec.future_conflicts[t1] == 0);
+                                    self.obs.counter(Metric::CheckpointHits, 1);
                                     break;
                                 }
                             }

@@ -14,6 +14,7 @@ use std::sync::{mpsc, Arc};
 
 use limscan_fault::{FaultId, FaultList, FaultSite, StuckAt};
 use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+use limscan_obs::{Metric, ObsHandle, SpanKind};
 
 use crate::engine::{
     run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx, Topology,
@@ -78,6 +79,25 @@ impl DetectionReport {
             .filter(|(_, d)| d.is_some())
             .map(|(i, _)| FaultId::from_index(i))
             .collect()
+    }
+
+    /// The detection-profile curve: `(time, newly_detected)` pairs giving
+    /// how many faults were first detected at each time step, ascending in
+    /// time. This is the per-vector series the paper's trajectory tables
+    /// aggregate; an efficient test front-loads detections (steeply rising
+    /// curve), and a long flat tail marks vectors that compaction can
+    /// usually omit.
+    pub fn detection_profile(&self) -> Vec<(u32, u32)> {
+        let mut times: Vec<u32> = self.detected_at.iter().filter_map(|d| *d).collect();
+        times.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        for t in times {
+            match out.last_mut() {
+                Some((last, n)) if *last == t => *n += 1,
+                _ => out.push((t, 1)),
+            }
+        }
+        out
     }
 }
 
@@ -214,6 +234,9 @@ pub struct SeqFaultSim<'a> {
     /// `Some` entries in `detected_at`, maintained incrementally.
     n_detected: usize,
     time: u32,
+    /// Observability handle; a no-op unless [`set_obs`](Self::set_obs) was
+    /// called with an enabled handle.
+    obs: ObsHandle,
 }
 
 impl<'a> SeqFaultSim<'a> {
@@ -229,7 +252,19 @@ impl<'a> SeqFaultSim<'a> {
             detected_at: vec![None; faults.len()],
             n_detected: 0,
             time: 0,
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// Attach an observability scope: every subsequent
+    /// [`extend`](Self::extend) emits per-batch spans, vector/detection
+    /// counters, thread/scratch gauges, and the detection-profile points
+    /// through it. Counters and profile points are emitted from the merging
+    /// thread in a deterministic order, so single-threaded traces are
+    /// byte-stable and collector totals for deterministic metrics are
+    /// identical for every thread count.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.obs = obs.clone();
     }
 
     /// Creates a simulator whose fault-free *and* every faulty machine
@@ -313,6 +348,11 @@ impl<'a> SeqFaultSim<'a> {
             .map(|(i, _)| FaultId::from_index(i))
             .collect();
 
+        let observed = self.obs.is_enabled();
+        // First-detection times of faults newly detected by this call, for
+        // the detection-profile events. Only tracked when observed.
+        let mut newly_times: Vec<u32> = Vec::new();
+
         with_trace(|trace| {
             trace.fill(self.circuit, seq, &self.good_state);
 
@@ -322,11 +362,13 @@ impl<'a> SeqFaultSim<'a> {
                 .saturating_mul(self.circuit.gate_count().max(1))
                 .saturating_mul(batches.len());
             let threads = sim_threads().min(batches.len().max(1));
+            let sequential = threads <= 1 || work < PARALLEL_THRESHOLD;
 
-            if threads <= 1 || work < PARALLEL_THRESHOLD {
+            if sequential {
                 with_kernel(|ks| {
                     ks.ensure(self.circuit, &self.topo);
-                    for batch in &batches {
+                    for (bi, batch) in batches.iter().enumerate() {
+                        let started = observed.then(std::time::Instant::now);
                         let out = {
                             let ctx = ExtendCtx {
                                 circuit: self.circuit,
@@ -338,10 +380,21 @@ impl<'a> SeqFaultSim<'a> {
                             };
                             run_batch(&ctx, batch, ks)
                         };
+                        if let Some(started) = started {
+                            self.obs.complete_span(
+                                SpanKind::Batch,
+                                "batch",
+                                bi as u64,
+                                started.elapsed().as_micros() as u64,
+                            );
+                        }
                         for (lane, &fid) in batch.iter().enumerate() {
                             if out.detected & (1 << lane) != 0 {
                                 self.detected_at[fid.index()] = Some(out.times[lane]);
                                 self.n_detected += 1;
+                                if observed {
+                                    newly_times.push(out.times[lane]);
+                                }
                             } else {
                                 let state = &mut self.fault_state[fid.index()];
                                 for (ff, word) in ks.final_states.iter().enumerate() {
@@ -364,9 +417,9 @@ impl<'a> SeqFaultSim<'a> {
                     base_time: self.time,
                 };
                 let next = AtomicUsize::new(0);
-                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>);
+                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>, u64);
                 let (tx, rx) = mpsc::channel::<Outcome>();
-                let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+                let mut outcomes: Vec<Outcome> = std::thread::scope(|scope| {
                     for _ in 0..threads {
                         let tx = tx.clone();
                         let ctx = &ctx;
@@ -378,7 +431,10 @@ impl<'a> SeqFaultSim<'a> {
                                 loop {
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(batch) = batches.get(i) else { break };
+                                    let started = observed.then(std::time::Instant::now);
                                     let out = run_batch(ctx, batch, ks);
+                                    let dur_us =
+                                        started.map_or(0, |s| s.elapsed().as_micros() as u64);
                                     let mut states = Vec::new();
                                     for (lane, &fid) in batch.iter().enumerate() {
                                         if out.detected & (1 << lane) == 0 {
@@ -390,7 +446,7 @@ impl<'a> SeqFaultSim<'a> {
                                             states.push((fid, state));
                                         }
                                     }
-                                    if tx.send((i, out, states)).is_err() {
+                                    if tx.send((i, out, states, dur_us)).is_err() {
                                         break;
                                     }
                                 }
@@ -400,11 +456,22 @@ impl<'a> SeqFaultSim<'a> {
                     drop(tx);
                     rx.iter().collect()
                 });
-                for (i, out, states) in outcomes {
+                // Merge in batch order: not required for correctness (the
+                // batches are disjoint) but it makes span emission order —
+                // and therefore traces — independent of scheduling.
+                outcomes.sort_unstable_by_key(|(i, ..)| *i);
+                for (i, out, states, dur_us) in outcomes {
+                    if observed {
+                        self.obs
+                            .complete_span(SpanKind::Batch, "batch", i as u64, dur_us);
+                    }
                     for (lane, &fid) in batches[i].iter().enumerate() {
                         if out.detected & (1 << lane) != 0 {
                             self.detected_at[fid.index()] = Some(out.times[lane]);
                             self.n_detected += 1;
+                            if observed {
+                                newly_times.push(out.times[lane]);
+                            }
                         }
                     }
                     for (fid, state) in states {
@@ -413,12 +480,57 @@ impl<'a> SeqFaultSim<'a> {
                 }
             }
 
+            if observed {
+                let threads_used = if sequential { 1 } else { threads };
+                self.emit_extend_metrics(seq.len(), batches.len(), threads_used, &mut newly_times);
+            }
+
             self.good_state.clear();
             self.good_state.extend_from_slice(trace.end_state());
         });
 
         self.time += seq.len() as u32;
         self.n_detected - before
+    }
+
+    /// Deterministic per-extend metric emission (merging thread only):
+    /// counters, gauges, then detection-profile points ascending in time.
+    fn emit_extend_metrics(
+        &self,
+        vectors: usize,
+        batches: usize,
+        threads_used: usize,
+        newly_times: &mut [u32],
+    ) {
+        self.obs.counter(Metric::VectorsSimulated, vectors as u64);
+        self.obs.counter(Metric::BatchesSimulated, batches as u64);
+        self.obs
+            .counter(Metric::FaultsDetected, newly_times.len() as u64);
+        self.obs.gauge(Metric::SimThreads, threads_used as u64);
+        // Scratch-arena estimate: the shared fault-free trace plus one
+        // kernel arena (two 64-bit planes per net) per worker thread.
+        let n_nets = self.circuit.net_count();
+        let n_ff = self.circuit.dffs().len();
+        let trace_bytes = vectors * n_nets + (vectors + 1) * n_ff;
+        let kernel_bytes = threads_used * n_nets * std::mem::size_of::<Word3>();
+        self.obs
+            .gauge(Metric::ScratchBytes, (trace_bytes + kernel_bytes) as u64);
+        newly_times.sort_unstable();
+        let mut run: Option<(u32, u32)> = None;
+        for &t in newly_times.iter() {
+            match &mut run {
+                Some((time, n)) if *time == t => *n += 1,
+                _ => {
+                    if let Some((time, n)) = run.take() {
+                        self.obs.detect(time, n);
+                    }
+                    run = Some((t, 1));
+                }
+            }
+        }
+        if let Some((time, n)) = run {
+            self.obs.detect(time, n);
+        }
     }
 
     /// The pre-event-driven engine: a dense evaluation of every gate at
@@ -1114,6 +1226,79 @@ mod tests {
         let auto = run_with(None);
         assert_eq!(single, pooled, "1 thread vs fixed pool of 4");
         assert_eq!(single, auto, "1 thread vs automatic thread count");
+    }
+
+    #[test]
+    fn thread_count_change_between_extends_on_reused_engine() {
+        // Regression: a reused engine (`reset_with_state`) must stay
+        // bit-identical to the dense reference when `set_sim_threads`
+        // changes between `extend` calls — the sequential and parallel
+        // paths hand over via `fault_state`/`good_state`, and a stale
+        // carry-over would surface exactly here.
+        let c = benchmarks::load("s1423").expect("profile exists");
+        let faults = FaultList::collapsed(&c);
+        let first = random_sequence(c.inputs().len(), 18, 21);
+        let second = random_sequence(c.inputs().len(), 18, 22);
+        let state = vec![Logic::Zero; c.dffs().len()];
+
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        // Dirty the engine before the rewind so `reset_with_state` has
+        // real state to clear.
+        sim.extend(&first);
+        sim.reset_with_state(&state);
+        crate::set_sim_threads(Some(1));
+        sim.extend(&first);
+        crate::set_sim_threads(Some(4));
+        sim.extend(&second);
+        crate::set_sim_threads(None);
+
+        let mut reference = SeqFaultSim::with_state(&c, &faults, &state);
+        reference.extend_reference(&first);
+        reference.extend_reference(&second);
+
+        assert_eq!(sim.report(), reference.report());
+        assert_eq!(sim.good_state(), reference.good_state());
+        assert_eq!(sim.time(), reference.time());
+        for id in faults.ids() {
+            if !sim.is_detected(id) {
+                assert_eq!(
+                    sim.fault_state(id),
+                    reference.fault_state(id),
+                    "state of fault {} diverged after thread-count change",
+                    faults.fault(id).display_name(&c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observed_extend_emits_consistent_metrics() {
+        let (obs, collector) = ObsHandle::noop().with_collector();
+        if !obs.is_enabled() {
+            return; // obs built without the trace feature in this config
+        }
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 25, 4);
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        sim.set_obs(&obs);
+        let newly = sim.extend(&seq);
+        assert_eq!(
+            collector.counter(Metric::VectorsSimulated),
+            seq.len() as u64
+        );
+        assert_eq!(collector.counter(Metric::FaultsDetected), newly as u64);
+        assert_eq!(
+            collector.counter(Metric::BatchesSimulated),
+            faults.len().div_ceil(64) as u64
+        );
+        // The emitted detection-profile points must agree with the report.
+        assert_eq!(
+            collector.detection_profile(),
+            sim.report().detection_profile()
+        );
+        assert!(collector.gauge_max(Metric::SimThreads) >= 1);
+        assert!(collector.gauge_max(Metric::ScratchBytes) > 0);
     }
 
     #[test]

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Trace-overhead smoke: build the fault-sim bench binary with tracing
+# compiled OUT (the default for `-p limscan-bench`) and with it compiled
+# IN (`--features trace`, no sink attached), run both on the same suite,
+# and fail if the traced-but-disabled build is more than BUDGET_PCT slower
+# on the s5378 single-thread point. One retry absorbs machine noise.
+#
+# Usage: scripts/obs_overhead.sh [budget_pct]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET_PCT="${1:-3}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+build() { # $1 = extra cargo flags, $2 = output binary name
+    # shellcheck disable=SC2086
+    cargo build --release -p limscan-bench --bin faultsim_bench $1
+    cp target/release/faultsim_bench "$WORK/$2"
+}
+
+echo "== building (trace compiled out) =="
+build "" plain
+echo "== building (trace compiled in, no sink) =="
+build "--features trace" traced
+
+extract() { # $1 = json file -> seconds of the s5378 event_1thread point
+    python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+row = next(r for r in doc["circuits"] if r["circuit"] == "s5378")
+print(f'{row["event_1thread"]["seconds"]:.6f}')
+EOF
+}
+
+PLAIN_BEST=""
+TRACED_BEST=""
+run_pair() { # -> updates PLAIN_BEST / TRACED_BEST with the fastest seen
+    "$WORK/plain" "$WORK/plain.json" >/dev/null
+    "$WORK/traced" "$WORK/traced.json" >/dev/null
+    PLAIN_BEST="$(python3 -c "import sys; print(min(float(x) for x in sys.argv[1:] if x))" \
+        "$(extract "$WORK/plain.json")" "$PLAIN_BEST")"
+    TRACED_BEST="$(python3 -c "import sys; print(min(float(x) for x in sys.argv[1:] if x))" \
+        "$(extract "$WORK/traced.json")" "$TRACED_BEST")"
+}
+
+check() { # -> 0 if the fastest traced run is within budget of the fastest plain run
+    python3 - "$PLAIN_BEST" "$TRACED_BEST" "$BUDGET_PCT" <<'EOF'
+import sys
+plain, traced, budget = float(sys.argv[1]), float(sys.argv[2]), float(sys.argv[3])
+delta = 100.0 * (traced - plain) / plain
+print(f"s5378 event_1thread best-of-runs: plain={plain:.4f}s traced={traced:.4f}s delta={delta:+.2f}% (budget {budget}%)")
+sys.exit(0 if delta <= budget else 1)
+EOF
+}
+
+run_pair
+if ! check; then
+    echo "over budget; retrying once to rule out machine noise"
+    run_pair
+    check || { echo "FAIL: disabled-mode trace overhead exceeds ${BUDGET_PCT}%"; exit 1; }
+fi
+echo "OK: disabled-mode trace overhead within ${BUDGET_PCT}%"

@@ -1,0 +1,89 @@
+//! Thread-count invariance of the deterministic metric counters.
+//!
+//! The observability contract splits metrics in two: counters that
+//! describe the *work the algorithms decided to do* (vectors simulated,
+//! faults detected, batches, committed trials, restoration episodes and
+//! probes) must not depend on how that work was scheduled, while
+//! speculative-execution counters (trials attempted / early-exited,
+//! checkpoint hits) and gauges legitimately vary with thread fan-out.
+//! This property pins the first class: on random synthetic circuits, the
+//! collector totals are bit-identical from 1 through 8 simulation
+//! threads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use limscan::benchmarks::{synthetic, SyntheticSpec};
+use limscan::compact::omission_observed;
+use limscan::obs::Metric;
+use limscan::sim::set_sim_threads;
+use limscan::{FaultList, Logic, MetricsCollector, ObsHandle, SeqFaultSim, TestSequence};
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..5, 3usize..8, 20usize..60, 1usize..4, any::<u64>()).prop_map(
+        |(pi, ff, gates, po, seed)| {
+            let mut s = SyntheticSpec::new(format!("obsprop{seed:x}"), pi, ff, gates, po);
+            s.seed = seed;
+            s
+        },
+    )
+}
+
+fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq = TestSequence::new(width);
+    for _ in 0..len {
+        seq.push((0..width).map(|_| Logic::from_bool(rng.gen())).collect());
+    }
+    seq
+}
+
+/// One observed extend + one observed omission pass under `threads`
+/// simulation threads; returns the deterministic counter totals.
+fn observed_counters(spec: &SyntheticSpec, seq_seed: u64, threads: usize) -> Vec<(Metric, u64)> {
+    let circuit = synthetic(spec);
+    let faults = FaultList::collapsed(&circuit);
+    let seq = random_sequence(circuit.inputs().len(), 48, seq_seed);
+    set_sim_threads(Some(threads));
+    let collector = MetricsCollector::default();
+    let obs = ObsHandle::from_sink(Arc::new(collector.clone()));
+    let mut sim = SeqFaultSim::new(&circuit, &faults);
+    sim.set_obs(&obs);
+    sim.extend(&seq);
+    omission_observed(&circuit, &faults, &seq, 1, &obs);
+    set_sim_threads(None);
+    collector.deterministic_counters()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `vectors_simulated`, `faults_detected`, `batches_simulated`,
+    /// `trials_committed`, and the rest of the deterministic class read
+    /// back bit-identical whatever the thread fan-out.
+    #[test]
+    fn deterministic_counters_are_thread_invariant(
+        spec in spec_strategy(),
+        seq_seed in any::<u64>(),
+    ) {
+        let baseline = observed_counters(&spec, seq_seed, 1);
+        // The single-thread run must actually observe something, or the
+        // property would pass vacuously.
+        prop_assert!(
+            baseline.iter().any(|(m, v)| *m == Metric::VectorsSimulated && *v > 0),
+            "no vectors observed: {baseline:?}"
+        );
+        for threads in 2..=8 {
+            let totals = observed_counters(&spec, seq_seed, threads);
+            prop_assert_eq!(
+                &baseline,
+                &totals,
+                "deterministic counters diverged at {} threads",
+                threads
+            );
+        }
+    }
+}
