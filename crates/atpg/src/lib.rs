@@ -46,4 +46,4 @@ mod sequential;
 
 pub use podem::{podem, Observation, PodemOptions, PodemTest};
 pub use scoap::Scoap;
-pub use sequential::{AtpgConfig, AtpgOutcome, SequentialAtpg};
+pub use sequential::{AtpgConfig, AtpgOutcome, AtpgStop, SequentialAtpg};

@@ -28,6 +28,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use limscan_fault::{Fault, FaultList};
+use limscan_harness::{AtpgCursor, CancelToken, StopReason};
 use limscan_netlist::Circuit;
 use limscan_obs::{Metric, ObsHandle, SpanKind};
 use limscan_scan::ScanCircuit;
@@ -92,6 +93,20 @@ pub struct AtpgOutcome {
     pub aborted: usize,
 }
 
+/// Why and where a budgeted ATPG run stopped early.
+///
+/// Carried by the `Err` of [`SequentialAtpg::run_budgeted`]. The cursor
+/// names an *episode boundary*: everything before it is committed to the
+/// sequence, and resuming from it reproduces the uninterrupted run
+/// bit-identically.
+#[derive(Clone, Debug)]
+pub struct AtpgStop {
+    /// The budget condition that tripped.
+    pub reason: StopReason,
+    /// Episode-boundary state to resume from.
+    pub cursor: AtpgCursor,
+}
+
 /// The Section 2 test generator.
 ///
 /// # Example
@@ -153,25 +168,101 @@ impl<'a> SequentialAtpg<'a> {
     /// Runs test generation over all target faults and returns the
     /// generated sequence plus statistics.
     pub fn run(&self) -> AtpgOutcome {
-        let c = self.scan.circuit();
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut sim = SeqFaultSim::new(c, self.faults);
-        let mut sequence = TestSequence::new(c.inputs().len());
-        let mut funct_detected = 0;
-        let mut scan_loads = 0;
-        let mut aborted = 0;
+        match self.run_budgeted(&CancelToken::unlimited(), None) {
+            Ok(outcome) => outcome,
+            Err(stop) => unreachable!("unlimited token tripped: {}", stop.reason),
+        }
+    }
 
-        {
-            let phase = self.obs.span(SpanKind::Pass, "random-phase");
-            sim.set_obs(phase.handle());
-            self.random_phase(&mut rng, &mut sim, &mut sequence);
+    /// [`run`](Self::run) under a [`CancelToken`], optionally resuming from
+    /// an earlier stop's cursor.
+    ///
+    /// The token is consulted at episode boundaries only — an episode is
+    /// the generator's atomic unit of work — charging one episode plus the
+    /// episode's sequence growth in vectors (a fresh run also charges the
+    /// random phase). Resuming replays the cursor's sequence through a
+    /// fresh simulator (reconstructing the state pair bit-identically —
+    /// the engine is deterministic), restores the RNG from the stored
+    /// xoshiro words, and continues at the cursor's fault, so an
+    /// interrupted-and-resumed run returns exactly what the uninterrupted
+    /// run would have.
+    ///
+    /// # Errors
+    ///
+    /// [`AtpgStop`] when the token trips, carrying the latched
+    /// [`StopReason`] and the episode-boundary cursor.
+    pub fn run_budgeted(
+        &self,
+        ctl: &CancelToken,
+        resume: Option<&AtpgCursor>,
+    ) -> Result<AtpgOutcome, AtpgStop> {
+        let c = self.scan.circuit();
+        let mut sim = SeqFaultSim::new(c, self.faults);
+        let mut sequence;
+        let mut rng;
+        let mut funct_detected;
+        let mut scan_loads;
+        let mut aborted;
+        let mut episode_index;
+        let start_fault;
+
+        match resume {
+            Some(cursor) => {
+                rng = StdRng::from_state(cursor.rng_state);
+                sequence = cursor.sequence.clone();
+                {
+                    // Deterministic replay: simulating the stored sequence
+                    // reconstructs the good/faulty state pairs and the
+                    // detected set exactly as they were at the stop.
+                    let phase = self.obs.span(SpanKind::Pass, "replay");
+                    sim.set_obs(phase.handle());
+                    sim.extend(&sequence);
+                }
+                funct_detected = cursor.funct_detected;
+                scan_loads = cursor.scan_loads;
+                aborted = cursor.aborted;
+                episode_index = cursor.episode_index;
+                start_fault = cursor.next_fault;
+            }
+            None => {
+                rng = StdRng::seed_from_u64(self.config.seed);
+                sequence = TestSequence::new(c.inputs().len());
+                {
+                    let phase = self.obs.span(SpanKind::Pass, "random-phase");
+                    sim.set_obs(phase.handle());
+                    self.random_phase(&mut rng, &mut sim, &mut sequence);
+                }
+                ctl.charge_vectors(sequence.len() as u64);
+                funct_detected = 0;
+                scan_loads = 0;
+                aborted = 0;
+                episode_index = 0;
+                start_fault = 0;
+            }
         }
 
-        let mut episode_index = 0u64;
-        for fid in self.faults.ids() {
+        for (fi, fid) in self.faults.ids().enumerate() {
+            if fi < start_fault {
+                continue; // processed before the resume point
+            }
             if sim.is_detected(fid) {
                 continue;
             }
+            if let Err(reason) = ctl.check() {
+                return Err(AtpgStop {
+                    reason,
+                    cursor: AtpgCursor {
+                        sequence,
+                        next_fault: fi,
+                        episode_index,
+                        funct_detected,
+                        scan_loads,
+                        aborted,
+                        rng_state: rng.state(),
+                    },
+                });
+            }
+            ctl.charge_episodes(1);
             let span = self
                 .obs
                 .span_indexed(SpanKind::Episode, "atpg-episode", episode_index);
@@ -185,6 +276,7 @@ impl<'a> SequentialAtpg<'a> {
                     episode.specify_x(&mut rng);
                     sim.extend(&episode);
                     sequence.extend_from(&episode);
+                    ctl.charge_vectors(episode.len() as u64);
                     if sim.is_detected(fid) {
                         match kind {
                             EpisodeKind::Direct => {}
@@ -206,13 +298,13 @@ impl<'a> SequentialAtpg<'a> {
         }
         sim.set_obs(&self.obs);
 
-        AtpgOutcome {
+        Ok(AtpgOutcome {
             sequence,
             report: sim.report(),
             funct_detected,
             scan_loads,
             aborted,
-        }
+        })
     }
 
     /// Initial random phase with early stopping.
@@ -533,6 +625,66 @@ mod tests {
             "coverage {:.2}%",
             outcome.report.coverage_percent()
         );
+    }
+
+    #[test]
+    fn budgeted_stop_and_resume_matches_uninterrupted() {
+        use limscan_harness::RunBudget;
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let atpg = SequentialAtpg::new(&sc, &faults, AtpgConfig::default());
+        let full = atpg.run();
+        for max_episodes in [1u64, 2, 3, 5] {
+            let ctl = CancelToken::new(RunBudget {
+                max_episodes: Some(max_episodes),
+                ..RunBudget::default()
+            });
+            match atpg.run_budgeted(&ctl, None) {
+                Ok(outcome) => assert_eq!(outcome.sequence, full.sequence),
+                Err(stop) => {
+                    assert_eq!(stop.reason, StopReason::EpisodeBudget);
+                    assert_eq!(ctl.episodes(), max_episodes);
+                    let resumed = atpg
+                        .run_budgeted(&CancelToken::unlimited(), Some(&stop.cursor))
+                        .expect("unlimited resume completes");
+                    assert_eq!(resumed.sequence, full.sequence, "episodes={max_episodes}");
+                    assert_eq!(resumed.funct_detected, full.funct_detected);
+                    assert_eq!(resumed.scan_loads, full.scan_loads);
+                    assert_eq!(resumed.aborted, full.aborted);
+                    assert_eq!(
+                        resumed.report.detected_count(),
+                        full.report.detected_count()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_single_episode_resumes_reach_the_same_sequence() {
+        use limscan_harness::RunBudget;
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let atpg = SequentialAtpg::new(&sc, &faults, AtpgConfig::default());
+        let full = atpg.run();
+        // Drive the whole generation one episode at a time: every stop must
+        // be a clean episode boundary, and the final result bit-identical.
+        let mut cursor: Option<AtpgCursor> = None;
+        for _ in 0..200 {
+            let ctl = CancelToken::new(RunBudget {
+                max_episodes: Some(1),
+                ..RunBudget::default()
+            });
+            match atpg.run_budgeted(&ctl, cursor.as_ref()) {
+                Ok(outcome) => {
+                    assert_eq!(outcome.sequence, full.sequence);
+                    assert_eq!(outcome.aborted, full.aborted);
+                    return;
+                }
+                Err(stop) => cursor = Some(stop.cursor),
+            }
+        }
+        panic!("single-episode resume chain did not terminate");
     }
 
     #[test]

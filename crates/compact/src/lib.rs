@@ -54,8 +54,10 @@ mod restoration;
 mod scan_compact;
 mod segments;
 
-pub use omission::{omission, omission_observed, omission_reference};
-pub use restoration::{restoration, restoration_observed, restoration_reference};
+pub use omission::{omission, omission_observed, omission_pass_resumable, omission_reference};
+pub use restoration::{
+    restoration, restoration_observed, restoration_reference, restoration_resumable,
+};
 pub use scan_compact::{scan_test_set, CompactedSet};
 pub use segments::segment_prune;
 

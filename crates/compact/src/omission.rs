@@ -30,11 +30,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use limscan_fault::{FaultId, FaultList};
+use limscan_harness::{CancelToken, StopReason};
 use limscan_netlist::Circuit;
 use limscan_obs::{Metric, ObsHandle, SpanKind};
-use limscan_sim::{sim_threads, SeqFaultSim, TestSequence, TrialCheckpoints};
+use limscan_sim::{sim_threads, PrefixState, SeqFaultSim, TestSequence, TrialCheckpoints};
 
-use crate::Compacted;
+use crate::{Compacted, CompactionEngine};
 
 /// Compacts `sequence` by repeated vector omission with up to `max_passes`
 /// passes; the target faults are those the input sequence detects.
@@ -82,99 +83,9 @@ pub fn omission_observed(
         if current.is_empty() {
             break;
         }
-        let pass_span = obs.span_indexed(SpanKind::Pass, "omission-pass", pass as u64 + 1);
-        let pass_obs = pass_span.handle();
-        // One recorded pass per omission pass: every trial below restarts
-        // from its candidate's checkpoint instead of simulating from 0.
-        let ck = TrialCheckpoints::record_observed(circuit, &targets, &current, pass_obs);
-        assert_eq!(
-            ck.recorded_detected(),
-            ck.total_lanes(),
-            "omission invariant: the current sequence must detect every target"
-        );
-        let len = current.len();
-        let mut keep = vec![true; len];
-        let mut prefix = ck.initial_prefix();
-        let mut changed = false;
-        let threads = sim_threads().max(1);
-
-        let mut o = 0usize;
-        while o < len {
-            if prefix.all_detected() {
-                // The kept prefix alone covers every target: every
-                // remaining candidate trivially succeeds.
-                let dropped = keep[o..].iter().filter(|k| **k).count();
-                for k in &mut keep[o..] {
-                    *k = false;
-                }
-                pass_obs.counter(Metric::TrialsCommitted, dropped as u64);
-                changed = true;
-                break;
-            }
-            // Speculative wave: candidates `o..o+wave` are decided
-            // concurrently, each assuming the ones before it fail. The
-            // in-order commit below keeps only verdicts whose assumption
-            // held, so the keep mask cannot depend on scheduling.
-            let wave = threads.min(len - o);
-            let verdicts: Vec<bool> = if wave <= 1 {
-                let _trial = pass_span.child_indexed(SpanKind::Trial, "trial", o as u64);
-                vec![ck.trial(&prefix, o)]
-            } else {
-                let next = AtomicUsize::new(0);
-                let mut verdicts = vec![false; wave];
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..wave)
-                        .map(|_| {
-                            let (next, ck, prefix) = (&next, &ck, &prefix);
-                            scope.spawn(move || {
-                                let mut out = Vec::new();
-                                loop {
-                                    let i = next.fetch_add(1, Ordering::Relaxed);
-                                    if i >= wave {
-                                        break;
-                                    }
-                                    let mut p = prefix.clone();
-                                    for kept in o..o + i {
-                                        ck.advance(&mut p, kept);
-                                    }
-                                    let _trial = pass_obs.span_indexed(
-                                        SpanKind::Trial,
-                                        "trial",
-                                        (o + i) as u64,
-                                    );
-                                    out.push((i, ck.trial(&p, o + i)));
-                                }
-                                out
-                            })
-                        })
-                        .collect();
-                    for handle in handles {
-                        for (i, v) in handle.join().expect("trial worker panicked") {
-                            verdicts[i] = v;
-                        }
-                    }
-                });
-                verdicts
-            };
-            let mut omitted = false;
-            for (i, &ok) in verdicts.iter().enumerate() {
-                let c = o + i;
-                if ok {
-                    keep[c] = false;
-                    pass_obs.counter(Metric::TrialsCommitted, 1);
-                    changed = true;
-                    o = c + 1;
-                    omitted = true;
-                    break; // later verdicts assumed `c` kept — invalid now
-                }
-                ck.advance(&mut prefix, c);
-            }
-            if !omitted {
-                o += wave;
-            }
-        }
-
-        current = current.select(&keep);
+        let (next, changed) = omission_pass(circuit, &targets, &current, pass, obs, None)
+            .expect("an unbudgeted omission pass cannot stop early");
+        current = next;
         if !changed {
             break;
         }
@@ -198,6 +109,227 @@ pub fn omission_observed(
     }
 }
 
+/// One omission pass over `current` with optional budget enforcement.
+///
+/// Returns the shortened sequence and whether anything was omitted. With a
+/// [`CancelToken`], the pass charges `current.len()` vectors up front and
+/// consults the token at every speculative-wave boundary; a tripped budget
+/// returns the [`StopReason`] and discards the partial pass (the caller
+/// resumes from the sequence it passed in — a pass boundary).
+///
+/// Worker panics (including injected ones) are confined to the trial they
+/// occurred in: the lost verdict is recomputed on the coordinating thread
+/// by a full reference re-simulation, a `degrade` event is emitted, and
+/// the pass continues — the kept-vector decisions are identical either
+/// way.
+fn omission_pass(
+    circuit: &Circuit,
+    targets: &FaultList,
+    current: &TestSequence,
+    pass: usize,
+    obs: &ObsHandle,
+    ctl: Option<&CancelToken>,
+) -> Result<(TestSequence, bool), StopReason> {
+    let pass_span = obs.span_indexed(SpanKind::Pass, "omission-pass", pass as u64 + 1);
+    let pass_obs = pass_span.handle();
+    if let Some(ctl) = ctl {
+        // A pass re-simulates the whole sequence at least once (recording)
+        // plus suffixes per trial; charge its length as the vector cost.
+        ctl.charge_vectors(current.len() as u64);
+        ctl.check()?;
+    }
+    // One recorded pass per omission pass: every trial below restarts
+    // from its candidate's checkpoint instead of simulating from 0.
+    let ck = TrialCheckpoints::record_observed(circuit, targets, current, pass_obs);
+    assert_eq!(
+        ck.recorded_detected(),
+        ck.total_lanes(),
+        "omission invariant: the current sequence must detect every target"
+    );
+    let len = current.len();
+    let mut keep = vec![true; len];
+    let mut prefix = ck.initial_prefix();
+    let mut changed = false;
+    let threads = sim_threads().max(1);
+
+    let mut o = 0usize;
+    while o < len {
+        if let Some(ctl) = ctl {
+            ctl.check()?;
+        }
+        if prefix.all_detected() {
+            // The kept prefix alone covers every target: every
+            // remaining candidate trivially succeeds.
+            let dropped = keep[o..].iter().filter(|k| **k).count();
+            for k in &mut keep[o..] {
+                *k = false;
+            }
+            pass_obs.counter(Metric::TrialsCommitted, dropped as u64);
+            changed = true;
+            break;
+        }
+        // Speculative wave: candidates `o..o+wave` are decided
+        // concurrently, each assuming the ones before it fail. The
+        // in-order commit below keeps only verdicts whose assumption
+        // held, so the keep mask cannot depend on scheduling.
+        let wave = threads.min(len - o);
+        let mut verdicts: Vec<Option<bool>> = if wave <= 1 {
+            let _trial = pass_span.child_indexed(SpanKind::Trial, "trial", o as u64);
+            vec![checked_trial(&ck, &prefix, o)]
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut verdicts = vec![None; wave];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..wave)
+                    .map(|_| {
+                        let (next, ck, prefix) = (&next, &ck, &prefix);
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= wave {
+                                    break;
+                                }
+                                let mut p = prefix.clone();
+                                for kept in o..o + i {
+                                    ck.advance(&mut p, kept);
+                                }
+                                let _trial =
+                                    pass_obs.span_indexed(SpanKind::Trial, "trial", (o + i) as u64);
+                                out.push((i, checked_trial(ck, &p, o + i)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    // A worker that died outside its guarded trial loses
+                    // every verdict it had claimed but not reported; the
+                    // slots stay `None` and are recomputed below.
+                    if let Ok(list) = handle.join() {
+                        for (i, v) in list {
+                            verdicts[i] = v;
+                        }
+                    }
+                }
+            });
+            verdicts
+        };
+        // Graceful degradation: recompute any verdict lost to a panic by
+        // full re-simulation of the trial sequence. Slower, but bit-exact —
+        // the oracle path the differential suite pins the engine to.
+        for (i, v) in verdicts.iter_mut().enumerate() {
+            if v.is_none() {
+                let c = o + i;
+                pass_obs.degrade("omission-trial", c as u64);
+                pass_obs.counter(Metric::DegradedTrials, 1);
+                *v = Some(reference_trial(circuit, targets, current, &keep, c));
+            }
+        }
+        let mut omitted = false;
+        for (i, v) in verdicts.iter().enumerate() {
+            let c = o + i;
+            let ok = v.expect("every lost verdict was recomputed above");
+            if ok {
+                keep[c] = false;
+                pass_obs.counter(Metric::TrialsCommitted, 1);
+                changed = true;
+                o = c + 1;
+                omitted = true;
+                break; // later verdicts assumed `c` kept — invalid now
+            }
+            ck.advance(&mut prefix, c);
+        }
+        if !omitted {
+            o += wave;
+        }
+    }
+
+    Ok((current.select(&keep), changed))
+}
+
+/// A checkpointed trial with panic confinement: `None` means the trial
+/// panicked (worker bug or injected fault) and its verdict must be
+/// recomputed on the oracle path.
+fn checked_trial(
+    ck: &TrialCheckpoints<'_>,
+    prefix: &PrefixState,
+    candidate: usize,
+) -> Option<bool> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        limscan_sim::fail_inject::panic_trial_point();
+        ck.trial(prefix, candidate)
+    }))
+    .ok()
+}
+
+/// The oracle fallback for one lost trial verdict: simulate the kept
+/// sequence minus `candidate` from scratch and ask whether every target is
+/// still detected. At the point this runs, `keep[t]` is final for `t`
+/// before the current wave and still `true` for everything in and after
+/// it, which is exactly the trial's assumption.
+fn reference_trial(
+    circuit: &Circuit,
+    targets: &FaultList,
+    current: &TestSequence,
+    keep: &[bool],
+    candidate: usize,
+) -> bool {
+    let mut trial_seq = TestSequence::new(current.width());
+    for (t, &kept) in keep.iter().enumerate().take(current.len()) {
+        if t != candidate && kept {
+            trial_seq.push(current.vector(t).to_vec());
+        }
+    }
+    SeqFaultSim::run(circuit, targets, &trial_seq).detected_count() == targets.len()
+}
+
+/// One budget-aware omission pass for the resilient flow driver.
+///
+/// `target_indices` are indices into `faults` naming the omission targets
+/// (the faults the *original* sequence detected) — stored in the flow
+/// snapshot so a resumed run compacts toward the same set. Returns the
+/// shortened sequence and whether the pass changed anything; the driver
+/// owns the pass loop so it can checkpoint between passes.
+///
+/// # Errors
+///
+/// The latched [`StopReason`] when the token trips; the pass's partial
+/// work is discarded (the input sequence remains the resume point).
+// One argument over the limit, but every one is load-bearing flow state;
+// bundling them into a context struct would only rename the problem.
+#[allow(clippy::too_many_arguments)]
+pub fn omission_pass_resumable(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    target_indices: &[usize],
+    pass: usize,
+    engine: CompactionEngine,
+    obs: &ObsHandle,
+    ctl: &CancelToken,
+) -> Result<(TestSequence, bool), StopReason> {
+    if sequence.is_empty() {
+        return Ok((sequence.clone(), false));
+    }
+    let targets = FaultList::from_faults(
+        target_indices
+            .iter()
+            .map(|&i| faults.fault(FaultId::from_index(i))),
+    );
+    match engine {
+        CompactionEngine::Incremental => {
+            omission_pass(circuit, &targets, sequence, pass, obs, Some(ctl))
+        }
+        CompactionEngine::Reference => {
+            ctl.charge_vectors(sequence.len() as u64);
+            ctl.check()?;
+            let _span = obs.span_indexed(SpanKind::Pass, "omission-pass", pass as u64 + 1);
+            Ok(omission_reference_pass(circuit, &targets, sequence))
+        }
+    }
+}
+
 /// The pre-checkpoint omission engine: one cloned [`SeqFaultSim`] and a
 /// full suffix re-simulation per candidate vector.
 ///
@@ -217,37 +349,8 @@ pub fn omission_reference(
 
     let mut current = sequence.clone();
     for _ in 0..max_passes {
-        let mut changed = false;
-        // Left-to-right scan with an incrementally maintained prefix
-        // simulator: a trial only has to re-simulate the suffix, and only
-        // for the faults the (unchanged) prefix does not already detect.
-        let mut prefix_sim = SeqFaultSim::new(circuit, &targets);
-        let mut t = 0;
-        while t < current.len() {
-            let suffix: TestSequence = (t + 1..current.len())
-                .map(|i| current.vector(i).to_vec())
-                .collect();
-            let detects_all = if prefix_sim.detected_count() == targets.len() {
-                true // the prefix alone already covers every target
-            } else {
-                let mut trial = prefix_sim.clone();
-                if suffix.is_empty() {
-                    false // dropping the last vector loses something
-                } else {
-                    trial.extend(&suffix);
-                    trial.detected_count() == targets.len()
-                }
-            };
-            if detects_all {
-                current = current.without(t);
-                changed = true; // prefix unchanged; same index is new vector
-            } else {
-                let mut one = TestSequence::new(current.width());
-                one.push(current.vector(t).to_vec());
-                prefix_sim.extend(&one);
-                t += 1;
-            }
-        }
+        let (next, changed) = omission_reference_pass(circuit, &targets, &current);
+        current = next;
         if !changed {
             break;
         }
@@ -264,6 +367,47 @@ pub fn omission_reference(
         target_count,
         extra_detected,
     }
+}
+
+/// One pass of the reference (full re-simulation) omission engine over
+/// `current`: a left-to-right scan with an incrementally maintained prefix
+/// simulator — a trial only has to re-simulate the suffix, and only for
+/// the faults the (unchanged) prefix does not already detect.
+fn omission_reference_pass(
+    circuit: &Circuit,
+    targets: &FaultList,
+    sequence: &TestSequence,
+) -> (TestSequence, bool) {
+    let mut current = sequence.clone();
+    let mut changed = false;
+    let mut prefix_sim = SeqFaultSim::new(circuit, targets);
+    let mut t = 0;
+    while t < current.len() {
+        let suffix: TestSequence = (t + 1..current.len())
+            .map(|i| current.vector(i).to_vec())
+            .collect();
+        let detects_all = if prefix_sim.detected_count() == targets.len() {
+            true // the prefix alone already covers every target
+        } else {
+            let mut trial = prefix_sim.clone();
+            if suffix.is_empty() {
+                false // dropping the last vector loses something
+            } else {
+                trial.extend(&suffix);
+                trial.detected_count() == targets.len()
+            }
+        };
+        if detects_all {
+            current = current.without(t);
+            changed = true; // prefix unchanged; same index is new vector
+        } else {
+            let mut one = TestSequence::new(current.width());
+            one.push(current.vector(t).to_vec());
+            prefix_sim.extend(&one);
+            t += 1;
+        }
+    }
+    (current, changed)
 }
 
 #[cfg(test)]

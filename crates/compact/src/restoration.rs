@@ -29,6 +29,7 @@
 //!   [`restoration`].
 
 use limscan_fault::{Fault, FaultList};
+use limscan_harness::{CancelToken, StopReason};
 use limscan_netlist::Circuit;
 use limscan_obs::{Metric, ObsHandle, SpanKind};
 use limscan_sim::{single_fault_detects, Logic, SeqFaultSim, SingleFaultSim, TestSequence};
@@ -143,6 +144,39 @@ pub fn restoration_observed(
     sequence: &TestSequence,
     obs: &ObsHandle,
 ) -> Compacted {
+    restoration_impl(circuit, faults, sequence, obs, None)
+        .expect("unbudgeted restoration cannot stop early")
+}
+
+/// [`restoration_observed`] under a [`CancelToken`]: the token is
+/// consulted before every restoration episode (charging the kept-prefix
+/// length as the episode's re-simulation cost), so a tripped budget stops
+/// the compaction at an episode boundary.
+///
+/// Restoration has no mid-run cursor — its keep mask is only meaningful
+/// once every target is covered — so an early stop discards the partial
+/// mask and the flow resumes restoration from the uncompacted sequence.
+///
+/// # Errors
+///
+/// The latched [`StopReason`] when the token trips.
+pub fn restoration_resumable(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    obs: &ObsHandle,
+    ctl: &CancelToken,
+) -> Result<Compacted, StopReason> {
+    restoration_impl(circuit, faults, sequence, obs, Some(ctl))
+}
+
+fn restoration_impl(
+    circuit: &Circuit,
+    faults: &FaultList,
+    sequence: &TestSequence,
+    obs: &ObsHandle,
+    ctl: Option<&CancelToken>,
+) -> Result<Compacted, StopReason> {
     let report = {
         let mut sim = SeqFaultSim::new(circuit, faults);
         sim.set_obs(obs);
@@ -166,6 +200,11 @@ pub fn restoration_observed(
     for (i, &(t_f, id)) in targets.iter().enumerate() {
         if covered[i] {
             continue;
+        }
+        if let Some(ctl) = ctl {
+            // Each episode re-simulates (at least) the kept subsequence.
+            ctl.charge_vectors(keep.iter().filter(|k| **k).count() as u64);
+            ctl.check()?;
         }
         let fault = faults.fault(id);
         let episode = obs.span_indexed(SpanKind::Episode, "restore-episode", i as u64);
@@ -237,12 +276,12 @@ pub fn restoration_observed(
         .ids()
         .filter(|&id| after.is_detected(id) && !report.is_detected(id))
         .count();
-    Compacted {
+    Ok(Compacted {
         sequence: sequence_out,
         original_len: sequence.len(),
         target_count,
         extra_detected,
-    }
+    })
 }
 
 /// The pre-cache restoration engine: one full [`single_fault_detects`]

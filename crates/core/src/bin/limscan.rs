@@ -4,9 +4,14 @@
 //! limscan info <circuit.bench>
 //! limscan generate <circuit.bench> [-o program.txt] [--chains N]
 //!                  [--engine det|genetic] [--max-faults N] [--no-compact]
+//!                  [--deadline SECS] [--max-vectors N] [--snapshots DIR]
 //!                  [--trace out.jsonl] [--metrics]
 //! limscan compact <circuit.bench> <program.txt> [-o out.txt] [--passes N]
+//!                 [--deadline SECS] [--max-vectors N]
 //!                 [--trace out.jsonl] [--metrics]
+//! limscan resume <snapshot.snap> [-o program.txt] [--engine det|genetic]
+//!                [--deadline SECS] [--max-vectors N] [--snapshots DIR]
+//!                [--trace out.jsonl] [--metrics]
 //! ```
 //!
 //! `generate` inserts scan into the circuit, runs the paper's flow and
@@ -16,18 +21,32 @@
 //! the span/metric event log as JSONL; `--metrics` prints the per-phase
 //! summary and detection profile to stderr (both need the `trace` feature,
 //! which is on by default).
+//!
+//! `--deadline` / `--max-vectors` bound a run; a run that hits its budget
+//! stops at the next safe boundary, keeps the work done so far, and exits
+//! with status 3. With `--snapshots DIR`, `generate` additionally writes a
+//! checkpoint at every pass boundary, and `limscan resume` continues an
+//! interrupted run from such a snapshot — the resumed run's final test set
+//! is bit-identical to an uninterrupted one. `resume` re-derives the flow
+//! configuration from the snapshot's recorded knobs; a non-default engine
+//! must be re-stated (`--engine genetic`), and a drifted configuration is
+//! refused rather than silently diverging.
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use limscan::atpg::genetic::GeneticConfig;
-use limscan::compact::{restore_then_omit_observed, CompactionEngine};
+use limscan::compact::{
+    omission_pass_resumable, restoration_resumable, restore_then_omit_observed, CompactionEngine,
+};
 use limscan::netlist::{bench_format, CircuitStats};
 use limscan::obs::SpanKind;
 use limscan::scan::program::{parse_program, program_stats, write_program};
 use limscan::{
-    benchmarks, Circuit, Engine, FaultList, FlowConfig, FlowReport, GenerationFlow, ObsHandle,
-    ScanCircuit, SeqFaultSim,
+    benchmarks, resume_flow, run_generation_resilient, CancelToken, Circuit, Engine, FaultList,
+    FlowConfig, FlowKind, FlowOutcome, FlowReport, GenerationFlow, ObsHandle, ResilientConfig,
+    RunBudget, ScanCircuit, SeqFaultSim, SnapshotStore, StopReason,
 };
 
 fn main() -> ExitCode {
@@ -36,6 +55,7 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
+        Some("resume") => cmd_resume(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -43,7 +63,7 @@ fn main() -> ExitCode {
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
@@ -55,9 +75,17 @@ const USAGE: &str = "usage:
   limscan info <circuit.bench | benchmark-name>
   limscan generate <circuit> [-o program.txt] [--chains N]
                    [--engine det|genetic] [--max-faults N] [--no-compact]
+                   [--deadline SECS] [--max-vectors N] [--snapshots DIR]
                    [--trace out.jsonl] [--metrics]
   limscan compact <circuit> <program.txt> [-o out.txt] [--passes N]
-                  [--trace out.jsonl] [--metrics]";
+                  [--deadline SECS] [--max-vectors N]
+                  [--trace out.jsonl] [--metrics]
+  limscan resume <snapshot.snap> [-o program.txt] [--engine det|genetic]
+                 [--deadline SECS] [--max-vectors N] [--snapshots DIR]
+                 [--trace out.jsonl] [--metrics]
+
+exit status: 0 complete, 2 error, 3 stopped at a budget limit (partial
+result kept; resume from the latest --snapshots checkpoint)";
 
 /// Parses `--trace` / `--metrics` into an observability handle. Warns
 /// (without failing) when the binary was built without the `trace`
@@ -88,6 +116,39 @@ fn obs_from_args(args: &[String]) -> Result<(ObsHandle, bool), String> {
     Ok((obs, metrics))
 }
 
+/// Parses `--deadline SECS` / `--max-vectors N` into a budget, plus
+/// whether any limit was actually given.
+fn budget_from_args(args: &[String]) -> Result<(RunBudget, bool), String> {
+    let deadline = match flag_value(args, "--deadline") {
+        None => None,
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --deadline"))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(format!("invalid value `{v}` for --deadline"));
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let max_vectors: Option<u64> = match flag_value(args, "--max-vectors") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| format!("invalid value `{v}` for --max-vectors"))?,
+        ),
+    };
+    let limited = deadline.is_some() || max_vectors.is_some();
+    Ok((
+        RunBudget {
+            deadline,
+            max_vectors,
+            ..RunBudget::default()
+        },
+        limited,
+    ))
+}
+
 fn load_circuit(arg: &str) -> Result<Circuit, String> {
     if arg.ends_with(".bench") || arg.contains('/') {
         bench_format::read_file(arg).map_err(|e| e.to_string())
@@ -113,13 +174,49 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     }
 }
 
-fn cmd_info(args: &[String]) -> Result<(), String> {
+fn engine_from_args(args: &[String]) -> Result<Engine, String> {
+    match flag_value(args, "--engine") {
+        None | Some("det") => Ok(Engine::Deterministic),
+        Some("genetic") => Ok(Engine::Genetic(GeneticConfig::default())),
+        Some(other) => Err(format!("unknown engine `{other}` (det|genetic)")),
+    }
+}
+
+/// Writes the program text to `-o` (or stdout).
+fn write_out(args: &[String], text: &str) -> Result<(), String> {
+    match flag_value(args, "-o") {
+        Some(out) => {
+            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+            eprintln!("wrote {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Reports a budget-stopped run and returns the partial exit status.
+fn report_partial(reason: StopReason, phase_tag: &str, path: Option<&std::path::Path>) -> ExitCode {
+    eprintln!("stopped early: {reason} (during `{phase_tag}`)");
+    match path {
+        Some(p) => eprintln!(
+            "checkpoint written; continue with `limscan resume {}`",
+            p.display()
+        ),
+        None => eprintln!(
+            "no snapshot store configured (--snapshots DIR), so the \
+             partial state was not persisted"
+        ),
+    }
+    ExitCode::from(3)
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("info: missing circuit argument")?;
     let circuit = load_circuit(path)?;
     println!("{}", CircuitStats::of(&circuit));
     if circuit.dffs().is_empty() {
         println!("combinational circuit — scan insertion does not apply");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let sc = ScanCircuit::insert(&circuit);
     let faults = FaultList::collapsed(sc.circuit());
@@ -130,10 +227,10 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
         sc.n_sv(),
         faults.len(),
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("generate: missing circuit argument")?;
     let circuit = load_circuit(path)?;
     if circuit.dffs().is_empty() {
@@ -147,13 +244,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         ));
     }
     let max_faults: usize = parse_flag(args, "--max-faults", 0)?;
-    let engine = match flag_value(args, "--engine") {
-        None | Some("det") => Engine::Deterministic,
-        Some("genetic") => Engine::Genetic(GeneticConfig::default()),
-        Some(other) => return Err(format!("unknown engine `{other}` (det|genetic)")),
-    };
+    let engine = engine_from_args(args)?;
     let compact = !args.iter().any(|a| a == "--no-compact");
     let (obs, metrics) = obs_from_args(args)?;
+    let (budget, limited) = budget_from_args(args)?;
+    let snapshots = flag_value(args, "--snapshots").map(SnapshotStore::new);
 
     let config = FlowConfig {
         engine,
@@ -162,6 +257,53 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         obs,
         ..FlowConfig::default()
     };
+
+    // Budgeted / checkpointed runs go through the resilient driver; a
+    // plain run keeps the classic flow (identical result, richer report).
+    if limited || snapshots.is_some() {
+        if !compact {
+            return Err("--no-compact cannot be combined with a budget or snapshots".into());
+        }
+        let rcfg = ResilientConfig {
+            flow: config,
+            budget,
+            snapshots,
+        };
+        return match run_generation_resilient(&circuit, &rcfg).map_err(|e| e.to_string())? {
+            FlowOutcome::Complete(run) => {
+                if metrics {
+                    eprint!("{}", run.report.render());
+                }
+                eprintln!(
+                    "coverage {:.2}% ({}/{} faults); {} vectors",
+                    run.coverage_percent(),
+                    run.detected,
+                    run.total_faults,
+                    run.sequence.len(),
+                );
+                let sc = ScanCircuit::insert_chains(&circuit, chains);
+                let stats = program_stats(&sc, &run.sequence);
+                eprintln!(
+                    "{} scan cycles in {} operations, {} of them limited",
+                    stats.scan_cycles,
+                    stats.scan_ops.len(),
+                    stats.limited_ops,
+                );
+                write_out(args, &write_program(sc.circuit(), &run.sequence))?;
+                Ok(ExitCode::SUCCESS)
+            }
+            FlowOutcome::Partial {
+                reason,
+                snapshot,
+                path,
+            } => Ok(report_partial(
+                reason,
+                snapshot.phase.tag(),
+                path.as_deref(),
+            )),
+        };
+    }
+
     let flow = GenerationFlow::run(&circuit, &config).map_err(|e| e.to_string())?;
     if metrics {
         eprint!("{}", flow.report.render());
@@ -193,18 +335,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         stats.limited_ops,
     );
 
-    let text = write_program(flow.scan.circuit(), sequence);
-    match flag_value(args, "-o") {
-        Some(out) => {
-            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
-            eprintln!("wrote {out}");
-        }
-        None => print!("{text}"),
-    }
-    Ok(())
+    write_out(args, &write_program(flow.scan.circuit(), sequence))?;
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_compact(args: &[String]) -> Result<(), String> {
+fn cmd_compact(args: &[String]) -> Result<ExitCode, String> {
     let circuit_arg = args.first().ok_or("compact: missing circuit argument")?;
     let prog_arg = args.get(1).ok_or("compact: missing program argument")?;
     let circuit = load_circuit(circuit_arg)?;
@@ -228,8 +363,10 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
     }
     let faults = FaultList::collapsed(sc.circuit());
     let (obs, metrics) = obs_from_args(args)?;
+    let (budget, limited) = budget_from_args(args)?;
     let (obs, collector) = obs.with_collector();
-    let (before, compacted) = {
+    let mut stopped: Option<StopReason> = None;
+    let (before, final_seq) = {
         let flow_span = obs.span(SpanKind::Flow, "compact-flow");
         let before = {
             let span = flow_span.child(SpanKind::Pass, "baseline-sim");
@@ -238,15 +375,68 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
             sim.extend(&sequence);
             sim.report()
         };
-        let compacted = restore_then_omit_observed(
-            sc.circuit(),
-            &faults,
-            &sequence,
-            passes,
-            CompactionEngine::Incremental,
-            flow_span.handle(),
-        );
-        (before, compacted)
+        let final_seq = if limited {
+            // Budget-aware pipeline: a trip keeps the best result reached
+            // so far (the sequence as of the last completed stage).
+            let ctl = CancelToken::new(budget);
+            let restored = {
+                let span = flow_span.child(SpanKind::Pass, "restore");
+                restoration_resumable(sc.circuit(), &faults, &sequence, span.handle(), &ctl)
+            };
+            match restored {
+                Err(reason) => {
+                    stopped = Some(reason);
+                    sequence.clone()
+                }
+                Ok(restored) => {
+                    let targets: Vec<usize> =
+                        SeqFaultSim::run(sc.circuit(), &faults, &restored.sequence)
+                            .detected()
+                            .iter()
+                            .map(|id| id.index())
+                            .collect();
+                    let span = flow_span.child(SpanKind::Pass, "omit");
+                    let mut current = restored.sequence;
+                    let mut pass = 0;
+                    while pass < passes && !current.is_empty() {
+                        match omission_pass_resumable(
+                            sc.circuit(),
+                            &faults,
+                            &current,
+                            &targets,
+                            pass,
+                            CompactionEngine::Incremental,
+                            span.handle(),
+                            &ctl,
+                        ) {
+                            Ok((next, changed)) => {
+                                current = next;
+                                pass += 1;
+                                if !changed {
+                                    break;
+                                }
+                            }
+                            Err(reason) => {
+                                stopped = Some(reason);
+                                break;
+                            }
+                        }
+                    }
+                    current
+                }
+            }
+        } else {
+            restore_then_omit_observed(
+                sc.circuit(),
+                &faults,
+                &sequence,
+                passes,
+                CompactionEngine::Incremental,
+                flow_span.handle(),
+            )
+            .sequence
+        };
+        (before, final_seq)
     };
     if metrics {
         let mut report = FlowReport::from_collector(&collector);
@@ -255,23 +445,99 @@ fn cmd_compact(args: &[String]) -> Result<(), String> {
         }
         eprint!("{}", report.render());
     }
+    let after = SeqFaultSim::run(sc.circuit(), &faults, &final_seq);
+    let gained = faults
+        .ids()
+        .filter(|&id| after.is_detected(id) && !before.is_detected(id))
+        .count();
+    let reduction = if sequence.is_empty() {
+        0.0
+    } else {
+        100.0 * (1.0 - final_seq.len() as f64 / sequence.len() as f64)
+    };
     eprintln!(
-        "{} -> {} vectors ({:.1}% shorter); {}/{} faults detected, +{} gained",
+        "{} -> {} vectors ({reduction:.1}% shorter); {}/{} faults detected, +{gained} gained",
         sequence.len(),
-        compacted.sequence.len(),
-        100.0 * compacted.reduction(),
+        final_seq.len(),
         before.detected_count(),
         faults.len(),
-        compacted.extra_detected,
     );
 
-    let text = write_program(sc.circuit(), &compacted.sequence);
-    match flag_value(args, "-o") {
-        Some(out) => {
-            std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
-            eprintln!("wrote {out}");
+    write_out(args, &write_program(sc.circuit(), &final_seq))?;
+    match stopped {
+        Some(reason) => {
+            eprintln!("stopped early: {reason} (best result so far was written)");
+            Ok(ExitCode::from(3))
         }
-        None => print!("{text}"),
+        None => Ok(ExitCode::SUCCESS),
     }
-    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
+    let snap_arg = args.first().ok_or("resume: missing snapshot argument")?;
+    let snapshot = SnapshotStore::load(snap_arg).map_err(|e| format!("{snap_arg}: {e}"))?;
+    let (obs, metrics) = obs_from_args(args)?;
+    let (budget, _) = budget_from_args(args)?;
+    let snapshots = flag_value(args, "--snapshots").map(SnapshotStore::new);
+
+    // The flow configuration is re-derived from the snapshot's recorded
+    // knobs on top of the defaults; anything non-default that is not
+    // recorded (the generation engine) must be re-stated on the command
+    // line. The digest check inside `resume_flow` refuses any drift.
+    let config = FlowConfig {
+        engine: engine_from_args(args)?,
+        scan_chains: snapshot.scan_chains,
+        max_faults: snapshot.max_faults,
+        omission_passes: snapshot.omission_passes,
+        seed: snapshot.seed,
+        compaction: if snapshot.reference_engine {
+            CompactionEngine::Reference
+        } else {
+            CompactionEngine::Incremental
+        },
+        obs,
+        ..FlowConfig::default()
+    };
+    let rcfg = ResilientConfig {
+        flow: config,
+        budget,
+        snapshots,
+    };
+    eprintln!(
+        "resuming {} flow from phase `{}`",
+        snapshot.kind.tag(),
+        snapshot.phase.tag()
+    );
+    match resume_flow(&snapshot, &rcfg).map_err(|e| e.to_string())? {
+        FlowOutcome::Complete(run) => {
+            if metrics {
+                eprint!("{}", run.report.render());
+            }
+            eprintln!(
+                "coverage {:.2}% ({}/{} faults); {} vectors",
+                run.coverage_percent(),
+                run.detected,
+                run.total_faults,
+                run.sequence.len(),
+            );
+            let circuit = bench_format::parse_raw(snapshot.circuit_name(), &snapshot.circuit_bench)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let sc = match snapshot.kind {
+                FlowKind::Generation => ScanCircuit::insert_chains(&circuit, snapshot.scan_chains),
+                FlowKind::Translation => ScanCircuit::insert(&circuit),
+            };
+            write_out(args, &write_program(sc.circuit(), &run.sequence))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        FlowOutcome::Partial {
+            reason,
+            snapshot,
+            path,
+        } => Ok(report_partial(
+            reason,
+            snapshot.phase.tag(),
+            path.as_deref(),
+        )),
+    }
 }

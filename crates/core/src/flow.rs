@@ -47,6 +47,9 @@ pub enum FlowError {
         /// The circuit's flip-flop count.
         flip_flops: usize,
     },
+    /// A resume snapshot failed to load or validate, or its configuration
+    /// digest disagrees with the resume configuration.
+    Snapshot(limscan_harness::SnapshotError),
 }
 
 impl fmt::Display for FlowError {
@@ -73,6 +76,7 @@ impl fmt::Display for FlowError {
                 f,
                 "cannot spread {flip_flops} flip-flop(s) over {requested} scan chain(s)"
             ),
+            FlowError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,7 +99,7 @@ fn gate_linter() -> Linter {
 }
 
 /// Refuses circuits with error-severity lint findings.
-fn lint_gate(circuit: &Circuit) -> Result<(), FlowError> {
+pub(crate) fn lint_gate(circuit: &Circuit) -> Result<(), FlowError> {
     let report = gate_linter().lint_circuit(circuit);
     if report.has_errors() {
         return Err(FlowError::Lint(
@@ -110,7 +114,7 @@ fn lint_gate(circuit: &Circuit) -> Result<(), FlowError> {
 /// multiple drivers, bad arities, ...) surface as [`FlowError::Lint`]
 /// diagnostics with line spans — all of them, not just the first — before
 /// any simulation work starts.
-fn build_source(name: &str, source: &str, lint: bool) -> Result<Circuit, FlowError> {
+pub(crate) fn build_source(name: &str, source: &str, lint: bool) -> Result<Circuit, FlowError> {
     let raw = bench_format::parse_raw(name, source);
     if lint {
         let report = gate_linter().lint_raw(&raw);
@@ -124,7 +128,7 @@ fn build_source(name: &str, source: &str, lint: bool) -> Result<Circuit, FlowErr
 }
 
 /// Validates flip-flop and chain-count preconditions.
-fn check_scannable(circuit: &Circuit, chains: usize) -> Result<(), FlowError> {
+pub(crate) fn check_scannable(circuit: &Circuit, chains: usize) -> Result<(), FlowError> {
     let n_ff = circuit.dffs().len();
     if n_ff == 0 {
         return Err(FlowError::NoFlipFlops);

@@ -57,13 +57,18 @@
 
 mod experiment;
 mod flow;
+mod resilient;
 
 pub use experiment::{CircuitExperiment, ExperimentConfig, Table5Row, Table6Row, Table7Row};
 pub use flow::{Engine, FlowConfig, FlowError, GenerationFlow, TranslationFlow};
+pub use resilient::{
+    resume_flow, run_generation_resilient, run_translation_resilient, ResilientConfig, ResilientRun,
+};
 
 pub use limscan_atpg as atpg;
 pub use limscan_compact as compact;
 pub use limscan_fault as fault;
+pub use limscan_harness as harness;
 pub use limscan_lint as lint;
 pub use limscan_netlist as netlist;
 pub use limscan_obs as obs;
@@ -73,6 +78,10 @@ pub use limscan_sim as sim;
 pub use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
 pub use limscan_compact::{omission, restoration, restore_then_omit, segment_prune, Compacted};
 pub use limscan_fault::{Fault, FaultId, FaultList, StuckAt};
+pub use limscan_harness::{
+    CancelToken, FailPlan, FlowKind, FlowOutcome, FlowPhase, FlowSnapshot, RunBudget,
+    SnapshotStore, StopReason,
+};
 pub use limscan_netlist::benchmarks;
 pub use limscan_netlist::{Circuit, CircuitBuilder, GateKind, NetId};
 pub use limscan_obs::{FlowReport, MetricsCollector, ObsHandle};

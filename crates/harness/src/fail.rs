@@ -1,0 +1,142 @@
+//! Deterministic fault-injection plans for the chaos suite.
+//!
+//! A [`FailPlan`] names the failures to inject into the next run: a panic
+//! at the N-th simulation batch or omission trial (delegated to
+//! [`limscan_sim::fail_inject`]), a snapshot-write I/O failure, or a
+//! deadline that fires at the K-th pass boundary. [`FailPlan::arm`]
+//! installs the plan process-globally and returns a guard that disarms it
+//! on drop.
+//!
+//! Without the `fail-inject` feature, arming is a no-op and every query
+//! point is an inline `false`/`None` the optimizer removes — release
+//! binaries carry no injection machinery.
+//!
+//! Arming is process-global (the points are visited from worker threads),
+//! so tests that arm plans must serialize on a lock of their own.
+
+#[cfg(feature = "fail-inject")]
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// How a snapshot write should fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFailure {
+    /// The write errors out before any byte reaches the temp file, as if
+    /// the device were full.
+    Enospc,
+    /// Half the serialized bytes land in the temp file, then the write
+    /// errors — the classic torn-write hazard the atomic rename must mask.
+    ShortWrite,
+}
+
+/// A set of deterministic failures to inject into the next run.
+///
+/// All fields are optional and independent; the default plan injects
+/// nothing. Occurrence indices are 0-based and count *visits after
+/// arming*, so the same plan reproduces the same failure point run after
+/// run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailPlan {
+    /// Panic inside the simulation kernel at this batch visit.
+    pub panic_at_batch: Option<u64>,
+    /// Panic inside an omission trial at this trial visit.
+    pub panic_at_trial: Option<u64>,
+    /// Fail the next snapshot write this way (consumed by one write).
+    pub snapshot_io: Option<IoFailure>,
+    /// Report the deadline as expired at this pass-boundary visit.
+    pub deadline_at_pass: Option<u64>,
+}
+
+#[cfg(feature = "fail-inject")]
+const DISARMED: u64 = u64::MAX;
+
+#[cfg(feature = "fail-inject")]
+static SNAPSHOT_IO: AtomicU8 = AtomicU8::new(0);
+#[cfg(feature = "fail-inject")]
+static DEADLINE_AT: AtomicU64 = AtomicU64::new(DISARMED);
+#[cfg(feature = "fail-inject")]
+static BOUNDARY_VISITS: AtomicU64 = AtomicU64::new(0);
+
+impl FailPlan {
+    /// Install this plan process-globally. The returned guard disarms
+    /// everything (including the simulator's panic points) when dropped.
+    /// Without the `fail-inject` feature this is a no-op.
+    #[must_use]
+    pub fn arm(&self) -> FailGuard {
+        #[cfg(feature = "fail-inject")]
+        {
+            limscan_sim::fail_inject::disarm();
+            if let Some(n) = self.panic_at_batch {
+                limscan_sim::fail_inject::arm_panic_batch(n);
+            }
+            if let Some(n) = self.panic_at_trial {
+                limscan_sim::fail_inject::arm_panic_trial(n);
+            }
+            SNAPSHOT_IO.store(
+                match self.snapshot_io {
+                    None => 0,
+                    Some(IoFailure::Enospc) => 1,
+                    Some(IoFailure::ShortWrite) => 2,
+                },
+                Ordering::Relaxed,
+            );
+            BOUNDARY_VISITS.store(0, Ordering::Relaxed);
+            DEADLINE_AT.store(self.deadline_at_pass.unwrap_or(DISARMED), Ordering::Relaxed);
+        }
+        FailGuard { _priv: () }
+    }
+}
+
+/// Disarms the armed [`FailPlan`] on drop.
+pub struct FailGuard {
+    _priv: (),
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "fail-inject")]
+        {
+            limscan_sim::fail_inject::disarm();
+            SNAPSHOT_IO.store(0, Ordering::Relaxed);
+            DEADLINE_AT.store(DISARMED, Ordering::Relaxed);
+            BOUNDARY_VISITS.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Consume the armed snapshot I/O failure, if any. One failure is injected
+/// per arming: the first write after [`FailPlan::arm`] fails, later writes
+/// succeed (so a flow that degrades gracefully past the failure still
+/// checkpoints afterwards).
+#[inline]
+pub(crate) fn snapshot_io_failure() -> Option<IoFailure> {
+    #[cfg(feature = "fail-inject")]
+    {
+        match SNAPSHOT_IO.swap(0, Ordering::Relaxed) {
+            1 => Some(IoFailure::Enospc),
+            2 => Some(IoFailure::ShortWrite),
+            _ => None,
+        }
+    }
+    #[cfg(not(feature = "fail-inject"))]
+    {
+        None
+    }
+}
+
+/// Whether the armed deadline plan fires at this pass-boundary visit.
+/// Visits are only counted while a deadline is armed.
+#[inline]
+pub(crate) fn deadline_boundary_tripped() -> bool {
+    #[cfg(feature = "fail-inject")]
+    {
+        let at = DEADLINE_AT.load(Ordering::Relaxed);
+        if at == DISARMED {
+            return false;
+        }
+        BOUNDARY_VISITS.fetch_add(1, Ordering::Relaxed) == at
+    }
+    #[cfg(not(feature = "fail-inject"))]
+    {
+        false
+    }
+}

@@ -171,10 +171,7 @@ fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 /// and the usual parse/validation errors otherwise.
 pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistError> {
     let path = path.as_ref();
-    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    })?;
+    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::io(path, &e))?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
@@ -193,10 +190,7 @@ pub fn write_file(
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), NetlistError> {
     let path = path.as_ref();
-    std::fs::write(path, write(circuit)).map_err(|e| NetlistError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    })
+    std::fs::write(path, write(circuit)).map_err(|e| NetlistError::io(path, &e))
 }
 
 /// Serialises a circuit back to `.bench` text.

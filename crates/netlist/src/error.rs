@@ -50,6 +50,19 @@ pub enum NetlistError {
     },
 }
 
+impl NetlistError {
+    /// Builds an [`NetlistError::Io`] carrying the offending path alongside
+    /// the rendered OS error, so "No such file or directory" never reaches
+    /// the user without saying *which* file. Shared by the `.bench`
+    /// reader/writer and the harness snapshot store.
+    pub fn io(path: impl AsRef<std::path::Path>, error: &std::io::Error) -> NetlistError {
+        NetlistError::Io {
+            path: path.as_ref().display().to_string(),
+            message: error.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -152,6 +152,16 @@ impl MetricsCollector {
             .count()
     }
 
+    /// Number of graceful-degradation notices recorded. Healthy runs report
+    /// zero; the chaos suite asserts it is positive after an absorbed panic.
+    #[must_use]
+    pub fn degrade_count(&self) -> usize {
+        self.events()
+            .iter()
+            .filter(|e| matches!(e, Event::Degrade { .. }))
+            .count()
+    }
+
     /// The merged detection-profile curve: `(time, newly)` pairs aggregated
     /// over every [`Event::Detect`] in the log, ascending in time.
     #[must_use]

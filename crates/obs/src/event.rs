@@ -71,6 +71,13 @@ pub enum Metric {
     AtpgEpisodes,
     /// Scan-load operations emitted by deterministic ATPG.
     ScanLoads,
+    /// 64-fault batches replayed on the dense oracle after a worker panic.
+    DegradedBatches,
+    /// Omission trials replayed on the reference oracle after a worker
+    /// panic.
+    DegradedTrials,
+    /// Checkpoint snapshots written at pass boundaries.
+    SnapshotsWritten,
     /// Gauge: worker threads used by an observed simulation pass.
     SimThreads,
     /// Gauge: estimated scratch-arena bytes for an observed pass.
@@ -79,7 +86,7 @@ pub enum Metric {
 
 impl Metric {
     /// Every metric, in a stable order (used for collector storage).
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 16] = [
         Metric::VectorsSimulated,
         Metric::FaultsDetected,
         Metric::BatchesSimulated,
@@ -91,6 +98,9 @@ impl Metric {
         Metric::RestorationProbes,
         Metric::AtpgEpisodes,
         Metric::ScanLoads,
+        Metric::DegradedBatches,
+        Metric::DegradedTrials,
+        Metric::SnapshotsWritten,
         Metric::SimThreads,
         Metric::ScratchBytes,
     ];
@@ -110,6 +120,9 @@ impl Metric {
             Metric::RestorationProbes => "restoration_probes",
             Metric::AtpgEpisodes => "atpg_episodes",
             Metric::ScanLoads => "scan_loads",
+            Metric::DegradedBatches => "degraded_batches",
+            Metric::DegradedTrials => "degraded_trials",
+            Metric::SnapshotsWritten => "snapshots_written",
             Metric::SimThreads => "sim_threads",
             Metric::ScratchBytes => "scratch_bytes",
         }
@@ -140,6 +153,8 @@ impl Metric {
                 | Metric::RestorationProbes
                 | Metric::AtpgEpisodes
                 | Metric::ScanLoads
+                | Metric::DegradedBatches
+                | Metric::SnapshotsWritten
         )
     }
 }
@@ -201,6 +216,18 @@ pub enum Event {
         /// Number of faults first detected at that time step.
         newly: u32,
     },
+    /// A graceful-degradation notice: a unit of work (`scope`, e.g.
+    /// `"sim-batch"` or `"omission-trial"`) was lost to a worker panic and
+    /// replayed on the matching reference oracle. Absent from healthy runs,
+    /// so clean golden traces are unaffected.
+    Degrade {
+        /// Enclosing span id (0 when emitted outside any span).
+        span: u64,
+        /// Static description of the degraded unit of work.
+        scope: &'static str,
+        /// Ordinal of the degraded unit (batch index, trial candidate).
+        index: u64,
+    },
 }
 
 impl Event {
@@ -212,7 +239,8 @@ impl Event {
             Event::SpanBegin { id, .. } | Event::SpanEnd { id, .. } => id,
             Event::Counter { span, .. }
             | Event::Gauge { span, .. }
-            | Event::Detect { span, .. } => span,
+            | Event::Detect { span, .. }
+            | Event::Degrade { span, .. } => span,
         }
     }
 }

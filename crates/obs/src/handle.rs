@@ -292,6 +292,27 @@ impl ObsHandle {
             let _ = (time, newly);
         }
     }
+    /// Emit a graceful-degradation notice: the unit of work named by
+    /// `scope` (at ordinal `index`) was lost to a worker panic and replayed
+    /// on a reference oracle. Healthy runs never emit this, which keeps
+    /// clean golden traces byte-identical.
+    #[inline]
+    pub fn degrade(&self, scope: &'static str, index: u64) {
+        #[cfg(feature = "trace")]
+        {
+            if let Some(inner) = &self.inner {
+                inner.emit(&Event::Degrade {
+                    span: self.parent,
+                    scope,
+                    index,
+                });
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (scope, index);
+        }
+    }
 }
 
 /// RAII guard for an open span; emits the matching end event on drop.

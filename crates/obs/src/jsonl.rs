@@ -40,6 +40,9 @@ pub fn event_line(event: &Event) -> String {
         Event::Detect { span, time, newly } => {
             format!("{{\"ev\":\"detect\",\"span\":{span},\"time\":{time},\"newly\":{newly}}}")
         }
+        Event::Degrade { span, scope, index } => {
+            format!("{{\"ev\":\"degrade\",\"span\":{span},\"scope\":\"{scope}\",\"index\":{index}}}")
+        }
     }
 }
 

@@ -250,6 +250,17 @@ impl Normalizer {
                 self.out
                     .push(format!("detect span={span} time={time} newly={newly}"));
             }
+            "degrade" => {
+                let span = self.scope(Self::num(fields, "span")?)?;
+                // Degradation notices only appear when a worker panic was
+                // absorbed; healthy golden traces contain none, so this arm
+                // exists for chaos-run traces and forward compatibility.
+                self.out.push(format!(
+                    "degrade span={span} scope={} index={}",
+                    Self::string(fields, "scope")?,
+                    Self::num(fields, "index")?,
+                ));
+            }
             other => return Err(format!("unknown event kind '{other}'")),
         }
         Ok(())

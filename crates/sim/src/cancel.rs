@@ -1,0 +1,62 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelFlag`] is a cheap, cloneable handle to a shared boolean. The
+//! owner of a budget (typically `limscan-harness`'s `CancelToken`) sets it
+//! when a deadline or quota trips; [`crate::SeqFaultSim::extend`] polls it at
+//! batch boundaries and stops claiming work once it is raised. Cancellation
+//! is *cooperative*: no thread is interrupted mid-batch, so every observable
+//! side effect of an extension is either fully applied or not started.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, cloneable cancellation flag.
+///
+/// All clones observe the same state. The flag is one-way: once raised it
+/// stays raised (create a fresh flag to start over — a simulator that
+/// observed a raised flag must be re-seeded with
+/// [`crate::SeqFaultSim::reset_with_state`] anyway).
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag {
+    raised: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// A fresh, unraised flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.raised.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been raised.
+    #[inline]
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.raised.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelFlag::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn flag_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CancelFlag>();
+    }
+}

@@ -329,6 +329,12 @@ impl TraceBuf {
     pub(crate) fn end_state(&self) -> &[Logic] {
         self.state_before(self.len)
     }
+
+    /// Number of time units covered by the last [`fill`](Self::fill).
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,81 @@
+//! Deterministic fault-injection points for the chaos test suite.
+//!
+//! Production code calls the `*_point` functions at the places where a real
+//! defect could strike (a kernel bug panicking a batch, a trial worker dying
+//! mid-wave). Without the `fail-inject` feature every call is an inline
+//! no-op that the optimizer removes; with the feature, a test can arm a
+//! point to panic at the N-th visit, exercising the recovery paths under
+//! controlled, reproducible conditions.
+//!
+//! Arming is process-global (the points are visited from worker threads),
+//! so chaos tests that arm these must serialize on a lock of their own.
+
+#[cfg(feature = "fail-inject")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "fail-inject")]
+const DISARMED: u64 = u64::MAX;
+
+#[cfg(feature = "fail-inject")]
+static PANIC_BATCH_AT: AtomicU64 = AtomicU64::new(DISARMED);
+#[cfg(feature = "fail-inject")]
+static BATCH_VISITS: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "fail-inject")]
+static PANIC_TRIAL_AT: AtomicU64 = AtomicU64::new(DISARMED);
+#[cfg(feature = "fail-inject")]
+static TRIAL_VISITS: AtomicU64 = AtomicU64::new(0);
+
+/// Visited once per dispatched simulation batch, inside the panic-isolated
+/// region of [`crate::SeqFaultSim::extend`]. Panics on the armed visit.
+#[inline]
+pub fn panic_batch_point() {
+    #[cfg(feature = "fail-inject")]
+    {
+        let at = PANIC_BATCH_AT.load(Ordering::Relaxed);
+        if at == DISARMED {
+            return;
+        }
+        let n = BATCH_VISITS.fetch_add(1, Ordering::Relaxed);
+        assert!(n != at, "fail-inject: panic at simulation batch visit {n}");
+    }
+}
+
+/// Visited once per omission trial, inside the panic-tolerant region of the
+/// compaction wave. Panics on the armed visit.
+#[inline]
+pub fn panic_trial_point() {
+    #[cfg(feature = "fail-inject")]
+    {
+        let at = PANIC_TRIAL_AT.load(Ordering::Relaxed);
+        if at == DISARMED {
+            return;
+        }
+        let n = TRIAL_VISITS.fetch_add(1, Ordering::Relaxed);
+        assert!(n != at, "fail-inject: panic at omission trial visit {n}");
+    }
+}
+
+/// Arm [`panic_batch_point`] to panic on its `nth` visit (0-based) after
+/// this call. Resets the visit counter.
+#[cfg(feature = "fail-inject")]
+pub fn arm_panic_batch(nth: u64) {
+    BATCH_VISITS.store(0, Ordering::Relaxed);
+    PANIC_BATCH_AT.store(nth, Ordering::Relaxed);
+}
+
+/// Arm [`panic_trial_point`] to panic on its `nth` visit (0-based) after
+/// this call. Resets the visit counter.
+#[cfg(feature = "fail-inject")]
+pub fn arm_panic_trial(nth: u64) {
+    TRIAL_VISITS.store(0, Ordering::Relaxed);
+    PANIC_TRIAL_AT.store(nth, Ordering::Relaxed);
+}
+
+/// Disarm every point and zero the visit counters.
+#[cfg(feature = "fail-inject")]
+pub fn disarm() {
+    PANIC_BATCH_AT.store(DISARMED, Ordering::Relaxed);
+    PANIC_TRIAL_AT.store(DISARMED, Ordering::Relaxed);
+    BATCH_VISITS.store(0, Ordering::Relaxed);
+    TRIAL_VISITS.store(0, Ordering::Relaxed);
+}

@@ -16,9 +16,10 @@ use limscan_fault::{FaultId, FaultList, FaultSite, StuckAt};
 use limscan_netlist::{Circuit, Driver, GateKind, NetId};
 use limscan_obs::{Metric, ObsHandle, SpanKind};
 
+use crate::cancel::CancelFlag;
 use crate::engine::{
-    run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx, Topology,
-    PARALLEL_THRESHOLD,
+    run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx, KernelScratch,
+    Topology, PARALLEL_THRESHOLD,
 };
 use crate::good::{eval_comb, next_state};
 use crate::logic::Logic;
@@ -237,6 +238,13 @@ pub struct SeqFaultSim<'a> {
     /// Observability handle; a no-op unless [`set_obs`](Self::set_obs) was
     /// called with an enabled handle.
     obs: ObsHandle,
+    /// Cooperative cancellation flag, polled at batch boundaries; inert
+    /// unless [`set_cancel`](Self::set_cancel) attached a shared flag.
+    cancel: CancelFlag,
+    /// Set when an extension stopped early because `cancel` was raised.
+    /// While set, the detection state is partial and [`extend`](Self::extend)
+    /// refuses to run; [`reset_with_state`](Self::reset_with_state) clears it.
+    interrupted: bool,
 }
 
 impl<'a> SeqFaultSim<'a> {
@@ -253,6 +261,8 @@ impl<'a> SeqFaultSim<'a> {
             n_detected: 0,
             time: 0,
             obs: ObsHandle::noop(),
+            cancel: CancelFlag::new(),
+            interrupted: false,
         }
     }
 
@@ -265,6 +275,25 @@ impl<'a> SeqFaultSim<'a> {
     /// identical for every thread count.
     pub fn set_obs(&mut self, obs: &ObsHandle) {
         self.obs = obs.clone();
+    }
+
+    /// Attach a shared cancellation flag. [`extend`](Self::extend) polls it
+    /// at batch boundaries: once raised, no further batch starts, the
+    /// fault-free state and clock are left un-advanced, and the simulator is
+    /// marked [`interrupted`](Self::interrupted) until
+    /// [`reset_with_state`](Self::reset_with_state) rewinds it.
+    pub fn set_cancel(&mut self, cancel: &CancelFlag) {
+        self.cancel = cancel.clone();
+    }
+
+    /// Whether the last extension was cut short by a raised
+    /// [`CancelFlag`]. While true the detection state is partial (some
+    /// batches of the cancelled extension never ran) and
+    /// [`extend`](Self::extend) panics rather than silently mixing stale
+    /// and fresh state.
+    #[must_use]
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// Creates a simulator whose fault-free *and* every faulty machine
@@ -303,6 +332,12 @@ impl<'a> SeqFaultSim<'a> {
         self.detected_at.fill(None);
         self.n_detected = 0;
         self.time = 0;
+        // A rewind discards whatever a cancelled extension left behind and
+        // detaches the raised flag, so the simulator is indistinguishable
+        // from a freshly constructed one (re-attach a flag with
+        // `set_cancel` to keep budget enforcement).
+        self.interrupted = false;
+        self.cancel = CancelFlag::new();
     }
 
     /// One-shot simulation of a whole sequence from the all-X state.
@@ -334,6 +369,12 @@ impl<'a> SeqFaultSim<'a> {
             seq.width(),
             self.circuit.inputs().len(),
             "sequence width does not match circuit inputs"
+        );
+        assert!(
+            !self.interrupted,
+            "extend on an interrupted simulator: the previous extension was \
+             cancelled mid-run, so detection state is partial; rewind with \
+             reset_with_state before reuse"
         );
         if seq.is_empty() {
             return 0;
@@ -368,8 +409,12 @@ impl<'a> SeqFaultSim<'a> {
                 with_kernel(|ks| {
                     ks.ensure(self.circuit, &self.topo);
                     for (bi, batch) in batches.iter().enumerate() {
+                        if self.cancel.is_cancelled() {
+                            self.interrupted = true;
+                            break;
+                        }
                         let started = observed.then(std::time::Instant::now);
-                        let out = {
+                        let (out, degraded) = {
                             let ctx = ExtendCtx {
                                 circuit: self.circuit,
                                 topo: &self.topo,
@@ -378,7 +423,7 @@ impl<'a> SeqFaultSim<'a> {
                                 fault_states: &self.fault_state,
                                 base_time: self.time,
                             };
-                            run_batch(&ctx, batch, ks)
+                            run_batch_isolated(&ctx, batch, ks)
                         };
                         if let Some(started) = started {
                             self.obs.complete_span(
@@ -387,6 +432,10 @@ impl<'a> SeqFaultSim<'a> {
                                 bi as u64,
                                 started.elapsed().as_micros() as u64,
                             );
+                        }
+                        if degraded {
+                            self.obs.degrade("sim-batch", bi as u64);
+                            self.obs.counter(Metric::DegradedBatches, 1);
                         }
                         for (lane, &fid) in batch.iter().enumerate() {
                             if out.detected & (1 << lane) != 0 {
@@ -416,8 +465,9 @@ impl<'a> SeqFaultSim<'a> {
                     fault_states: &self.fault_state,
                     base_time: self.time,
                 };
+                let cancel = &self.cancel;
                 let next = AtomicUsize::new(0);
-                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>, u64);
+                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>, u64, bool);
                 let (tx, rx) = mpsc::channel::<Outcome>();
                 let mut outcomes: Vec<Outcome> = std::thread::scope(|scope| {
                     for _ in 0..threads {
@@ -429,10 +479,13 @@ impl<'a> SeqFaultSim<'a> {
                             with_kernel(|ks| {
                                 ks.ensure(ctx.circuit, ctx.topo);
                                 loop {
+                                    if cancel.is_cancelled() {
+                                        break;
+                                    }
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(batch) = batches.get(i) else { break };
                                     let started = observed.then(std::time::Instant::now);
-                                    let out = run_batch(ctx, batch, ks);
+                                    let (out, degraded) = run_batch_isolated(ctx, batch, ks);
                                     let dur_us =
                                         started.map_or(0, |s| s.elapsed().as_micros() as u64);
                                     let mut states = Vec::new();
@@ -446,7 +499,7 @@ impl<'a> SeqFaultSim<'a> {
                                             states.push((fid, state));
                                         }
                                     }
-                                    if tx.send((i, out, states, dur_us)).is_err() {
+                                    if tx.send((i, out, states, dur_us, degraded)).is_err() {
                                         break;
                                     }
                                 }
@@ -460,10 +513,14 @@ impl<'a> SeqFaultSim<'a> {
                 // batches are disjoint) but it makes span emission order —
                 // and therefore traces — independent of scheduling.
                 outcomes.sort_unstable_by_key(|(i, ..)| *i);
-                for (i, out, states, dur_us) in outcomes {
+                for (i, out, states, dur_us, degraded) in outcomes {
                     if observed {
                         self.obs
                             .complete_span(SpanKind::Batch, "batch", i as u64, dur_us);
+                    }
+                    if degraded {
+                        self.obs.degrade("sim-batch", i as u64);
+                        self.obs.counter(Metric::DegradedBatches, 1);
                     }
                     for (lane, &fid) in batches[i].iter().enumerate() {
                         if out.detected & (1 << lane) != 0 {
@@ -478,6 +535,13 @@ impl<'a> SeqFaultSim<'a> {
                         self.fault_state[fid.index()] = state;
                     }
                 }
+                if self.cancel.is_cancelled() {
+                    self.interrupted = true;
+                }
+            }
+
+            if self.interrupted {
+                return;
             }
 
             if observed {
@@ -489,6 +553,12 @@ impl<'a> SeqFaultSim<'a> {
             self.good_state.extend_from_slice(trace.end_state());
         });
 
+        if self.interrupted {
+            // Neither the fault-free state nor the clock advanced, and the
+            // per-call metrics were withheld: the partial detections above
+            // are unreachable through `extend` until `reset_with_state`.
+            return self.n_detected - before;
+        }
         self.time += seq.len() as u32;
         self.n_detected - before
     }
@@ -819,6 +889,116 @@ impl<'a> SingleFaultSim<'a> {
         self.good_state.copy_from_slice(good);
         self.bad_state.copy_from_slice(bad);
     }
+}
+
+/// Runs one batch through the event-driven kernel, absorbing any panic.
+///
+/// On a panic — a kernel bug or an armed [`crate::fail_inject`] point — the
+/// poisoned per-thread scratch is rebuilt from scratch and the batch is
+/// replayed on [`reference_batch`], the dense oracle evaluation, so a
+/// failure in the optimized path degrades to the slow path instead of
+/// aborting the whole flow. Returns the outcome plus whether degradation
+/// happened; the outcome is bit-identical either way because the two
+/// engines are lane-exact equivalents (enforced by the differential tests).
+fn run_batch_isolated(
+    ctx: &ExtendCtx<'_>,
+    batch: &[FaultId],
+    ks: &mut KernelScratch,
+) -> (BatchOutcome, bool) {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::fail_inject::panic_batch_point();
+        run_batch(ctx, batch, ks)
+    }));
+    match attempt {
+        Ok(out) => (out, false),
+        Err(_) => {
+            // The scratch arena may hold arbitrary partial updates from the
+            // aborted run; discard it entirely before anyone trusts it.
+            *ks = KernelScratch::default();
+            ks.ensure(ctx.circuit, ctx.topo);
+            let out = reference_batch(ctx, batch, &mut ks.final_states);
+            (out, true)
+        }
+    }
+}
+
+/// Dense single-batch oracle: every gate at every time unit, reading
+/// fault-free values from the shared trace. This mirrors the inner batch
+/// loop of [`SeqFaultSim::extend_reference`] exactly — same injection
+/// masks, detection rule, early exit, and timestamps — which is what lets a
+/// panicked kernel batch be replayed without changing the final test set.
+fn reference_batch(
+    ctx: &ExtendCtx<'_>,
+    batch: &[FaultId],
+    final_states: &mut [Word3],
+) -> BatchOutcome {
+    let circuit = ctx.circuit;
+    let n_nets = circuit.net_count();
+    let mut table = InjectionTable::new(n_nets);
+    table.load(ctx.faults, batch);
+    let full_mask = if batch.len() == 64 {
+        !0u64
+    } else {
+        (1u64 << batch.len()) - 1
+    };
+
+    let mut words = vec![Word3::ALL_X; n_nets];
+    let n_ff = circuit.dffs().len();
+    let mut state_words = vec![Word3::ALL_X; n_ff];
+    let mut next_words = vec![Word3::ALL_X; n_ff];
+    for (ff, word) in state_words.iter_mut().enumerate() {
+        for (lane, &fid) in batch.iter().enumerate() {
+            word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
+        }
+    }
+
+    let mut out = BatchOutcome {
+        detected: 0,
+        times: [0; 64],
+    };
+    for t in 0..ctx.trace.len() {
+        let row = ctx.trace.row(t);
+        for &pi in circuit.inputs() {
+            words[pi.index()] = table.apply_stem(pi, Word3::broadcast(row[pi.index()]));
+        }
+        for (i, &q) in circuit.dffs().iter().enumerate() {
+            words[q.index()] = table.apply_stem(q, state_words[i]);
+        }
+        for &id in circuit.comb_order() {
+            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                unreachable!("comb_order contains only gates");
+            };
+            let input = |i: usize| table.apply_pin(id, i as u8, words[fanins[i].index()]);
+            let gate_out = eval_gate_word(*kind, input, fanins.len());
+            words[id.index()] = table.apply_stem(id, gate_out);
+        }
+        for &o in circuit.outputs() {
+            let good = row[o.index()];
+            if !good.is_binary() {
+                continue;
+            }
+            let conflicts = words[o.index()].conflict_mask(Word3::broadcast(good));
+            let mut fresh = conflicts & full_mask & !out.detected;
+            while fresh != 0 {
+                let lane = fresh.trailing_zeros() as usize;
+                fresh &= fresh - 1;
+                out.detected |= 1 << lane;
+                out.times[lane] = ctx.base_time + t as u32;
+            }
+        }
+        if out.detected == full_mask {
+            break;
+        }
+        for (i, &q) in circuit.dffs().iter().enumerate() {
+            let Driver::Dff { d } = circuit.net(q).driver() else {
+                unreachable!("dffs() contains only flip-flops");
+            };
+            next_words[i] = table.apply_pin(q, 0, words[d.index()]);
+        }
+        std::mem::swap(&mut state_words, &mut next_words);
+    }
+    final_states[..n_ff].copy_from_slice(&state_words[..n_ff]);
+    out
 }
 
 pub(crate) fn load_sources(
@@ -1315,5 +1495,99 @@ mod tests {
         assert!(report.coverage_percent() > 10.0);
         let detected = report.detected();
         assert!(detected.iter().all(|&f| report.is_detected(f)));
+    }
+
+    #[test]
+    fn cancelled_extend_interrupts_without_advancing_the_clock() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = random_sequence(c.inputs().len(), 25, 9);
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        let flag = CancelFlag::new();
+        sim.set_cancel(&flag);
+        flag.cancel();
+        assert_eq!(sim.extend(&seq), 0);
+        assert!(sim.interrupted());
+    }
+
+    #[test]
+    fn extend_after_cancellation_refuses_stale_state_until_reset() {
+        // Regression for budget-interrupted reuse: an extension cut short by
+        // a raised flag leaves partial detection state behind. A further
+        // extend must refuse to mix that with fresh results, and a
+        // reset_with_state rewind must restore exact fresh-simulator
+        // behaviour — no stale detected bits surviving.
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let warmup = random_sequence(c.inputs().len(), 12, 21);
+        let seq = random_sequence(c.inputs().len(), 30, 22);
+
+        let mut sim = SeqFaultSim::new(&c, &faults);
+        sim.extend(&warmup);
+        assert!(sim.detected_count() > 0, "warmup should detect something");
+        let flag = CancelFlag::new();
+        sim.set_cancel(&flag);
+        flag.cancel();
+        sim.extend(&seq);
+        assert!(sim.interrupted());
+
+        // Reuse without a rewind is a hard error, not silent corruption.
+        let reuse = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.extend(&seq)));
+        assert!(reuse.is_err(), "extend on interrupted sim must panic");
+
+        // Rewind to the all-X state: now the simulator must be
+        // indistinguishable from a fresh one, detected bits included.
+        let n_ff = c.dffs().len();
+        sim.reset_with_state(&vec![Logic::X; n_ff]);
+        assert!(!sim.interrupted());
+        assert_eq!(sim.detected_count(), 0);
+        sim.extend(&seq);
+        let fresh = SeqFaultSim::run(&c, &faults, &seq);
+        assert_eq!(sim.report(), fresh);
+    }
+
+    #[test]
+    fn reference_batch_fallback_matches_the_kernel() {
+        // Drive the degraded path directly (no fail-inject needed): the
+        // replay oracle must reproduce the kernel's outcome bit-for-bit.
+        let c = benchmarks::s27();
+        let faults = FaultList::full(&c);
+        let seq = random_sequence(c.inputs().len(), 20, 31);
+        let sim = SeqFaultSim::new(&c, &faults);
+        let active: Vec<FaultId> = faults.ids().collect();
+        with_trace(|trace| {
+            trace.fill(&c, &seq, &sim.good_state);
+            for batch in active.chunks(64) {
+                let ctx = ExtendCtx {
+                    circuit: &c,
+                    topo: &sim.topo,
+                    trace,
+                    faults: &faults,
+                    fault_states: &sim.fault_state,
+                    base_time: 0,
+                };
+                let (kernel_out, kernel_states) = with_kernel(|ks| {
+                    ks.ensure(&c, &sim.topo);
+                    let out = run_batch(&ctx, batch, ks);
+                    (out, ks.final_states.clone())
+                });
+                let mut ref_states = vec![Word3::ALL_X; c.dffs().len()];
+                let ref_out = reference_batch(&ctx, batch, &mut ref_states);
+                assert_eq!(kernel_out.detected, ref_out.detected);
+                for lane in 0..batch.len() {
+                    if ref_out.detected & (1 << lane) != 0 {
+                        assert_eq!(kernel_out.times[lane], ref_out.times[lane]);
+                    } else {
+                        for ff in 0..c.dffs().len() {
+                            assert_eq!(
+                                kernel_states[ff].lane(lane),
+                                ref_states[ff].lane(lane),
+                                "state mismatch lane {lane} ff {ff}"
+                            );
+                        }
+                    }
+                }
+            }
+        });
     }
 }

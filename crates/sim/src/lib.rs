@@ -38,16 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod checkpoint;
 mod comb;
 mod dictionary;
 mod engine;
+pub mod fail_inject;
 mod fault_sim;
 mod good;
 mod logic;
 mod parallel;
 mod sequence;
 
+pub use cancel::CancelFlag;
 pub use checkpoint::{PrefixState, TrialCheckpoints};
 pub use comb::CombFaultSim;
 pub use dictionary::{FaultDictionary, Syndrome};

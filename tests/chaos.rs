@@ -1,0 +1,345 @@
+//! Chaos suite: deterministic fault injection against the resilient flows.
+//!
+//! Every scenario arms a [`FailPlan`] — a worker panic at a fixed batch or
+//! trial, a snapshot-write I/O failure, an early deadline — and asserts the
+//! three graceful-degradation invariants:
+//!
+//! 1. the run ends in a *typed* [`FlowOutcome`] (no process abort, no
+//!    poisoned lock, no panic escaping the flow);
+//! 2. the final test sequence is bit-identical to the clean run's (absorbed
+//!    failures are replayed on the reference path, so they cannot change
+//!    the result);
+//! 3. no torn state survives on disk — a failed snapshot write leaves
+//!    neither a partial final file nor a stray temp file, and every file
+//!    that does exist loads and validates.
+//!
+//! The suite only exists under the `fail-inject` feature (CI runs it at 1
+//! and 4 simulation threads via `LIMSCAN_THREADS`). Fail plans are
+//! process-global, so every test serializes on one lock.
+#![cfg(feature = "fail-inject")]
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use limscan::benchmarks;
+use limscan::harness::IoFailure;
+use limscan::{
+    resume_flow, run_generation_resilient, FailPlan, FlowConfig, FlowOutcome, FlowPhase,
+    MetricsCollector, ObsHandle, ResilientConfig, ResilientRun, RunBudget, SnapshotStore,
+    StopReason,
+};
+
+/// Fail plans install into process-global statics; tests must not overlap.
+static CHAOS: Mutex<()> = Mutex::new(());
+
+/// Silences the default panic hook while held, so the *injected* panics
+/// (which the flows absorb by design) don't spray backtraces into the test
+/// output. Restores the default hook on drop.
+struct QuietPanics;
+
+impl QuietPanics {
+    fn install() -> Self {
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        let _ = std::panic::take_hook();
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("limscan-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An unlimited resilient run with a metrics collector attached; panics on
+/// a partial outcome.
+fn observed_run(
+    circuit: &limscan::Circuit,
+    store: Option<SnapshotStore>,
+) -> (ResilientRun, MetricsCollector) {
+    let (outcome, collector) = observed_outcome(circuit, RunBudget::unlimited(), store);
+    (outcome.into_complete(), collector)
+}
+
+fn observed_outcome(
+    circuit: &limscan::Circuit,
+    budget: RunBudget,
+    store: Option<SnapshotStore>,
+) -> (FlowOutcome<ResilientRun>, MetricsCollector) {
+    let collector = MetricsCollector::default();
+    let rcfg = ResilientConfig {
+        flow: FlowConfig {
+            obs: ObsHandle::from_sink(Arc::new(collector.clone())),
+            ..FlowConfig::default()
+        },
+        budget,
+        snapshots: store,
+    };
+    let outcome = run_generation_resilient(circuit, &rcfg).expect("flow validates");
+    (outcome, collector)
+}
+
+/// The uninterrupted, uninjected reference result.
+fn clean_run(circuit: &limscan::Circuit) -> ResilientRun {
+    run_generation_resilient(circuit, &ResilientConfig::default())
+        .expect("flow validates")
+        .into_complete()
+}
+
+/// Every file in the snapshot directory must be a complete, valid snapshot
+/// — no temp files, no torn writes.
+fn assert_no_torn_files(dir: &Path) -> usize {
+    let mut snapshots = 0;
+    for entry in std::fs::read_dir(dir).expect("snapshot dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        assert!(
+            !name.ends_with(".tmp"),
+            "temp file {name} survived a failed write"
+        );
+        SnapshotStore::load(&path)
+            .unwrap_or_else(|e| panic!("torn or invalid snapshot {name}: {e:?}"));
+        snapshots += 1;
+    }
+    snapshots
+}
+
+#[test]
+fn absorbed_batch_panic_preserves_the_final_test_set() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+
+    let _quiet = QuietPanics::install();
+    let plan = FailPlan {
+        panic_at_batch: Some(0),
+        ..FailPlan::default()
+    };
+    let guard = plan.arm();
+    let (run, collector) = observed_run(&circuit, None);
+    drop(guard);
+
+    assert_eq!(
+        run.sequence, clean.sequence,
+        "absorbed panic changed result"
+    );
+    assert_eq!(run.detected, clean.detected);
+    #[cfg(feature = "trace")]
+    assert!(
+        collector.degrade_count() > 0,
+        "an absorbed batch panic must be observable as a degrade event"
+    );
+    #[cfg(not(feature = "trace"))]
+    let _ = collector;
+}
+
+#[test]
+fn absorbed_omission_trial_panic_preserves_the_final_test_set() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+
+    let _quiet = QuietPanics::install();
+    let plan = FailPlan {
+        panic_at_trial: Some(0),
+        ..FailPlan::default()
+    };
+    let guard = plan.arm();
+    let (run, collector) = observed_run(&circuit, None);
+    drop(guard);
+
+    assert_eq!(
+        run.sequence, clean.sequence,
+        "absorbed panic changed result"
+    );
+    #[cfg(feature = "trace")]
+    assert!(
+        collector.degrade_count() > 0,
+        "an absorbed trial panic must be observable as a degrade event"
+    );
+    #[cfg(not(feature = "trace"))]
+    let _ = collector;
+}
+
+#[test]
+fn enospc_on_snapshot_write_degrades_without_losing_the_run() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+    let dir = scratch_dir("enospc");
+
+    let plan = FailPlan {
+        snapshot_io: Some(IoFailure::Enospc),
+        ..FailPlan::default()
+    };
+    let guard = plan.arm();
+    let (run, collector) = observed_run(&circuit, Some(SnapshotStore::new(&dir)));
+    drop(guard);
+
+    // The failed checkpoint degraded; the run itself was never at risk.
+    assert_eq!(run.sequence, clean.sequence);
+    #[cfg(feature = "trace")]
+    assert!(
+        collector.degrade_count() > 0,
+        "a failed snapshot write must be observable as a degrade event"
+    );
+    #[cfg(not(feature = "trace"))]
+    let _ = collector;
+
+    // One injection per arming: later boundaries checkpointed normally,
+    // and nothing on disk is torn.
+    let snapshots = assert_no_torn_files(&dir);
+    assert!(
+        snapshots >= 1,
+        "writes after the injected failure must succeed"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_write_never_leaves_a_torn_snapshot_on_disk() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+    let dir = scratch_dir("shortwrite");
+
+    // Budget one checkpoint so the run stops exactly where the torn write
+    // was injected: the partial outcome must carry the snapshot in memory
+    // even though the disk copy failed.
+    let plan = FailPlan {
+        snapshot_io: Some(IoFailure::ShortWrite),
+        ..FailPlan::default()
+    };
+    let guard = plan.arm();
+    let (outcome, _collector) = observed_outcome(
+        &circuit,
+        RunBudget {
+            max_checkpoints: Some(1),
+            ..RunBudget::default()
+        },
+        Some(SnapshotStore::new(&dir)),
+    );
+    drop(guard);
+
+    let FlowOutcome::Partial {
+        reason,
+        snapshot,
+        path,
+    } = outcome
+    else {
+        panic!("checkpoint budget 1 must stop at the first boundary");
+    };
+    assert_eq!(reason, StopReason::CheckpointBudget);
+    assert!(
+        path.is_none(),
+        "the injected short write must not report a path"
+    );
+    // The half-written temp file was cleaned up; nothing usable or torn
+    // remains at either the temp or the final path.
+    assert_eq!(assert_no_torn_files(&dir), 0);
+
+    // The in-memory snapshot still resumes to the clean result.
+    let resumed = resume_flow(&snapshot, &ResilientConfig::default())
+        .expect("snapshot resumes")
+        .into_complete();
+    assert_eq!(resumed.sequence, clean.sequence);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_deadline_surfaces_as_a_typed_partial_and_resumes() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+
+    let plan = FailPlan {
+        deadline_at_pass: Some(0),
+        ..FailPlan::default()
+    };
+    let guard = plan.arm();
+    let (outcome, _collector) = observed_outcome(&circuit, RunBudget::unlimited(), None);
+    drop(guard);
+
+    let FlowOutcome::Partial {
+        reason, snapshot, ..
+    } = outcome
+    else {
+        panic!("an injected pass-boundary deadline must stop the flow");
+    };
+    assert_eq!(reason, StopReason::DeadlineExpired);
+    assert!(
+        matches!(snapshot.phase, FlowPhase::Compact { .. }),
+        "the first boundary checkpoints the uncompacted sequence"
+    );
+
+    // With the plan disarmed, the same snapshot resumes to the clean result
+    // — and the process is healthy enough to run flows again (no poisoned
+    // locks, no lingering cancellation).
+    let resumed = resume_flow(&snapshot, &ResilientConfig::default())
+        .expect("snapshot resumes")
+        .into_complete();
+    assert_eq!(resumed.sequence, clean.sequence);
+    assert_eq!(clean_run(&circuit).sequence, clean.sequence);
+}
+
+#[test]
+fn every_single_fault_scenario_ends_in_a_typed_outcome() {
+    let _lock = CHAOS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let circuit = benchmarks::s27();
+    let clean = clean_run(&circuit);
+    let _quiet = QuietPanics::install();
+
+    let scenarios = [
+        FailPlan {
+            panic_at_batch: Some(1),
+            ..FailPlan::default()
+        },
+        FailPlan {
+            panic_at_trial: Some(2),
+            ..FailPlan::default()
+        },
+        FailPlan {
+            snapshot_io: Some(IoFailure::ShortWrite),
+            ..FailPlan::default()
+        },
+        FailPlan {
+            deadline_at_pass: Some(1),
+            ..FailPlan::default()
+        },
+    ];
+    for (i, plan) in scenarios.iter().enumerate() {
+        let guard = plan.arm();
+        let (outcome, _collector) = observed_outcome(&circuit, RunBudget::unlimited(), None);
+        drop(guard);
+        // Either the fault was absorbed and the run completed, or it
+        // surfaced as a typed partial whose snapshot resumes cleanly —
+        // never a crash, never a silently different result.
+        let sequence = match outcome {
+            FlowOutcome::Complete(run) => run.sequence,
+            FlowOutcome::Partial { snapshot, .. } => {
+                resume_flow(&snapshot, &ResilientConfig::default())
+                    .expect("snapshot resumes")
+                    .into_complete()
+                    .sequence
+            }
+        };
+        assert_eq!(sequence, clean.sequence, "scenario {i} diverged");
+    }
+}

@@ -175,6 +175,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpointing a generator
+        /// mid-stream. Restore with [`StdRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`StdRng::state`];
+        /// the restored generator continues the stream bit-identically.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ can never reach
+        /// from a valid seed and would lock the generator at zero forever.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s.iter().any(|&w| w != 0),
+                "all-zero xoshiro256++ state is invalid"
+            );
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
