@@ -1,16 +1,22 @@
 //! Measures the fault-simulation engines and writes `BENCH_faultsim.json`.
 //!
 //! ```text
-//! faultsim_bench [OUTPUT_PATH]
+//! faultsim_bench [--smoke] [OUTPUT_PATH]
 //! ```
 //!
 //! For each suite circuit the harness runs one full extension over the same
-//! random sequence with three engines — the pre-rewrite dense reference
-//! (`SeqFaultSim::extend_reference`), the event-driven engine pinned to one
-//! thread, and the event-driven engine with the default thread count — and
+//! random sequence with three engines — the dense reference oracle
+//! (`SeqFaultSim::extend_reference`), the flat kernel pinned to one
+//! thread, and the flat kernel with the default thread count — and
 //! records best-of-N wall-clock, throughput in vectors/second, and the
 //! speedups over the reference. Detection counts are asserted equal across
 //! engines before anything is written.
+//!
+//! `--smoke` is the CI regression gate: it sweeps **every** embedded
+//! benchmark (fault lists sampled on the largest circuits to bound
+//! runtime), compares the single-thread kernel against the reference, and
+//! exits non-zero if the kernel is slower on any circuit. No file is
+//! written in smoke mode.
 //!
 //! Output defaults to `BENCH_faultsim.json` in the current directory.
 
@@ -56,10 +62,76 @@ fn best_of(
     (best, detected)
 }
 
+/// CI gate: the kernel must beat the reference on every embedded circuit
+/// at one thread. Fault lists are sampled on the largest circuits and the
+/// vector count scales inversely with size so the sweep stays in seconds.
+fn run_smoke() {
+    set_sim_threads(Some(1));
+    let mut failures = Vec::new();
+    for &name in benchmarks::iscas89_suite()
+        .iter()
+        .chain(benchmarks::itc99_suite())
+    {
+        let circuit = benchmarks::load(name).expect("suite circuit");
+        let gates = circuit.gate_count();
+        let (vectors, max_faults) = if gates > 10_000 {
+            (16, 2_000)
+        } else if gates > 1_000 {
+            (64, 8_000)
+        } else {
+            (256, usize::MAX)
+        };
+        let faults = FaultList::collapsed(&circuit);
+        let faults = if faults.len() > max_faults {
+            faults.sample(max_faults)
+        } else {
+            faults
+        };
+        let seq = random_sequence(circuit.inputs().len(), vectors, 7);
+
+        let (t_ref, d_ref) = best_of(&circuit, &faults, |sim| sim.extend_reference(&seq));
+        let (t_v3, d_v3) = best_of(&circuit, &faults, |sim| sim.extend(&seq));
+        assert_eq!(d_ref, d_v3, "{name}: kernel diverged from reference");
+
+        let speedup = t_ref / t_v3;
+        let verdict = if speedup >= 1.0 { "ok" } else { "SLOWER" };
+        println!(
+            "{name}: gates={gates} faults={} vectors={vectors} ref={:.4}s v3={:.4}s \
+             ({speedup:.2}x) {verdict}",
+            faults.len(),
+            t_ref,
+            t_v3,
+        );
+        if speedup < 1.0 {
+            failures.push(format!("{name} ({speedup:.2}x)"));
+        }
+    }
+    set_sim_threads(None);
+    if failures.is_empty() {
+        println!("smoke: kernel beats the reference on every embedded circuit");
+    } else {
+        eprintln!(
+            "smoke FAILED: kernel slower than reference on {}",
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_faultsim.json".to_owned());
+    let mut smoke = false;
+    let mut out_path = "BENCH_faultsim.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    if smoke {
+        run_smoke();
+        return;
+    }
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let default_threads = sim_threads();
 

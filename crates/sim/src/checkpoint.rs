@@ -27,42 +27,47 @@
 //! matter how many earlier vectors the current pass has already dropped.
 //!
 //! Everything is simulated by the same lane-exact [`BatchStepper`] kernel
-//! as [`SeqFaultSim::extend`](crate::SeqFaultSim::extend), so trial
-//! verdicts are bit-identical to re-simulating the shortened sequence from
-//! scratch.
+//! as [`SeqFaultSim::extend`](crate::SeqFaultSim::extend) — wide words,
+//! [`LANES`] target faults per batch — so trial verdicts are bit-identical
+//! to re-simulating the shortened sequence from scratch.
 
 use std::cell::RefCell;
 
 use limscan_fault::{FaultId, FaultList};
-use limscan_netlist::{Circuit, Driver};
+use limscan_netlist::Circuit;
 use limscan_obs::{Metric, ObsHandle};
 
 use crate::engine::{with_kernel, BatchStepper, Topology};
-use crate::good::eval_comb;
 use crate::logic::Logic;
-use crate::parallel::Word3;
+use crate::parallel::{mask, WideWord, LANES, LANE_WORDS};
 use crate::sequence::TestSequence;
+
+/// The wide word and lane mask the trial engine records in.
+type Wide = WideWord<LANE_WORDS>;
+type LaneMask = [u64; LANE_WORDS];
 
 /// Soft cap on the memory the recorded divergence snapshots may take; the
 /// snapshot stride grows with the worst-case footprint, trading a bounded
-/// early-exit delay (< stride vectors) for bounded memory.
+/// early-exit delay (< stride vectors) for bounded memory. Wide words make
+/// each snapshot entry bigger but cut the batch count by the same factor,
+/// so the footprint — and the stride the budget picks — stays put.
 const SNAPSHOT_BUDGET: usize = 48 << 20;
 
-/// One recorded batch of ≤64 target faults.
+/// One recorded batch of ≤[`LANES`] target faults.
 struct BatchRec {
     /// The batch's faults; lane `i` simulates `lanes[i]`.
     lanes: Vec<FaultId>,
     /// Lane mask covering exactly this batch's faults.
-    full_mask: u64,
+    full_mask: LaneMask,
     /// Lanes the recorded (full-sequence) pass detected.
-    detected: u64,
+    detected: LaneMask,
     /// Sparse flip-flop divergence before time unit `k * stride`, sorted by
     /// flip-flop index; slot 0 is unused.
-    snapshots: Vec<Vec<(u32, Word3)>>,
+    snapshots: Vec<Vec<(u32, Wide)>>,
     /// `future_conflicts[t]`: OR of the raw primary-output conflict masks
     /// at time units `t..len` of the recorded pass (`len + 1` entries, the
     /// last one 0). A lane bit is set iff the recorded future detects it.
-    future_conflicts: Vec<u64>,
+    future_conflicts: Vec<LaneMask>,
 }
 
 /// Per-thread scratch for [`TrialCheckpoints::advance`] and
@@ -78,8 +83,10 @@ struct TrialScratch {
     /// One fault-free row / next state for `advance`.
     row: Vec<Logic>,
     next: Vec<Logic>,
+    /// Intra-gate temp slots for the scalar flat evaluation.
+    tmp: Vec<Logic>,
     /// Sort buffer for divergence-snapshot comparisons.
-    sorted: Vec<(u32, Word3)>,
+    sorted: Vec<(u32, Wide)>,
 }
 
 thread_local! {
@@ -87,28 +94,26 @@ thread_local! {
 }
 
 /// Fault-free scalar step: loads `vector` and `state` into `row`, evaluates
-/// the combinational logic and extracts the next state. Identical to the
-/// trace pass of [`SeqFaultSim::extend`](crate::SeqFaultSim::extend).
+/// the flat op stream and extracts the next state. Identical to the trace
+/// pass of [`SeqFaultSim::extend`](crate::SeqFaultSim::extend).
 fn eval_row(
-    circuit: &Circuit,
+    topo: &Topology,
     vector: &[Logic],
     state: &[Logic],
     row: &mut [Logic],
     next: &mut [Logic],
+    tmp: &mut [Logic],
 ) {
     row.fill(Logic::X);
-    for (&pi, &v) in circuit.inputs().iter().zip(vector) {
-        row[pi.index()] = v;
+    for (&pi, &v) in topo.pi().iter().zip(vector) {
+        row[pi as usize] = v;
     }
-    for (&q, &v) in circuit.dffs().iter().zip(state) {
-        row[q.index()] = v;
+    for (&q, &v) in topo.dff_q().iter().zip(state) {
+        row[q as usize] = v;
     }
-    eval_comb(circuit, row);
-    for (i, &q) in circuit.dffs().iter().enumerate() {
-        let Driver::Dff { d } = circuit.net(q).driver() else {
-            unreachable!("dffs() contains only flip-flops");
-        };
-        next[i] = row[d.index()];
+    topo.flat.eval_scalar(row, tmp);
+    for (i, &d) in topo.dff_d().iter().enumerate() {
+        next[i] = row[d as usize];
     }
 }
 
@@ -121,8 +126,8 @@ pub struct PrefixState {
     good: Vec<Logic>,
     /// Per batch: absolute per-lane state word of every flip-flop. Stale
     /// for batches whose lanes are all detected (they are skipped).
-    lanes: Vec<Vec<Word3>>,
-    detected: Vec<u64>,
+    lanes: Vec<Vec<Wide>>,
+    detected: Vec<LaneMask>,
     n_detected: usize,
     total_lanes: usize,
 }
@@ -187,20 +192,22 @@ impl<'a> TrialCheckpoints<'a> {
         // Fault-free trace (scalar pass), kept for the trials.
         let mut good_rows = vec![Logic::X; len * n_nets];
         let mut good_states = vec![Logic::X; (len + 1) * n_ff];
+        let mut tmp = vec![Logic::X; topo.flat.n_temps];
         for (t, v) in seq.iter().enumerate() {
             let (head, rest) = good_states.split_at_mut((t + 1) * n_ff);
             eval_row(
-                circuit,
+                &topo,
                 v,
                 &head[t * n_ff..],
                 &mut good_rows[t * n_nets..(t + 1) * n_nets],
                 &mut rest[..n_ff],
+                &mut tmp,
             );
         }
 
         let ids: Vec<FaultId> = targets.ids().collect();
-        let n_batches = ids.len().div_ceil(64);
-        let entry = std::mem::size_of::<(u32, Word3)>();
+        let n_batches = ids.len().div_ceil(LANES);
+        let entry = std::mem::size_of::<(u32, Wide)>();
         let worst = (len + 1)
             .saturating_mul(n_ff)
             .saturating_mul(n_batches.max(1))
@@ -208,8 +215,8 @@ impl<'a> TrialCheckpoints<'a> {
         let stride = worst.div_ceil(SNAPSHOT_BUDGET).max(1);
 
         let mut batches = Vec::with_capacity(n_batches);
-        with_kernel(|ks| {
-            for lanes in ids.chunks(64) {
+        with_kernel::<LANE_WORDS, _>(|ks| {
+            for lanes in ids.chunks(LANES) {
                 let mut stepper = BatchStepper::begin(
                     circuit,
                     &topo,
@@ -217,19 +224,19 @@ impl<'a> TrialCheckpoints<'a> {
                     lanes,
                     ks,
                     &good_states[..n_ff],
-                    |_| Word3::broadcast(Logic::X),
+                    |_| Wide::broadcast(Logic::X),
                 );
                 let full_mask = stepper.full_mask();
-                let mut detected = 0u64;
-                let mut conflicts = vec![0u64; len];
+                let mut detected: LaneMask = [0; LANE_WORDS];
+                let mut conflicts: Vec<LaneMask> = vec![[0; LANE_WORDS]; len];
                 let mut snapshots = vec![Vec::new(); len / stride + 1];
                 for t in 0..len {
-                    let mask = stepper.step(
+                    let m = stepper.step(
                         &good_rows[t * n_nets..(t + 1) * n_nets],
                         &good_states[(t + 1) * n_ff..(t + 2) * n_ff],
                     );
-                    conflicts[t] = mask;
-                    detected |= mask;
+                    conflicts[t] = m;
+                    mask::or_assign(&mut detected, &m);
                     if (t + 1) % stride == 0 {
                         let mut snap = stepper.ff_diff().to_vec();
                         snap.sort_unstable_by_key(|e| e.0);
@@ -237,9 +244,11 @@ impl<'a> TrialCheckpoints<'a> {
                     }
                 }
                 stepper.finish();
-                let mut future_conflicts = vec![0u64; len + 1];
+                let mut future_conflicts: Vec<LaneMask> = vec![[0; LANE_WORDS]; len + 1];
                 for t in (0..len).rev() {
-                    future_conflicts[t] = conflicts[t] | future_conflicts[t + 1];
+                    let mut f = conflicts[t];
+                    mask::or_assign(&mut f, &future_conflicts[t + 1]);
+                    future_conflicts[t] = f;
                 }
                 batches.push(BatchRec {
                     lanes: lanes.to_vec(),
@@ -307,10 +316,7 @@ impl<'a> TrialCheckpoints<'a> {
 
     /// Number of target lanes the recorded (full-sequence) pass detected.
     pub fn recorded_detected(&self) -> usize {
-        self.batches
-            .iter()
-            .map(|b| b.detected.count_ones() as usize)
-            .sum()
+        self.batches.iter().map(|b| mask::count(&b.detected)).sum()
     }
 
     /// A prefix at time 0 (all-X states, nothing detected).
@@ -320,9 +326,9 @@ impl<'a> TrialCheckpoints<'a> {
             lanes: self
                 .batches
                 .iter()
-                .map(|_| vec![Word3::broadcast(Logic::X); self.n_ff])
+                .map(|_| vec![Wide::broadcast(Logic::X); self.n_ff])
                 .collect(),
-            detected: vec![0; self.batches.len()],
+            detected: vec![[0; LANE_WORDS]; self.batches.len()],
             n_detected: 0,
             total_lanes: self.total_lanes,
         }
@@ -352,14 +358,16 @@ impl<'a> TrialCheckpoints<'a> {
             let sc = &mut *cell.borrow_mut();
             sc.row.resize(self.n_nets, Logic::X);
             sc.next.resize(self.n_ff, Logic::X);
+            sc.tmp.resize(self.topo.flat.n_temps, Logic::X);
             eval_row(
-                self.circuit,
+                &self.topo,
                 self.seq.vector(t),
                 &prefix.good,
                 &mut sc.row,
                 &mut sc.next,
+                &mut sc.tmp,
             );
-            with_kernel(|ks| {
+            with_kernel::<LANE_WORDS, _>(|ks| {
                 for (b, rec) in self.batches.iter().enumerate() {
                     if prefix.detected[b] == rec.full_mask {
                         continue;
@@ -373,12 +381,12 @@ impl<'a> TrialCheckpoints<'a> {
                         &prefix.good,
                         |ff| prefix.lanes[b][ff],
                     );
-                    let mask = stepper.step(&sc.row, &sc.next);
+                    let m = stepper.step(&sc.row, &sc.next);
                     stepper.write_final_states(&sc.next);
                     stepper.finish();
-                    let fresh = mask & !prefix.detected[b];
-                    prefix.detected[b] |= mask;
-                    prefix.n_detected += fresh.count_ones() as usize;
+                    let fresh = mask::and_not(&m, &prefix.detected[b]);
+                    mask::or_assign(&mut prefix.detected[b], &m);
+                    prefix.n_detected += mask::count(&fresh);
                     prefix.lanes[b].copy_from_slice(&ks.final_states);
                 }
             });
@@ -409,6 +417,7 @@ impl<'a> TrialCheckpoints<'a> {
             if sc.states.len() < (tail + 1) * n_ff {
                 sc.states.resize((tail + 1) * n_ff, Logic::X);
             }
+            sc.tmp.resize(self.topo.flat.n_temps, Logic::X);
 
             // --- Fault-free tail, stopped as soon as it re-joins the
             // recorded trajectory: from `g_conv` on, rows and states come
@@ -424,18 +433,19 @@ impl<'a> TrialCheckpoints<'a> {
                 }
                 let (head, rest) = sc.states.split_at_mut((fresh + 1) * n_ff);
                 eval_row(
-                    self.circuit,
+                    &self.topo,
                     self.seq.vector(u),
                     &head[fresh * n_ff..],
                     &mut sc.rows[fresh * n_nets..(fresh + 1) * n_nets],
                     &mut rest[..n_ff],
+                    &mut sc.tmp,
                 );
                 fresh += 1;
             }
 
             // --- Faulty batches, one at a time; the first lost batch sinks
             // the trial.
-            with_kernel(|ks| {
+            with_kernel::<LANE_WORDS, _>(|ks| {
                 for (b, rec) in self.batches.iter().enumerate() {
                     let mut detected = prefix.detected[b];
                     if detected == rec.full_mask {
@@ -461,7 +471,7 @@ impl<'a> TrialCheckpoints<'a> {
                                 &sc.states[(i + 1) * n_ff..(i + 2) * n_ff],
                             )
                         };
-                        detected |= stepper.step(row, next);
+                        mask::or_assign(&mut detected, &stepper.step(row, next));
                         if detected == rec.full_mask {
                             verdict = Some(true); // every lane re-detected
                             self.obs.counter(Metric::TrialsEarlyExited, 1);
@@ -478,8 +488,11 @@ impl<'a> TrialCheckpoints<'a> {
                                     // Converged: the future equals the
                                     // recording's, which detects exactly
                                     // the `future_conflicts` lanes.
-                                    let undetected = rec.full_mask & !detected;
-                                    verdict = Some(undetected & !rec.future_conflicts[t1] == 0);
+                                    let undetected = mask::and_not(&rec.full_mask, &detected);
+                                    verdict = Some(!mask::any(&mask::and_not(
+                                        &undetected,
+                                        &rec.future_conflicts[t1],
+                                    )));
                                     self.obs.counter(Metric::CheckpointHits, 1);
                                     break;
                                 }

@@ -5,16 +5,17 @@
 //! semantics: present state loaded cleanly, primary outputs observed, next
 //! state observed by the eventual scan-out. Doing that fault-by-fault with
 //! scalar evaluation is the dominant cost of the baselines; this module
-//! batches 64 faults per word, exactly like the sequential engine but
-//! without state carry-over.
+//! batches [`LANES`] faults per wide word and evaluates frames by a dense
+//! branchless sweep of the compiled flat op stream — the same kernel
+//! machinery as the sequential engine, but without state carry-over.
 
 use limscan_fault::{FaultId, FaultList};
 use limscan_netlist::{Circuit, Driver};
 
-use crate::fault_sim::{eval_gate_word, InjectionTable};
-use crate::good::{eval_comb, next_state};
+use crate::engine::{sweep_ops, Topology};
+use crate::flat::WideInjection;
 use crate::logic::Logic;
-use crate::parallel::Word3;
+use crate::parallel::{mask, WideWord, LANES, LANE_WORDS};
 
 /// Parallel-fault evaluator for single frames of a fixed circuit and fault
 /// list. Construct once, call [`detects`](Self::detects) per frame.
@@ -37,20 +38,37 @@ use crate::parallel::Word3;
 pub struct CombFaultSim<'a> {
     circuit: &'a Circuit,
     faults: &'a FaultList,
-    table: InjectionTable,
-    words: Vec<Word3>,
+    topo: Topology,
+    inj: WideInjection<LANE_WORDS>,
+    /// Wide value slots (nets + shared temps) for the dense sweep.
+    vals: Vec<WideWord<LANE_WORDS>>,
+    /// Fault-free frame values, by net.
     good: Vec<Logic>,
+    /// Intra-gate scratch for the scalar flat evaluation.
+    tmp: Vec<Logic>,
 }
 
 impl<'a> CombFaultSim<'a> {
     /// Creates an evaluator for the given circuit and fault list.
     pub fn new(circuit: &'a Circuit, faults: &'a FaultList) -> Self {
+        let topo = Topology::build(circuit);
+        let inj = WideInjection::new(
+            circuit.net_count(),
+            topo.flat.ops.len(),
+            circuit.comb_order().len(),
+            circuit.dffs().len(),
+        );
+        let vals = vec![WideWord::ALL_X; topo.flat.n_slots];
+        let good = vec![Logic::X; circuit.net_count()];
+        let tmp = vec![Logic::X; topo.flat.n_temps];
         CombFaultSim {
             circuit,
             faults,
-            table: InjectionTable::new(circuit.net_count()),
-            words: vec![Word3::ALL_X; circuit.net_count()],
-            good: vec![Logic::X; circuit.net_count()],
+            topo,
+            inj,
+            vals,
+            good,
+            tmp,
         }
     }
 
@@ -81,8 +99,9 @@ impl<'a> CombFaultSim<'a> {
         let circuit = self.circuit;
         assert_eq!(vector.len(), circuit.inputs().len(), "vector width");
         assert_eq!(state.len(), circuit.dffs().len(), "state width");
+        let flat = &self.topo.flat;
 
-        // Fault-free frame.
+        // Fault-free frame via the scalar flat evaluation.
         self.good.fill(Logic::X);
         for (&pi, &v) in circuit.inputs().iter().zip(vector) {
             self.good[pi.index()] = v;
@@ -90,41 +109,54 @@ impl<'a> CombFaultSim<'a> {
         for (&q, &v) in circuit.dffs().iter().zip(state) {
             self.good[q.index()] = v;
         }
-        eval_comb(circuit, &mut self.good);
-        let g_next = next_state(circuit, &self.good, None);
+        flat.eval_scalar(&mut self.good, &mut self.tmp);
+        let g_next: Vec<Logic> = circuit
+            .dffs()
+            .iter()
+            .map(|&q| {
+                let Driver::Dff { d } = circuit.net(q).driver() else {
+                    unreachable!("dffs() contains only flip-flops");
+                };
+                self.good[d.index()]
+            })
+            .collect();
 
         let mut out = vec![false; ids.len()];
-        for (chunk_start, batch) in ids.chunks(64).enumerate().map(|(k, b)| (k * 64, b)) {
-            self.table.load(self.faults, batch);
-            let full_mask = if batch.len() == 64 {
-                !0u64
-            } else {
-                (1u64 << batch.len()) - 1
-            };
+        for (chunk_start, batch) in ids.chunks(LANES).enumerate().map(|(k, b)| (k * LANES, b)) {
+            self.inj.load(
+                circuit,
+                flat,
+                &self.topo.pos_of,
+                &self.topo.dff_pos_of,
+                &self.topo.fanin_off,
+                self.faults,
+                batch,
+            );
+            let full_mask = mask::full::<LANE_WORDS>(batch.len());
 
+            // Sources with stem forces, then one dense sweep of the whole
+            // op stream (a frame touches every component, so there is no
+            // point restricting it).
             for (&pi, &v) in circuit.inputs().iter().zip(vector) {
-                self.words[pi.index()] = self.table.apply_stem(pi, Word3::broadcast(v));
+                self.vals[pi.index()] = self.inj.force_src(pi.index(), WideWord::broadcast(v));
             }
             for (&q, &v) in circuit.dffs().iter().zip(state) {
-                self.words[q.index()] = self.table.apply_stem(q, Word3::broadcast(v));
+                self.vals[q.index()] = self.inj.force_src(q.index(), WideWord::broadcast(v));
             }
-            for &id in circuit.comb_order() {
-                let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
-                    unreachable!("comb_order contains only gates");
-                };
-                let input = |i: usize| {
-                    self.table
-                        .apply_pin(id, i as u8, self.words[fanins[i].index()])
-                };
-                let w = eval_gate_word(*kind, input, fanins.len());
-                self.words[id.index()] = self.table.apply_stem(id, w);
-            }
+            sweep_ops(
+                &flat.ops,
+                &mut self.vals,
+                &self.inj,
+                0,
+                flat.ops.len() as u32,
+            );
 
-            let mut detected = 0u64;
+            let mut detected = [0u64; LANE_WORDS];
             for &o in circuit.outputs() {
                 let good = self.good[o.index()];
                 if good.is_binary() {
-                    detected |= self.words[o.index()].conflict_mask(Word3::broadcast(good));
+                    let c = self.vals[o.index()].conflict_mask(&WideWord::broadcast(good));
+                    mask::or_assign(&mut detected, &c);
                 }
             }
             for (j, &q) in circuit.dffs().iter().enumerate() {
@@ -135,15 +167,11 @@ impl<'a> CombFaultSim<'a> {
                 let Driver::Dff { d } = circuit.net(q).driver() else {
                     unreachable!("dffs() contains only flip-flops");
                 };
-                let w = self.table.apply_pin(q, 0, self.words[d.index()]);
-                detected |= w.conflict_mask(Word3::broadcast(good));
+                let w = self.inj.force_ff(j, self.vals[d.index()]);
+                mask::or_assign(&mut detected, &w.conflict_mask(&WideWord::broadcast(good)));
             }
-            detected &= full_mask;
-            while detected != 0 {
-                let lane = detected.trailing_zeros() as usize;
-                detected &= detected - 1;
-                out[chunk_start + lane] = true;
-            }
+            let detected = mask::and(&detected, &full_mask);
+            mask::for_each_set(&detected, |lane| out[chunk_start + lane] = true);
         }
         out
     }
@@ -152,7 +180,7 @@ impl<'a> CombFaultSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::good::eval_comb_with;
+    use crate::good::{eval_comb, eval_comb_with, next_state};
     use limscan_netlist::benchmarks;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -242,6 +270,26 @@ mod tests {
         let partial = sim.detects_among(&subset, &state, &vector);
         for (k, &id) in subset.iter().enumerate() {
             assert_eq!(partial[k], all[id.index()]);
+        }
+    }
+
+    #[test]
+    fn batch_boundary_past_wide_width_matches_serial() {
+        // More faults than one wide word holds: the second batch's lane
+        // bookkeeping must stay aligned with the id list.
+        let c = benchmarks::s27();
+        let full = FaultList::full(&c);
+        let faults =
+            FaultList::from_faults(full.as_slice().iter().copied().cycle().take(LANES + 1));
+        let mut sim = CombFaultSim::new(&c, &faults);
+        let mut rng = StdRng::seed_from_u64(29);
+        for _ in 0..5 {
+            let state: Vec<Logic> = (0..3).map(|_| Logic::from_bool(rng.gen())).collect();
+            let vector: Vec<Logic> = (0..4).map(|_| Logic::from_bool(rng.gen())).collect();
+            assert_eq!(
+                sim.detects(&state, &vector),
+                serial_frame(&c, &faults, &state, &vector)
+            );
         }
     }
 }

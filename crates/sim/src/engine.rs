@@ -1,45 +1,53 @@
-//! Event-driven batch kernel and scratch arenas for [`SeqFaultSim`].
+//! Flat-kernel batch engine and scratch arenas for [`SeqFaultSim`].
 //!
-//! The simulator's hot loop — [`SeqFaultSim::extend`] — is built from three
-//! pieces that live here:
+//! The simulator's hot loop — [`SeqFaultSim::extend`] — is built from
+//! these pieces:
 //!
-//! * [`Topology`]: per-circuit fanout indexes (consumer gate positions and
-//!   consuming flip-flops per net), computed once per simulator and shared
-//!   by every extension via `Arc`.
+//! * [`Topology`]: per-circuit fanout indexes plus the compiled
+//!   [`FlatNetlist`](crate::flat::FlatNetlist) — the levelized netlist
+//!   lowered into one topologically-contiguous array of two-input ops
+//!   (opcode + operand indexes in a single cache-friendly buffer).
+//!   Computed once per simulator and shared by every extension via `Arc`.
 //! * [`TraceBuf`] / [`KernelScratch`]: thread-local scratch arenas. The
 //!   trace holds the fault-free value of every net at every time unit of
 //!   the current extension; the kernel scratch holds the divergence state
-//!   of the batch being simulated plus the injection table. Both are reused
-//!   across calls, so steady-state extension does not allocate.
-//! * [`run_batch`]: the event-driven kernel. Faulty values are represented
-//!   as *divergence from the fault-free trace*: a net without a set
-//!   `diverged` flag carries `broadcast(good)` in all 64 lanes and is never
-//!   touched. Each time unit only evaluates gates reachable from injection
-//!   sites, lane-divergent flip-flops, and gates that diverged in the
-//!   previous time unit, in topological order through level-keyed buckets —
-//!   falling back to a dense full-word sweep for batches whose activity
-//!   saturates the circuit.
+//!   of the batch being simulated plus the wide injection masks. Both are
+//!   reused across calls, so steady-state extension does not allocate.
+//! * [`run_batch`]: the batch kernel, generic over the word width `W`
+//!   (`W` 64-bit planes ⇒ `64 * W` fault lanes per batch; production uses
+//!   [`LANE_WORDS`](crate::parallel::LANE_WORDS)). Faulty values are
+//!   represented as *divergence from the fault-free trace*: a net without
+//!   a set `diverged` flag carries `broadcast(good)` in all lanes and is
+//!   never touched. Each time unit only evaluates gates reachable from
+//!   injection sites, lane-divergent flip-flops, and gates that diverged
+//!   in the previous time unit, in topological order through level-keyed
+//!   buckets — falling back to a dense branchless sweep of the flat op
+//!   stream for batches whose activity saturates the circuit. Dense
+//!   sweeps are further restricted to the weakly-connected components
+//!   containing the batch's injection sites (divergence provably cannot
+//!   leave them), which keeps disjoint cones from paying for each other.
 //!
-//! Batches of ≤64 faults are independent, so [`SeqFaultSim::extend`] fans
-//! them out across threads (`std::thread::scope`); results are merged
-//! afterwards and are bit-identical to sequential processing regardless of
-//! thread count, because every fault belongs to exactly one batch.
+//! Batches are independent, so [`SeqFaultSim::extend`] fans them out
+//! across threads (`std::thread::scope`); results are merged afterwards
+//! and are bit-identical to sequential processing regardless of thread
+//! count, because every fault belongs to exactly one batch.
 //!
 //! [`SeqFaultSim`]: crate::SeqFaultSim
 //! [`SeqFaultSim::extend`]: crate::SeqFaultSim::extend
 
+use std::any::Any;
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use limscan_fault::{FaultId, FaultList, FaultSite};
-use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+use limscan_netlist::{Circuit, Driver, NetId};
 
-use crate::fault_sim::{eval_gate_word, InjectionTable};
-use crate::good::eval_comb;
+use crate::flat::{eval_op_w, FlatNetlist, FlatOp, WideInjection};
 use crate::logic::Logic;
-use crate::parallel::Word3;
+use crate::parallel::{mask, WideWord};
 use crate::sequence::TestSequence;
 
 // ---------------------------------------------------------------------------
@@ -85,7 +93,40 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
 }
 
-/// Minimum estimated dense work (time units × gates × batches) before an
+// ---------------------------------------------------------------------------
+// Fault-dropping control
+// ---------------------------------------------------------------------------
+
+/// Programmatic override; 0 = not set, 1 = off, 2 = on.
+static DROP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides mid-extension fault dropping in
+/// [`SeqFaultSim::extend`](crate::SeqFaultSim::extend).
+///
+/// With dropping on (the default), an extension is simulated in slices and
+/// faults detected in one slice retire from the active universe before the
+/// next, so the remaining work shrinks as coverage grows. `Some(false)`
+/// forces every fault to be simulated over the whole extension (the
+/// pre-dropping behaviour), `None` restores the default.
+///
+/// Per-fault results — detection times and surviving machine states — are
+/// bit-identical either way; the knob only trades latency, and exists so
+/// equivalence tests can pin one mode.
+pub fn set_fault_dropping(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    DROP_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether mid-extension fault dropping is enabled (default: yes).
+pub fn fault_dropping() -> bool {
+    DROP_OVERRIDE.load(Ordering::SeqCst) != 1
+}
+
+/// Minimum estimated dense work (time units × gates × lane words) before an
 /// extension fans batches out to threads. Below this, thread spawn and
 /// result-merge overhead dominates; the threshold affects latency only,
 /// never results.
@@ -101,7 +142,8 @@ const DENSE_FACTOR: usize = 3;
 // Topology
 // ---------------------------------------------------------------------------
 
-/// Per-circuit fanout indexes used by the event-driven kernel.
+/// Per-circuit fanout indexes and the compiled flat netlist used by the
+/// batch kernel.
 ///
 /// Built once in [`SeqFaultSim::new`](crate::SeqFaultSim::new) and shared by
 /// all clones of the simulator through an `Arc`.
@@ -118,11 +160,11 @@ pub(crate) struct Topology {
     pub(crate) n_levels: usize,
     /// Net index → flip-flop index, `u32::MAX` for non-FF nets.
     pub(crate) dff_pos_of: Vec<u32>,
-    /// Flat gate table, per comb position: output net, kind, and fanin net
-    /// indexes (CSR). Avoids chasing `Net`/`Driver` in the hot loop.
+    /// Per comb position: output net index (kept for dirty-list
+    /// bookkeeping; evaluation goes through `flat`).
     gate_net: Vec<u32>,
-    gate_kind: Vec<GateKind>,
-    fanin_off: Vec<u32>,
+    /// Per-position fanin CSR, aligned with `flat`'s pin-target CSR.
+    pub(crate) fanin_off: Vec<u32>,
     fanin: Vec<u32>,
     /// CSR consumer indexes, per net: comb positions of consuming gates
     /// and indexes of consuming flip-flops.
@@ -136,6 +178,8 @@ pub(crate) struct Topology {
     /// Primary input and output net indexes, in declaration order.
     pi: Vec<u32>,
     po: Vec<u32>,
+    /// The compiled flat gate array (binarized op stream, components).
+    pub(crate) flat: FlatNetlist,
 }
 
 impl Topology {
@@ -158,12 +202,11 @@ impl Topology {
         let mut level_of_pos = vec![0u32; n_comb];
         let mut n_levels = 0usize;
         let mut gate_net = Vec::with_capacity(n_comb);
-        let mut gate_kind = Vec::with_capacity(n_comb);
         let mut fanin_off = Vec::with_capacity(n_comb + 1);
         let mut fanin = Vec::new();
         fanin_off.push(0);
         for (pos, &id) in circuit.comb_order().iter().enumerate() {
-            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+            let Driver::Gate { fanins, .. } = circuit.net(id).driver() else {
                 unreachable!("comb_order contains only gates");
             };
             let lvl = fanins
@@ -175,7 +218,6 @@ impl Topology {
             level_of_pos[pos] = lvl;
             n_levels = n_levels.max(lvl as usize + 1);
             gate_net.push(id.index() as u32);
-            gate_kind.push(*kind);
             fanin.extend(fanins.iter().map(|f| f.index() as u32));
             fanin_off.push(fanin.len() as u32);
         }
@@ -214,13 +256,14 @@ impl Topology {
         let pi: Vec<u32> = circuit.inputs().iter().map(|i| i.index() as u32).collect();
         let po: Vec<u32> = circuit.outputs().iter().map(|o| o.index() as u32).collect();
 
+        let flat = FlatNetlist::build(circuit, &pos_of, &fanin_off);
+
         Topology {
             pos_of,
             level_of_pos,
             n_levels,
             dff_pos_of,
             gate_net,
-            gate_kind,
             fanin_off,
             fanin,
             gc_off,
@@ -231,6 +274,7 @@ impl Topology {
             dff_d,
             pi,
             po,
+            flat,
         }
     }
 
@@ -248,8 +292,27 @@ impl Topology {
 
     /// Fanin net indexes of the gate at comb position `pos`.
     #[inline]
+    #[allow(dead_code)] // diagnostic accessor, mirrors the CSR layout
     fn gate_fanins(&self, pos: usize) -> &[u32] {
         &self.fanin[self.fanin_off[pos] as usize..self.fanin_off[pos + 1] as usize]
+    }
+
+    /// Primary input net indexes, in declaration order.
+    #[inline]
+    pub(crate) fn pi(&self) -> &[u32] {
+        &self.pi
+    }
+
+    /// Per flip-flop: output (Q) net index.
+    #[inline]
+    pub(crate) fn dff_q(&self) -> &[u32] {
+        &self.dff_q
+    }
+
+    /// Per flip-flop: data (D) net index.
+    #[inline]
+    pub(crate) fn dff_d(&self) -> &[u32] {
+        &self.dff_d
     }
 }
 
@@ -269,7 +332,8 @@ fn to_csr(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
 // ---------------------------------------------------------------------------
 
 /// Fault-free net values and machine states for one extension, computed by
-/// a single scalar pass and then read (not written) by every batch kernel.
+/// a single scalar pass over the flat op stream and then read (not written)
+/// by every batch kernel.
 #[derive(Default)]
 pub(crate) struct TraceBuf {
     n_nets: usize,
@@ -280,11 +344,19 @@ pub(crate) struct TraceBuf {
     /// `(len + 1) × n_ff`: the machine state *before* each time unit,
     /// with the post-extension state in the final row.
     states: Vec<Logic>,
+    /// Shared intra-gate scratch slots for the flat scalar evaluation.
+    tmp: Vec<Logic>,
 }
 
 impl TraceBuf {
     /// Simulates the fault-free circuit over `seq` starting from `init`.
-    pub(crate) fn fill(&mut self, circuit: &Circuit, seq: &TestSequence, init: &[Logic]) {
+    pub(crate) fn fill(
+        &mut self,
+        circuit: &Circuit,
+        topo: &Topology,
+        seq: &TestSequence,
+        init: &[Logic],
+    ) {
         self.n_nets = circuit.net_count();
         self.n_ff = circuit.dffs().len();
         self.len = seq.len();
@@ -292,21 +364,20 @@ impl TraceBuf {
         self.vals.resize(self.len * self.n_nets, Logic::X);
         self.states.clear();
         self.states.resize((self.len + 1) * self.n_ff, Logic::X);
+        self.tmp.clear();
+        self.tmp.resize(topo.flat.n_temps, Logic::X);
         self.states[..self.n_ff].copy_from_slice(init);
         for (t, v) in seq.iter().enumerate() {
             let row = &mut self.vals[t * self.n_nets..(t + 1) * self.n_nets];
-            for (&pi, &val) in circuit.inputs().iter().zip(v) {
-                row[pi.index()] = val;
+            for (&pi, &val) in topo.pi.iter().zip(v) {
+                row[pi as usize] = val;
             }
-            for (i, &q) in circuit.dffs().iter().enumerate() {
-                row[q.index()] = self.states[t * self.n_ff + i];
+            for (i, &q) in topo.dff_q.iter().enumerate() {
+                row[q as usize] = self.states[t * self.n_ff + i];
             }
-            eval_comb(circuit, row);
-            for (i, &q) in circuit.dffs().iter().enumerate() {
-                let Driver::Dff { d } = circuit.net(q).driver() else {
-                    unreachable!("dffs() contains only flip-flops");
-                };
-                self.states[(t + 1) * self.n_ff + i] = row[d.index()];
+            topo.flat.eval_scalar(row, &mut self.tmp);
+            for (i, &d) in topo.dff_d.iter().enumerate() {
+                self.states[(t + 1) * self.n_ff + i] = row[d as usize];
             }
         }
     }
@@ -341,17 +412,21 @@ impl TraceBuf {
 // Kernel scratch
 // ---------------------------------------------------------------------------
 
-/// Reusable per-thread working set of the batch kernel.
+/// Reusable per-thread working set of the batch kernel, generic over the
+/// lane-word count `W`.
 ///
 /// All vectors are sized for the circuit by [`ensure`](Self::ensure) and
 /// returned to their quiescent state (flags false, lists empty) by every
 /// kernel run, so reuse across batches and extensions is allocation-free.
 #[derive(Default)]
-pub(crate) struct KernelScratch {
-    table: InjectionTable,
-    table_nets: usize,
-    /// Per net: faulty word, valid only while `diverged` is set.
-    diff: Vec<Word3>,
+pub(crate) struct KernelScratch<const W: usize> {
+    inj: WideInjection<W>,
+    inj_nets: usize,
+    inj_ops: usize,
+    /// Per value slot (net or shared temp): faulty word. In sparse mode a
+    /// net slot is valid only while `diverged` is set; in dense mode every
+    /// net of an active component holds its absolute word.
+    diff: Vec<WideWord<W>>,
     /// Per net: whether the net currently differs from the trace.
     diverged: Vec<bool>,
     /// Dirty gate positions, bucketed by logic level and drained in level
@@ -367,8 +442,8 @@ pub(crate) struct KernelScratch {
     src_diverged: Vec<u32>,
     /// Sparse faulty machine state: `(ff index, word)` where any lane
     /// differs from the fault-free state.
-    ff_diff: Vec<(u32, Word3)>,
-    ff_diff_next: Vec<(u32, Word3)>,
+    ff_diff: Vec<(u32, WideWord<W>)>,
+    ff_diff_next: Vec<(u32, WideWord<W>)>,
     /// Per flip-flop: whether `ff_diff` has an entry for it.
     ff_in_diff: Vec<bool>,
     /// Per flip-flop: dedupe marker for next-state candidates.
@@ -379,24 +454,30 @@ pub(crate) struct KernelScratch {
     forced_src_ffs: Vec<u32>,
     forced_gate_pos: Vec<u32>,
     pin_forced_ffs: Vec<u32>,
+    /// Weakly-connected components the batch can diverge in; dense sweeps
+    /// are restricted to them.
+    active_comps: Vec<u32>,
+    comp_active: Vec<bool>,
     /// Post-extension faulty machine state of the batch, per flip-flop.
-    pub(crate) final_states: Vec<Word3>,
+    pub(crate) final_states: Vec<WideWord<W>>,
 }
 
-impl KernelScratch {
+impl<const W: usize> KernelScratch<W> {
     /// Sizes every buffer for `circuit`, preserving allocations when the
     /// sizes already match (the steady state).
     pub(crate) fn ensure(&mut self, circuit: &Circuit, topo: &Topology) {
         let n = circuit.net_count();
         let n_comb = circuit.comb_order().len();
         let n_ff = circuit.dffs().len();
-        if self.table_nets != n {
-            self.table = InjectionTable::new(n);
-            self.table_nets = n;
+        let flat = &topo.flat;
+        if self.inj_nets != n || self.inj_ops != flat.ops.len() {
+            self.inj = WideInjection::new(n, flat.ops.len(), n_comb, n_ff);
+            self.inj_nets = n;
+            self.inj_ops = flat.ops.len();
         }
-        if self.diff.len() != n {
+        if self.diff.len() != flat.n_slots {
             self.diff.clear();
-            self.diff.resize(n, Word3::ALL_X);
+            self.diff.resize(flat.n_slots, WideWord::ALL_X);
             self.diverged.clear();
             self.diverged.resize(n, false);
         }
@@ -413,16 +494,28 @@ impl KernelScratch {
             self.ff_seen.clear();
             self.ff_seen.resize(n_ff, false);
         }
+        if self.comp_active.len() != flat.n_comps {
+            // `active_comps` carries over between batches of one circuit
+            // (begin() resets it through `comp_active`); across a circuit
+            // switch its component ids are meaningless and may be out of
+            // range for the new `comp_active`, so drop them here.
+            self.active_comps.clear();
+            self.comp_active.clear();
+            self.comp_active.resize(flat.n_comps, false);
+        }
         if self.final_states.len() != n_ff {
             self.final_states.clear();
-            self.final_states.resize(n_ff, Word3::ALL_X);
+            self.final_states.resize(n_ff, WideWord::ALL_X);
         }
     }
 }
 
 thread_local! {
     static TRACE: RefCell<TraceBuf> = RefCell::new(TraceBuf::default());
-    static KERNEL: RefCell<KernelScratch> = RefCell::new(KernelScratch::default());
+    /// Kernel scratch arenas keyed by lane-word count `W`: the production
+    /// width and the narrow differential-testing width coexist on one
+    /// thread without clobbering each other.
+    static KERNELS: RefCell<HashMap<usize, Box<dyn Any>>> = RefCell::new(HashMap::new());
 }
 
 /// Runs `f` with this thread's trace buffer.
@@ -430,9 +523,18 @@ pub(crate) fn with_trace<R>(f: impl FnOnce(&mut TraceBuf) -> R) -> R {
     TRACE.with(|cell| f(&mut cell.borrow_mut()))
 }
 
-/// Runs `f` with this thread's kernel scratch.
-pub(crate) fn with_kernel<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
-    KERNEL.with(|cell| f(&mut cell.borrow_mut()))
+/// Runs `f` with this thread's width-`W` kernel scratch. The map lookup is
+/// paid once per extension (or checkpoint pass), not per batch.
+pub(crate) fn with_kernel<const W: usize, R>(f: impl FnOnce(&mut KernelScratch<W>) -> R) -> R {
+    KERNELS.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let entry = map
+            .entry(W)
+            .or_insert_with(|| Box::new(KernelScratch::<W>::default()));
+        f(entry
+            .downcast_mut::<KernelScratch<W>>()
+            .expect("kernel scratch is keyed by its width"))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -445,21 +547,23 @@ pub(crate) struct ExtendCtx<'a> {
     pub(crate) topo: &'a Topology,
     pub(crate) trace: &'a TraceBuf,
     pub(crate) faults: &'a FaultList,
-    /// Machine state of every fault at the start of the extension.
+    /// Machine state of every fault at the start of the current window.
     pub(crate) fault_states: &'a [Vec<Logic>],
     /// Global time of the extension's first vector.
     pub(crate) base_time: u32,
 }
 
-/// What one batch produced: newly detected lanes and their detection times.
-/// The surviving lanes' machine states are left in
+/// What one batch produced: newly detected lanes and their detection times
+/// (`times[i]` is meaningful iff lane `i` is set in `detected`). The
+/// surviving lanes' machine states are left in
 /// [`KernelScratch::final_states`].
-pub(crate) struct BatchOutcome {
-    pub(crate) detected: u64,
-    pub(crate) times: [u32; 64],
+pub(crate) struct BatchOutcome<const W: usize> {
+    pub(crate) detected: [u64; W],
+    pub(crate) times: Vec<u32>,
 }
 
-/// Simulates one batch of ≤64 undetected faults over the whole extension.
+/// Simulates one batch of ≤ `64 * W` undetected faults over the window
+/// `[t0, t1)` of the current extension.
 ///
 /// Lane-exact with a dense evaluation of every gate at every time unit
 /// (the reference engine): a net without a `diverged` flag carries the
@@ -467,17 +571,18 @@ pub(crate) struct BatchOutcome {
 /// so skipping gates whose fanins all match the trace cannot change any
 /// lane. Detection times and surviving machine states are therefore
 /// bit-identical to the reference.
-pub(crate) fn run_batch(
+pub(crate) fn run_batch<const W: usize>(
     ctx: &ExtendCtx<'_>,
     batch: &[FaultId],
-    s: &mut KernelScratch,
-) -> BatchOutcome {
+    s: &mut KernelScratch<W>,
+    t0: usize,
+    t1: usize,
+) -> BatchOutcome<W> {
     let trace = ctx.trace;
-    let len = trace.len;
-    let init = trace.state_before(0);
+    let init = trace.state_before(t0);
     let mut stepper =
         BatchStepper::begin(ctx.circuit, ctx.topo, ctx.faults, batch, s, init, |ff| {
-            let mut word = Word3::broadcast(init[ff]);
+            let mut word = WideWord::broadcast(init[ff]);
             for (lane, &fid) in batch.iter().enumerate() {
                 word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
             }
@@ -485,18 +590,14 @@ pub(crate) fn run_batch(
         });
     let full_mask = stepper.full_mask();
 
-    let mut detected = 0u64;
-    let mut times = [0u32; 64];
+    let mut detected = [0u64; W];
+    let mut times = vec![0u32; batch.len()];
     let mut early = false;
-    for t in 0..len {
+    for t in t0..t1 {
         let conflicts = stepper.step(trace.row(t), trace.state_before(t + 1));
-        let mut fresh = conflicts & !detected;
-        while fresh != 0 {
-            let lane = fresh.trailing_zeros() as usize;
-            fresh &= fresh - 1;
-            times[lane] = ctx.base_time + t as u32;
-            detected |= 1 << lane;
-        }
+        let fresh = mask::and_not(&conflicts, &detected);
+        mask::for_each_set(&fresh, |lane| times[lane] = ctx.base_time + t as u32);
+        mask::or_assign(&mut detected, &fresh);
         if detected == full_mask {
             early = true;
             break; // every fault in this batch is detected
@@ -504,30 +605,33 @@ pub(crate) fn run_batch(
     }
 
     if !early {
-        stepper.write_final_states(trace.end_state());
+        stepper.write_final_states(trace.state_before(t1));
     }
     stepper.finish();
     BatchOutcome { detected, times }
 }
 
-/// One batch of ≤64 faults stepped a time unit at a time.
+/// One batch of ≤ `64 * W` faults stepped a time unit at a time.
 ///
-/// [`run_batch`] drives a whole extension through it; the checkpointed
-/// trial engine (`crate::checkpoint`) uses it to resume batches from
-/// arbitrary per-lane machine states and to observe the sparse flip-flop
-/// divergence after every step. Word operations are lane-exact, so the
-/// per-step conflict masks and divergences are bit-identical to the dense
-/// reference engine regardless of the sparse/dense mode history.
-pub(crate) struct BatchStepper<'a, 'b> {
+/// [`run_batch`] drives a window through it; the checkpointed trial engine
+/// (`crate::checkpoint`) uses it to resume batches from arbitrary per-lane
+/// machine states and to observe the sparse flip-flop divergence after
+/// every step. Word operations are lane-exact, so the per-step conflict
+/// masks and divergences are bit-identical to the dense reference engine
+/// regardless of the sparse/dense mode history.
+pub(crate) struct BatchStepper<'a, 'b, const W: usize> {
     topo: &'a Topology,
-    s: &'b mut KernelScratch,
+    s: &'b mut KernelScratch<W>,
     n_comb: usize,
-    full_mask: u64,
+    full_mask: [u64; W],
     dense: bool,
+    /// Whether the batch's active components cover the whole circuit, in
+    /// which case dense sweeps take the unrestricted fast path.
+    all_comps: bool,
 }
 
-impl<'a, 'b> BatchStepper<'a, 'b> {
-    /// Loads the injection table, splits the batch's injection sites and
+impl<'a, 'b, const W: usize> BatchStepper<'a, 'b, W> {
+    /// Loads the injection masks, splits the batch's injection sites and
     /// seeds the sparse machine state. `seed(ff)` returns the absolute
     /// per-lane state word of flip-flop `ff`; only words differing from
     /// the broadcast fault-free state `good_init` are kept.
@@ -536,25 +640,44 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
         topo: &'a Topology,
         faults: &FaultList,
         batch: &[FaultId],
-        s: &'b mut KernelScratch,
+        s: &'b mut KernelScratch<W>,
         good_init: &[Logic],
-        seed: impl Fn(usize) -> Word3,
+        seed: impl Fn(usize) -> WideWord<W>,
     ) -> Self {
         s.ensure(circuit, topo);
-        s.table.load(faults, batch);
-        let full_mask = if batch.len() == 64 {
-            !0u64
-        } else {
-            (1u64 << batch.len()) - 1
-        };
+        let flat = &topo.flat;
+        s.inj.load(
+            circuit,
+            flat,
+            &topo.pos_of,
+            &topo.dff_pos_of,
+            &topo.fanin_off,
+            faults,
+            batch,
+        );
+        let full_mask = mask::full::<W>(batch.len());
 
-        // Split the batch's injection sites by what they force each time unit.
+        // Split the batch's injection sites by what they force each time
+        // unit, and collect the components divergence can live in.
         s.forced_src_pis.clear();
         s.forced_src_ffs.clear();
         s.forced_gate_pos.clear();
         s.pin_forced_ffs.clear();
+        for &c in &s.active_comps {
+            s.comp_active[c as usize] = false;
+        }
+        s.active_comps.clear();
         for &fid in batch {
             let fault = faults.fault(fid);
+            let site_net = match fault.site {
+                FaultSite::Stem(n) => n,
+                FaultSite::Branch(pin) => pin.net,
+            };
+            let comp = flat.comp_of_net[site_net.index()];
+            if !s.comp_active[comp as usize] {
+                s.comp_active[comp as usize] = true;
+                s.active_comps.push(comp);
+            }
             match fault.site {
                 FaultSite::Stem(n) => match circuit.net(n).driver() {
                     Driver::Input => s.forced_src_pis.push(n.index() as u32),
@@ -579,14 +702,23 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
         }
 
         // Initial sparse machine state: kept only where some lane differs
-        // from the fault-free state.
+        // from the fault-free state. A divergent flip-flop also activates
+        // its component (a resumed state can diverge outside any injection
+        // site's cone).
         for (ff, &good) in good_init.iter().enumerate() {
             let word = seed(ff);
-            if word != Word3::broadcast(good) {
+            if word != WideWord::broadcast(good) {
                 s.ff_diff.push((ff as u32, word));
                 s.ff_in_diff[ff] = true;
+                let comp = flat.comp_of_net[topo.dff_q[ff] as usize];
+                if !s.comp_active[comp as usize] {
+                    s.comp_active[comp as usize] = true;
+                    s.active_comps.push(comp);
+                }
             }
         }
+        s.active_comps.sort_unstable();
+        let all_comps = s.active_comps.len() == flat.n_comps;
 
         BatchStepper {
             topo,
@@ -594,11 +726,12 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             n_comb: topo.gate_net.len(),
             full_mask,
             dense: false,
+            all_comps,
         }
     }
 
     /// Lane mask covering exactly the batch's faults.
-    pub(crate) fn full_mask(&self) -> u64 {
+    pub(crate) fn full_mask(&self) -> [u64; W] {
         self.full_mask
     }
 
@@ -606,10 +739,11 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
     /// the fault-free next state `good_next`, returning the raw primary-
     /// output conflict mask (masked to the batch's lanes, *not* masked by
     /// previously detected lanes — every lane keeps being simulated).
-    pub(crate) fn step(&mut self, row: &[Logic], good_next: &[Logic]) -> u64 {
+    pub(crate) fn step(&mut self, row: &[Logic], good_next: &[Logic]) -> [u64; W] {
         let topo = self.topo;
+        let flat = &topo.flat;
         let s = &mut *self.s;
-        let mut conflict_mask = 0u64;
+        let mut conflict_mask = [0u64; W];
 
         // --- Mode switch: once a batch's activity exceeds `1 / DENSE_FACTOR`
         // of the circuit, dirty-list bookkeeping costs more than it saves and
@@ -623,61 +757,92 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             s.diverged_gates.clear();
         }
 
-        // --- Dense step: the reference engine's shape on the flat gate
-        // table. `diff` holds a full faulty word for every net (sources
-        // written first, each gate before its consumers), so fanin reads
-        // need no divergence branch, outputs are checked directly, and the
-        // next state is computed for every flip-flop. Word operations are
-        // lane-exact either way, so results stay bit-identical to the
-        // sparse path.
+        // --- Dense step: branchless sweep of the flat op stream, restricted
+        // to the batch's active components (divergence provably cannot leave
+        // them, so untouched components stay on the trace). `diff` holds the
+        // absolute faulty word of every net in an active component (sources
+        // written first, each op before its consumers); op spans between
+        // patched ops run with zero per-op conditionals. Word operations are
+        // lane-exact either way, so results stay bit-identical to the sparse
+        // path.
         if self.dense {
-            for &p in &topo.pi {
-                s.diff[p as usize] = s
-                    .table
-                    .apply_stem_at(p as usize, Word3::broadcast(row[p as usize]));
-            }
-            for &q in &topo.dff_q {
-                s.diff[q as usize] = s
-                    .table
-                    .apply_stem_at(q as usize, Word3::broadcast(row[q as usize]));
+            // Sources: broadcast the trace, overlay lane-divergent flip-flop
+            // states, then apply source stem forces.
+            if self.all_comps {
+                for &p in &topo.pi {
+                    s.diff[p as usize] = WideWord::broadcast(row[p as usize]);
+                }
+                for &q in &topo.dff_q {
+                    s.diff[q as usize] = WideWord::broadcast(row[q as usize]);
+                }
+            } else {
+                for &c in &s.active_comps {
+                    for &p in flat.comp_pis(c as usize) {
+                        s.diff[p as usize] = WideWord::broadcast(row[p as usize]);
+                    }
+                    for &ffi in flat.comp_ffs(c as usize) {
+                        let q = topo.dff_q[ffi as usize] as usize;
+                        s.diff[q] = WideWord::broadcast(row[q]);
+                    }
+                }
             }
             for &(ffi, word) in &s.ff_diff {
-                let q = topo.dff_q[ffi as usize] as usize;
-                s.diff[q] = s.table.apply_stem_at(q, word);
+                s.diff[topo.dff_q[ffi as usize] as usize] = word;
             }
-            for pos in 0..self.n_comb {
-                let out_net = topo.gate_net[pos] as usize;
-                let kind = topo.gate_kind[pos];
-                let fanins = topo.gate_fanins(pos);
-                let raw = {
-                    let diff = &s.diff;
-                    let table = &s.table;
-                    if table.has_pin_forces(out_net) {
-                        eval_gate_word(
-                            kind,
-                            |i| table.apply_pin_at(out_net, i as u8, diff[fanins[i] as usize]),
-                            fanins.len(),
-                        )
-                    } else {
-                        eval_gate_word(kind, |i| diff[fanins[i] as usize], fanins.len())
-                    }
-                };
-                s.diff[out_net] = s.table.apply_stem_at(out_net, raw);
+            for &n in &s.inj.src_forced {
+                s.diff[n as usize] = s.inj.force_src(n as usize, s.diff[n as usize]);
             }
-            for &o in &topo.po {
-                let good = row[o as usize];
-                if !good.is_binary() {
-                    continue;
+
+            // Op sweep.
+            if self.all_comps {
+                sweep_ops(&flat.ops, &mut s.diff, &s.inj, 0, flat.ops.len() as u32);
+            } else {
+                for &c in &s.active_comps {
+                    let (start, end) = flat.comp_ops[c as usize];
+                    sweep_ops(&flat.ops, &mut s.diff, &s.inj, start, end);
                 }
-                conflict_mask |=
-                    s.diff[o as usize].conflict_mask(Word3::broadcast(good)) & self.full_mask;
             }
+
+            // Detection at primary outputs of active components.
+            let mut check_po = |o: usize| {
+                let good = row[o];
+                if good.is_binary() {
+                    let c = s.diff[o].conflict_mask(&WideWord::broadcast(good));
+                    mask::or_assign(&mut conflict_mask, &mask::and(&c, &self.full_mask));
+                }
+            };
+            if self.all_comps {
+                for &o in &topo.po {
+                    check_po(o as usize);
+                }
+            } else {
+                for &c in &s.active_comps {
+                    for &oi in flat.comp_pos(c as usize) {
+                        check_po(topo.po[oi as usize] as usize);
+                    }
+                }
+            }
+
+            // Next state of flip-flops in active components; the rest stay
+            // on the fault-free trajectory by the component invariant.
             s.ff_diff_next.clear();
-            for (ffi, &good) in good_next.iter().enumerate() {
-                let q = topo.dff_q[ffi] as usize;
-                let w = s.table.apply_pin_at(q, 0, s.diff[topo.dff_d[ffi] as usize]);
-                if w != Word3::broadcast(good) {
+            let transfer = |s: &mut KernelScratch<W>, ffi: usize| {
+                let d = topo.dff_d[ffi] as usize;
+                let w = s.inj.force_ff(ffi, s.diff[d]);
+                if w != WideWord::broadcast(good_next[ffi]) {
                     s.ff_diff_next.push((ffi as u32, w));
+                }
+            };
+            if self.all_comps {
+                for ffi in 0..good_next.len() {
+                    transfer(s, ffi);
+                }
+            } else {
+                for ci in 0..s.active_comps.len() {
+                    let c = s.active_comps[ci] as usize;
+                    for &fi in flat.comp_ffs(c) {
+                        transfer(s, fi as usize);
+                    }
                 }
             }
             for &(ffi, _) in &s.ff_diff {
@@ -696,8 +861,8 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
         s.src_diverged.clear();
         for &(ffi, word) in &s.ff_diff {
             let q = topo.dff_q[ffi as usize] as usize;
-            let w = s.table.apply_stem_at(q, word);
-            if w != Word3::broadcast(row[q]) {
+            let w = s.inj.force_src(q, word);
+            if w != WideWord::broadcast(row[q]) {
                 s.diff[q] = w;
                 s.diverged[q] = true;
                 s.src_diverged.push(q as u32);
@@ -708,8 +873,8 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
                 continue; // already handled with its lane divergence above
             }
             let q = topo.dff_q[ffi as usize] as usize;
-            let good = Word3::broadcast(row[q]);
-            let w = s.table.apply_stem_at(q, good);
+            let good = WideWord::broadcast(row[q]);
+            let w = s.inj.force_src(q, good);
             if w != good {
                 s.diff[q] = w;
                 s.diverged[q] = true;
@@ -717,8 +882,8 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             }
         }
         for &p in &s.forced_src_pis {
-            let good = Word3::broadcast(row[p as usize]);
-            let w = s.table.apply_stem_at(p as usize, good);
+            let good = WideWord::broadcast(row[p as usize]);
+            let w = s.inj.force_src(p as usize, good);
             if w != good {
                 s.diff[p as usize] = w;
                 s.diverged[p as usize] = true;
@@ -753,8 +918,8 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             let mut bucket = std::mem::take(&mut s.buckets[lvl]);
             for &pos in &bucket {
                 s.in_queue[pos as usize] = false;
-                let (out_net, out) = eval_pos(topo, &s.table, &s.diff, &s.diverged, row, pos);
-                if out != Word3::broadcast(row[out_net]) {
+                let (out_net, out) = eval_pos(flat, &s.inj, &mut s.diff, &s.diverged, row, pos);
+                if out != WideWord::broadcast(row[out_net]) {
                     s.diff[out_net] = out;
                     s.diverged[out_net] = true;
                     s.diverged_gates_next.push(pos);
@@ -780,7 +945,8 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
             if !good.is_binary() {
                 continue;
             }
-            conflict_mask |= s.diff[o].conflict_mask(Word3::broadcast(good)) & self.full_mask;
+            let c = s.diff[o].conflict_mask(&WideWord::broadcast(good));
+            mask::or_assign(&mut conflict_mask, &mask::and(&c, &self.full_mask));
         }
 
         // --- Next state: only flip-flops fed by a diverged net or carrying
@@ -812,15 +978,14 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
         s.ff_diff_next.clear();
         for &ffi in &s.ff_candidates {
             s.ff_seen[ffi as usize] = false;
-            let q = topo.dff_q[ffi as usize] as usize;
             let d = topo.dff_d[ffi as usize] as usize;
             let dw = if s.diverged[d] {
                 s.diff[d]
             } else {
-                Word3::broadcast(row[d])
+                WideWord::broadcast(row[d])
             };
-            let w = s.table.apply_pin_at(q, 0, dw);
-            if w != Word3::broadcast(good_next[ffi as usize]) {
+            let w = s.inj.force_ff(ffi as usize, dw);
+            if w != WideWord::broadcast(good_next[ffi as usize]) {
                 s.ff_diff_next.push((ffi, w));
             }
         }
@@ -845,7 +1010,7 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
     /// The sparse machine state after the last [`step`](Self::step): the
     /// flip-flops whose word differs from the broadcast of that step's
     /// `good_next`, in no particular order.
-    pub(crate) fn ff_diff(&self) -> &[(u32, Word3)] {
+    pub(crate) fn ff_diff(&self) -> &[(u32, WideWord<W>)] {
         &self.s.ff_diff
     }
 
@@ -854,7 +1019,7 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
     /// [`KernelScratch::final_states`].
     pub(crate) fn write_final_states(&mut self, end_state: &[Logic]) {
         for (ff, &good) in end_state.iter().enumerate() {
-            self.s.final_states[ff] = Word3::broadcast(good);
+            self.s.final_states[ff] = WideWord::broadcast(good);
         }
         for &(ffi, word) in &self.s.ff_diff {
             self.s.final_states[ffi as usize] = word;
@@ -891,40 +1056,99 @@ impl<'a, 'b> BatchStepper<'a, 'b> {
     }
 }
 
-/// Evaluates the gate at comb position `pos` in divergence space: fanins
-/// read their diff word if diverged, the broadcast trace value otherwise;
-/// branch-pin and stem forces for the gate's output net are applied. Returns
-/// the output net index and its new faulty word.
+/// Runs the ops `[start, end)` dense: operands read the value buffer
+/// directly (no divergence branch). Spans between patched ops run with
+/// zero per-op conditionals; ops carrying injection patches apply their
+/// operand/output forces inline.
+pub(crate) fn sweep_ops<const W: usize>(
+    ops: &[FlatOp],
+    vals: &mut [WideWord<W>],
+    inj: &WideInjection<W>,
+    start: u32,
+    end: u32,
+) {
+    let ps = &inj.patch_ops;
+    let lo = ps.partition_point(|&p| p < start);
+    let hi = ps.partition_point(|&p| p < end);
+    let mut i = start as usize;
+    for &pidx in &ps[lo..hi] {
+        run_span(ops, vals, i, pidx as usize);
+        let o = ops[pidx as usize];
+        let (a, b) = (vals[o.a as usize], vals[o.b as usize]);
+        vals[o.out as usize] = inj
+            .patch_at(pidx as usize)
+            .expect("listed op carries a patch")
+            .eval(o.code, a, b);
+        i = pidx as usize + 1;
+    }
+    run_span(ops, vals, i, end as usize);
+}
+
+/// The branchless inner loop: a straight sweep over a patch-free op span.
 #[inline]
-fn eval_pos(
-    topo: &Topology,
-    table: &InjectionTable,
-    diff: &[Word3],
+fn run_span<const W: usize>(ops: &[FlatOp], vals: &mut [WideWord<W>], start: usize, end: usize) {
+    for o in &ops[start..end] {
+        let (a, b) = (vals[o.a as usize], vals[o.b as usize]);
+        vals[o.out as usize] = eval_op_w(o.code, a, b);
+    }
+}
+
+/// Evaluates the gate at comb position `pos` in divergence space: net
+/// operands read their diff word if diverged and the broadcast trace value
+/// otherwise, temp operands read the freshly written scratch slot, and
+/// injection patches on the gate's ops are applied. Returns the output net
+/// index and its new faulty word (not yet stored).
+#[inline]
+fn eval_pos<const W: usize>(
+    flat: &FlatNetlist,
+    inj: &WideInjection<W>,
+    diff: &mut [WideWord<W>],
     diverged: &[bool],
     row: &[Logic],
     pos: u32,
-) -> (usize, Word3) {
-    let out_net = topo.gate_net[pos as usize] as usize;
-    let kind = topo.gate_kind[pos as usize];
-    let fanins = topo.gate_fanins(pos as usize);
-    let value = |i: usize| {
-        let f = fanins[i] as usize;
-        if diverged[f] {
-            diff[f]
+) -> (usize, WideWord<W>) {
+    #[inline(always)]
+    fn rd<const W: usize>(
+        diff: &[WideWord<W>],
+        diverged: &[bool],
+        row: &[Logic],
+        n_nets: usize,
+        idx: u32,
+    ) -> WideWord<W> {
+        let i = idx as usize;
+        if i < n_nets {
+            if diverged[i] {
+                diff[i]
+            } else {
+                WideWord::broadcast(row[i])
+            }
         } else {
-            Word3::broadcast(row[f])
+            diff[i] // shared temp, written earlier in this gate's range
         }
-    };
-    let raw = if table.has_pin_forces(out_net) {
-        eval_gate_word(
-            kind,
-            |i| table.apply_pin_at(out_net, i as u8, value(i)),
-            fanins.len(),
-        )
-    } else {
-        eval_gate_word(kind, value, fanins.len())
-    };
-    (out_net, table.apply_stem_at(out_net, raw))
+    }
+
+    let n = flat.n_nets;
+    let (start, end) = flat.gate_ops[pos as usize];
+    let patched = inj.gate_is_patched(pos as usize);
+    let mut idx = start as usize;
+    loop {
+        let o = flat.ops[idx];
+        let a = rd(diff, diverged, row, n, o.a);
+        let b = rd(diff, diverged, row, n, o.b);
+        let r = if patched {
+            match inj.patch_at(idx) {
+                Some(p) => p.eval(o.code, a, b),
+                None => eval_op_w(o.code, a, b),
+            }
+        } else {
+            eval_op_w(o.code, a, b)
+        };
+        if idx + 1 == end as usize {
+            return (o.out as usize, r); // the last op writes the gate net
+        }
+        diff[o.out as usize] = r;
+        idx += 1;
+    }
 }
 
 /// Marks a gate position dirty, bucketing it by logic level.

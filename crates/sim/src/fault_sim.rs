@@ -1,13 +1,20 @@
 //! Incremental sequential parallel-fault simulation.
 //!
-//! Faults are simulated 64 per machine word; every fault carries its own
-//! flip-flop state across time units, which is what makes the engine
-//! *incremental*: test generation appends subsequences and only the new
-//! vectors are simulated, never the whole sequence again.
+//! Faults are simulated [`LANES`] per wide machine word ([`LANE_WORDS`]
+//! 64-bit planes per logic bit); every fault carries its own flip-flop
+//! state across time units, which is what makes the engine *incremental*:
+//! test generation appends subsequences and only the new vectors are
+//! simulated, never the whole sequence again.
 //!
 //! The fault-free trajectory is computed once per extension by a scalar
-//! pass; faulty lanes are then compared against it at every primary output
-//! (three-valued safe: good binary, faulty the complement).
+//! pass over the compiled flat netlist; faulty lanes are then compared
+//! against it at every primary output (three-valued safe: good binary,
+//! faulty the complement). Extensions are simulated in slices of
+//! [`DROP_SLICE`] time units with *fault dropping* between slices:
+//! detected faults retire from the active universe, batches repack, and
+//! the remaining work shrinks as coverage grows — without changing any
+//! per-fault result, because each fault's lane evolves independently of
+//! how lanes are packed into batches.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -17,14 +24,42 @@ use limscan_netlist::{Circuit, Driver, GateKind, NetId};
 use limscan_obs::{Metric, ObsHandle, SpanKind};
 
 use crate::cancel::CancelFlag;
+use crate::comb::CombFaultSim;
 use crate::engine::{
-    run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx, KernelScratch,
-    Topology, PARALLEL_THRESHOLD,
+    fault_dropping, run_batch, sim_threads, with_kernel, with_trace, BatchOutcome, ExtendCtx,
+    KernelScratch, Topology, PARALLEL_THRESHOLD,
 };
 use crate::good::{eval_comb, next_state};
 use crate::logic::Logic;
-use crate::parallel::Word3;
+use crate::parallel::{mask, WideWord, Word3, LANE_WORDS};
 use crate::sequence::TestSequence;
+
+/// Time units simulated per fault-dropping slice: long enough that the
+/// per-slice repack and state write-back are noise, short enough that a
+/// detection retires its fault well before the extension ends. Dropping at
+/// slice barriers (rather than mid-batch) keeps batch packing — and thus
+/// every observable — identical for every thread count.
+pub(crate) const DROP_SLICE: usize = 32;
+
+/// Order in which active faults are packed into simulation batches.
+///
+/// Packing never changes per-fault results (each fault's lane evolves
+/// independently), only locality and how early fault dropping can shrink
+/// the universe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultOrder {
+    /// Group faults by weakly-connected component, then by the topological
+    /// position of the fault site (the default): faults sharing a cone
+    /// land in the same batch, so each batch's events stay local.
+    #[default]
+    Topological,
+    /// Order by descending *accidental detection index* — how often a
+    /// fault is detected by random frames (estimated once per simulator
+    /// from a fixed pseudo-random sample). Easy-to-detect faults are
+    /// simulated first, so mid-extension dropping retires whole batches
+    /// early; the long tail of hard faults is left for last.
+    AccidentalDetection,
+}
 
 /// Summary of which faults a sequence detects and when.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -170,14 +205,6 @@ impl InjectionTable {
         }
     }
 
-    /// Whether any branch fault forces a pin of this consumer — the fast
-    /// path skips per-pin checks when false (the overwhelmingly common
-    /// case: at most 64 of the circuit's pins are forced per batch).
-    #[inline]
-    pub(crate) fn has_pin_forces(&self, consumer: usize) -> bool {
-        !self.pins[consumer].is_empty()
-    }
-
     #[inline]
     pub(crate) fn apply_pin(&self, consumer: NetId, pin: u8, w: Word3) -> Word3 {
         self.apply_pin_at(consumer.index(), pin, w)
@@ -245,6 +272,12 @@ pub struct SeqFaultSim<'a> {
     /// While set, the detection state is partial and [`extend`](Self::extend)
     /// refuses to run; [`reset_with_state`](Self::reset_with_state) clears it.
     interrupted: bool,
+    /// How active faults are packed into batches; see [`FaultOrder`].
+    fault_order: FaultOrder,
+    /// Lazily computed accidental-detection ranks (lower rank = detected by
+    /// more random frames); valid for the simulator's lifetime because the
+    /// circuit and fault list are fixed.
+    adi_rank: Option<Arc<Vec<u32>>>,
 }
 
 impl<'a> SeqFaultSim<'a> {
@@ -263,7 +296,16 @@ impl<'a> SeqFaultSim<'a> {
             obs: ObsHandle::noop(),
             cancel: CancelFlag::new(),
             interrupted: false,
+            fault_order: FaultOrder::default(),
+            adi_rank: None,
         }
+    }
+
+    /// Selects how active faults are packed into simulation batches for
+    /// subsequent [`extend`](Self::extend) calls. Per-fault results are
+    /// identical for every order; see [`FaultOrder`].
+    pub fn set_fault_order(&mut self, order: FaultOrder) {
+        self.fault_order = order;
     }
 
     /// Attach an observability scope: every subsequent
@@ -350,21 +392,39 @@ impl<'a> SeqFaultSim<'a> {
     /// Simulates the given vectors as a continuation of everything already
     /// applied, returning the number of newly detected faults.
     ///
-    /// The fault-free trajectory is computed once by a scalar pass; the
-    /// active faults are then simulated in batches of 64 by an event-driven
-    /// kernel that only evaluates gates downstream of an injection site or
-    /// a lane-divergent flip-flop (see the [`engine`](crate::engine)
-    /// module). When the extension is large enough, batches are fanned out
-    /// across worker threads; results are bit-identical to sequential
-    /// processing for every thread count (batches are disjoint). Thread
-    /// count is controlled by [`set_sim_threads`](crate::set_sim_threads)
-    /// or the `LIMSCAN_THREADS` / `RAYON_NUM_THREADS` environment
-    /// variables.
+    /// The fault-free trajectory is computed once by a scalar pass over the
+    /// compiled flat netlist; the active faults are then simulated in
+    /// batches of [`LANES`] by an event-driven wide-word kernel that only
+    /// evaluates gates downstream of an injection site or a lane-divergent
+    /// flip-flop (see the [`engine`](crate::engine) module). The extension
+    /// is sliced every [`DROP_SLICE`] time units and faults detected in one
+    /// slice are dropped before the next, so the active universe shrinks as
+    /// coverage grows (disable with
+    /// [`set_fault_dropping`](crate::set_fault_dropping); batch packing
+    /// order is chosen by [`set_fault_order`](Self::set_fault_order) —
+    /// neither changes any per-fault result). When a slice is large enough,
+    /// batches are fanned out across worker threads; results are
+    /// bit-identical to sequential processing for every thread count
+    /// (batches are disjoint and slices are barriers). Thread count is
+    /// controlled by [`set_sim_threads`](crate::set_sim_threads) or the
+    /// `LIMSCAN_THREADS` / `RAYON_NUM_THREADS` environment variables.
     ///
     /// # Panics
     ///
     /// Panics if the sequence width differs from the circuit's input count.
     pub fn extend(&mut self, seq: &TestSequence) -> usize {
+        self.extend_impl::<LANE_WORDS>(seq)
+    }
+
+    /// [`extend`](Self::extend) restricted to 64-lane (single-word)
+    /// batches. Exposed for the wide-vs-narrow bit-exactness suite and
+    /// width benchmarks; production code should call `extend`.
+    #[doc(hidden)]
+    pub fn extend_narrow(&mut self, seq: &TestSequence) -> usize {
+        self.extend_impl::<1>(seq)
+    }
+
+    fn extend_impl<const W: usize>(&mut self, seq: &TestSequence) -> usize {
         assert_eq!(
             seq.width(),
             self.circuit.inputs().len(),
@@ -380,117 +440,140 @@ impl<'a> SeqFaultSim<'a> {
             return 0;
         }
         let before = self.n_detected;
+        let lanes = 64 * W;
+        let dropping = fault_dropping();
 
-        let active: Vec<FaultId> = self
+        let mut active: Vec<FaultId> = self
             .detected_at
             .iter()
             .enumerate()
             .filter(|(_, d)| d.is_none())
             .map(|(i, _)| FaultId::from_index(i))
             .collect();
+        self.order_faults(&mut active);
 
         let observed = self.obs.is_enabled();
         // First-detection times of faults newly detected by this call, for
         // the detection-profile events. Only tracked when observed.
         let mut newly_times: Vec<u32> = Vec::new();
+        let mut total_batches = 0usize;
+        let mut max_threads = 1usize;
 
         with_trace(|trace| {
-            trace.fill(self.circuit, seq, &self.good_state);
+            trace.fill(self.circuit, &self.topo, seq, &self.good_state);
+            let len = trace.len();
+            // Batch span ids stay unique across slices.
+            let mut span_base = 0u64;
+            let mut t0 = 0usize;
 
-            let batches: Vec<&[FaultId]> = active.chunks(64).collect();
-            let work = seq
-                .len()
-                .saturating_mul(self.circuit.gate_count().max(1))
-                .saturating_mul(batches.len());
-            let threads = sim_threads().min(batches.len().max(1));
-            let sequential = threads <= 1 || work < PARALLEL_THRESHOLD;
+            while t0 < len && !active.is_empty() {
+                // One dropping slice: simulate every active fault over
+                // `[t0, t1)`, then retire the detected ones. Without
+                // dropping, the single slice covers the whole extension.
+                let t1 = if dropping {
+                    (t0 + DROP_SLICE).min(len)
+                } else {
+                    len
+                };
+                let batches: Vec<&[FaultId]> = active.chunks(lanes).collect();
+                let work = (t1 - t0)
+                    .saturating_mul(self.circuit.gate_count().max(1))
+                    .saturating_mul(batches.len())
+                    .saturating_mul(W);
+                let threads = sim_threads().min(batches.len().max(1));
+                let sequential = threads <= 1 || work < PARALLEL_THRESHOLD;
 
-            if sequential {
-                with_kernel(|ks| {
-                    ks.ensure(self.circuit, &self.topo);
-                    for (bi, batch) in batches.iter().enumerate() {
-                        if self.cancel.is_cancelled() {
-                            self.interrupted = true;
-                            break;
-                        }
-                        let started = observed.then(std::time::Instant::now);
-                        let (out, degraded) = {
-                            let ctx = ExtendCtx {
-                                circuit: self.circuit,
-                                topo: &self.topo,
-                                trace,
-                                faults: self.faults,
-                                fault_states: &self.fault_state,
-                                base_time: self.time,
+                if sequential {
+                    with_kernel::<W, _>(|ks| {
+                        for (bi, batch) in batches.iter().enumerate() {
+                            if self.cancel.is_cancelled() {
+                                self.interrupted = true;
+                                break;
+                            }
+                            let started = observed.then(std::time::Instant::now);
+                            let (out, degraded) = {
+                                let ctx = ExtendCtx {
+                                    circuit: self.circuit,
+                                    topo: &self.topo,
+                                    trace,
+                                    faults: self.faults,
+                                    fault_states: &self.fault_state,
+                                    base_time: self.time,
+                                };
+                                run_batch_isolated(&ctx, batch, ks, t0, t1)
                             };
-                            run_batch_isolated(&ctx, batch, ks)
-                        };
-                        if let Some(started) = started {
-                            self.obs.complete_span(
-                                SpanKind::Batch,
-                                "batch",
-                                bi as u64,
-                                started.elapsed().as_micros() as u64,
-                            );
-                        }
-                        if degraded {
-                            self.obs.degrade("sim-batch", bi as u64);
-                            self.obs.counter(Metric::DegradedBatches, 1);
-                        }
-                        for (lane, &fid) in batch.iter().enumerate() {
-                            if out.detected & (1 << lane) != 0 {
-                                self.detected_at[fid.index()] = Some(out.times[lane]);
-                                self.n_detected += 1;
-                                if observed {
-                                    newly_times.push(out.times[lane]);
-                                }
-                            } else {
-                                let state = &mut self.fault_state[fid.index()];
-                                for (ff, word) in ks.final_states.iter().enumerate() {
-                                    state[ff] = word.lane(lane);
+                            if let Some(started) = started {
+                                self.obs.complete_span(
+                                    SpanKind::Batch,
+                                    "batch",
+                                    span_base + bi as u64,
+                                    started.elapsed().as_micros() as u64,
+                                );
+                            }
+                            if degraded {
+                                self.obs.degrade("sim-batch", span_base + bi as u64);
+                                self.obs.counter(Metric::DegradedBatches, 1);
+                            }
+                            for (lane, &fid) in batch.iter().enumerate() {
+                                if mask::test(&out.detected, lane) {
+                                    self.detected_at[fid.index()] = Some(out.times[lane]);
+                                    self.n_detected += 1;
+                                    if observed {
+                                        newly_times.push(out.times[lane]);
+                                    }
+                                } else {
+                                    let state = &mut self.fault_state[fid.index()];
+                                    for (ff, word) in ks.final_states.iter().enumerate() {
+                                        state[ff] = word.lane(lane);
+                                    }
                                 }
                             }
                         }
-                    }
-                });
-            } else {
-                // Fan the disjoint batches out to worker threads. Workers
-                // only read shared state; every write happens in the merge
-                // below, so the result cannot depend on scheduling.
-                let ctx = ExtendCtx {
-                    circuit: self.circuit,
-                    topo: &self.topo,
-                    trace,
-                    faults: self.faults,
-                    fault_states: &self.fault_state,
-                    base_time: self.time,
-                };
-                let cancel = &self.cancel;
-                let next = AtomicUsize::new(0);
-                type Outcome = (usize, BatchOutcome, Vec<(FaultId, Vec<Logic>)>, u64, bool);
-                let (tx, rx) = mpsc::channel::<Outcome>();
-                let mut outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        let tx = tx.clone();
-                        let ctx = &ctx;
-                        let next = &next;
-                        let batches = &batches;
-                        scope.spawn(move || {
-                            with_kernel(|ks| {
-                                ks.ensure(ctx.circuit, ctx.topo);
-                                loop {
+                    });
+                } else {
+                    max_threads = max_threads.max(threads);
+                    // Fan the disjoint batches out to worker threads.
+                    // Workers only read shared state; every write happens
+                    // in the merge below, so the result cannot depend on
+                    // scheduling.
+                    let ctx = ExtendCtx {
+                        circuit: self.circuit,
+                        topo: &self.topo,
+                        trace,
+                        faults: self.faults,
+                        fault_states: &self.fault_state,
+                        base_time: self.time,
+                    };
+                    let cancel = &self.cancel;
+                    let next = AtomicUsize::new(0);
+                    let (tx, rx) = mpsc::channel::<(
+                        usize,
+                        BatchOutcome<W>,
+                        Vec<(FaultId, Vec<Logic>)>,
+                        u64,
+                        bool,
+                    )>();
+                    let mut outcomes: Vec<_> = std::thread::scope(|scope| {
+                        for _ in 0..threads {
+                            let tx = tx.clone();
+                            let ctx = &ctx;
+                            let next = &next;
+                            let batches = &batches;
+                            scope.spawn(move || {
+                                with_kernel::<W, _>(|ks| loop {
                                     if cancel.is_cancelled() {
                                         break;
                                     }
                                     let i = next.fetch_add(1, Ordering::Relaxed);
                                     let Some(batch) = batches.get(i) else { break };
                                     let started = observed.then(std::time::Instant::now);
-                                    let (out, degraded) = run_batch_isolated(ctx, batch, ks);
+                                    let (out, degraded) =
+                                        run_batch_isolated(ctx, batch, ks, t0, t1);
                                     let dur_us =
                                         started.map_or(0, |s| s.elapsed().as_micros() as u64);
                                     let mut states = Vec::new();
                                     for (lane, &fid) in batch.iter().enumerate() {
-                                        if out.detected & (1 << lane) == 0 {
+                                        if !mask::test(&out.detected, lane) {
                                             let state: Vec<Logic> = ks
                                                 .final_states
                                                 .iter()
@@ -502,42 +585,62 @@ impl<'a> SeqFaultSim<'a> {
                                     if tx.send((i, out, states, dur_us, degraded)).is_err() {
                                         break;
                                     }
-                                }
+                                });
                             });
-                        });
-                    }
-                    drop(tx);
-                    rx.iter().collect()
-                });
-                // Merge in batch order: not required for correctness (the
-                // batches are disjoint) but it makes span emission order —
-                // and therefore traces — independent of scheduling.
-                outcomes.sort_unstable_by_key(|(i, ..)| *i);
-                for (i, out, states, dur_us, degraded) in outcomes {
-                    if observed {
-                        self.obs
-                            .complete_span(SpanKind::Batch, "batch", i as u64, dur_us);
-                    }
-                    if degraded {
-                        self.obs.degrade("sim-batch", i as u64);
-                        self.obs.counter(Metric::DegradedBatches, 1);
-                    }
-                    for (lane, &fid) in batches[i].iter().enumerate() {
-                        if out.detected & (1 << lane) != 0 {
-                            self.detected_at[fid.index()] = Some(out.times[lane]);
-                            self.n_detected += 1;
-                            if observed {
-                                newly_times.push(out.times[lane]);
+                        }
+                        drop(tx);
+                        rx.iter().collect()
+                    });
+                    // Merge in batch order: not required for correctness
+                    // (the batches are disjoint) but it makes span emission
+                    // order — and therefore traces — independent of
+                    // scheduling.
+                    outcomes.sort_unstable_by_key(|(i, ..)| *i);
+                    for (i, out, states, dur_us, degraded) in outcomes {
+                        if observed {
+                            self.obs.complete_span(
+                                SpanKind::Batch,
+                                "batch",
+                                span_base + i as u64,
+                                dur_us,
+                            );
+                        }
+                        if degraded {
+                            self.obs.degrade("sim-batch", span_base + i as u64);
+                            self.obs.counter(Metric::DegradedBatches, 1);
+                        }
+                        for (lane, &fid) in batches[i].iter().enumerate() {
+                            if mask::test(&out.detected, lane) {
+                                self.detected_at[fid.index()] = Some(out.times[lane]);
+                                self.n_detected += 1;
+                                if observed {
+                                    newly_times.push(out.times[lane]);
+                                }
                             }
                         }
+                        for (fid, state) in states {
+                            self.fault_state[fid.index()] = state;
+                        }
                     }
-                    for (fid, state) in states {
-                        self.fault_state[fid.index()] = state;
+                    if self.cancel.is_cancelled() {
+                        self.interrupted = true;
                     }
                 }
-                if self.cancel.is_cancelled() {
-                    self.interrupted = true;
+
+                if self.interrupted {
+                    break;
                 }
+                total_batches += batches.len();
+                span_base += batches.len() as u64;
+                drop(batches);
+                // The slice barrier: every thread has merged, so dropping
+                // here keeps the next slice's batch packing — and thus all
+                // observables — identical for every thread count.
+                if dropping {
+                    let detected_at = &self.detected_at;
+                    active.retain(|fid| detected_at[fid.index()].is_none());
+                }
+                t0 = t1;
             }
 
             if self.interrupted {
@@ -545,8 +648,15 @@ impl<'a> SeqFaultSim<'a> {
             }
 
             if observed {
-                let threads_used = if sequential { 1 } else { threads };
-                self.emit_extend_metrics(seq.len(), batches.len(), threads_used, &mut newly_times);
+                let kernel_bytes =
+                    max_threads * self.topo.flat.n_slots * std::mem::size_of::<WideWord<W>>();
+                self.emit_extend_metrics(
+                    seq.len(),
+                    total_batches,
+                    max_threads,
+                    kernel_bytes,
+                    &mut newly_times,
+                );
             }
 
             self.good_state.clear();
@@ -563,6 +673,63 @@ impl<'a> SeqFaultSim<'a> {
         self.n_detected - before
     }
 
+    /// Sorts the active faults into the configured packing order; see
+    /// [`FaultOrder`].
+    fn order_faults(&mut self, active: &mut [FaultId]) {
+        match self.fault_order {
+            FaultOrder::Topological => {
+                let topo = &self.topo;
+                active.sort_unstable_by_key(|&fid| {
+                    let fault = self.faults.fault(fid);
+                    let site = match fault.site {
+                        FaultSite::Stem(n) => n,
+                        FaultSite::Branch(pin) => pin.net,
+                    };
+                    let comp = topo.flat.comp_of_net[site.index()];
+                    // Sources (u32::MAX) sort after gates within a component.
+                    let pos = topo.pos_of[site.index()];
+                    (comp, pos, fid.index())
+                });
+            }
+            FaultOrder::AccidentalDetection => {
+                let rank = self.adi_rank().clone();
+                active.sort_unstable_by_key(|&fid| (rank[fid.index()], fid.index()));
+            }
+        }
+    }
+
+    /// Accidental-detection ranks, computed on first use: each fault's
+    /// detection count over a fixed pseudo-random sample of binary frames,
+    /// ranked descending (ties broken by fault id). The sample is seeded
+    /// constantly, so the order is reproducible across runs and threads.
+    fn adi_rank(&mut self) -> &Arc<Vec<u32>> {
+        if self.adi_rank.is_none() {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            const ADI_FRAMES: usize = 16;
+            let mut rng = StdRng::seed_from_u64(0xAD1);
+            let mut counts = vec![0u32; self.faults.len()];
+            let mut comb = CombFaultSim::new(self.circuit, self.faults);
+            let n_pi = self.circuit.inputs().len();
+            let n_ff = self.circuit.dffs().len();
+            for _ in 0..ADI_FRAMES {
+                let state: Vec<Logic> = (0..n_ff).map(|_| Logic::from_bool(rng.gen())).collect();
+                let vector: Vec<Logic> = (0..n_pi).map(|_| Logic::from_bool(rng.gen())).collect();
+                for (i, hit) in comb.detects(&state, &vector).into_iter().enumerate() {
+                    counts[i] += u32::from(hit);
+                }
+            }
+            let mut ids: Vec<u32> = (0..self.faults.len() as u32).collect();
+            ids.sort_unstable_by_key(|&i| (u32::MAX - counts[i as usize], i));
+            let mut rank = vec![0u32; self.faults.len()];
+            for (r, &i) in ids.iter().enumerate() {
+                rank[i as usize] = r as u32;
+            }
+            self.adi_rank = Some(Arc::new(rank));
+        }
+        self.adi_rank.as_ref().expect("just computed")
+    }
+
     /// Deterministic per-extend metric emission (merging thread only):
     /// counters, gauges, then detection-profile points ascending in time.
     fn emit_extend_metrics(
@@ -570,6 +737,7 @@ impl<'a> SeqFaultSim<'a> {
         vectors: usize,
         batches: usize,
         threads_used: usize,
+        kernel_bytes: usize,
         newly_times: &mut [u32],
     ) {
         self.obs.counter(Metric::VectorsSimulated, vectors as u64);
@@ -578,11 +746,10 @@ impl<'a> SeqFaultSim<'a> {
             .counter(Metric::FaultsDetected, newly_times.len() as u64);
         self.obs.gauge(Metric::SimThreads, threads_used as u64);
         // Scratch-arena estimate: the shared fault-free trace plus one
-        // kernel arena (two 64-bit planes per net) per worker thread.
+        // kernel arena (a wide word per value slot) per worker thread.
         let n_nets = self.circuit.net_count();
         let n_ff = self.circuit.dffs().len();
         let trace_bytes = vectors * n_nets + (vectors + 1) * n_ff;
-        let kernel_bytes = threads_used * n_nets * std::mem::size_of::<Word3>();
         self.obs
             .gauge(Metric::ScratchBytes, (trace_bytes + kernel_bytes) as u64);
         newly_times.sort_unstable();
@@ -900,14 +1067,16 @@ impl<'a> SingleFaultSim<'a> {
 /// aborting the whole flow. Returns the outcome plus whether degradation
 /// happened; the outcome is bit-identical either way because the two
 /// engines are lane-exact equivalents (enforced by the differential tests).
-fn run_batch_isolated(
+fn run_batch_isolated<const W: usize>(
     ctx: &ExtendCtx<'_>,
     batch: &[FaultId],
-    ks: &mut KernelScratch,
-) -> (BatchOutcome, bool) {
+    ks: &mut KernelScratch<W>,
+    t0: usize,
+    t1: usize,
+) -> (BatchOutcome<W>, bool) {
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         crate::fail_inject::panic_batch_point();
-        run_batch(ctx, batch, ks)
+        run_batch(ctx, batch, ks, t0, t1)
     }));
     match attempt {
         Ok(out) => (out, false),
@@ -916,75 +1085,133 @@ fn run_batch_isolated(
             // aborted run; discard it entirely before anyone trusts it.
             *ks = KernelScratch::default();
             ks.ensure(ctx.circuit, ctx.topo);
-            let out = reference_batch(ctx, batch, &mut ks.final_states);
+            let out = reference_batch(ctx, batch, &mut ks.final_states, t0, t1);
             (out, true)
         }
     }
 }
 
-/// Dense single-batch oracle: every gate at every time unit, reading
-/// fault-free values from the shared trace. This mirrors the inner batch
-/// loop of [`SeqFaultSim::extend_reference`] exactly — same injection
-/// masks, detection rule, early exit, and timestamps — which is what lets a
-/// panicked kernel batch be replayed without changing the final test set.
-fn reference_batch(
+/// Wide-word fault injection masks for the dense oracle, deliberately
+/// independent of the flat kernel's [`WideInjection`]: the degraded path
+/// must not share the machinery whose failure it covers. Mirrors
+/// [`InjectionTable`] with `W`-word lane masks.
+struct RefInjection<const W: usize> {
+    /// Per net: lanes forced to 0 / forced to 1 at the net's stem.
+    stem: Vec<([u64; W], [u64; W])>,
+    /// Per net: branch forces on this consumer's pins `(pin, sa0, sa1)`.
+    #[allow(clippy::type_complexity)]
+    pins: Vec<Vec<(u8, [u64; W], [u64; W])>>,
+}
+
+impl<const W: usize> RefInjection<W> {
+    fn load(net_count: usize, faults: &FaultList, batch: &[FaultId]) -> Self {
+        let mut inj = RefInjection {
+            stem: vec![([0; W], [0; W]); net_count],
+            pins: vec![Vec::new(); net_count],
+        };
+        for (lane, &fid) in batch.iter().enumerate() {
+            let mut bit = [0u64; W];
+            mask::set(&mut bit, lane);
+            let fault = faults.fault(fid);
+            let (sa0, sa1) = match fault.stuck {
+                StuckAt::Zero => (bit, [0; W]),
+                StuckAt::One => ([0; W], bit),
+            };
+            match fault.site {
+                FaultSite::Stem(n) => {
+                    let entry = &mut inj.stem[n.index()];
+                    mask::or_assign(&mut entry.0, &sa0);
+                    mask::or_assign(&mut entry.1, &sa1);
+                }
+                FaultSite::Branch(pin) => {
+                    inj.pins[pin.net.index()].push((pin.pin, sa0, sa1));
+                }
+            }
+        }
+        inj
+    }
+
+    #[inline]
+    fn apply_stem(&self, net: NetId, w: WideWord<W>) -> WideWord<W> {
+        let (sa0, sa1) = &self.stem[net.index()];
+        w.force_zero(sa0).force_one(sa1)
+    }
+
+    #[inline]
+    fn apply_pin(&self, consumer: NetId, pin: u8, w: WideWord<W>) -> WideWord<W> {
+        let entries = &self.pins[consumer.index()];
+        if entries.is_empty() {
+            return w;
+        }
+        let mut w = w;
+        for (p, sa0, sa1) in entries {
+            if *p == pin {
+                w = w.force_zero(sa0).force_one(sa1);
+            }
+        }
+        w
+    }
+}
+
+/// Dense single-batch oracle: every gate at every time unit of the window
+/// `[t0, t1)`, reading fault-free values from the shared trace and walking
+/// the circuit's own gate list (not the flat kernel's op stream). This
+/// mirrors the batch loop of [`SeqFaultSim::extend_reference`] exactly —
+/// same injection semantics, detection rule, early exit, and timestamps —
+/// which is what lets a panicked kernel batch be replayed without changing
+/// the final test set.
+fn reference_batch<const W: usize>(
     ctx: &ExtendCtx<'_>,
     batch: &[FaultId],
-    final_states: &mut [Word3],
-) -> BatchOutcome {
+    final_states: &mut [WideWord<W>],
+    t0: usize,
+    t1: usize,
+) -> BatchOutcome<W> {
     let circuit = ctx.circuit;
     let n_nets = circuit.net_count();
-    let mut table = InjectionTable::new(n_nets);
-    table.load(ctx.faults, batch);
-    let full_mask = if batch.len() == 64 {
-        !0u64
-    } else {
-        (1u64 << batch.len()) - 1
-    };
+    let inj = RefInjection::<W>::load(n_nets, ctx.faults, batch);
+    let full_mask = mask::full::<W>(batch.len());
 
-    let mut words = vec![Word3::ALL_X; n_nets];
+    let mut words = vec![WideWord::<W>::ALL_X; n_nets];
     let n_ff = circuit.dffs().len();
-    let mut state_words = vec![Word3::ALL_X; n_ff];
-    let mut next_words = vec![Word3::ALL_X; n_ff];
+    let mut state_words = vec![WideWord::<W>::ALL_X; n_ff];
+    let mut next_words = vec![WideWord::<W>::ALL_X; n_ff];
     for (ff, word) in state_words.iter_mut().enumerate() {
+        *word = WideWord::broadcast(ctx.trace.state_before(t0)[ff]);
         for (lane, &fid) in batch.iter().enumerate() {
             word.set_lane(lane, ctx.fault_states[fid.index()][ff]);
         }
     }
 
     let mut out = BatchOutcome {
-        detected: 0,
-        times: [0; 64],
+        detected: [0; W],
+        times: vec![0; batch.len()],
     };
-    for t in 0..ctx.trace.len() {
+    for t in t0..t1 {
         let row = ctx.trace.row(t);
         for &pi in circuit.inputs() {
-            words[pi.index()] = table.apply_stem(pi, Word3::broadcast(row[pi.index()]));
+            words[pi.index()] = inj.apply_stem(pi, WideWord::broadcast(row[pi.index()]));
         }
         for (i, &q) in circuit.dffs().iter().enumerate() {
-            words[q.index()] = table.apply_stem(q, state_words[i]);
+            words[q.index()] = inj.apply_stem(q, state_words[i]);
         }
         for &id in circuit.comb_order() {
             let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
                 unreachable!("comb_order contains only gates");
             };
-            let input = |i: usize| table.apply_pin(id, i as u8, words[fanins[i].index()]);
-            let gate_out = eval_gate_word(*kind, input, fanins.len());
-            words[id.index()] = table.apply_stem(id, gate_out);
+            let input = |i: usize| inj.apply_pin(id, i as u8, words[fanins[i].index()]);
+            let gate_out = eval_gate_word_w(*kind, input, fanins.len());
+            words[id.index()] = inj.apply_stem(id, gate_out);
         }
         for &o in circuit.outputs() {
             let good = row[o.index()];
             if !good.is_binary() {
                 continue;
             }
-            let conflicts = words[o.index()].conflict_mask(Word3::broadcast(good));
-            let mut fresh = conflicts & full_mask & !out.detected;
-            while fresh != 0 {
-                let lane = fresh.trailing_zeros() as usize;
-                fresh &= fresh - 1;
-                out.detected |= 1 << lane;
-                out.times[lane] = ctx.base_time + t as u32;
-            }
+            let conflicts = words[o.index()].conflict_mask(&WideWord::broadcast(good));
+            let fresh = mask::and_not(&mask::and(&conflicts, &full_mask), &out.detected);
+            mask::for_each_set(&fresh, |lane| out.times[lane] = ctx.base_time + t as u32);
+            mask::or_assign(&mut out.detected, &fresh);
         }
         if out.detected == full_mask {
             break;
@@ -993,7 +1220,7 @@ fn reference_batch(
             let Driver::Dff { d } = circuit.net(q).driver() else {
                 unreachable!("dffs() contains only flip-flops");
             };
-            next_words[i] = table.apply_pin(q, 0, words[d.index()]);
+            next_words[i] = inj.apply_pin(q, 0, words[d.index()]);
         }
         std::mem::swap(&mut state_words, &mut next_words);
     }
@@ -1059,10 +1286,61 @@ pub(crate) fn eval_gate_word(kind: GateKind, input: impl Fn(usize) -> Word3, n: 
     }
 }
 
+/// [`eval_gate_word`] over `W`-word wide lanes: the n-ary gate fold used by
+/// the dense oracle paths, kept independent of the flat kernel's binarized
+/// op stream.
+pub(crate) fn eval_gate_word_w<const W: usize>(
+    kind: GateKind,
+    input: impl Fn(usize) -> WideWord<W>,
+    n: usize,
+) -> WideWord<W> {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut acc = WideWord::broadcast(Logic::One);
+            for i in 0..n {
+                acc = acc.and(input(i));
+            }
+            if kind == GateKind::Nand {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = WideWord::broadcast(Logic::Zero);
+            for i in 0..n {
+                acc = acc.or(input(i));
+            }
+            if kind == GateKind::Nor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = WideWord::broadcast(Logic::Zero);
+            for i in 0..n {
+                acc = acc.xor(input(i));
+            }
+            if kind == GateKind::Xnor {
+                acc.not()
+            } else {
+                acc
+            }
+        }
+        GateKind::Not => input(0).not(),
+        GateKind::Buf => input(0),
+        GateKind::Mux => input(0).mux(input(1), input(2)),
+        GateKind::Const0 => WideWord::broadcast(Logic::Zero),
+        GateKind::Const1 => WideWord::broadcast(Logic::One),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::good::eval_comb_with;
+    use crate::parallel::LANES;
     use limscan_netlist::benchmarks;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -1385,8 +1663,10 @@ mod tests {
         let c = benchmarks::load("s1423").expect("profile exists");
         let faults = FaultList::collapsed(&c);
         let seq = random_sequence(c.inputs().len(), 40, 7);
+        // The first dropping slice alone must clear the threshold, or the
+        // multi-threaded runs silently take the sequential path.
         assert!(
-            seq.len() * c.gate_count() * faults.len().div_ceil(64)
+            DROP_SLICE.min(seq.len()) * c.gate_count() * faults.len().div_ceil(LANES) * LANE_WORDS
                 >= crate::engine::PARALLEL_THRESHOLD,
             "test workload no longer reaches the parallel path"
         );
@@ -1468,9 +1748,12 @@ mod tests {
             seq.len() as u64
         );
         assert_eq!(collector.counter(Metric::FaultsDetected), newly as u64);
+        // The sequence fits in one dropping slice, so the batch count is
+        // just the active universe split into wide batches.
+        assert!(seq.len() <= DROP_SLICE, "expected a single dropping slice");
         assert_eq!(
             collector.counter(Metric::BatchesSimulated),
-            faults.len().div_ceil(64) as u64
+            faults.len().div_ceil(LANES) as u64
         );
         // The emitted detection-profile points must agree with the report.
         assert_eq!(
@@ -1549,41 +1832,43 @@ mod tests {
     #[test]
     fn reference_batch_fallback_matches_the_kernel() {
         // Drive the degraded path directly (no fail-inject needed): the
-        // replay oracle must reproduce the kernel's outcome bit-for-bit.
+        // replay oracle must reproduce the kernel's outcome bit-for-bit,
+        // including over a partial window (the dropping-slice case).
         let c = benchmarks::s27();
         let faults = FaultList::full(&c);
         let seq = random_sequence(c.inputs().len(), 20, 31);
         let sim = SeqFaultSim::new(&c, &faults);
         let active: Vec<FaultId> = faults.ids().collect();
         with_trace(|trace| {
-            trace.fill(&c, &seq, &sim.good_state);
-            for batch in active.chunks(64) {
-                let ctx = ExtendCtx {
-                    circuit: &c,
-                    topo: &sim.topo,
-                    trace,
-                    faults: &faults,
-                    fault_states: &sim.fault_state,
-                    base_time: 0,
-                };
-                let (kernel_out, kernel_states) = with_kernel(|ks| {
-                    ks.ensure(&c, &sim.topo);
-                    let out = run_batch(&ctx, batch, ks);
-                    (out, ks.final_states.clone())
-                });
-                let mut ref_states = vec![Word3::ALL_X; c.dffs().len()];
-                let ref_out = reference_batch(&ctx, batch, &mut ref_states);
-                assert_eq!(kernel_out.detected, ref_out.detected);
-                for lane in 0..batch.len() {
-                    if ref_out.detected & (1 << lane) != 0 {
-                        assert_eq!(kernel_out.times[lane], ref_out.times[lane]);
-                    } else {
-                        for ff in 0..c.dffs().len() {
-                            assert_eq!(
-                                kernel_states[ff].lane(lane),
-                                ref_states[ff].lane(lane),
-                                "state mismatch lane {lane} ff {ff}"
-                            );
+            trace.fill(&c, &sim.topo, &seq, &sim.good_state);
+            for (t0, t1) in [(0, seq.len()), (4, 17)] {
+                for batch in active.chunks(LANES) {
+                    let ctx = ExtendCtx {
+                        circuit: &c,
+                        topo: &sim.topo,
+                        trace,
+                        faults: &faults,
+                        fault_states: &sim.fault_state,
+                        base_time: 0,
+                    };
+                    let (kernel_out, kernel_states) = with_kernel::<LANE_WORDS, _>(|ks| {
+                        let out = run_batch(&ctx, batch, ks, t0, t1);
+                        (out, ks.final_states.clone())
+                    });
+                    let mut ref_states = vec![WideWord::<LANE_WORDS>::ALL_X; c.dffs().len()];
+                    let ref_out = reference_batch(&ctx, batch, &mut ref_states, t0, t1);
+                    assert_eq!(kernel_out.detected, ref_out.detected, "window {t0}..{t1}");
+                    for lane in 0..batch.len() {
+                        if mask::test(&ref_out.detected, lane) {
+                            assert_eq!(kernel_out.times[lane], ref_out.times[lane]);
+                        } else {
+                            for ff in 0..c.dffs().len() {
+                                assert_eq!(
+                                    kernel_states[ff].lane(lane),
+                                    ref_states[ff].lane(lane),
+                                    "state mismatch lane {lane} ff {ff}"
+                                );
+                            }
                         }
                     }
                 }

@@ -1,0 +1,697 @@
+//! Flat binarized gate array: the "compiled" form of a levelized netlist.
+//!
+//! [`FlatNetlist::build`] lowers every gate of a circuit into a stream of
+//! fixed-size two-input [`FlatOp`] records — opcode plus operand/output
+//! slot indexes in one contiguous buffer. Evaluating a time unit is then a
+//! single linear sweep over that buffer: no `Driver` enum chasing, no
+//! per-gate closures, no variable-arity loops, and inversions folded into
+//! the opcodes. N-ary gates become left-to-right chains through shared
+//! scratch slots (sound because the three-valued AND/OR/XOR are
+//! associative with identities, so the fold order matches the reference
+//! `eval_gate` exactly), and a `Mux` becomes the three-term Kleene form
+//! `(!s & d0) | (s & d1) | (d0 & d1)`, whose bit-plane expansion is
+//! algebraically identical to [`Word3::mux`](crate::Word3::mux).
+//!
+//! The lowering also computes the circuit's *weakly-connected components*
+//! over gate fanin edges and flip-flop D→Q edges. A fault's divergence can
+//! provably never leave the component of its injection site (every signal
+//! path crosses only those edges), so the dense kernel restricts its sweep
+//! to the components a batch actually touches; the op stream is emitted
+//! component-contiguous to make those sweeps cache-linear.
+//!
+//! Fault injection against the op stream is described by
+//! [`WideInjection`]: stem faults on source nets are per-net force masks
+//! applied at source load, everything else becomes an [`OpPatch`] pinned
+//! to an op index (operand forces for branch faults, output forces for
+//! gate stem faults), and flip-flop D-pin branch faults force the state
+//! transfer. Patches are the only per-op conditional work, and the dense
+//! sweep hoists them out by running branchless spans between patched ops.
+
+use limscan_fault::{FaultId, FaultList, FaultSite, StuckAt};
+use limscan_netlist::{Circuit, Driver, GateKind};
+
+use crate::logic::Logic;
+use crate::parallel::WideWord;
+
+/// Opcodes of the flat gate array. Inversions are folded in, so every
+/// record evaluates in one table-dispatched step.
+pub(crate) mod op {
+    pub(crate) const AND: u8 = 0;
+    pub(crate) const NAND: u8 = 1;
+    pub(crate) const OR: u8 = 2;
+    pub(crate) const NOR: u8 = 3;
+    pub(crate) const XOR: u8 = 4;
+    pub(crate) const XNOR: u8 = 5;
+    pub(crate) const COPY: u8 = 6;
+    pub(crate) const NOT: u8 = 7;
+    pub(crate) const ZERO: u8 = 8;
+    pub(crate) const ONE: u8 = 9;
+}
+
+/// One two-input operation of the flat gate array.
+///
+/// `a` / `b` / `out` index the kernel's value buffer: slots `< n_nets` are
+/// circuit nets, slots `>= n_nets` are shared intra-gate scratch. For
+/// one-input and constant opcodes the unused operands alias `out` (read but
+/// ignored), keeping the evaluation loop uniform.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FlatOp {
+    pub(crate) code: u8,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) out: u32,
+}
+
+/// Evaluates one opcode over wide words.
+#[inline(always)]
+pub(crate) fn eval_op_w<const W: usize>(code: u8, a: WideWord<W>, b: WideWord<W>) -> WideWord<W> {
+    match code {
+        op::AND => a.and(b),
+        op::NAND => a.and(b).not(),
+        op::OR => a.or(b),
+        op::NOR => a.or(b).not(),
+        op::XOR => a.xor(b),
+        op::XNOR => a.xor(b).not(),
+        op::COPY => a,
+        op::NOT => a.not(),
+        op::ZERO => WideWord::broadcast(Logic::Zero),
+        _ => WideWord::broadcast(Logic::One),
+    }
+}
+
+/// Evaluates one opcode over scalar three-valued logic.
+#[inline(always)]
+pub(crate) fn eval_op_scalar(code: u8, a: Logic, b: Logic) -> Logic {
+    match code {
+        op::AND => a.and(b),
+        op::NAND => a.and(b).not(),
+        op::OR => a.or(b),
+        op::NOR => a.or(b).not(),
+        op::XOR => a.xor(b),
+        op::XNOR => a.xor(b).not(),
+        op::COPY => a,
+        op::NOT => a.not(),
+        op::ZERO => Logic::Zero,
+        _ => Logic::One,
+    }
+}
+
+/// Union-find over net indexes, used to compute weakly-connected
+/// components.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let p = self.parent[x as usize];
+            self.parent[x as usize] = self.parent[p as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so component numbering is a
+            // pure function of the circuit.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+}
+
+/// The compiled flat form of a circuit: binarized op stream, per-gate and
+/// per-component ranges, pin-read targets, and the component partition.
+#[derive(Debug)]
+pub(crate) struct FlatNetlist {
+    pub(crate) n_nets: usize,
+    /// Value-buffer length: nets plus the shared intra-gate scratch slots.
+    pub(crate) n_slots: usize,
+    /// Number of shared scratch slots (`n_slots - n_nets`).
+    pub(crate) n_temps: usize,
+    /// The op stream, component-contiguous, topologically ordered within
+    /// each component.
+    pub(crate) ops: Vec<FlatOp>,
+    /// Per comb position: `[start, end)` op range of the gate.
+    pub(crate) gate_ops: Vec<(u32, u32)>,
+    /// Per comb position: the op writing the gate's output net (always the
+    /// last op of the gate's range).
+    pub(crate) stem_op: Vec<u32>,
+    /// Pin-read targets, CSR aligned with the topology's fanin CSR: global
+    /// pin index → `(op index, operand slot)` pairs, slot 0 = `a`, 1 = `b`.
+    pub(crate) pin_tgt_off: Vec<u32>,
+    pub(crate) pin_tgt: Vec<(u32, u8)>,
+    /// Net index → weakly-connected component id.
+    pub(crate) comp_of_net: Vec<u32>,
+    pub(crate) n_comps: usize,
+    /// Per component: `[start, end)` op range.
+    pub(crate) comp_ops: Vec<(u32, u32)>,
+    /// Per component (CSR): primary-input net indexes.
+    comp_pi_off: Vec<u32>,
+    comp_pi: Vec<u32>,
+    /// Per component (CSR): flip-flop indexes.
+    comp_ff_off: Vec<u32>,
+    comp_ff: Vec<u32>,
+    /// Per component (CSR): primary-output positions (indexes into
+    /// `circuit.outputs()`).
+    comp_po_off: Vec<u32>,
+    comp_po: Vec<u32>,
+}
+
+impl FlatNetlist {
+    /// Lowers `circuit` into the flat form. `pos_of` maps net index → comb
+    /// position (`u32::MAX` for sources) and `fanin_off` is the topology's
+    /// per-position fanin CSR offset array, which the pin-target CSR here
+    /// stays aligned with.
+    pub(crate) fn build(circuit: &Circuit, pos_of: &[u32], fanin_off: &[u32]) -> Self {
+        let n_nets = circuit.net_count();
+        let n_comb = circuit.comb_order().len();
+
+        // --- Components: union gate outputs with their fanins and FF
+        // outputs with their D nets. Everything a fault effect can traverse
+        // crosses exactly these edges, so divergence is component-confined.
+        let mut dsu = Dsu::new(n_nets);
+        for &id in circuit.comb_order() {
+            let Driver::Gate { fanins, .. } = circuit.net(id).driver() else {
+                unreachable!("comb_order contains only gates");
+            };
+            for f in fanins {
+                dsu.union(id.index() as u32, f.index() as u32);
+            }
+        }
+        for &q in circuit.dffs() {
+            let Driver::Dff { d } = circuit.net(q).driver() else {
+                unreachable!("dffs() contains only flip-flops");
+            };
+            dsu.union(q.index() as u32, d.index() as u32);
+        }
+        let mut comp_of_net = vec![u32::MAX; n_nets];
+        let mut n_comps = 0usize;
+        for net in 0..n_nets {
+            let root = dsu.find(net as u32) as usize;
+            if comp_of_net[root] == u32::MAX {
+                comp_of_net[root] = n_comps as u32;
+                n_comps += 1;
+            }
+            comp_of_net[net] = comp_of_net[root];
+        }
+
+        // --- Group gates by component, preserving comb_order within each:
+        // the stream stays topological inside a component, and components
+        // are mutually independent.
+        let mut comp_gates: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for (pos, &id) in circuit.comb_order().iter().enumerate() {
+            comp_gates[comp_of_net[id.index()] as usize].push(pos as u32);
+        }
+
+        // --- Emit ops. Scratch slots are shared across gates (each gate's
+        // intermediate values are written before read within its own
+        // range): 1 slot for n-ary chains, 5 for the mux decomposition.
+        let mut ops: Vec<FlatOp> = Vec::new();
+        let mut gate_ops = vec![(0u32, 0u32); n_comb];
+        let mut stem_op = vec![0u32; n_comb];
+        let mut pin_tgts: Vec<Vec<(u32, u8)>> = vec![Vec::new(); fanin_off[n_comb] as usize];
+        let mut n_temps = 0usize;
+        let t = |k: usize| (n_nets + k) as u32;
+        let mut comp_ops = vec![(0u32, 0u32); n_comps];
+        for (comp, gates) in comp_gates.iter().enumerate() {
+            let comp_start = ops.len() as u32;
+            for &pos in gates {
+                let pos = pos as usize;
+                let id = circuit.comb_order()[pos];
+                let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                    unreachable!("comb_order contains only gates");
+                };
+                let out = id.index() as u32;
+                let start = ops.len() as u32;
+                let pin = |i: usize| (fanin_off[pos] + i as u32) as usize;
+                let fi = |i: usize| fanins[i].index() as u32;
+                match (*kind, fanins.len()) {
+                    (GateKind::Const0, _)
+                    | (GateKind::Nand, 0)
+                    | (GateKind::Or, 0)
+                    | (GateKind::Xor, 0) => ops.push(FlatOp {
+                        code: op::ZERO,
+                        a: out,
+                        b: out,
+                        out,
+                    }),
+                    (GateKind::Const1, _)
+                    | (GateKind::And, 0)
+                    | (GateKind::Nor, 0)
+                    | (GateKind::Xnor, 0) => ops.push(FlatOp {
+                        code: op::ONE,
+                        a: out,
+                        b: out,
+                        out,
+                    }),
+                    (GateKind::Buf, _)
+                    | (GateKind::And, 1)
+                    | (GateKind::Or, 1)
+                    | (GateKind::Xor, 1) => {
+                        pin_tgts[pin(0)].push((ops.len() as u32, 0));
+                        ops.push(FlatOp {
+                            code: op::COPY,
+                            a: fi(0),
+                            b: out,
+                            out,
+                        });
+                    }
+                    (GateKind::Not, _)
+                    | (GateKind::Nand, 1)
+                    | (GateKind::Nor, 1)
+                    | (GateKind::Xnor, 1) => {
+                        pin_tgts[pin(0)].push((ops.len() as u32, 0));
+                        ops.push(FlatOp {
+                            code: op::NOT,
+                            a: fi(0),
+                            b: out,
+                            out,
+                        });
+                    }
+                    (GateKind::Mux, _) => {
+                        // (!s & d0) | (s & d1) | (d0 & d1): bit-plane
+                        // identical to Word3::mux (see module docs).
+                        n_temps = n_temps.max(5);
+                        let base = ops.len() as u32;
+                        pin_tgts[pin(0)].push((base, 0)); // s → t0.a
+                        ops.push(FlatOp {
+                            code: op::NOT,
+                            a: fi(0),
+                            b: t(0),
+                            out: t(0),
+                        });
+                        pin_tgts[pin(1)].push((base + 1, 1)); // d0 → t1.b
+                        ops.push(FlatOp {
+                            code: op::AND,
+                            a: t(0),
+                            b: fi(1),
+                            out: t(1),
+                        });
+                        pin_tgts[pin(0)].push((base + 2, 0)); // s → t2.a
+                        pin_tgts[pin(2)].push((base + 2, 1)); // d1 → t2.b
+                        ops.push(FlatOp {
+                            code: op::AND,
+                            a: fi(0),
+                            b: fi(2),
+                            out: t(2),
+                        });
+                        pin_tgts[pin(1)].push((base + 3, 0)); // d0 → t3.a
+                        pin_tgts[pin(2)].push((base + 3, 1)); // d1 → t3.b
+                        ops.push(FlatOp {
+                            code: op::AND,
+                            a: fi(1),
+                            b: fi(2),
+                            out: t(3),
+                        });
+                        ops.push(FlatOp {
+                            code: op::OR,
+                            a: t(1),
+                            b: t(2),
+                            out: t(4),
+                        });
+                        ops.push(FlatOp {
+                            code: op::OR,
+                            a: t(4),
+                            b: t(3),
+                            out,
+                        });
+                    }
+                    (kind, n) => {
+                        // N-ary AND/OR/XOR chain; the folded inversion (if
+                        // any) lands on the final op only.
+                        let (base_code, final_code) = match kind {
+                            GateKind::And => (op::AND, op::AND),
+                            GateKind::Nand => (op::AND, op::NAND),
+                            GateKind::Or => (op::OR, op::OR),
+                            GateKind::Nor => (op::OR, op::NOR),
+                            GateKind::Xor => (op::XOR, op::XOR),
+                            GateKind::Xnor => (op::XOR, op::XNOR),
+                            _ => unreachable!("fixed-arity kinds handled above"),
+                        };
+                        n_temps = n_temps.max(1);
+                        pin_tgts[pin(0)].push((ops.len() as u32, 0));
+                        pin_tgts[pin(1)].push((ops.len() as u32, 1));
+                        ops.push(FlatOp {
+                            code: if n == 2 { final_code } else { base_code },
+                            a: fi(0),
+                            b: fi(1),
+                            out: if n == 2 { out } else { t(0) },
+                        });
+                        for i in 2..n {
+                            let last = i == n - 1;
+                            pin_tgts[pin(i)].push((ops.len() as u32, 1));
+                            ops.push(FlatOp {
+                                code: if last { final_code } else { base_code },
+                                a: t(0),
+                                b: fi(i),
+                                out: if last { out } else { t(0) },
+                            });
+                        }
+                    }
+                }
+                let end = ops.len() as u32;
+                gate_ops[pos] = (start, end);
+                stem_op[pos] = end - 1;
+                debug_assert_eq!(ops[end as usize - 1].out, out);
+            }
+            comp_ops[comp] = (comp_start, ops.len() as u32);
+        }
+        debug_assert!(pos_of.len() == n_nets);
+
+        // --- Per-component source/output lists.
+        let mut comp_pis: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for &pi in circuit.inputs() {
+            comp_pis[comp_of_net[pi.index()] as usize].push(pi.index() as u32);
+        }
+        let mut comp_ffs: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for (i, &q) in circuit.dffs().iter().enumerate() {
+            comp_ffs[comp_of_net[q.index()] as usize].push(i as u32);
+        }
+        let mut comp_pos: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+        for (oi, &o) in circuit.outputs().iter().enumerate() {
+            comp_pos[comp_of_net[o.index()] as usize].push(oi as u32);
+        }
+        let (comp_pi_off, comp_pi) = to_csr(&comp_pis);
+        let (comp_ff_off, comp_ff) = to_csr(&comp_ffs);
+        let (comp_po_off, comp_po) = to_csr(&comp_pos);
+        let (pin_tgt_off, pin_tgt) = to_csr(&pin_tgts);
+
+        FlatNetlist {
+            n_nets,
+            n_slots: n_nets + n_temps,
+            n_temps,
+            ops,
+            gate_ops,
+            stem_op,
+            pin_tgt_off,
+            pin_tgt,
+            comp_of_net,
+            n_comps,
+            comp_ops,
+            comp_pi_off,
+            comp_pi,
+            comp_ff_off,
+            comp_ff,
+            comp_po_off,
+            comp_po,
+        }
+    }
+
+    /// Primary-input nets of component `c`.
+    #[inline]
+    pub(crate) fn comp_pis(&self, c: usize) -> &[u32] {
+        &self.comp_pi[self.comp_pi_off[c] as usize..self.comp_pi_off[c + 1] as usize]
+    }
+
+    /// Flip-flop indexes of component `c`.
+    #[inline]
+    pub(crate) fn comp_ffs(&self, c: usize) -> &[u32] {
+        &self.comp_ff[self.comp_ff_off[c] as usize..self.comp_ff_off[c + 1] as usize]
+    }
+
+    /// Primary-output positions of component `c`.
+    #[inline]
+    pub(crate) fn comp_pos(&self, c: usize) -> &[u32] {
+        &self.comp_po[self.comp_po_off[c] as usize..self.comp_po_off[c + 1] as usize]
+    }
+
+    /// The `(op index, operand slot)` targets reading global pin `g`.
+    #[inline]
+    pub(crate) fn pin_targets(&self, g: usize) -> &[(u32, u8)] {
+        &self.pin_tgt[self.pin_tgt_off[g] as usize..self.pin_tgt_off[g + 1] as usize]
+    }
+
+    /// Scalar evaluation of the whole op stream: `row` holds net values
+    /// (sources pre-loaded), `tmp` the shared scratch slots
+    /// (`len >= n_temps`). Identical results to `eval_comb`.
+    pub(crate) fn eval_scalar(&self, row: &mut [Logic], tmp: &mut [Logic]) {
+        let n = self.n_nets;
+        let read = |row: &[Logic], tmp: &[Logic], idx: u32| {
+            let idx = idx as usize;
+            if idx < n {
+                row[idx]
+            } else {
+                tmp[idx - n]
+            }
+        };
+        for o in &self.ops {
+            let a = read(row, tmp, o.a);
+            let b = read(row, tmp, o.b);
+            let r = eval_op_scalar(o.code, a, b);
+            let out = o.out as usize;
+            if out < n {
+                row[out] = r;
+            } else {
+                tmp[out - n] = r;
+            }
+        }
+    }
+}
+
+fn to_csr<T: Copy>(lists: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut flat = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    off.push(0);
+    for list in lists {
+        flat.extend_from_slice(list);
+        off.push(flat.len() as u32);
+    }
+    (off, flat)
+}
+
+/// Operand/output force masks for one patched op. Zero masks are identity,
+/// so patched evaluation applies all six unconditionally.
+#[derive(Clone)]
+pub(crate) struct OpPatch<const W: usize> {
+    a_sa0: [u64; W],
+    a_sa1: [u64; W],
+    b_sa0: [u64; W],
+    b_sa1: [u64; W],
+    o_sa0: [u64; W],
+    o_sa1: [u64; W],
+}
+
+impl<const W: usize> OpPatch<W> {
+    const NONE: OpPatch<W> = OpPatch {
+        a_sa0: [0; W],
+        a_sa1: [0; W],
+        b_sa0: [0; W],
+        b_sa1: [0; W],
+        o_sa0: [0; W],
+        o_sa1: [0; W],
+    };
+
+    /// Applies the patch around one op evaluation.
+    #[inline(always)]
+    pub(crate) fn eval(&self, code: u8, a: WideWord<W>, b: WideWord<W>) -> WideWord<W> {
+        let a = a.force_zero(&self.a_sa0).force_one(&self.a_sa1);
+        let b = b.force_zero(&self.b_sa0).force_one(&self.b_sa1);
+        eval_op_w(code, a, b)
+            .force_zero(&self.o_sa0)
+            .force_one(&self.o_sa1)
+    }
+}
+
+/// Per-batch fault injection against the flat op stream; the wide-word
+/// successor of the 64-lane `InjectionTable`. All buffers are
+/// touched-cleared, so reloading for the next batch is O(previous batch).
+#[derive(Default)]
+pub(crate) struct WideInjection<const W: usize> {
+    /// Per net: stem forces on source nets (PIs and FF outputs), applied
+    /// when the source value is loaded each time unit.
+    src_sa0: Vec<[u64; W]>,
+    src_sa1: Vec<[u64; W]>,
+    /// Source nets with a non-zero force, deduplicated.
+    pub(crate) src_forced: Vec<u32>,
+    /// Per op index: patch slot, `u32::MAX` when unpatched.
+    patch_idx: Vec<u32>,
+    patches: Vec<OpPatch<W>>,
+    /// Patched op indexes, sorted ascending (the dense sweep's skip list).
+    pub(crate) patch_ops: Vec<u32>,
+    /// Per comb position: whether any op of the gate carries a patch.
+    gate_patched: Vec<bool>,
+    patched_gates: Vec<u32>,
+    /// Per flip-flop: D-pin branch forces, applied at state transfer.
+    ff_sa0: Vec<[u64; W]>,
+    ff_sa1: Vec<[u64; W]>,
+    pub(crate) ff_forced: Vec<u32>,
+}
+
+impl<const W: usize> WideInjection<W> {
+    pub(crate) fn new(n_nets: usize, n_ops: usize, n_comb: usize, n_ff: usize) -> Self {
+        WideInjection {
+            src_sa0: vec![[0; W]; n_nets],
+            src_sa1: vec![[0; W]; n_nets],
+            src_forced: Vec::new(),
+            patch_idx: vec![u32::MAX; n_ops],
+            patches: Vec::new(),
+            patch_ops: Vec::new(),
+            gate_patched: vec![false; n_comb],
+            patched_gates: Vec::new(),
+            ff_sa0: vec![[0; W]; n_ff],
+            ff_sa1: vec![[0; W]; n_ff],
+            ff_forced: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for &n in &self.src_forced {
+            self.src_sa0[n as usize] = [0; W];
+            self.src_sa1[n as usize] = [0; W];
+        }
+        self.src_forced.clear();
+        for &o in &self.patch_ops {
+            self.patch_idx[o as usize] = u32::MAX;
+        }
+        self.patches.clear();
+        self.patch_ops.clear();
+        for &p in &self.patched_gates {
+            self.gate_patched[p as usize] = false;
+        }
+        self.patched_gates.clear();
+        for &f in &self.ff_forced {
+            self.ff_sa0[f as usize] = [0; W];
+            self.ff_sa1[f as usize] = [0; W];
+        }
+        self.ff_forced.clear();
+    }
+
+    fn patch_mut(&mut self, op_idx: u32) -> &mut OpPatch<W> {
+        if self.patch_idx[op_idx as usize] == u32::MAX {
+            self.patch_idx[op_idx as usize] = self.patches.len() as u32;
+            self.patches.push(OpPatch::NONE);
+            self.patch_ops.push(op_idx);
+        }
+        &mut self.patches[self.patch_idx[op_idx as usize] as usize]
+    }
+
+    fn mark_gate(&mut self, pos: u32) {
+        if !self.gate_patched[pos as usize] {
+            self.gate_patched[pos as usize] = true;
+            self.patched_gates.push(pos);
+        }
+    }
+
+    /// Loads the injection state for one batch of ≤ `64 * W` faults; lane
+    /// `i` carries `batch[i]`.
+    ///
+    /// `pos_of` / `dff_pos_of` / `fanin_off` come from the topology and
+    /// `flat` from the lowering; the method distributes each fault to the
+    /// mechanism that realises it (source mask, op patch, or FF force).
+    #[allow(clippy::too_many_arguments)] // topology lookups passed flat to avoid a borrow of Topology
+    pub(crate) fn load(
+        &mut self,
+        circuit: &Circuit,
+        flat: &FlatNetlist,
+        pos_of: &[u32],
+        dff_pos_of: &[u32],
+        fanin_off: &[u32],
+        faults: &FaultList,
+        batch: &[FaultId],
+    ) {
+        debug_assert!(batch.len() <= 64 * W);
+        self.clear();
+        for (lane, &fid) in batch.iter().enumerate() {
+            let (w, m) = (lane / 64, 1u64 << (lane % 64));
+            let fault = faults.fault(fid);
+            let sa0 = fault.stuck == StuckAt::Zero;
+            match fault.site {
+                FaultSite::Stem(n) => match circuit.net(n).driver() {
+                    Driver::Gate { .. } => {
+                        let pos = pos_of[n.index()];
+                        self.mark_gate(pos);
+                        let p = self.patch_mut(flat.stem_op[pos as usize]);
+                        if sa0 {
+                            p.o_sa0[w] |= m;
+                        } else {
+                            p.o_sa1[w] |= m;
+                        }
+                    }
+                    _ => {
+                        let n = n.index();
+                        if self.src_sa0[n] == [0; W] && self.src_sa1[n] == [0; W] {
+                            self.src_forced.push(n as u32);
+                        }
+                        if sa0 {
+                            self.src_sa0[n][w] |= m;
+                        } else {
+                            self.src_sa1[n][w] |= m;
+                        }
+                    }
+                },
+                FaultSite::Branch(pin) => match circuit.net(pin.net).driver() {
+                    Driver::Gate { .. } => {
+                        let pos = pos_of[pin.net.index()];
+                        self.mark_gate(pos);
+                        let g = (fanin_off[pos as usize] + u32::from(pin.pin)) as usize;
+                        for k in 0..flat.pin_targets(g).len() {
+                            let (op_idx, slot) = flat.pin_targets(g)[k];
+                            let p = self.patch_mut(op_idx);
+                            let target = match (slot, sa0) {
+                                (0, true) => &mut p.a_sa0,
+                                (0, false) => &mut p.a_sa1,
+                                (_, true) => &mut p.b_sa0,
+                                (_, false) => &mut p.b_sa1,
+                            };
+                            target[w] |= m;
+                        }
+                    }
+                    Driver::Dff { .. } => {
+                        let ffi = dff_pos_of[pin.net.index()] as usize;
+                        if self.ff_sa0[ffi] == [0; W] && self.ff_sa1[ffi] == [0; W] {
+                            self.ff_forced.push(ffi as u32);
+                        }
+                        if sa0 {
+                            self.ff_sa0[ffi][w] |= m;
+                        } else {
+                            self.ff_sa1[ffi][w] |= m;
+                        }
+                    }
+                    Driver::Input => unreachable!("primary inputs have no fanin pins"),
+                },
+            }
+        }
+        self.patch_ops.sort_unstable();
+    }
+
+    /// Applies the stem force of a source net (no-op for unforced nets).
+    #[inline(always)]
+    pub(crate) fn force_src(&self, net: usize, w: WideWord<W>) -> WideWord<W> {
+        w.force_zero(&self.src_sa0[net])
+            .force_one(&self.src_sa1[net])
+    }
+
+    /// The patch pinned to op `op_idx`, if any.
+    #[inline(always)]
+    pub(crate) fn patch_at(&self, op_idx: usize) -> Option<&OpPatch<W>> {
+        let idx = self.patch_idx[op_idx];
+        if idx == u32::MAX {
+            None
+        } else {
+            Some(&self.patches[idx as usize])
+        }
+    }
+
+    /// Whether any op of the gate at comb position `pos` is patched.
+    #[inline(always)]
+    pub(crate) fn gate_is_patched(&self, pos: usize) -> bool {
+        self.gate_patched[pos]
+    }
+
+    /// Applies the D-pin branch force of flip-flop `ffi` (no-op when
+    /// unforced).
+    #[inline(always)]
+    pub(crate) fn force_ff(&self, ffi: usize, w: WideWord<W>) -> WideWord<W> {
+        w.force_zero(&self.ff_sa0[ffi]).force_one(&self.ff_sa1[ffi])
+    }
+}

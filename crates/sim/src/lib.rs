@@ -2,16 +2,19 @@
 //!
 //! * [`Logic`] — scalar three-valued logic (0 / 1 / X);
 //! * [`Word3`] — 64-lane bit-parallel three-valued words;
+//! * [`WideWord`] — multi-word wide lanes ([`LANES`] faults per word,
+//!   [`LANE_WORDS`] 64-bit planes per logic bit), portable on stable Rust;
 //! * [`TestSequence`] — a flat sequence of input vectors, the paper's
 //!   central object (scan operations are just vectors with `scan_sel = 1`);
 //! * [`eval_comb`] / [`SeqGoodSim`] — combinational and sequential
 //!   good-circuit simulation;
-//! * [`SeqFaultSim`] — incremental sequential **parallel-fault** simulation:
-//!   63 faults + the fault-free circuit share each 64-bit word, per-fault
-//!   flip-flop state is carried across time units, and first-detection
-//!   times are recorded. This engine powers test generation (fault
-//!   dropping), test set translation checks, and both static compaction
-//!   procedures.
+//! * [`SeqFaultSim`] — incremental sequential **parallel-fault** simulation
+//!   on a compiled flat gate array: [`LANES`] faults share each wide word,
+//!   per-fault flip-flop state is carried across time units, detected
+//!   faults are dropped mid-extension at slice barriers, and
+//!   first-detection times are recorded. This engine powers test
+//!   generation (fault dropping), test set translation checks, and both
+//!   static compaction procedures.
 //!
 //! Detection is three-valued safe: a fault counts as detected only at a
 //! time unit where the fault-free circuit drives a binary value on some
@@ -45,6 +48,7 @@ mod dictionary;
 mod engine;
 pub mod fail_inject;
 mod fault_sim;
+mod flat;
 mod good;
 mod logic;
 mod parallel;
@@ -54,9 +58,11 @@ pub use cancel::CancelFlag;
 pub use checkpoint::{PrefixState, TrialCheckpoints};
 pub use comb::CombFaultSim;
 pub use dictionary::{FaultDictionary, Syndrome};
-pub use engine::{set_sim_threads, sim_threads};
-pub use fault_sim::{single_fault_detects, DetectionReport, SeqFaultSim, SingleFaultSim};
+pub use engine::{fault_dropping, set_fault_dropping, set_sim_threads, sim_threads};
+pub use fault_sim::{
+    single_fault_detects, DetectionReport, FaultOrder, SeqFaultSim, SingleFaultSim,
+};
 pub use good::{eval_comb, eval_comb_with, next_state, SeqGoodSim};
 pub use logic::Logic;
-pub use parallel::Word3;
+pub use parallel::{WideWord, Word3, LANES, LANE_WORDS};
 pub use sequence::TestSequence;
