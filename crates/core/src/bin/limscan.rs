@@ -12,15 +12,29 @@
 //! limscan resume <snapshot.snap> [-o program.txt] [--engine det|genetic]
 //!                [--deadline SECS] [--max-vectors N] [--snapshots DIR]
 //!                [--trace out.jsonl] [--metrics]
+//! limscan equiv <left> (<right> | --scan) [--chains N] [--steps N]
+//!               [--rounds N] [--seed S] [--threads N] [--force NAME=0|1]
+//!               [--trace out.jsonl] [--metrics]
+//! limscan equiv <circuit> --diff <original.txt> <candidate.txt> [--chains N]
+//! limscan equiv --self-check
 //! ```
 //!
 //! `generate` inserts scan into the circuit, runs the paper's flow and
 //! writes a tester vector file; `compact` re-compacts an existing vector
 //! file against the same scan circuit. Circuits are ISCAS-89 `.bench`
-//! netlists (or a benchmark name like `s27` / `s298`). `--trace` streams
-//! the span/metric event log as JSONL; `--metrics` prints the per-phase
-//! summary and detection profile to stderr (both need the `trace` feature,
-//! which is on by default).
+//! netlists, structural `.blif` netlists, or a benchmark name like `s27` /
+//! `s298`. `--trace` streams the span/metric event log as JSONL;
+//! `--metrics` prints the per-phase summary and detection profile to
+//! stderr (both need the `trace` feature, which is on by default).
+//!
+//! `equiv` runs the cross-engine bounded equivalence checker: two named
+//! circuits, or one circuit against its own scan-inserted variant
+//! (`--scan`, with `scan_sel` tied to functional mode). `--diff` instead
+//! compares two test programs per fault on the scan-inserted circuit, and
+//! `--self-check` sweeps the built-in proof obligations (scan variants,
+//! BLIF round trips, compaction detection-preservation) over small
+//! benchmarks. A found difference exits with status 1 and a minimized
+//! counterexample.
 //!
 //! `--deadline` / `--max-vectors` bound a run; a run that hits its budget
 //! stops at the next safe boundary, keeps the work done so far, and exits
@@ -40,13 +54,15 @@ use limscan::atpg::genetic::GeneticConfig;
 use limscan::compact::{
     omission_pass_resumable, restoration_resumable, restore_then_omit_observed, CompactionEngine,
 };
-use limscan::netlist::{bench_format, CircuitStats};
+use limscan::fault::CollapseStats;
+use limscan::netlist::{bench_format, blif_format, CircuitStats};
 use limscan::obs::SpanKind;
 use limscan::scan::program::{parse_program, program_stats, write_program};
 use limscan::{
-    benchmarks, resume_flow, run_generation_resilient, CancelToken, Circuit, Engine, FaultList,
-    FlowConfig, FlowKind, FlowOutcome, FlowReport, GenerationFlow, ObsHandle, ResilientConfig,
-    RunBudget, ScanCircuit, SeqFaultSim, SnapshotStore, StopReason,
+    benchmarks, resume_flow, run_generation_resilient, CancelToken, Circuit, DifferentialFlow,
+    Engine, EquivFlow, EquivOptions, EquivVerdict, FaultList, FlowConfig, FlowKind, FlowOutcome,
+    FlowReport, GenerationFlow, Logic, ObsHandle, ResilientConfig, RunBudget, ScanCircuit,
+    SeqFaultSim, SnapshotStore, StopReason,
 };
 
 fn main() -> ExitCode {
@@ -56,6 +72,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
+        Some("equiv") => cmd_equiv(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -83,9 +100,15 @@ const USAGE: &str = "usage:
   limscan resume <snapshot.snap> [-o program.txt] [--engine det|genetic]
                  [--deadline SECS] [--max-vectors N] [--snapshots DIR]
                  [--trace out.jsonl] [--metrics]
+  limscan equiv <left> (<right> | --scan) [--chains N] [--steps N]
+                [--rounds N] [--seed S] [--threads N] [--force NAME=0|1]
+                [--trace out.jsonl] [--metrics]
+  limscan equiv <circuit> --diff <original.txt> <candidate.txt> [--chains N]
+  limscan equiv --self-check [--trace out.jsonl] [--metrics]
 
-exit status: 0 complete, 2 error, 3 stopped at a budget limit (partial
-result kept; resume from the latest --snapshots checkpoint)";
+exit status: 0 complete, 1 difference found by `equiv`, 2 error, 3 stopped
+at a budget limit (partial result kept; resume from the latest --snapshots
+checkpoint)";
 
 /// Parses `--trace` / `--metrics` into an observability handle. Warns
 /// (without failing) when the binary was built without the `trace`
@@ -150,11 +173,13 @@ fn budget_from_args(args: &[String]) -> Result<(RunBudget, bool), String> {
 }
 
 fn load_circuit(arg: &str) -> Result<Circuit, String> {
-    if arg.ends_with(".bench") || arg.contains('/') {
+    if arg.ends_with(".blif") {
+        blif_format::read_file(arg).map_err(|e| e.to_string())
+    } else if arg.ends_with(".bench") || arg.contains('/') {
         bench_format::read_file(arg).map_err(|e| e.to_string())
     } else {
         benchmarks::load(arg)
-            .ok_or_else(|| format!("`{arg}` is neither a .bench file nor a known benchmark"))
+            .ok_or_else(|| format!("`{arg}` is neither a .bench/.blif file nor a known benchmark"))
     }
 }
 
@@ -214,6 +239,16 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
     let path = args.first().ok_or("info: missing circuit argument")?;
     let circuit = load_circuit(path)?;
     println!("{}", CircuitStats::of(&circuit));
+    let cs = CollapseStats::measure(&circuit);
+    println!(
+        "fault universe: {} faults on {} nets + {} input pins, \
+         collapsed to {} ({:.1}% of full)",
+        cs.full,
+        cs.nets,
+        cs.pins,
+        cs.collapsed,
+        100.0 * cs.ratio(),
+    );
     if circuit.dffs().is_empty() {
         println!("combinational circuit — scan insertion does not apply");
         return Ok(ExitCode::SUCCESS);
@@ -539,5 +574,258 @@ fn cmd_resume(args: &[String]) -> Result<ExitCode, String> {
             snapshot.phase.tag(),
             path.as_deref(),
         )),
+    }
+}
+
+/// Parses every `--force NAME=0|1|x` occurrence into checker forcings.
+fn forces_from_args(args: &[String]) -> Result<Vec<(String, Logic)>, String> {
+    let mut forces = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a != "--force" {
+            continue;
+        }
+        let spec = args
+            .get(i + 1)
+            .ok_or("--force needs a NAME=0|1|x argument")?;
+        let (name, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("invalid forcing `{spec}` (expected NAME=0|1|x)"))?;
+        let logic = match value {
+            "0" => Logic::Zero,
+            "1" => Logic::One,
+            "x" | "X" => Logic::X,
+            _ => return Err(format!("invalid forcing value `{value}` (expected 0|1|x)")),
+        };
+        forces.push((name.to_owned(), logic));
+    }
+    Ok(forces)
+}
+
+/// Parses the checker knobs shared by every `equiv` mode.
+fn equiv_opts_from_args(args: &[String]) -> Result<EquivOptions, String> {
+    let d = EquivOptions::default();
+    let opts = EquivOptions {
+        steps: parse_flag(args, "--steps", d.steps)?,
+        rounds: parse_flag(args, "--rounds", d.rounds)?,
+        seed: parse_flag(args, "--seed", d.seed)?,
+        threads: flag_value(args, "--threads")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value `{v}` for --threads"))
+            })
+            .transpose()?,
+        forces: forces_from_args(args)?,
+    };
+    if opts.steps == 0 || opts.rounds == 0 {
+        return Err("--steps and --rounds must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+/// Prints an equivalence verdict; returns whether it was equivalent.
+fn report_verdict(label: &str, verdict: &EquivVerdict) -> bool {
+    match verdict {
+        EquivVerdict::Equivalent(stats) => {
+            println!(
+                "{label}: equivalent over {} rounds x {} steps \
+                 ({} directed, {} state-seeded; {} outputs compared)",
+                stats.rounds,
+                stats.steps,
+                stats.directed_rounds,
+                stats.seeded_rounds,
+                stats.compared_outputs,
+            );
+            true
+        }
+        EquivVerdict::NotEquivalent(cex) => {
+            println!(
+                "{label}: NOT equivalent — output `{}` is {} vs {} at step {} \
+                 (round {}, witness minimized {} -> {} vectors)",
+                cex.output,
+                cex.left_value,
+                cex.right_value,
+                cex.time,
+                cex.round,
+                cex.original_steps,
+                cex.inputs.len(),
+            );
+            for (t, v) in cex.inputs.iter().enumerate() {
+                let bits: String = v.iter().map(ToString::to_string).collect();
+                println!("  witness[{t}] = {bits}");
+            }
+            if !cex.initial_state.is_empty() {
+                let bits: String = cex.initial_state.iter().map(ToString::to_string).collect();
+                println!("  initial state = {bits}");
+            }
+            false
+        }
+    }
+}
+
+fn cmd_equiv(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--self-check") {
+        return equiv_self_check(args);
+    }
+    let left_arg = args.first().ok_or("equiv: missing circuit argument")?;
+    if left_arg.starts_with("--") {
+        return Err(format!("equiv: expected a circuit, got `{left_arg}`"));
+    }
+    let left = load_circuit(left_arg)?;
+    let (obs, metrics) = obs_from_args(args)?;
+    let config = FlowConfig {
+        obs,
+        ..FlowConfig::default()
+    };
+
+    if let Some(i) = args.iter().position(|a| a == "--diff") {
+        let orig_arg = args
+            .get(i + 1)
+            .ok_or("--diff needs <original.txt> <candidate.txt>")?;
+        let cand_arg = args
+            .get(i + 2)
+            .ok_or("--diff needs <original.txt> <candidate.txt>")?;
+        let chains: usize = parse_flag(args, "--chains", 1)?;
+        if left.dffs().is_empty() {
+            return Err("circuit has no flip-flops; nothing to scan".into());
+        }
+        let sc = ScanCircuit::insert_chains(&left, chains);
+        let mut programs = Vec::with_capacity(2);
+        for arg in [orig_arg, cand_arg] {
+            let text =
+                std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+            let seq = parse_program(&text).map_err(|e| e.to_string())?;
+            if seq.width() != sc.circuit().inputs().len() {
+                return Err(format!(
+                    "program {arg} width {} does not match {} ({} inputs with scan)",
+                    seq.width(),
+                    sc.circuit().name(),
+                    sc.circuit().inputs().len(),
+                ));
+            }
+            programs.push(seq);
+        }
+        let faults = FaultList::collapsed(sc.circuit());
+        let flow =
+            DifferentialFlow::run(sc.circuit(), &faults, &programs[0], &programs[1], &config)
+                .map_err(|e| e.to_string())?;
+        if metrics {
+            eprint!("{}", flow.report.render());
+        }
+        let d = &flow.diff;
+        println!(
+            "{}/{} faults detected by the original, {}/{} by the candidate; \
+             {} lost, {} gained",
+            d.original_detected,
+            d.total,
+            d.candidate_detected,
+            d.total,
+            d.lost.len(),
+            d.gained.len(),
+        );
+        return if d.preserved() {
+            println!("candidate preserves every detection");
+            Ok(ExitCode::SUCCESS)
+        } else {
+            for id in &d.lost {
+                println!("  lost: {}", faults.fault(*id).display_name(sc.circuit()));
+            }
+            Ok(ExitCode::from(1))
+        };
+    }
+
+    let opts = equiv_opts_from_args(args)?;
+    let flow = if args.iter().any(|a| a == "--scan") {
+        let chains: usize = parse_flag(args, "--chains", 1)?;
+        EquivFlow::run_scan_variant(&left, chains, &opts, &config).map_err(|e| e.to_string())?
+    } else {
+        let right_arg = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("equiv: missing second circuit (or --scan / --diff / --self-check)")?;
+        let right = load_circuit(right_arg)?;
+        EquivFlow::run(&left, &right, &opts, &config).map_err(|e| e.to_string())?
+    };
+    if metrics {
+        eprint!("{}", flow.report.render());
+    }
+    Ok(if report_verdict(left.name(), &flow.verdict) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// The built-in proof obligations: every small benchmark must be
+/// equivalent to its scan-inserted variants (functional mode) and its
+/// BLIF round trip, and the generation flow's compacted test set must be
+/// detection-preserving. Exercises the whole equiv stack with no
+/// arguments, which is what the CI gate runs.
+fn equiv_self_check(args: &[String]) -> Result<ExitCode, String> {
+    let (obs, metrics) = obs_from_args(args)?;
+    let opts = equiv_opts_from_args(args)?;
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+    for name in ["s27", "s298", "s344"] {
+        let circuit = benchmarks::load(name).expect("built-in benchmark");
+        let config = FlowConfig {
+            obs: obs.clone(),
+            ..FlowConfig::default()
+        };
+
+        let max_chains = circuit.dffs().len().min(4);
+        for chains in 1..=max_chains {
+            let flow = EquivFlow::run_scan_variant(&circuit, chains, &opts, &config)
+                .map_err(|e| e.to_string())?;
+            checks += 1;
+            if !report_verdict(&format!("{name} vs scan({chains})"), &flow.verdict) {
+                failures += 1;
+            }
+        }
+
+        let blif = blif_format::parse(name, &blif_format::write(&circuit))
+            .map_err(|e| format!("{name} BLIF round trip: {e}"))?;
+        let flow = EquivFlow::run(&circuit, &blif, &opts, &config).map_err(|e| e.to_string())?;
+        checks += 1;
+        if !report_verdict(&format!("{name} vs BLIF round trip"), &flow.verdict) {
+            failures += 1;
+        }
+
+        let gen = GenerationFlow::run(&circuit, &config).map_err(|e| e.to_string())?;
+        let diff = DifferentialFlow::run(
+            gen.scan.circuit(),
+            &gen.faults,
+            &gen.generated.sequence,
+            &gen.omitted.sequence,
+            &config,
+        )
+        .map_err(|e| e.to_string())?;
+        checks += 1;
+        if metrics {
+            eprint!("{}", diff.report.render());
+        }
+        if diff.diff.preserved() {
+            println!(
+                "{name} compaction: detection-preserving \
+                 ({} -> {} vectors, {}/{} faults, {} gained)",
+                gen.generated.sequence.len(),
+                gen.omitted.sequence.len(),
+                diff.diff.candidate_detected,
+                diff.diff.total,
+                diff.diff.gained.len(),
+            );
+        } else {
+            println!(
+                "{name} compaction: NOT detection-preserving — {} fault(s) lost",
+                diff.diff.lost.len(),
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("self-check passed: {checks} obligations");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("self-check FAILED: {failures}/{checks} obligations");
+        Ok(ExitCode::from(1))
     }
 }

@@ -50,6 +50,10 @@ pub enum FlowError {
     /// A resume snapshot failed to load or validate, or its configuration
     /// digest disagrees with the resume configuration.
     Snapshot(limscan_harness::SnapshotError),
+    /// The equivalence checker could not even start: the candidate is
+    /// missing a reference port, or a forced input names no candidate
+    /// input.
+    Equiv(limscan_equiv::EquivError),
 }
 
 impl fmt::Display for FlowError {
@@ -77,6 +81,7 @@ impl fmt::Display for FlowError {
                 "cannot spread {flip_flops} flip-flop(s) over {requested} scan chain(s)"
             ),
             FlowError::Snapshot(e) => write!(f, "{e}"),
+            FlowError::Equiv(e) => write!(f, "{e}"),
         }
     }
 }
@@ -86,6 +91,12 @@ impl std::error::Error for FlowError {}
 impl From<NetlistError> for FlowError {
     fn from(e: NetlistError) -> Self {
         FlowError::Netlist(e)
+    }
+}
+
+impl From<limscan_equiv::EquivError> for FlowError {
+    fn from(e: limscan_equiv::EquivError) -> Self {
+        FlowError::Equiv(e)
     }
 }
 

@@ -24,6 +24,7 @@
 //! | generation | [`atpg`] | PODEM, Section-2 sequential generator, baselines |
 //! | compaction | [`compact`] | vector restoration \[23\], omission \[22\], scan-set pruning \[26\] |
 //! | diagnostics | [`lint`] | static lint/DRC rules over netlists and scan chains |
+//! | equivalence | [`equiv`] | cross-engine equivalence checking, test-set differential |
 //! | flows | this crate | the end-to-end pipelines and experiment harness |
 //!
 //! ## Quick start
@@ -55,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod equiv_flow;
 mod experiment;
 mod flow;
 mod resilient;
 
+pub use equiv_flow::{DifferentialFlow, EquivFlow};
 pub use experiment::{CircuitExperiment, ExperimentConfig, Table5Row, Table6Row, Table7Row};
 pub use flow::{Engine, FlowConfig, FlowError, GenerationFlow, TranslationFlow};
 pub use resilient::{
@@ -67,6 +70,7 @@ pub use resilient::{
 
 pub use limscan_atpg as atpg;
 pub use limscan_compact as compact;
+pub use limscan_equiv as equiv;
 pub use limscan_fault as fault;
 pub use limscan_harness as harness;
 pub use limscan_lint as lint;
@@ -77,6 +81,9 @@ pub use limscan_sim as sim;
 
 pub use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
 pub use limscan_compact::{omission, restoration, restore_then_omit, segment_prune, Compacted};
+pub use limscan_equiv::{
+    check, detection_diff, Counterexample, DetectionDiff, EquivOptions, EquivVerdict,
+};
 pub use limscan_fault::{Fault, FaultId, FaultList, StuckAt};
 pub use limscan_harness::{
     CancelToken, FailPlan, FlowKind, FlowOutcome, FlowPhase, FlowSnapshot, RunBudget,

@@ -1,0 +1,152 @@
+//! Test-set-vs-test-set differential detection comparison.
+
+use limscan_fault::{FaultId, FaultList};
+use limscan_netlist::Circuit;
+use limscan_sim::{SeqFaultSim, TestSequence};
+
+/// Per-fault detection comparison of two test programs on one circuit.
+///
+/// Built by [`detection_diff`]. `lost` is the interesting set: faults the
+/// original program detects that the candidate misses. A compacted or
+/// translated test program is *detection-preserving* when `lost` is
+/// empty; `gained` faults (detected only by the candidate) are reported
+/// for completeness but do not violate preservation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DetectionDiff {
+    /// Faults in the compared universe.
+    pub total: usize,
+    /// Faults the original program detects.
+    pub original_detected: usize,
+    /// Faults the candidate program detects.
+    pub candidate_detected: usize,
+    /// Faults detected by the original but not the candidate, in id
+    /// order.
+    pub lost: Vec<FaultId>,
+    /// Faults detected by the candidate but not the original, in id
+    /// order.
+    pub gained: Vec<FaultId>,
+}
+
+impl DetectionDiff {
+    /// Whether the candidate preserves every detection of the original.
+    pub fn preserved(&self) -> bool {
+        self.lost.is_empty()
+    }
+
+    /// Whether the two programs detect exactly the same faults.
+    pub fn identical(&self) -> bool {
+        self.lost.is_empty() && self.gained.is_empty()
+    }
+}
+
+/// Compares the per-fault detection of two test programs on `circuit`
+/// over `faults`, both applied from the all-X state.
+///
+/// Both sequences run through the parallel fault simulator
+/// ([`SeqFaultSim::run`]); detection is the engine's three-valued-safe
+/// notion, so the comparison is exact, not sampled.
+///
+/// # Panics
+///
+/// Panics if either sequence's width differs from the circuit's input
+/// count.
+///
+/// # Example
+///
+/// ```
+/// use limscan_equiv::detection_diff;
+/// use limscan_fault::FaultList;
+/// use limscan_netlist::benchmarks;
+/// use limscan_sim::TestSequence;
+///
+/// let c = benchmarks::s27();
+/// let faults = FaultList::collapsed(&c);
+/// let empty = TestSequence::new(c.inputs().len());
+/// let diff = detection_diff(&c, &faults, &empty, &empty);
+/// assert!(diff.identical());
+/// ```
+pub fn detection_diff(
+    circuit: &Circuit,
+    faults: &FaultList,
+    original: &TestSequence,
+    candidate: &TestSequence,
+) -> DetectionDiff {
+    let orig = SeqFaultSim::run(circuit, faults, original);
+    let cand = SeqFaultSim::run(circuit, faults, candidate);
+    let mut lost = Vec::new();
+    let mut gained = Vec::new();
+    for id in faults.ids() {
+        match (orig.is_detected(id), cand.is_detected(id)) {
+            (true, false) => lost.push(id),
+            (false, true) => gained.push(id),
+            _ => {}
+        }
+    }
+    DetectionDiff {
+        total: faults.len(),
+        original_detected: orig.detected_count(),
+        candidate_detected: cand.detected_count(),
+        lost,
+        gained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::benchmarks;
+    use limscan_sim::Logic;
+
+    fn some_vectors(n: usize, width: usize, seed: u64) -> TestSequence {
+        let mut seq = TestSequence::new(width);
+        for t in 0..n {
+            seq.push(
+                (0..width)
+                    .map(|i| {
+                        if (seed >> ((t * width + i) % 61)) & 1 == 0 {
+                            Logic::Zero
+                        } else {
+                            Logic::One
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        seq
+    }
+
+    #[test]
+    fn identical_sequences_diff_empty() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = some_vectors(12, 4, 0xfeed_beef);
+        let d = detection_diff(&c, &faults, &seq, &seq);
+        assert!(d.identical() && d.preserved());
+        assert_eq!(d.original_detected, d.candidate_detected);
+        assert_eq!(d.total, faults.len());
+    }
+
+    #[test]
+    fn a_prefix_loses_detections() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = some_vectors(16, 4, 0xdead_cafe);
+        let d_full = detection_diff(&c, &faults, &seq, &seq);
+        assert!(d_full.original_detected > 0, "stimulus detects something");
+        let d = detection_diff(&c, &faults, &seq, &seq.prefix(1));
+        assert!(!d.preserved(), "dropping vectors must lose detections");
+        assert_eq!(d.lost.len(), d.original_detected - d.candidate_detected);
+        assert!(d.gained.is_empty(), "a prefix cannot gain detections");
+    }
+
+    #[test]
+    fn gained_detections_do_not_break_preservation() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = some_vectors(16, 4, 0xdead_cafe);
+        let d = detection_diff(&c, &faults, &seq.prefix(1), &seq);
+        assert!(d.preserved());
+        assert!(!d.identical());
+        assert!(!d.gained.is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Cross-engine equivalence checking for the `limscan` workspace.
+//!
+//! Two complementary differential checks over circuit variants and their
+//! test programs:
+//!
+//! * [`check`] — bounded sequential equivalence of two circuits
+//!   (bare vs. scan-inserted, BLIF round-tripped, hand-edited): interfaces
+//!   aligned by name ([`PortMap`]), trajectories driven in lockstep on the
+//!   wide-word kernel ([`limscan_sim::LockstepSim`], [`limscan_sim::LANES`]
+//!   rounds per pass), outputs compared *exactly* (X included), and any
+//!   mismatch re-validated and shrunk on the scalar engine before being
+//!   reported as a [`Counterexample`];
+//! * [`detection_diff`] — per-fault detection comparison of two test
+//!   programs on one circuit, the acceptance check for compaction and
+//!   test-set translation ("the compacted program detects everything the
+//!   original did").
+//!
+//! Both checks are deterministic in their inputs: thread count changes
+//! wall-clock time, never verdicts.
+//!
+//! # Example
+//!
+//! ```
+//! use limscan_equiv::{check, EquivOptions};
+//! use limscan_netlist::benchmarks;
+//!
+//! let c = benchmarks::s27();
+//! assert!(check(&c, &c, &EquivOptions::default()).unwrap().is_equivalent());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod check;
+mod diff;
+mod minimize;
+mod ports;
+
+pub use check::{check, Counterexample, EquivError, EquivOptions, EquivStats, EquivVerdict};
+pub use diff::{detection_diff, DetectionDiff};
+pub use ports::{PortMap, PortMatchError};

@@ -1,0 +1,186 @@
+//! Scalar-engine replay and counterexample minimization.
+
+use limscan_netlist::Circuit;
+use limscan_sim::{Logic, SeqGoodSim, TestSequence};
+
+use crate::check::Counterexample;
+use crate::ports::PortMap;
+
+/// A first mismatch found by scalar replay.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Mismatch {
+    /// Time unit (vector index).
+    pub(crate) t: usize,
+    /// Index into [`PortMap::outputs`].
+    pub(crate) pair: usize,
+    /// Reference output value.
+    pub(crate) left: Logic,
+    /// Candidate output value.
+    pub(crate) right: Logic,
+}
+
+/// Replays `seq` on both circuits with the scalar engine and returns the
+/// first exact mismatch on a matched output, if any.
+///
+/// `forced[pos]` pins candidate input `pos` to a constant; matched,
+/// unforced candidate inputs follow the reference vector; the rest stay
+/// X. The candidate starts with name-matched flip-flops copied from
+/// `init_left` and everything else X.
+pub(crate) fn replay(
+    left: &Circuit,
+    right: &Circuit,
+    map: &PortMap,
+    forced: &[Option<Logic>],
+    seq: &TestSequence,
+    init_left: &[Logic],
+) -> Option<Mismatch> {
+    let mut init_right = vec![Logic::X; right.dffs().len()];
+    for &(lf, rf) in map.ffs() {
+        init_right[rf] = init_left[lf];
+    }
+    let mut ls = SeqGoodSim::with_state(left, init_left.to_vec());
+    let mut rs = SeqGoodSim::with_state(right, init_right);
+    let mut r_vec = vec![Logic::X; right.inputs().len()];
+    for (t, vector) in seq.iter().enumerate() {
+        for (pos, v) in r_vec.iter_mut().enumerate() {
+            *v = forced[pos].unwrap_or(Logic::X);
+        }
+        for &(li, ri) in map.inputs() {
+            if forced[ri].is_none() {
+                r_vec[ri] = vector[li];
+            }
+        }
+        ls.step(vector);
+        rs.step(&r_vec);
+        for (pair, &(lo, ro)) in map.outputs().iter().enumerate() {
+            let lv = ls.value(left.outputs()[lo]);
+            let rv = rs.value(right.outputs()[ro]);
+            if lv != rv {
+                return Some(Mismatch {
+                    t,
+                    pair,
+                    left: lv,
+                    right: rv,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Shrinks a failing witness: truncate at the first mismatch, greedily
+/// drop whole vectors, then turn individual care bits back to X — each
+/// candidate re-validated by scalar replay, so the result is guaranteed
+/// to still fail.
+pub(crate) fn minimize(
+    left: &Circuit,
+    right: &Circuit,
+    map: &PortMap,
+    forced: &[Option<Logic>],
+    seq: TestSequence,
+    initial_state: Vec<Logic>,
+    round: usize,
+) -> Counterexample {
+    let original_steps = seq.len();
+    let fails = |s: &TestSequence| replay(left, right, map, forced, s, &initial_state);
+
+    let first = fails(&seq).expect("minimize called on a passing witness");
+    let mut seq = seq.prefix(first.t + 1);
+
+    // Greedy vector drop, latest first (dropping late vectors keeps the
+    // early state-setup intact and re-truncation cheap).
+    let mut t = seq.len();
+    while t > 0 {
+        t -= 1;
+        if seq.len() <= 1 {
+            break;
+        }
+        let candidate = seq.without(t);
+        if let Some(m) = fails(&candidate) {
+            seq = candidate.prefix(m.t + 1);
+            t = t.min(seq.len());
+        }
+    }
+
+    // Bit-wise X-ing: any care bit the mismatch does not need goes back
+    // to don't-care.
+    for t in 0..seq.len() {
+        for i in 0..seq.width() {
+            if seq.vector(t)[i] == Logic::X {
+                continue;
+            }
+            let saved = seq.vector(t)[i];
+            seq.vector_mut(t)[i] = Logic::X;
+            if fails(&seq).is_none() {
+                seq.vector_mut(t)[i] = saved;
+            }
+        }
+    }
+
+    let m = fails(&seq).expect("minimization preserved the failure");
+    let seq = seq.prefix(m.t + 1);
+    let (lo, _) = map.outputs()[m.pair];
+    Counterexample {
+        round,
+        initial_state,
+        time: m.t,
+        output: left.net(left.outputs()[lo]).name().to_owned(),
+        left_value: m.left,
+        right_value: m.right,
+        original_steps,
+        inputs: seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::{bench_format, benchmarks};
+
+    fn mutant_of_s27(from: &str, to: &str) -> Circuit {
+        let text = bench_format::write(&benchmarks::s27()).replace(from, to);
+        bench_format::parse("s27m", &text).unwrap()
+    }
+
+    #[test]
+    fn replay_is_none_for_identical_circuits() {
+        let c = benchmarks::s27();
+        let map = PortMap::match_ports(&c, &c).unwrap();
+        let forced = vec![None; c.inputs().len()];
+        let mut seq = TestSequence::new(4);
+        seq.push(vec![Logic::One, Logic::Zero, Logic::One, Logic::Zero]);
+        seq.push(vec![Logic::Zero, Logic::Zero, Logic::One, Logic::One]);
+        let init = vec![Logic::X; 3];
+        assert_eq!(replay(&c, &c, &map, &forced, &seq, &init), None);
+    }
+
+    #[test]
+    fn minimized_witness_still_fails_and_is_no_longer() {
+        let c = benchmarks::s27();
+        let mutant = mutant_of_s27("G17 = NOT(G11)", "G17 = BUFF(G11)");
+        let map = PortMap::match_ports(&c, &mutant).unwrap();
+        let forced = vec![None; mutant.inputs().len()];
+
+        // A deliberately bloated witness: 10 all-ones vectors.
+        let mut seq = TestSequence::new(4);
+        for _ in 0..10 {
+            seq.push(vec![Logic::One; 4]);
+        }
+        let init = vec![Logic::X; 3];
+        assert!(replay(&c, &mutant, &map, &forced, &seq, &init).is_some());
+
+        let cex = minimize(&c, &mutant, &map, &forced, seq, init, 7);
+        assert_eq!(cex.round, 7);
+        assert_eq!(cex.original_steps, 10);
+        assert!(cex.inputs.len() <= 10);
+        assert_eq!(cex.time + 1, cex.inputs.len());
+        assert!(
+            replay(&c, &mutant, &map, &forced, &cex.inputs, &cex.initial_state).is_some(),
+            "minimized witness must still fail"
+        );
+        // An output inversion is visible as soon as the PO is binary; the
+        // witness should have shrunk to very few vectors with X's mixed
+        // in.
+        assert!(cex.inputs.len() <= 3, "witness did not shrink: {cex:?}");
+    }
+}

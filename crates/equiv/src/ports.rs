@@ -1,0 +1,239 @@
+//! Structural name matching between two circuit variants.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use limscan_netlist::Circuit;
+
+/// Why two circuits' interfaces could not be aligned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PortMatchError {
+    /// A primary input of the reference has no same-named input in the
+    /// candidate.
+    MissingInput(String),
+    /// A primary output of the reference has no same-named output in the
+    /// candidate.
+    MissingOutput(String),
+}
+
+impl fmt::Display for PortMatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortMatchError::MissingInput(n) => {
+                write!(
+                    f,
+                    "reference input `{n}` has no counterpart in the candidate"
+                )
+            }
+            PortMatchError::MissingOutput(n) => {
+                write!(
+                    f,
+                    "reference output `{n}` has no counterpart in the candidate"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortMatchError {}
+
+/// A name-based alignment of two circuits' interfaces.
+///
+/// The *reference* (left) circuit's whole interface must be present in the
+/// *candidate* (right) circuit; the candidate may carry extra inputs
+/// (e.g. `scan_sel` / `scan_inp` after scan insertion) and extra outputs
+/// (e.g. `scan_out`), which are recorded but not compared. Flip-flops are
+/// matched by name where possible; [`full_state_match`]
+/// (Self::full_state_match) reports whether every reference flip-flop
+/// found a partner, which is what gates seeded-state checking rounds.
+///
+/// # Example
+///
+/// ```
+/// use limscan_equiv::PortMap;
+/// use limscan_netlist::benchmarks;
+///
+/// let c = benchmarks::s27();
+/// let map = PortMap::match_ports(&c, &c).unwrap();
+/// assert_eq!(map.inputs().len(), 4);
+/// assert!(map.full_state_match());
+/// assert!(map.extra_inputs().is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PortMap {
+    /// `(left input position, right input position)` pairs, in left order.
+    inputs: Vec<(usize, usize)>,
+    /// `(left output position, right output position)` pairs, in left
+    /// order.
+    outputs: Vec<(usize, usize)>,
+    /// `(left flip-flop index, right flip-flop index)` name matches.
+    ffs: Vec<(usize, usize)>,
+    /// Right input positions with no left counterpart.
+    extra_inputs: Vec<usize>,
+    /// Right output positions with no left counterpart.
+    extra_outputs: Vec<usize>,
+    /// Whether every left flip-flop matched a right flip-flop by name.
+    full_state_match: bool,
+}
+
+impl PortMap {
+    /// Aligns `right`'s interface to `left`'s by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PortMatchError`] if any input or output of `left` has no
+    /// same-named counterpart in `right`.
+    pub fn match_ports(left: &Circuit, right: &Circuit) -> Result<PortMap, PortMatchError> {
+        let right_inputs: HashMap<&str, usize> = right
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (right.net(id).name(), i))
+            .collect();
+        let right_outputs: HashMap<&str, usize> = right
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (right.net(id).name(), i))
+            .collect();
+        let right_ffs: HashMap<&str, usize> = right
+            .dffs()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (right.net(id).name(), i))
+            .collect();
+
+        let mut inputs = Vec::with_capacity(left.inputs().len());
+        for (li, &id) in left.inputs().iter().enumerate() {
+            let name = left.net(id).name();
+            let &ri = right_inputs
+                .get(name)
+                .ok_or_else(|| PortMatchError::MissingInput(name.to_owned()))?;
+            inputs.push((li, ri));
+        }
+        let mut outputs = Vec::with_capacity(left.outputs().len());
+        for (li, &id) in left.outputs().iter().enumerate() {
+            let name = left.net(id).name();
+            let &ri = right_outputs
+                .get(name)
+                .ok_or_else(|| PortMatchError::MissingOutput(name.to_owned()))?;
+            outputs.push((li, ri));
+        }
+        let mut ffs = Vec::new();
+        for (li, &id) in left.dffs().iter().enumerate() {
+            if let Some(&ri) = right_ffs.get(left.net(id).name()) {
+                ffs.push((li, ri));
+            }
+        }
+        let full_state_match = ffs.len() == left.dffs().len();
+
+        let matched_r_in: std::collections::HashSet<usize> =
+            inputs.iter().map(|&(_, r)| r).collect();
+        let extra_inputs = (0..right.inputs().len())
+            .filter(|i| !matched_r_in.contains(i))
+            .collect();
+        let matched_r_out: std::collections::HashSet<usize> =
+            outputs.iter().map(|&(_, r)| r).collect();
+        let extra_outputs = (0..right.outputs().len())
+            .filter(|i| !matched_r_out.contains(i))
+            .collect();
+
+        Ok(PortMap {
+            inputs,
+            outputs,
+            ffs,
+            extra_inputs,
+            extra_outputs,
+            full_state_match,
+        })
+    }
+
+    /// Matched `(left, right)` input positions, in left declaration order.
+    pub fn inputs(&self) -> &[(usize, usize)] {
+        &self.inputs
+    }
+
+    /// Matched `(left, right)` output positions, in left declaration
+    /// order.
+    pub fn outputs(&self) -> &[(usize, usize)] {
+        &self.outputs
+    }
+
+    /// Matched `(left, right)` flip-flop indexes.
+    pub fn ffs(&self) -> &[(usize, usize)] {
+        &self.ffs
+    }
+
+    /// Candidate input positions with no reference counterpart (driven by
+    /// the checker's forced/default values).
+    pub fn extra_inputs(&self) -> &[usize] {
+        &self.extra_inputs
+    }
+
+    /// Candidate output positions with no reference counterpart (not
+    /// compared).
+    pub fn extra_outputs(&self) -> &[usize] {
+        &self.extra_outputs
+    }
+
+    /// Whether every reference flip-flop matched by name — the
+    /// precondition for seeded-state checking rounds.
+    pub fn full_state_match(&self) -> bool {
+        self.full_state_match
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limscan_netlist::{bench_format, benchmarks};
+    use limscan_scan::ScanCircuit;
+
+    #[test]
+    fn identity_match_is_total() {
+        let c = benchmarks::s27();
+        let m = PortMap::match_ports(&c, &c).unwrap();
+        assert_eq!(m.inputs(), &[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(m.outputs(), &[(0, 0)]);
+        assert_eq!(m.ffs().len(), 3);
+        assert!(m.full_state_match());
+        assert!(m.extra_inputs().is_empty() && m.extra_outputs().is_empty());
+    }
+
+    #[test]
+    fn scan_variant_matches_with_extras() {
+        let c = benchmarks::s27();
+        let sc = ScanCircuit::insert(&c);
+        let m = PortMap::match_ports(&c, sc.circuit()).unwrap();
+        assert_eq!(m.inputs().len(), 4);
+        assert_eq!(m.outputs().len(), 1);
+        assert!(m.full_state_match(), "scan keeps flip-flop names");
+        // scan_sel + scan_inp on the input side, scan_out on the output
+        // side.
+        assert_eq!(m.extra_inputs().len(), 2);
+        assert_eq!(m.extra_outputs().len(), 1);
+    }
+
+    #[test]
+    fn missing_ports_are_reported_by_name() {
+        let left =
+            bench_format::parse("l", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let right = bench_format::parse("r", "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n").unwrap();
+        assert_eq!(
+            PortMap::match_ports(&left, &right),
+            Err(PortMatchError::MissingInput("b".to_owned())),
+        );
+        let right2 =
+            bench_format::parse("r2", "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(a, b)\n").unwrap();
+        assert_eq!(
+            PortMap::match_ports(&left, &right2),
+            Err(PortMatchError::MissingOutput("y".to_owned())),
+        );
+    }
+
+    #[test]
+    fn match_ports_is_err_friendly_display() {
+        let e = PortMatchError::MissingInput("scan_sel".to_owned());
+        assert!(e.to_string().contains("scan_sel"));
+    }
+}

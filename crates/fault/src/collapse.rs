@@ -6,11 +6,16 @@
 //! * OR: any input stuck-at-1 ≡ output stuck-at-1 (NOR: ≡ output sa0);
 //! * NOT/BUF: input stuck-at-v ≡ output stuck-at-v̄ / v;
 //! * DFF: D-input stuck-at-v ≡ Q-output stuck-at-v (the one-cycle delay
-//!   does not affect detectability in a synchronous circuit).
+//!   does not affect detectability in a synchronous circuit starting from
+//!   an unknown state);
+//! * wire: the branch fault on the *only* consumer pin of a net that is not
+//!   itself observed as a primary output ≡ the net's stem fault (the two
+//!   sites corrupt exactly the same signal).
 //!
-//! An input-pin fault is represented by the source net's *stem* fault when
-//! the net has a single consumer and is not itself a primary output;
-//! otherwise by the explicit *branch* fault on the pin.
+//! The full universe enumerates an explicit input-pin fault on every
+//! consumer pin (see [`FaultList::full`]); the wire rule merges the pins
+//! that are indistinguishable from their stem back into one class, and the
+//! gate-local rules chain pin faults into the consuming gate's output stem.
 
 use std::cell::Cell;
 
@@ -59,16 +64,6 @@ impl CollapseClasses {
     }
 }
 
-/// The fault a stuck-at on input pin `pin` of the consumer is represented by.
-fn pin_fault(circuit: &Circuit, pin: Pin, stuck: StuckAt) -> Fault {
-    let src = circuit.net(pin.net).driver().fanins()[pin.pin as usize];
-    if circuit.fanouts(src).len() == 1 && !circuit.is_output(src) {
-        Fault::stem(src, stuck)
-    } else {
-        Fault::branch(pin, stuck)
-    }
-}
-
 /// Computes equivalence classes over the full fault universe of `circuit`.
 pub(crate) fn collapse_classes(circuit: &Circuit, full: &FaultList) -> CollapseClasses {
     let mut classes = CollapseClasses::new(full.len());
@@ -81,12 +76,25 @@ pub(crate) fn collapse_classes(circuit: &Circuit, full: &FaultList) -> CollapseC
     };
 
     for id in (0..circuit.net_count()).map(NetId::from_index) {
+        // Wire rule: a branch on the only consumer of a non-observed net is
+        // the same physical signal as the stem.
+        let fanouts = circuit.fanouts(id);
+        if fanouts.len() == 1 && !circuit.is_output(id) {
+            for v in StuckAt::both() {
+                link(
+                    &mut classes,
+                    Fault::branch(fanouts[0], v),
+                    Fault::stem(id, v),
+                );
+            }
+        }
+
         match circuit.net(id).driver() {
             Driver::Input => {}
             Driver::Dff { .. } => {
                 let pin = Pin { net: id, pin: 0 };
                 for v in StuckAt::both() {
-                    link(&mut classes, pin_fault(circuit, pin, v), Fault::stem(id, v));
+                    link(&mut classes, Fault::branch(pin, v), Fault::stem(id, v));
                 }
             }
             Driver::Gate { kind, fanins } => {
@@ -107,7 +115,7 @@ pub(crate) fn collapse_classes(circuit: &Circuit, full: &FaultList) -> CollapseC
                     if let Some((pin_v, out_v)) = rule {
                         link(
                             &mut classes,
-                            pin_fault(circuit, pin, pin_v),
+                            Fault::branch(pin, pin_v),
                             Fault::stem(id, out_v),
                         );
                     }
@@ -120,7 +128,7 @@ pub(crate) fn collapse_classes(circuit: &Circuit, full: &FaultList) -> CollapseC
                         };
                         link(
                             &mut classes,
-                            pin_fault(circuit, pin, StuckAt::One),
+                            Fault::branch(pin, StuckAt::One),
                             Fault::stem(id, out_v),
                         );
                     }
@@ -129,6 +137,122 @@ pub(crate) fn collapse_classes(circuit: &Circuit, full: &FaultList) -> CollapseC
         }
     }
     classes
+}
+
+/// The structural equivalence classes of a circuit's full fault universe,
+/// exposed for differential testing and collapse statistics.
+///
+/// # Example
+///
+/// ```
+/// use limscan_netlist::benchmarks;
+/// use limscan_fault::FaultClasses;
+///
+/// let c = benchmarks::s27();
+/// let classes = FaultClasses::compute(&c);
+/// for id in classes.full().ids() {
+///     let rep = classes.representative(id);
+///     assert_eq!(classes.representative(rep), rep, "reps are canonical");
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultClasses {
+    full: FaultList,
+    classes: CollapseClasses,
+}
+
+impl FaultClasses {
+    /// Enumerates the full universe of `circuit` and partitions it under
+    /// the structural equivalence rules.
+    pub fn compute(circuit: &Circuit) -> Self {
+        let full = FaultList::full(circuit);
+        let classes = collapse_classes(circuit, &full);
+        FaultClasses { full, classes }
+    }
+
+    /// The full universe the classes partition.
+    pub fn full(&self) -> &FaultList {
+        &self.full
+    }
+
+    /// The canonical (smallest-id) representative of `id`'s class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the full universe.
+    pub fn representative(&self, id: FaultId) -> FaultId {
+        assert!(id.index() < self.full.len(), "fault id out of range");
+        self.classes.representative(id)
+    }
+
+    /// Every equivalence class as a list of member ids, ordered by
+    /// representative id; members appear in id order within a class.
+    pub fn classes(&self) -> Vec<Vec<FaultId>> {
+        let mut by_rep: Vec<Vec<FaultId>> = vec![Vec::new(); self.full.len()];
+        for id in self.full.ids() {
+            by_rep[self.classes.representative(id).index()].push(id);
+        }
+        by_rep.retain(|c| !c.is_empty());
+        by_rep
+    }
+
+    /// Number of equivalence classes (the collapsed universe size).
+    pub fn class_count(&self) -> usize {
+        self.full
+            .ids()
+            .filter(|&id| self.classes.representative(id) == id)
+            .count()
+    }
+}
+
+/// Measured size of a circuit's fault universe before and after input-pin
+/// completion, plus the collapse outcome. Reported by `limscan info` and
+/// the EXPERIMENTS.md fault-universe table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollapseStats {
+    /// Nets in the circuit.
+    pub nets: usize,
+    /// Consumer pins (gate fanin pins plus flip-flop D pins).
+    pub pins: usize,
+    /// Pre-completion universe size (stems + distinguishable fanout
+    /// branches only).
+    pub pre_completion: usize,
+    /// Completed universe size (stems + every input-pin fault).
+    pub full: usize,
+    /// Collapsed universe size (one representative per class).
+    pub collapsed: usize,
+}
+
+impl CollapseStats {
+    /// Measures `circuit`.
+    pub fn measure(circuit: &Circuit) -> Self {
+        let classes = FaultClasses::compute(circuit);
+        let pins = (0..circuit.net_count())
+            .map(|n| circuit.fanouts(NetId::from_index(n)).len())
+            .sum();
+        CollapseStats {
+            nets: circuit.net_count(),
+            pins,
+            pre_completion: FaultList::stems_and_fanout_branches(circuit).len(),
+            full: classes.full().len(),
+            collapsed: classes.class_count(),
+        }
+    }
+
+    /// Collapsed-to-full ratio (the fraction of faults that survive
+    /// collapsing).
+    #[allow(clippy::cast_precision_loss)] // universe sizes are far below 2^52
+    pub fn ratio(&self) -> f64 {
+        if self.full == 0 {
+            return 1.0;
+        }
+        self.collapsed as f64 / self.full as f64
+    }
+
+    /// Input-pin faults added by completion.
+    pub fn pin_faults_added(&self) -> usize {
+        self.full - self.pre_completion
+    }
 }
 
 #[cfg(test)]
@@ -146,8 +270,10 @@ mod tests {
         b.output("y");
         let c = b.build().unwrap();
         let collapsed = FaultList::collapsed(&c);
-        // a/x/y each have 2 stem faults = 6 total; the chain collapses all
-        // of them into exactly 2 classes (one per polarity at the input).
+        // a/x/y each have 2 stem faults and the two consumer pins add 4 pin
+        // faults; the chain collapses all of them into exactly 2 classes
+        // (one per polarity at the input).
+        assert_eq!(FaultList::full(&c).len(), 10);
         assert_eq!(collapsed.len(), 2);
     }
 
@@ -159,8 +285,10 @@ mod tests {
         b.gate("y", GateKind::And, &["a", "b"]).unwrap();
         b.output("y");
         let c = b.build().unwrap();
-        // Full: 6 stem faults (a, b, y × 2), no branches. Classes:
-        // {a0,b0,y0}, {a1}, {b1}, {y1} -> 4.
+        // Full: 6 stem faults plus 4 pin faults. Wire rule folds each pin
+        // into its stem; classes: {a0,b0,y0,+pins}, {a1,+pin}, {b1,+pin},
+        // {y1} -> 4.
+        assert_eq!(FaultList::full(&c).len(), 10);
         assert_eq!(FaultList::collapsed(&c).len(), 4);
     }
 
@@ -196,9 +324,9 @@ mod tests {
         let classes = collapse_classes(&c, &full);
         let d = c.find_net("d").unwrap();
         let q = c.find_net("q").unwrap();
-        // d is a PO, so the D-pin fault is a branch on q's driver pin... the
-        // D pin of the flip-flop consumes `d`; since `d` is also observed as
-        // a PO the pin fault stays a branch and still collapses into q.
+        // `d` is also observed as a PO, so the wire rule does not apply to
+        // the D pin; the DFF pass-through rule still folds the pin fault
+        // into q's stem.
         let qpin = c
             .fanouts(d)
             .iter()
@@ -221,7 +349,9 @@ mod tests {
         b.gate("y", GateKind::Xor, &["a", "c"]).unwrap();
         b.output("y");
         let circ = b.build().unwrap();
-        // No gate-local equivalences on XOR: all six stem faults stay.
+        // No gate-local equivalences on XOR; the wire rule still folds each
+        // single-consumer pin fault into its stem, leaving the six stem
+        // classes.
         assert_eq!(FaultList::collapsed(&circ).len(), 6);
     }
 
@@ -233,11 +363,70 @@ mod tests {
 
     #[test]
     fn s27_collapse_ratio_is_sensible() {
+        let stats = CollapseStats::measure(&benchmarks::s27());
+        // Classical collapsing over the completed universe removes well
+        // over half of the faults on s27 (the wire rule alone folds every
+        // single-consumer pin back into its stem).
+        assert!(stats.ratio() < 0.7, "ratio {}", stats.ratio());
+        assert!(stats.ratio() > 0.25, "ratio {}", stats.ratio());
+        assert_eq!(stats.full, 76);
+        assert!(stats.pin_faults_added() > 0);
+    }
+
+    #[test]
+    fn completion_leaves_the_collapsed_universe_unchanged() {
+        // The collapsed list must be exactly the one the pre-completion
+        // universe produced: stems precede their pin faults, so no new
+        // fault can become a class representative. Recompute the old-style
+        // collapse by partitioning the legacy list with the same rules.
+        for name in ["s27", "s298", "b01"] {
+            let c = benchmarks::load(name).unwrap();
+            let collapsed = FaultList::collapsed(&c);
+            for (_, f) in collapsed.iter() {
+                match f.site {
+                    crate::fault::FaultSite::Stem(_) => {}
+                    crate::fault::FaultSite::Branch(pin) => {
+                        // A branch representative must be distinguishable
+                        // from its stem, i.e. the legacy condition.
+                        let src = f.site.source_net(&c);
+                        let n = c.fanouts(src).len();
+                        assert!(
+                            n > 1 || c.is_output(src),
+                            "{name}: pin fault {pin:?} should have folded into its stem"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_partition_the_full_universe() {
         let c = benchmarks::s27();
-        let full = FaultList::full(&c).len() as f64;
-        let col = FaultList::collapsed(&c).len() as f64;
-        // Classical collapsing removes roughly 40-60% of faults.
-        assert!(col / full < 0.8, "ratio {}", col / full);
-        assert!(col / full > 0.3, "ratio {}", col / full);
+        let classes = FaultClasses::compute(&c);
+        let parts = classes.classes();
+        assert_eq!(parts.len(), classes.class_count());
+        assert_eq!(
+            parts.iter().map(Vec::len).sum::<usize>(),
+            classes.full().len()
+        );
+        for part in &parts {
+            let rep = classes.representative(part[0]);
+            assert_eq!(rep, part[0], "first member is the representative");
+            for &m in part {
+                assert_eq!(classes.representative(m), rep);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let c = benchmarks::s27();
+        let stats = CollapseStats::measure(&c);
+        assert_eq!(stats.nets, 17);
+        assert_eq!(stats.pins, 21);
+        assert_eq!(stats.full, 2 * stats.nets + 2 * stats.pins);
+        assert_eq!(stats.collapsed, FaultList::collapsed(&c).len());
+        assert!(stats.pre_completion < stats.full);
     }
 }

@@ -1,9 +1,11 @@
 //! Single stuck-at fault model for the `limscan` workspace.
 //!
-//! Provides the fault universe over a gate-level circuit — stuck-at-0/1
-//! faults on every net (*stem* faults) and on every fanout branch (*branch*
-//! faults, attached to a consumer pin) — plus classical structural
-//! equivalence collapsing, which is what the paper's fault counts use.
+//! Provides the complete fault universe over a gate-level circuit —
+//! stuck-at-0/1 faults on every net (*stem* faults) and on every consumer
+//! input pin (*branch* faults, attached to a gate or flip-flop pin) — plus
+//! classical structural equivalence collapsing, which is what the paper's
+//! fault counts use. [`FaultClasses`] exposes the equivalence partition
+//! itself and [`CollapseStats`] the measured universe sizes.
 //!
 //! Because the paper performs test generation on the *scan* circuit
 //! `C_scan`, the universe built over `C_scan` automatically includes the
@@ -29,5 +31,6 @@ mod collapse;
 mod fault;
 mod universe;
 
+pub use collapse::{CollapseStats, FaultClasses};
 pub use fault::{Fault, FaultId, FaultSite, StuckAt};
 pub use universe::FaultList;

@@ -8,10 +8,10 @@ use crate::fault::{Fault, FaultId, StuckAt};
 
 /// An ordered list of faults over a circuit, indexable by [`FaultId`].
 ///
-/// Built either as the *full* universe (stem faults on every net plus branch
-/// faults on every pin of a net with more than one consumer) or as the
-/// equivalence-*collapsed* universe, where one representative per structural
-/// equivalence class is kept.
+/// Built either as the *full* universe (stem faults on every net plus
+/// input-pin branch faults on every consumer pin of every gate and
+/// flip-flop) or as the equivalence-*collapsed* universe, where one
+/// representative per structural equivalence class is kept.
 ///
 /// # Example
 ///
@@ -53,10 +53,39 @@ impl FaultList {
     }
 
     /// The full (uncollapsed) single stuck-at universe of `circuit`:
-    /// both polarities on every net stem, and on every fanout branch where
-    /// the branch is distinguishable from the stem — nets with two or more
-    /// consumers, or a single consumer plus observation as a primary output.
+    /// both polarities on every net stem, and an explicit input-pin branch
+    /// fault on *every* consumer pin of every gate and flip-flop.
+    ///
+    /// A branch on the only consumer of a non-observed net carries the same
+    /// faulty behaviour as the net's stem; such pins are enumerated anyway
+    /// so the universe is complete, and the structural wire-equivalence
+    /// rule in [`collapsed`](Self::collapsed) merges them back into the
+    /// stem. Stems precede the branches of the same source net, so adding
+    /// the pin faults never changes which fault represents a class.
     pub fn full(circuit: &Circuit) -> Self {
+        let mut list = FaultList {
+            faults: Vec::new(),
+            index: HashMap::new(),
+        };
+        for id in (0..circuit.net_count()).map(NetId::from_index) {
+            for stuck in StuckAt::both() {
+                list.push(Fault::stem(id, stuck));
+            }
+            for &pin in circuit.fanouts(id) {
+                for stuck in StuckAt::both() {
+                    list.push(Fault::branch(pin, stuck));
+                }
+            }
+        }
+        list
+    }
+
+    /// The pre-completion universe used before input-pin enumeration was
+    /// finished: stems on every net, branch faults only where the branch is
+    /// distinguishable from the stem (two or more consumers, or a single
+    /// consumer plus observation as a primary output). Kept as the
+    /// measurement baseline for the fault-universe growth statistics.
+    pub fn stems_and_fanout_branches(circuit: &Circuit) -> Self {
         let mut list = FaultList {
             faults: Vec::new(),
             index: HashMap::new(),
@@ -156,21 +185,39 @@ mod tests {
     use limscan_netlist::benchmarks;
 
     #[test]
-    fn full_universe_counts_stems_and_branches() {
+    fn full_universe_counts_stems_and_all_input_pins() {
         let c = benchmarks::s27();
         let list = FaultList::full(&c);
-        let branch_pins: usize = (0..c.net_count())
+        let pins: usize = (0..c.net_count())
             .map(NetId::from_index)
-            .map(|n| {
-                let f = c.fanouts(n).len();
-                if f > 1 || (f == 1 && c.is_output(n)) {
-                    f
-                } else {
-                    0
-                }
-            })
+            .map(|n| c.fanouts(n).len())
             .sum();
-        assert_eq!(list.len(), 2 * c.net_count() + 2 * branch_pins);
+        assert_eq!(list.len(), 2 * c.net_count() + 2 * pins);
+        // Hand count for s27: 17 nets (4 PI + 3 DFF + 10 gates) and 21
+        // consumer pins (two NOT, one AND, two OR, one NAND, four NOR =
+        // 18 gate pins, plus 3 flip-flop D pins) -> 34 stems + 42 pin
+        // faults.
+        assert_eq!(c.net_count(), 17);
+        assert_eq!(pins, 21);
+        assert_eq!(list.len(), 76);
+    }
+
+    #[test]
+    fn completion_grows_the_pre_completion_universe() {
+        let c = benchmarks::s27();
+        let legacy = FaultList::stems_and_fanout_branches(&c);
+        let full = FaultList::full(&c);
+        assert!(full.len() > legacy.len());
+        // Every pre-completion fault survives completion with its relative
+        // order intact.
+        let mut last = None;
+        for (_, f) in legacy.iter() {
+            let id = full.id_of(f).expect("legacy fault kept");
+            if let Some(prev) = last {
+                assert!(id > prev, "relative order preserved");
+            }
+            last = Some(id);
+        }
     }
 
     #[test]

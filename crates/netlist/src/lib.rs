@@ -8,6 +8,7 @@
 //! * [`CircuitBuilder`] — name-based construction with forward references,
 //!   mirroring the ISCAS-89 `.bench` textual format;
 //! * [`bench_format`] — parser and writer for `.bench` files;
+//! * [`blif_format`] — parser and writer for a structural BLIF subset;
 //! * [`benchmarks`] — the embedded `s27` circuit from the paper's running
 //!   example plus a seeded synthetic generator reproducing the published
 //!   profiles of the ISCAS-89 / ITC-99 circuits used in its evaluation.
@@ -27,6 +28,7 @@
 
 pub mod bench_format;
 pub mod benchmarks;
+pub mod blif_format;
 mod builder;
 mod circuit;
 mod error;

@@ -78,6 +78,14 @@ pub enum Metric {
     DegradedTrials,
     /// Checkpoint snapshots written at pass boundaries.
     SnapshotsWritten,
+    /// Stimulus rounds driven by an equivalence check.
+    EquivRounds,
+    /// Output mismatches found (and scalar-confirmed) by an equivalence
+    /// check.
+    EquivMismatches,
+    /// Detections lost by a candidate test program in a differential
+    /// comparison.
+    EquivFaultsLost,
     /// Gauge: worker threads used by an observed simulation pass.
     SimThreads,
     /// Gauge: estimated scratch-arena bytes for an observed pass.
@@ -86,7 +94,7 @@ pub enum Metric {
 
 impl Metric {
     /// Every metric, in a stable order (used for collector storage).
-    pub const ALL: [Metric; 16] = [
+    pub const ALL: [Metric; 19] = [
         Metric::VectorsSimulated,
         Metric::FaultsDetected,
         Metric::BatchesSimulated,
@@ -101,6 +109,9 @@ impl Metric {
         Metric::DegradedBatches,
         Metric::DegradedTrials,
         Metric::SnapshotsWritten,
+        Metric::EquivRounds,
+        Metric::EquivMismatches,
+        Metric::EquivFaultsLost,
         Metric::SimThreads,
         Metric::ScratchBytes,
     ];
@@ -123,6 +134,9 @@ impl Metric {
             Metric::DegradedBatches => "degraded_batches",
             Metric::DegradedTrials => "degraded_trials",
             Metric::SnapshotsWritten => "snapshots_written",
+            Metric::EquivRounds => "equiv_rounds",
+            Metric::EquivMismatches => "equiv_mismatches",
+            Metric::EquivFaultsLost => "equiv_faults_lost",
             Metric::SimThreads => "sim_threads",
             Metric::ScratchBytes => "scratch_bytes",
         }
@@ -155,6 +169,9 @@ impl Metric {
                 | Metric::ScanLoads
                 | Metric::DegradedBatches
                 | Metric::SnapshotsWritten
+                | Metric::EquivRounds
+                | Metric::EquivMismatches
+                | Metric::EquivFaultsLost
         )
     }
 }

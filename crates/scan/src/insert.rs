@@ -214,6 +214,19 @@ impl ScanCircuit {
         self.scan_sel_pos
     }
 
+    /// The input forcings that put the scan circuit into functional mode:
+    /// `scan_sel` tied to 0 (chain inputs may stay unspecified — with the
+    /// muxes deselected they cannot reach any flip-flop).
+    ///
+    /// The names are the actual net names, which matters when the original
+    /// circuit already used `scan_sel` and insertion had to uniquify.
+    /// Feed the result to an equivalence checker's forced-input list to
+    /// prove the scan variant behaves exactly like the original.
+    pub fn functional_ties(&self) -> Vec<(String, Logic)> {
+        let sel = self.circuit.inputs()[self.scan_sel_pos];
+        vec![(self.circuit.net(sel).name().to_owned(), Logic::Zero)]
+    }
+
     /// Position of the single chain's `scan_inp` within
     /// `circuit().inputs()`.
     ///
@@ -395,6 +408,30 @@ mod tests {
         assert_eq!(c.gate_count(), 10 + 3); // one mux per flip-flop
         assert_eq!(c.net(c.inputs()[sc.scan_sel_pos()]).name(), "scan_sel");
         assert_eq!(c.net(c.inputs()[sc.scan_inp_pos()]).name(), "scan_inp");
+    }
+
+    #[test]
+    fn functional_ties_name_the_actual_select_net() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        assert_eq!(sc.functional_ties(), vec![("scan_sel".to_owned(), Zero)]);
+
+        // A circuit that already uses the name forces uniquification; the
+        // ties must follow the renamed net.
+        let clash = limscan_netlist::bench_format::parse(
+            "clash",
+            "INPUT(scan_sel)\nOUTPUT(q)\nq = DFF(g)\ng = NOT(scan_sel)\n",
+        )
+        .unwrap();
+        let sc2 = ScanCircuit::insert(&clash);
+        let ties = sc2.functional_ties();
+        assert_eq!(ties.len(), 1);
+        assert_ne!(ties[0].0, "scan_sel");
+        assert_eq!(
+            sc2.circuit()
+                .net(sc2.circuit().inputs()[sc2.scan_sel_pos()])
+                .name(),
+            ties[0].0,
+        );
     }
 
     #[test]

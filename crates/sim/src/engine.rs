@@ -314,6 +314,11 @@ impl Topology {
     pub(crate) fn dff_d(&self) -> &[u32] {
         &self.dff_d
     }
+
+    /// Primary output net indexes, in declaration order.
+    pub(crate) fn po(&self) -> &[u32] {
+        &self.po
+    }
 }
 
 fn to_csr(lists: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {

@@ -8,6 +8,8 @@
 //!   central object (scan operations are just vectors with `scan_sel = 1`);
 //! * [`eval_comb`] / [`SeqGoodSim`] — combinational and sequential
 //!   good-circuit simulation;
+//! * [`LockstepSim`] — [`LANES`] independent good-circuit trajectories per
+//!   word, the engine under cross-variant equivalence checking;
 //! * [`SeqFaultSim`] — incremental sequential **parallel-fault** simulation
 //!   on a compiled flat gate array: [`LANES`] faults share each wide word,
 //!   per-fault flip-flop state is carried across time units, detected
@@ -50,6 +52,7 @@ pub mod fail_inject;
 mod fault_sim;
 mod flat;
 mod good;
+mod lockstep;
 mod logic;
 mod parallel;
 mod sequence;
@@ -63,6 +66,7 @@ pub use fault_sim::{
     single_fault_detects, DetectionReport, FaultOrder, SeqFaultSim, SingleFaultSim,
 };
 pub use good::{eval_comb, eval_comb_with, next_state, SeqGoodSim};
+pub use lockstep::LockstepSim;
 pub use logic::Logic;
 pub use parallel::{WideWord, Word3, LANES, LANE_WORDS};
 pub use sequence::TestSequence;

@@ -374,6 +374,22 @@ impl<const W: usize> WideWord<W> {
         }
         m
     }
+
+    /// Lanes where `self` and `other` differ as three-valued values.
+    ///
+    /// Unlike [`conflict_mask`](Self::conflict_mask), which only reports
+    /// complementary *binary* pairs, this is the exact comparison: X
+    /// differs from both 0 and 1. Used by the equivalence checker, where
+    /// an X/binary mismatch between two supposedly identical circuits is
+    /// a finding, not a don't-know.
+    #[inline]
+    pub fn diff_mask(&self, other: &Self) -> [u64; W] {
+        let mut m = [0u64; W];
+        for (w, word) in m.iter_mut().enumerate() {
+            *word = (self.v0[w] ^ other.v0[w]) | (self.v1[w] ^ other.v1[w]);
+        }
+        m
+    }
 }
 
 impl<const W: usize> std::ops::Not for WideWord<W> {

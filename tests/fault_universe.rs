@@ -1,0 +1,157 @@
+//! The completed fault universe: pinned per-benchmark sizes, exact
+//! input-pin counts on small circuits, and the functional soundness of
+//! structural equivalence collapsing.
+//!
+//! The universe covers a stuck-at pair on every net stem *and on every
+//! gate input pin* (not just the fanout branches of multi-consumer nets);
+//! collapsing then merges structurally equivalent faults. These tests pin
+//! that completion: the sizes below are regression anchors — a change
+//! means the universe itself changed, which must be deliberate.
+
+use proptest::prelude::*;
+
+use limscan::fault::{CollapseStats, FaultClasses};
+use limscan::sim::Logic;
+use limscan::{benchmarks, FaultList, SeqFaultSim, TestSequence};
+
+/// `(name, pre-completion, full, collapsed)` for every embedded
+/// benchmark. Pre-completion is the old universe (stems + fanout branches
+/// only); full adds a branch on every remaining consumer pin.
+const PINNED_SIZES: &[(&str, usize, usize, usize)] = &[
+    ("s27", 52, 76, 26),
+    ("s208", 634, 680, 399),
+    ("s298", 758, 818, 468),
+    ("s344", 1034, 1122, 673),
+    ("s382", 1058, 1142, 666),
+    ("s386", 1004, 1086, 638),
+    ("s400", 1084, 1174, 668),
+    ("s420", 1406, 1540, 881),
+    ("s444", 1212, 1292, 754),
+    ("s510", 1352, 1464, 852),
+    ("s526", 1286, 1370, 810),
+    ("s641", 2332, 2578, 1449),
+    ("s820", 1778, 1938, 1134),
+    ("s953", 2530, 2748, 1580),
+    ("s1196", 3236, 3530, 2019),
+    ("s1423", 4126, 4578, 2525),
+    ("s1488", 3942, 4260, 2488),
+    ("s5378", 17262, 18882, 10709),
+    ("s35932", 101382, 111732, 62286),
+    ("b01", 304, 328, 197),
+    ("b02", 166, 184, 103),
+    ("b03", 1000, 1104, 617),
+    ("b04", 3848, 4234, 2370),
+    ("b06", 354, 388, 217),
+    ("b09", 1086, 1166, 683),
+    ("b10", 1148, 1264, 728),
+    ("b11", 3006, 3260, 1868),
+];
+
+#[test]
+fn universe_sizes_are_pinned_per_benchmark() {
+    for &(name, pre, full, collapsed) in PINNED_SIZES {
+        let c = benchmarks::load(name).expect("suite names all load");
+        let cs = CollapseStats::measure(&c);
+        assert_eq!(
+            (cs.pre_completion, cs.full, cs.collapsed),
+            (pre, full, collapsed),
+            "{name}: fault universe drifted"
+        );
+        assert!(
+            cs.full > cs.pre_completion,
+            "{name}: completion must add input-pin faults"
+        );
+        assert_eq!(cs.pin_faults_added(), full - pre, "{name}");
+        assert!(cs.collapsed < cs.full, "{name}: collapsing must shrink");
+        assert_eq!(FaultList::full(&c).len(), cs.full, "{name}");
+        assert_eq!(FaultList::collapsed(&c).len(), cs.collapsed, "{name}");
+        assert_eq!(
+            FaultList::stems_and_fanout_branches(&c).len(),
+            cs.pre_completion,
+            "{name}"
+        );
+    }
+}
+
+/// Exact input-pin accounting on the two hand-checkable circuits: the
+/// full universe is one stuck-at pair per net stem plus one per consumer
+/// pin, where the pin count is independently recomputed here as the sum
+/// of every driver's fanin arity.
+#[test]
+fn input_pin_fault_counts_are_exact_on_s27_and_s298() {
+    for (name, nets, pins) in [("s27", 17, 21), ("s298", 136, 273)] {
+        let c = benchmarks::load(name).expect("known benchmark");
+        let cs = CollapseStats::measure(&c);
+        assert_eq!((cs.nets, cs.pins), (nets, pins), "{name}");
+        let recount: usize = c.nets().iter().map(|n| n.driver().fanins().len()).sum();
+        assert_eq!(
+            cs.pins, recount,
+            "{name}: pin count must equal Σ fanin arity"
+        );
+        assert_eq!(
+            cs.full,
+            2 * (nets + pins),
+            "{name}: a stuck-at pair per site"
+        );
+    }
+}
+
+/// A deterministic pseudo-random binary test sequence.
+fn random_sequence(width: usize, len: usize, seed: u64) -> TestSequence {
+    let mut seq = TestSequence::new(width);
+    let mut state = seed | 1;
+    for _ in 0..len {
+        seq.push(
+            (0..width)
+                .map(|_| {
+                    // xorshift64
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    Logic::from_bool(state & 1 == 1)
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    seq
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Structural equivalence collapsing is functionally sound: under any
+    /// test sequence (from the all-X reset state, where the DFF rule is
+    /// exact), every fault in a class has the same detection status as
+    /// its representative — so simulating the collapsed list loses
+    /// nothing.
+    #[test]
+    fn collapsed_representatives_detect_iff_their_class_members_do(
+        bench_idx in 0usize..4,
+        seed in any::<u64>(),
+        len in 4usize..24,
+    ) {
+        let name = ["s27", "b02", "b06", "s298"][bench_idx];
+        let c = benchmarks::load(name).expect("known benchmark");
+        let classes = FaultClasses::compute(&c);
+        let full = classes.full();
+        let seq = random_sequence(c.inputs().len(), len, seed);
+        let report = SeqFaultSim::run(&c, full, &seq);
+        for class in classes.classes() {
+            let rep = classes.representative(class[0]);
+            prop_assert!(class.contains(&rep), "representative is a member");
+            let rep_detected = report.is_detected(rep);
+            for &member in &class {
+                prop_assert_eq!(
+                    report.is_detected(member),
+                    rep_detected,
+                    "{}: fault {} disagrees with its representative {} \
+                     under seed {:#x}",
+                    name,
+                    full.fault(member).display_name(&c),
+                    full.fault(rep).display_name(&c),
+                    seed,
+                );
+            }
+        }
+    }
+}

@@ -23,7 +23,8 @@ use limscan::obs::jsonl::to_jsonl;
 use limscan::obs::shape::structural_lines;
 use limscan::sim::set_sim_threads;
 use limscan::{
-    benchmarks, FlowConfig, GenerationFlow, MetricsCollector, ObsHandle, TranslationFlow,
+    benchmarks, DifferentialFlow, EquivFlow, EquivOptions, FaultList, FlowConfig, GenerationFlow,
+    MetricsCollector, ObsHandle, TestSequence, TranslationFlow,
 };
 
 /// Serialises golden runs: `set_sim_threads` is process-global, so two
@@ -122,6 +123,54 @@ fn s298_translation_flow_trace_matches_golden() {
         assert!(!flow.report.detection_profile.is_empty());
     });
     assert_matches_golden("s298_translation.jsonl", &actual);
+}
+
+#[test]
+fn s27_equiv_flow_trace_matches_golden() {
+    let actual = traced_jsonl(|obs| {
+        let config = FlowConfig {
+            obs: obs.clone(),
+            ..FlowConfig::default()
+        };
+        // Scan-variant equivalence check: flow span, lint-gate pass,
+        // lockstep-check pass with the equiv_rounds counter.
+        let opts = EquivOptions {
+            threads: Some(1),
+            ..EquivOptions::default()
+        };
+        let c = benchmarks::s27();
+        let flow = EquivFlow::run_scan_variant(&c, 1, &opts, &config).unwrap();
+        assert!(flow.verdict.is_equivalent());
+        assert!(flow.report.enabled);
+        assert_eq!(
+            flow.report.counter(limscan::obs::Metric::EquivRounds),
+            opts.rounds as u64
+        );
+        // Differential comparison that loses detections: detection-diff
+        // pass with the equiv_faults_lost counter.
+        let faults = FaultList::collapsed(&c);
+        let mut seq = TestSequence::new(c.inputs().len());
+        for t in 0..10u32 {
+            seq.push(
+                (0..c.inputs().len())
+                    .map(|i| {
+                        if (t as usize + i).is_multiple_of(3) {
+                            limscan::Logic::One
+                        } else {
+                            limscan::Logic::Zero
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let diff = DifferentialFlow::run(&c, &faults, &seq, &seq.prefix(1), &config).unwrap();
+        assert!(!diff.diff.preserved());
+        assert_eq!(
+            diff.report.counter(limscan::obs::Metric::EquivFaultsLost),
+            diff.diff.lost.len() as u64
+        );
+    });
+    assert_matches_golden("s27_equiv.jsonl", &actual);
 }
 
 #[test]
