@@ -1,0 +1,272 @@
+//! Fault-independent untestability identification.
+//!
+//! A stuck-at fault is proven untestable *per frame* — no assignment of
+//! primary inputs and flip-flop states makes the fault visible at a primary
+//! output or a flip-flop D pin within one time frame — which is exactly the
+//! notion the exhaustive `prove_frame` oracle in `limscan-atpg` enumerates.
+//! Three rules apply, each with a machine-checkable [`UntestableReason`]:
+//!
+//! * **Unobservable site** — no combinational path from the fault site to
+//!   any observation point exists; an error there is invisible in every
+//!   frame.
+//! * **Constant activation** — the implication engine proved the source net
+//!   constant at the stuck value; the fault can never be activated.
+//! * **Requirement conflict** — the conjunction of the activation literal,
+//!   the local sensitization literals of a branch fault's consumer pin, and
+//!   the definite-non-controlling side-input literals of every dominator on
+//!   the error's mandatory path is refuted by the implication engine. In
+//!   the frame where the fault is first observed the error flows
+//!   combinationally from the site through every dominator, and a
+//!   three-valued side input can never produce the binary good/faulty
+//!   conflict detection requires, so the requirement set is necessary; its
+//!   unsatisfiability therefore proves untestability.
+
+use limscan_fault::{Fault, FaultSite};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::graph::StructView;
+use crate::implications::ImplicationEngine;
+
+/// Why a fault is statically untestable. Every variant carries enough to
+/// re-verify the claim against the circuit (see
+/// [`verify`](UntestableReason::verify)).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UntestableReason {
+    /// The fault site has no combinational path to any observation point.
+    Unobservable {
+        /// The net whose observability fails (the branch's consumer for a
+        /// branch fault, the stem itself otherwise).
+        net: NetId,
+    },
+    /// The source net is constant at the stuck value in every frame, so
+    /// the fault can never be activated.
+    ConstantActivation {
+        /// The constant net.
+        net: NetId,
+        /// Its proven value (equal to the stuck value).
+        value: bool,
+    },
+    /// The necessary activation + propagation requirement set is
+    /// contradictory.
+    RequirementConflict {
+        /// Literal set every detecting frame must satisfy, proven
+        /// unsatisfiable by implication.
+        requirements: Vec<(NetId, bool)>,
+    },
+}
+
+impl UntestableReason {
+    /// Re-checks the claim from scratch: the named net really is
+    /// unobservable / really is proven constant / the requirement set
+    /// really is refuted. Returns an error message on any mismatch.
+    pub fn verify(
+        &self,
+        circuit: &Circuit,
+        view: &StructView,
+        engine: &mut ImplicationEngine<'_>,
+    ) -> Result<(), String> {
+        match self {
+            UntestableReason::Unobservable { net } => {
+                if view.is_observable(*net) {
+                    return Err(format!(
+                        "claimed unobservable net {} is observable",
+                        circuit.net(*net).name()
+                    ));
+                }
+                Ok(())
+            }
+            UntestableReason::ConstantActivation { net, value } => {
+                if engine.constant(*net) != Some(*value) {
+                    return Err(format!(
+                        "claimed constant {}={} not proven by the engine",
+                        circuit.net(*net).name(),
+                        i32::from(*value)
+                    ));
+                }
+                Ok(())
+            }
+            UntestableReason::RequirementConflict { requirements } => {
+                if engine.consistent(requirements) {
+                    return Err(format!(
+                        "claimed conflicting requirement set of {} literals is consistent",
+                        requirements.len()
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Scratch for cone membership with epoch stamping, so checking many faults
+/// that share an origin net costs one BFS.
+pub(crate) struct ConeScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    origin: Option<NetId>,
+    stack: Vec<NetId>,
+}
+
+impl ConeScratch {
+    pub(crate) fn new(nets: usize) -> Self {
+        ConeScratch {
+            stamp: vec![0; nets],
+            epoch: 0,
+            origin: None,
+            stack: Vec::new(),
+        }
+    }
+
+    /// Marks the combinational fanout cone of `origin` (inclusive; never
+    /// crossing a flip-flop). No-op when already current.
+    fn load(&mut self, circuit: &Circuit, origin: NetId) {
+        if self.origin == Some(origin) {
+            return;
+        }
+        self.origin = Some(origin);
+        self.epoch += 1;
+        self.stamp[origin.index()] = self.epoch;
+        self.stack.push(origin);
+        while let Some(u) = self.stack.pop() {
+            for pin in circuit.fanouts(u) {
+                let v = pin.net;
+                if matches!(circuit.net(v).driver(), Driver::Gate { .. })
+                    && self.stamp[v.index()] != self.epoch
+                {
+                    self.stamp[v.index()] = self.epoch;
+                    self.stack.push(v);
+                }
+            }
+        }
+    }
+
+    fn contains(&self, id: NetId) -> bool {
+        self.stamp[id.index()] == self.epoch
+    }
+}
+
+/// Classifies one fault. Returns `None` when no rule applies (the fault may
+/// of course still be untestable — the analysis is sound, not complete).
+pub(crate) fn classify(
+    circuit: &Circuit,
+    view: &StructView,
+    engine: &mut ImplicationEngine<'_>,
+    cone: &mut ConeScratch,
+    fault: Fault,
+) -> Option<UntestableReason> {
+    let src = fault.site.source_net(circuit);
+
+    // The net whose combinational observability the error needs, and the
+    // local sensitization requirements of a branch fault's own consumer.
+    let mut requirements: Vec<(NetId, bool)> = Vec::new();
+    let origin: Option<NetId> = match fault.site {
+        FaultSite::Stem(s) => {
+            if !view.is_observable(s) {
+                return Some(UntestableReason::Unobservable { net: s });
+            }
+            Some(s)
+        }
+        FaultSite::Branch(pin) => {
+            let g = pin.net;
+            match circuit.net(g).driver() {
+                // An error on a D pin is latched: observed immediately.
+                Driver::Dff { .. } => None,
+                Driver::Gate { kind, fanins } => {
+                    if !view.is_observable(g) {
+                        return Some(UntestableReason::Unobservable { net: g });
+                    }
+                    match kind {
+                        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                            let noncontrolling = matches!(kind, GateKind::And | GateKind::Nand);
+                            for (j, &f) in fanins.iter().enumerate() {
+                                if j != pin.pin as usize {
+                                    requirements.push((f, noncontrolling));
+                                }
+                            }
+                        }
+                        GateKind::Mux => {
+                            // fanins = [select, d0, d1]; a data-pin error
+                            // needs its side selected. A select-pin error
+                            // needs d0 != d1, which is not a literal — no
+                            // requirement added (sound).
+                            match pin.pin {
+                                1 => requirements.push((fanins[0], false)),
+                                2 => requirements.push((fanins[0], true)),
+                                _ => {}
+                            }
+                        }
+                        _ => {}
+                    }
+                    Some(g)
+                }
+                Driver::Input => unreachable!("input nets have no fanin pins"),
+            }
+        }
+    };
+
+    // Activation: the good value at the source must differ from the stuck
+    // value.
+    let active = !fault.stuck.value();
+    if engine.constant(src) == Some(fault.stuck.value()) {
+        return Some(UntestableReason::ConstantActivation {
+            net: src,
+            value: fault.stuck.value(),
+        });
+    }
+    requirements.push((src, active));
+
+    // Side inputs of every dominator must be definitely non-controlling in
+    // the frame where the error is first observed: any fanin outside the
+    // error cone carries its good value, and an X there can never yield the
+    // binary good/faulty conflict detection requires.
+    if let Some(origin) = origin {
+        cone.load(circuit, origin);
+        for d in view.dominators(origin) {
+            let Driver::Gate { kind, fanins } = circuit.net(d).driver() else {
+                unreachable!("dominators are gate-driven nets");
+            };
+            match kind {
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let noncontrolling = matches!(kind, GateKind::And | GateKind::Nand);
+                    for &f in fanins {
+                        if !cone.contains(f) {
+                            requirements.push((f, noncontrolling));
+                        }
+                    }
+                }
+                GateKind::Mux => {
+                    let (sel, d0, d1) = (fanins[0], fanins[1], fanins[2]);
+                    if !cone.contains(sel) {
+                        match (cone.contains(d0), cone.contains(d1)) {
+                            (true, false) => requirements.push((sel, false)),
+                            (false, true) => requirements.push((sel, true)),
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if engine.consistent(&requirements) {
+        None
+    } else {
+        Some(UntestableReason::RequirementConflict { requirements })
+    }
+}
+
+/// Display helper: one compact line per reason.
+impl std::fmt::Display for UntestableReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UntestableReason::Unobservable { .. } => write!(f, "unobservable"),
+            UntestableReason::ConstantActivation { value, .. } => {
+                write!(f, "constant-activation({})", i32::from(*value))
+            }
+            UntestableReason::RequirementConflict { requirements } => {
+                write!(f, "requirement-conflict({} literals)", requirements.len())
+            }
+        }
+    }
+}

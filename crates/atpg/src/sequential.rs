@@ -27,7 +27,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use limscan_fault::{Fault, FaultList};
+use limscan_fault::{Fault, FaultId, FaultList};
 use limscan_harness::{AtpgCursor, CancelToken, StopReason};
 use limscan_netlist::Circuit;
 use limscan_obs::{Metric, ObsHandle, SpanKind};
@@ -128,6 +128,7 @@ pub struct SequentialAtpg<'a> {
     config: AtpgConfig,
     scoap: Scoap,
     obs: ObsHandle,
+    target_order: Option<Vec<FaultId>>,
 }
 
 enum EpisodeKind {
@@ -151,7 +152,21 @@ impl<'a> SequentialAtpg<'a> {
             config,
             scoap,
             obs: ObsHandle::noop(),
+            target_order: None,
         }
+    }
+
+    /// Overrides the order in which faults get their own generation
+    /// episodes (default: fault-list order). Static analysis uses this for
+    /// two-tier targeting — primary (undominated) faults first, then the
+    /// dominance-covered faults, which are usually detected collaterally by
+    /// then and cost no episode. Ids absent from `order` are never targeted
+    /// directly, though collateral detection still covers them; resume
+    /// cursors are only valid across runs using the same order.
+    #[must_use]
+    pub fn with_target_order(mut self, order: Vec<FaultId>) -> Self {
+        self.target_order = Some(order);
+        self
     }
 
     /// Attaches an observability scope: the run emits one span for the
@@ -241,7 +256,11 @@ impl<'a> SequentialAtpg<'a> {
             }
         }
 
-        for (fi, fid) in self.faults.ids().enumerate() {
+        let order: Vec<FaultId> = match &self.target_order {
+            Some(order) => order.clone(),
+            None => self.faults.ids().collect(),
+        };
+        for (fi, &fid) in order.iter().enumerate() {
             if fi < start_fault {
                 continue; // processed before the resume point
             }
@@ -685,6 +704,33 @@ mod tests {
             }
         }
         panic!("single-episode resume chain did not terminate");
+    }
+
+    #[test]
+    fn identity_target_order_matches_the_default() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let default_run = SequentialAtpg::new(&sc, &faults, AtpgConfig::default()).run();
+        let ordered_run = SequentialAtpg::new(&sc, &faults, AtpgConfig::default())
+            .with_target_order(faults.ids().collect())
+            .run();
+        assert_eq!(default_run.sequence, ordered_run.sequence);
+        assert_eq!(
+            default_run.report.detected_count(),
+            ordered_run.report.detected_count()
+        );
+    }
+
+    #[test]
+    fn reversed_target_order_still_reaches_full_coverage() {
+        let sc = ScanCircuit::insert(&benchmarks::s27());
+        let faults = FaultList::collapsed(sc.circuit());
+        let mut order: Vec<_> = faults.ids().collect();
+        order.reverse();
+        let outcome = SequentialAtpg::new(&sc, &faults, AtpgConfig::default())
+            .with_target_order(order)
+            .run();
+        assert_eq!(outcome.report.detected_count(), faults.len());
     }
 
     #[test]

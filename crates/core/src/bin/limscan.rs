@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! limscan info <circuit.bench>
+//! limscan analyze <circuit.bench> [--scan] [--chains N] [--json]
+//! limscan analyze --self-check
 //! limscan generate <circuit.bench> [-o program.txt] [--chains N]
-//!                  [--engine det|genetic] [--max-faults N] [--no-compact]
+//!                  [--engine det|genetic] [--max-faults N] [--no-compact] [--analyze]
 //!                  [--deadline SECS] [--max-vectors N] [--snapshots DIR]
 //!                  [--trace out.jsonl] [--metrics]
 //! limscan compact <circuit.bench> <program.txt> [-o out.txt] [--passes N]
@@ -18,6 +20,13 @@
 //! limscan equiv <circuit> --diff <original.txt> <candidate.txt> [--chains N]
 //! limscan equiv --self-check
 //! ```
+//!
+//! `analyze` runs the static analysis passes (dominators, implication
+//! learning, dominance collapsing, untestability identification) and
+//! prints the summary, the proven-untestable faults with their reasons,
+//! and the analysis time; `--json` emits one machine-readable object, and
+//! `--self-check` re-verifies every claim over the embedded benchmark
+//! suite (the CI analyze gate).
 //!
 //! `generate` inserts scan into the circuit, runs the paper's flow and
 //! writes a tester vector file; `compact` re-compacts an existing vector
@@ -59,16 +68,17 @@ use limscan::netlist::{bench_format, blif_format, CircuitStats};
 use limscan::obs::SpanKind;
 use limscan::scan::program::{parse_program, program_stats, write_program};
 use limscan::{
-    benchmarks, resume_flow, run_generation_resilient, CancelToken, Circuit, DifferentialFlow,
-    Engine, EquivFlow, EquivOptions, EquivVerdict, FaultList, FlowConfig, FlowKind, FlowOutcome,
-    FlowReport, GenerationFlow, Logic, ObsHandle, ResilientConfig, RunBudget, ScanCircuit,
-    SeqFaultSim, SnapshotStore, StopReason,
+    benchmarks, resume_flow, run_generation_resilient, AnalysisOptions, CancelToken, Circuit,
+    DifferentialFlow, Engine, EquivFlow, EquivOptions, EquivVerdict, FaultList, FlowConfig,
+    FlowKind, FlowOutcome, FlowReport, GenerationFlow, Logic, ObsHandle, ResilientConfig,
+    RunBudget, ScanCircuit, SeqFaultSim, SnapshotStore, StaticAnalysis, StopReason,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("info") => cmd_info(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("compact") => cmd_compact(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
@@ -90,8 +100,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   limscan info <circuit.bench | benchmark-name>
+  limscan analyze <circuit> [--scan] [--chains N] [--json]
+  limscan analyze --self-check
   limscan generate <circuit> [-o program.txt] [--chains N]
-                   [--engine det|genetic] [--max-faults N] [--no-compact]
+                   [--engine det|genetic] [--max-faults N] [--no-compact] [--analyze]
                    [--deadline SECS] [--max-vectors N] [--snapshots DIR]
                    [--trace out.jsonl] [--metrics]
   limscan compact <circuit> <program.txt> [-o out.txt] [--passes N]
@@ -262,7 +274,148 @@ fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
         sc.n_sv(),
         faults.len(),
     );
+    let s = *StaticAnalysis::run(sc.circuit()).summary();
+    println!(
+        "analysis (scan): {} fanout-free regions, dominator tree depth {}, \
+         dominance-collapsed to {} targets, {} statically untestable",
+        s.ffr_count, s.dom_tree_depth, s.dominance_targets, s.untestable_faults,
+    );
     Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one analysis summary as a JSON object (no external
+/// dependencies, so the fields are emitted by hand).
+fn summary_json(name: &str, s: &limscan::AnalysisSummary, elapsed_ms: u128) -> String {
+    format!(
+        "{{\"circuit\":\"{name}\",\"ffr_count\":{},\"dom_tree_depth\":{},\
+         \"constant_nets\":{},\"implication_edges\":{},\"full_faults\":{},\
+         \"collapsed_faults\":{},\"dominance_targets\":{},\
+         \"untestable_faults\":{},\"pruned_targets\":{},\"analysis_ms\":{elapsed_ms}}}",
+        s.ffr_count,
+        s.dom_tree_depth,
+        s.constant_nets,
+        s.implication_edges,
+        s.full_faults,
+        s.collapsed_faults,
+        s.dominance_targets,
+        s.untestable_faults,
+        s.pruned_targets,
+    )
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--self-check") {
+        return analyze_self_check();
+    }
+    let path = args.first().ok_or("analyze: missing circuit argument")?;
+    if path.starts_with("--") {
+        return Err(format!("analyze: expected a circuit, got `{path}`"));
+    }
+    let mut circuit = load_circuit(path)?;
+    if args.iter().any(|a| a == "--scan") {
+        if circuit.dffs().is_empty() {
+            return Err("circuit has no flip-flops; --scan does not apply".into());
+        }
+        let chains: usize = parse_flag(args, "--chains", 1)?;
+        if chains == 0 || chains > circuit.dffs().len() {
+            return Err(format!(
+                "--chains must be between 1 and the flip-flop count ({})",
+                circuit.dffs().len()
+            ));
+        }
+        circuit = ScanCircuit::insert_chains(&circuit, chains)
+            .circuit()
+            .clone();
+    }
+    let started = std::time::Instant::now();
+    let analysis = StaticAnalysis::run(&circuit);
+    let elapsed_ms = started.elapsed().as_millis();
+    let s = analysis.summary();
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", summary_json(circuit.name(), s, elapsed_ms));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!("{}:", circuit.name());
+    println!(
+        "  structure: {} fanout-free regions, dominator tree depth {}",
+        s.ffr_count, s.dom_tree_depth,
+    );
+    println!(
+        "  implications: {} learned edges, {} constant nets",
+        s.implication_edges, s.constant_nets,
+    );
+    println!(
+        "  faults: {} full -> {} equivalence-collapsed -> {} dominance targets",
+        s.full_faults, s.collapsed_faults, s.dominance_targets,
+    );
+    println!(
+        "  untestable: {} proven (target universe {} after pruning)",
+        s.untestable_faults, s.pruned_targets,
+    );
+    let untestable = analysis.untestable_faults();
+    const SHOWN: usize = 20;
+    for (fault, reason) in untestable.iter().take(SHOWN) {
+        println!("    {} — {reason}", fault.display_name(&circuit));
+    }
+    if untestable.len() > SHOWN {
+        println!("    ... and {} more", untestable.len() - SHOWN);
+    }
+    println!("  analysis time: {elapsed_ms} ms");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Runs the analysis over the whole embedded benchmark suite (raw and
+/// scan-inserted variants) and machine-checks every untestability claim
+/// plus the partition bookkeeping. This is what the CI analyze gate runs.
+fn analyze_self_check() -> Result<ExitCode, String> {
+    let mut names: Vec<&str> = vec!["s27"];
+    names.extend(benchmarks::iscas89_suite());
+    names.extend(benchmarks::itc99_suite());
+    names.dedup();
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+    for name in names {
+        let circuit = benchmarks::load(name).expect("built-in benchmark");
+        let mut variants = vec![(circuit.clone(), String::from(name))];
+        if !circuit.dffs().is_empty() {
+            variants.push((
+                ScanCircuit::insert(&circuit).circuit().clone(),
+                format!("{name}+scan"),
+            ));
+        }
+        for (c, label) in variants {
+            let started = std::time::Instant::now();
+            let analysis = StaticAnalysis::run(&c);
+            match analysis.verify(&c) {
+                Ok(obligations) => {
+                    checked += obligations;
+                    let s = analysis.summary();
+                    println!(
+                        "{label}: ok — {} untestable, {} -> {} dominance targets, \
+                         {} obligations, {} ms",
+                        s.untestable_faults,
+                        s.collapsed_faults,
+                        s.dominance_targets,
+                        obligations,
+                        started.elapsed().as_millis(),
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("{label}: FAILED — {e}");
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("analyze self-check passed: {checked} obligations");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("analyze self-check FAILED: {failures} circuit(s)");
+        Ok(ExitCode::from(1))
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
@@ -281,6 +434,7 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
     let max_faults: usize = parse_flag(args, "--max-faults", 0)?;
     let engine = engine_from_args(args)?;
     let compact = !args.iter().any(|a| a == "--no-compact");
+    let analyze = args.iter().any(|a| a == "--analyze");
     let (obs, metrics) = obs_from_args(args)?;
     let (budget, limited) = budget_from_args(args)?;
     let snapshots = flag_value(args, "--snapshots").map(SnapshotStore::new);
@@ -290,6 +444,11 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
         scan_chains: chains,
         max_faults,
         obs,
+        analysis: if analyze {
+            AnalysisOptions::all()
+        } else {
+            AnalysisOptions::default()
+        },
         ..FlowConfig::default()
     };
 
@@ -298,6 +457,9 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
     if limited || snapshots.is_some() {
         if !compact {
             return Err("--no-compact cannot be combined with a budget or snapshots".into());
+        }
+        if analyze {
+            return Err("--analyze cannot be combined with a budget or snapshots".into());
         }
         let rcfg = ResilientConfig {
             flow: config,
@@ -362,6 +524,14 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
             String::new()
         },
     );
+    if let Some(analysis) = &flow.analysis {
+        eprintln!(
+            "analysis: {} untestable pruned, {} targets deferred; fault efficiency {:.2}%",
+            analysis.untestable.len(),
+            analysis.deferred,
+            analysis.efficiency_percent(flow.generated.report.detected_count(), flow.faults.len()),
+        );
+    }
     let stats = program_stats(&flow.scan, sequence);
     eprintln!(
         "{} scan cycles in {} operations, {} of them limited",

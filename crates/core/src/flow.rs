@@ -13,6 +13,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use limscan_analyze::{AnalysisSummary, StaticAnalysis, UntestableReason};
 use limscan_atpg::first_approach::{self, CombAtpgConfig, CombAtpgOutcome};
 use limscan_atpg::genetic::{GeneticAtpg, GeneticConfig};
 use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
@@ -20,10 +21,10 @@ use limscan_compact::{
     omission_observed, omission_reference, restoration_observed, restoration_reference,
     scan_test_set, Compacted, CompactedSet, CompactionEngine,
 };
-use limscan_fault::FaultList;
+use limscan_fault::{Fault, FaultId, FaultList};
 use limscan_lint::{Diagnostic, LintConfig, Linter, Severity};
 use limscan_netlist::{bench_format, Circuit, NetlistError};
-use limscan_obs::{FlowReport, MetricsCollector, ObsHandle, SpanKind};
+use limscan_obs::{FlowReport, Metric, MetricsCollector, ObsHandle, SpanKind};
 use limscan_scan::ScanCircuit;
 use limscan_sim::{SeqFaultSim, TestSequence};
 
@@ -153,6 +154,121 @@ pub(crate) fn check_scannable(circuit: &Circuit, chains: usize) -> Result<(), Fl
     Ok(())
 }
 
+/// Static-analysis knobs for the flows. Both default **off**: analysis
+/// changes the fault universe and the episode order, so pinned golden
+/// traces, resume parity, and published counts stay untouched unless a run
+/// opts in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AnalysisOptions {
+    /// Remove statically-proven-untestable faults from the target universe.
+    /// Their proofs are kept on the flow result for coverage accounting.
+    pub prune_untestable: bool,
+    /// Two-tier ATPG targeting: undominated faults get their episodes
+    /// first; dominance-covered faults are deferred to a safety-net tier
+    /// (they are usually detected collaterally and then cost nothing).
+    pub dominance_targeting: bool,
+}
+
+impl AnalysisOptions {
+    /// Whether any analysis pass has to run.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.prune_untestable || self.dominance_targeting
+    }
+
+    /// Everything on.
+    #[must_use]
+    pub fn all() -> Self {
+        AnalysisOptions {
+            prune_untestable: true,
+            dominance_targeting: true,
+        }
+    }
+}
+
+/// What the analysis pass did to a flow's fault universe, attached to the
+/// flow result when [`FlowConfig::analysis`] enables any pass.
+#[derive(Clone, Debug)]
+pub struct FlowAnalysis {
+    /// Headline numbers of the underlying [`StaticAnalysis`] run.
+    pub summary: AnalysisSummary,
+    /// Faults removed from the target universe as statically untestable,
+    /// with their machine-checkable proofs. Empty unless
+    /// [`AnalysisOptions::prune_untestable`] was set.
+    pub untestable: Vec<(Fault, UntestableReason)>,
+    /// Faults deferred to the safety-net targeting tier (dominance-covered).
+    pub deferred: usize,
+}
+
+impl FlowAnalysis {
+    /// Fault efficiency over the *original* universe: detections plus
+    /// untestability proofs, as a percentage of targeted plus proven
+    /// faults. With nothing proven untestable this equals plain coverage.
+    #[must_use]
+    pub fn efficiency_percent(&self, detected: usize, targeted: usize) -> f64 {
+        let resolved = detected + self.untestable.len();
+        let universe = targeted + self.untestable.len();
+        if universe == 0 {
+            return 0.0;
+        }
+        100.0 * resolved as f64 / universe as f64
+    }
+}
+
+/// Runs static analysis when any knob is on: returns the (possibly pruned)
+/// fault list, the two-tier episode order for the sequential generator, and
+/// the result record. Untestable faults are never part of a returned order
+/// — with pruning off they are simply targeted last.
+fn apply_analysis(
+    circuit: &Circuit,
+    faults: FaultList,
+    options: &AnalysisOptions,
+    obs: &ObsHandle,
+) -> (FaultList, Option<Vec<FaultId>>, Option<FlowAnalysis>) {
+    if !options.enabled() {
+        return (faults, None, None);
+    }
+    let span = obs.span(SpanKind::Pass, "analyze");
+    let span_obs = span.handle();
+    let analysis = StaticAnalysis::run(circuit);
+    let part = analysis.partition(&faults);
+    span_obs.counter(Metric::AnalysisUntestable, part.untestable().len() as u64);
+    span_obs.counter(Metric::AnalysisDominated, part.dominated().len() as u64);
+    let record = FlowAnalysis {
+        summary: *analysis.summary(),
+        untestable: if options.prune_untestable {
+            part.untestable()
+                .iter()
+                .map(|&(id, ref r)| (faults.fault(id), r.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        deferred: if options.dominance_targeting {
+            part.dominated().len()
+        } else {
+            0
+        },
+    };
+    if options.prune_untestable {
+        let pruned = part.pruned(&faults);
+        let order = options.dominance_targeting.then(|| {
+            let mut order = pruned.primary.clone();
+            order.extend_from_slice(&pruned.deferred);
+            order
+        });
+        (pruned.faults, order, Some(record))
+    } else {
+        let order = options.dominance_targeting.then(|| {
+            let mut order = part.targets().to_vec();
+            order.extend(part.dominated().iter().map(|&(id, _)| id));
+            order.extend(part.untestable().iter().map(|&(id, _)| id));
+            order
+        });
+        (faults, order, Some(record))
+    }
+}
+
 /// Which test generation engine drives the generation flow.
 #[derive(Clone, Debug, Default)]
 pub enum Engine {
@@ -180,6 +296,9 @@ pub struct FlowConfig {
     /// engines produce identical sequences; `Reference` is the slow oracle
     /// kept for differential testing and benchmarking.
     pub compaction: CompactionEngine,
+    /// Static-analysis knobs (untestability pruning, two-tier dominance
+    /// targeting). All off by default.
+    pub analysis: AnalysisOptions,
     /// Cap on the number of (collapsed) faults considered; 0 means no cap.
     /// Large profile circuits use this to bound experiment cost.
     pub max_faults: usize,
@@ -212,6 +331,7 @@ impl Default for FlowConfig {
             baseline: CombAtpgConfig::default(),
             omission_passes: 2,
             compaction: CompactionEngine::default(),
+            analysis: AnalysisOptions::default(),
             max_faults: 0,
             scan_chains: 1,
             seed: 0xda7e_2003,
@@ -272,8 +392,11 @@ fn compact_pipeline(
 pub struct GenerationFlow {
     /// The scan circuit the flow ran on.
     pub scan: ScanCircuit,
-    /// Target faults over `C_scan` (collapsed, possibly sampled).
+    /// Target faults over `C_scan` (collapsed, possibly sampled, and with
+    /// statically-untestable faults removed when analysis pruning is on).
     pub faults: FaultList,
+    /// What the static analysis pass did, when enabled.
+    pub analysis: Option<FlowAnalysis>,
     /// Section 2 generator outcome (sequence `T` of Table 6).
     pub generated: AtpgOutcome,
     /// After vector restoration (`T_restor`).
@@ -346,12 +469,19 @@ impl GenerationFlow {
             let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
             (scan, faults)
         };
+        let (faults, target_order, analysis) =
+            apply_analysis(scan.circuit(), faults, &config.analysis, obs);
         let generated = {
             let span = obs.span(SpanKind::Pass, "generate");
             match &config.engine {
-                Engine::Deterministic => SequentialAtpg::new(&scan, &faults, config.atpg.clone())
-                    .with_obs(span.handle())
-                    .run(),
+                Engine::Deterministic => {
+                    let mut atpg = SequentialAtpg::new(&scan, &faults, config.atpg.clone())
+                        .with_obs(span.handle());
+                    if let Some(order) = target_order {
+                        atpg = atpg.with_target_order(order);
+                    }
+                    atpg.run()
+                }
                 Engine::Genetic(gc) => {
                     let (sequence, report) = GeneticAtpg::new(&scan, &faults, gc.clone()).run();
                     let aborted = report.total() - report.detected_count();
@@ -376,6 +506,7 @@ impl GenerationFlow {
         Ok(GenerationFlow {
             scan,
             faults,
+            analysis,
             generated,
             restored,
             omitted,
@@ -422,8 +553,13 @@ impl GenerationFlow {
 pub struct TranslationFlow {
     /// The scan circuit the flow ran on.
     pub scan: ScanCircuit,
-    /// Faults over `C_scan` used to drive the flat-sequence compaction.
+    /// Faults over `C_scan` used to drive the flat-sequence compaction
+    /// (minus statically-untestable faults when analysis pruning is on —
+    /// undetectable faults impose no compaction constraints, so pruning
+    /// them is pure time saving).
     pub faults: FaultList,
+    /// What the static analysis pass did, when enabled.
+    pub analysis: Option<FlowAnalysis>,
     /// The conventional baseline test set (before scan-set pruning).
     pub baseline: CombAtpgOutcome,
     /// The `[26]`-style pruned test set; its `application_cycles()` is the
@@ -515,6 +651,9 @@ impl TranslationFlow {
             let faults = FaultList::collapsed(scan.circuit()).sample(config.max_faults);
             (translated, faults)
         };
+        // The translation flow has no sequential generator, so only the
+        // pruning half of the analysis applies (the target order is unused).
+        let (faults, _, analysis) = apply_analysis(scan.circuit(), faults, &config.analysis, obs);
         let (restored, omitted) = compact_pipeline(
             scan.circuit(),
             &faults,
@@ -526,6 +665,7 @@ impl TranslationFlow {
         Ok(TranslationFlow {
             scan,
             faults,
+            analysis,
             baseline,
             baseline_compacted,
             translated,
@@ -660,6 +800,113 @@ mod tests {
         };
         let flow = GenerationFlow::run(&benchmarks::s27(), &config).unwrap();
         assert_eq!(flow.faults.len(), 20);
+    }
+
+    #[test]
+    fn analysis_defaults_off_and_changes_nothing() {
+        let base = GenerationFlow::run(&benchmarks::s27(), &FlowConfig::default()).unwrap();
+        assert!(base.analysis.is_none());
+        // s27's scan circuit has no statically-untestable faults, so
+        // pruning alone must reproduce the default run bit-identically.
+        let pruned = GenerationFlow::run(
+            &benchmarks::s27(),
+            &FlowConfig {
+                analysis: AnalysisOptions {
+                    prune_untestable: true,
+                    dominance_targeting: false,
+                },
+                ..FlowConfig::default()
+            },
+        )
+        .unwrap();
+        let record = pruned.analysis.expect("analysis ran");
+        assert!(record.untestable.is_empty(), "s27_scan is fully testable");
+        assert_eq!(pruned.faults.len(), base.faults.len());
+        assert_eq!(pruned.generated.sequence, base.generated.sequence);
+    }
+
+    #[test]
+    fn analysis_prunes_redundant_faults_and_keeps_proofs() {
+        // y = a AND (a OR b): the OR gate's b input is classically
+        // redundant, so b-path faults are statically untestable.
+        let mut b = limscan_netlist::CircuitBuilder::new("red");
+        b.input("a");
+        b.input("b");
+        b.gate("o", limscan_netlist::GateKind::Or, &["a", "b"])
+            .unwrap();
+        b.gate("y", limscan_netlist::GateKind::And, &["a", "o"])
+            .unwrap();
+        b.output("y");
+        b.dff("q", "y").unwrap();
+        let c = b.build().unwrap();
+        let base = GenerationFlow::run(&c, &FlowConfig::default()).unwrap();
+        let flow = GenerationFlow::run(
+            &c,
+            &FlowConfig {
+                analysis: AnalysisOptions::all(),
+                ..FlowConfig::default()
+            },
+        )
+        .unwrap();
+        let record = flow.analysis.as_ref().expect("analysis ran");
+        assert!(
+            !record.untestable.is_empty(),
+            "the redundant b path must be proven untestable"
+        );
+        assert_eq!(
+            flow.faults.len() + record.untestable.len(),
+            base.faults.len(),
+            "pruning removes exactly the proven faults"
+        );
+        // Pruning must not lose detections: everything the base run
+        // detected and the pruned universe still contains stays detected.
+        let check = SeqFaultSim::run(flow.scan.circuit(), &flow.faults, &flow.omitted.sequence);
+        for (id, f) in base.faults.iter() {
+            if base.generated.report.is_detected(id) {
+                let kept = flow
+                    .faults
+                    .id_of(f)
+                    .expect("detected faults are never pruned");
+                assert!(
+                    check.is_detected(kept),
+                    "{}",
+                    f.display_name(flow.scan.circuit())
+                );
+            }
+        }
+        // Fault efficiency counts the proofs; it can only improve on
+        // coverage over the pruned universe.
+        let eff =
+            record.efficiency_percent(flow.generated.report.detected_count(), flow.faults.len());
+        assert!(eff >= flow.generated.report.coverage_percent() - 1e-9);
+        // The analysis pass and its counters appear in the trace report.
+        assert_eq!(
+            flow.report.counter(limscan_obs::Metric::AnalysisUntestable),
+            record.untestable.len() as u64
+        );
+    }
+
+    #[test]
+    fn translation_flow_pruning_is_pure_time_saving() {
+        let s298 = benchmarks::load("s298").unwrap();
+        let base = TranslationFlow::run(&s298, &FlowConfig::default()).unwrap();
+        let flow = TranslationFlow::run(
+            &s298,
+            &FlowConfig {
+                analysis: AnalysisOptions {
+                    prune_untestable: true,
+                    dominance_targeting: false,
+                },
+                ..FlowConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(flow.analysis.is_some());
+        assert!(flow.faults.len() <= base.faults.len());
+        // Untestable faults impose no compaction constraints, so the
+        // compacted sequences are identical.
+        assert_eq!(flow.translated, base.translated);
+        assert_eq!(flow.omitted.sequence, base.omitted.sequence);
     }
 
     const CYCLIC_SRC: &str = "\

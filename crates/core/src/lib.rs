@@ -19,6 +19,7 @@
 //! |---|---|---|
 //! | netlist | [`netlist`] | circuit model, `.bench` I/O, benchmark suite |
 //! | faults | [`fault`] | stuck-at universe, equivalence collapsing |
+//! | analysis | [`analyze`] | dominators, implications, dominance collapsing, untestability |
 //! | simulation | [`sim`] | 3-valued logic, parallel-fault sequential simulation |
 //! | scan | [`scan`] | scan insertion, `(SI, T)` tests, Section-3 translation |
 //! | generation | [`atpg`] | PODEM, Section-2 sequential generator, baselines |
@@ -63,11 +64,14 @@ mod resilient;
 
 pub use equiv_flow::{DifferentialFlow, EquivFlow};
 pub use experiment::{CircuitExperiment, ExperimentConfig, Table5Row, Table6Row, Table7Row};
-pub use flow::{Engine, FlowConfig, FlowError, GenerationFlow, TranslationFlow};
+pub use flow::{
+    AnalysisOptions, Engine, FlowAnalysis, FlowConfig, FlowError, GenerationFlow, TranslationFlow,
+};
 pub use resilient::{
     resume_flow, run_generation_resilient, run_translation_resilient, ResilientConfig, ResilientRun,
 };
 
+pub use limscan_analyze as analyze;
 pub use limscan_atpg as atpg;
 pub use limscan_compact as compact;
 pub use limscan_equiv as equiv;
@@ -79,10 +83,12 @@ pub use limscan_obs as obs;
 pub use limscan_scan as scan;
 pub use limscan_sim as sim;
 
+pub use limscan_analyze::{AnalysisSummary, FaultPartition, StaticAnalysis, UntestableReason};
 pub use limscan_atpg::{AtpgConfig, AtpgOutcome, SequentialAtpg};
 pub use limscan_compact::{omission, restoration, restore_then_omit, segment_prune, Compacted};
 pub use limscan_equiv::{
-    check, detection_diff, Counterexample, DetectionDiff, EquivOptions, EquivVerdict,
+    check, detection_diff, detection_diff_excluding, Counterexample, DetectionDiff, EquivOptions,
+    EquivVerdict,
 };
 pub use limscan_fault::{Fault, FaultId, FaultList, StuckAt};
 pub use limscan_harness::{

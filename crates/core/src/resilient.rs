@@ -107,7 +107,7 @@ impl ResilientRun {
 fn config_digest(kind: FlowKind, config: &FlowConfig) -> u64 {
     fnv64(
         format!(
-            "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}",
+            "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}|{}|{:?}",
             kind,
             config.engine,
             config.atpg,
@@ -117,6 +117,7 @@ fn config_digest(kind: FlowKind, config: &FlowConfig) -> u64 {
             config.max_faults,
             config.scan_chains,
             config.seed,
+            config.analysis,
         )
         .as_bytes(),
     )

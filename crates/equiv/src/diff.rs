@@ -71,21 +71,55 @@ pub fn detection_diff(
     original: &TestSequence,
     candidate: &TestSequence,
 ) -> DetectionDiff {
+    detection_diff_excluding(circuit, faults, original, candidate, &[])
+}
+
+/// [`detection_diff`] over a restricted universe: faults in `exclude` are
+/// left out of the comparison entirely — they count toward neither `total`,
+/// the detected tallies, nor `lost`/`gained`.
+///
+/// The intended use is comparing a test program for an analysis-pruned
+/// universe against one for the full universe: statically-untestable faults
+/// are detected by neither program (that claim is tested separately), so
+/// excluding them keeps `preserved()` meaningful without re-enumerating
+/// fault lists.
+///
+/// # Panics
+///
+/// As [`detection_diff`].
+pub fn detection_diff_excluding(
+    circuit: &Circuit,
+    faults: &FaultList,
+    original: &TestSequence,
+    candidate: &TestSequence,
+    exclude: &[FaultId],
+) -> DetectionDiff {
     let orig = SeqFaultSim::run(circuit, faults, original);
     let cand = SeqFaultSim::run(circuit, faults, candidate);
+    let excluded: std::collections::HashSet<usize> = exclude.iter().map(|id| id.index()).collect();
+    let mut total = 0;
+    let mut original_detected = 0;
+    let mut candidate_detected = 0;
     let mut lost = Vec::new();
     let mut gained = Vec::new();
     for id in faults.ids() {
-        match (orig.is_detected(id), cand.is_detected(id)) {
+        if excluded.contains(&id.index()) {
+            continue;
+        }
+        total += 1;
+        let (o, c) = (orig.is_detected(id), cand.is_detected(id));
+        original_detected += usize::from(o);
+        candidate_detected += usize::from(c);
+        match (o, c) {
             (true, false) => lost.push(id),
             (false, true) => gained.push(id),
             _ => {}
         }
     }
     DetectionDiff {
-        total: faults.len(),
-        original_detected: orig.detected_count(),
-        candidate_detected: cand.detected_count(),
+        total,
+        original_detected,
+        candidate_detected,
         lost,
         gained,
     }
@@ -137,6 +171,26 @@ mod tests {
         assert!(!d.preserved(), "dropping vectors must lose detections");
         assert_eq!(d.lost.len(), d.original_detected - d.candidate_detected);
         assert!(d.gained.is_empty(), "a prefix cannot gain detections");
+    }
+
+    #[test]
+    fn exclusion_restricts_the_compared_universe() {
+        let c = benchmarks::s27();
+        let faults = FaultList::collapsed(&c);
+        let seq = some_vectors(16, 4, 0xdead_cafe);
+        let d = detection_diff(&c, &faults, &seq, &seq.prefix(1));
+        assert!(!d.preserved());
+        // Excluding exactly the lost faults restores preservation and
+        // shrinks the universe accordingly.
+        let dx = detection_diff_excluding(&c, &faults, &seq, &seq.prefix(1), &d.lost);
+        assert!(dx.preserved());
+        assert_eq!(dx.total, d.total - d.lost.len());
+        assert_eq!(dx.original_detected, d.original_detected - d.lost.len());
+        // Excluding nothing is the plain diff.
+        assert_eq!(
+            detection_diff_excluding(&c, &faults, &seq, &seq.prefix(1), &[]),
+            d
+        );
     }
 
     #[test]

@@ -37,5 +37,5 @@ mod minimize;
 mod ports;
 
 pub use check::{check, Counterexample, EquivError, EquivOptions, EquivStats, EquivVerdict};
-pub use diff::{detection_diff, DetectionDiff};
+pub use diff::{detection_diff, detection_diff_excluding, DetectionDiff};
 pub use ports::{PortMap, PortMatchError};

@@ -205,6 +205,153 @@ impl FaultClasses {
     }
 }
 
+impl FaultClasses {
+    /// Gate-local dominance cover edges over class representatives, as
+    /// `(covered, by)` pairs: every test detecting `by` also detects
+    /// `covered`, so `covered` can be dropped from the target list whenever
+    /// `by` (or something `by` resolves to) is kept.
+    ///
+    /// The classical rules are the polarity duals of the equivalence rules:
+    /// an AND output stuck-at-1 is dominated by *each* input-pin stuck-at-1
+    /// (a test for the pin fault sets the other pins non-controlling, so the
+    /// very same output error appears), and correspondingly NAND out-sa0 ←
+    /// pin-sa1, OR out-sa0 ← pin-sa0, NOR out-sa1 ← pin-sa0. Multiple pins
+    /// yield *alternative* covers — the pairs share the `covered` fault and
+    /// must not be union-merged (the pin faults are not equivalent to each
+    /// other); [`DominanceCover::resolve`] picks one viable cover per fault.
+    pub fn gate_dominance_edges(&self, circuit: &Circuit) -> Vec<(FaultId, FaultId)> {
+        let mut edges = Vec::new();
+        for id in (0..circuit.net_count()).map(NetId::from_index) {
+            let Driver::Gate { kind, fanins } = circuit.net(id).driver() else {
+                continue;
+            };
+            let rule: Option<(StuckAt, StuckAt)> = match kind {
+                GateKind::And => Some((StuckAt::One, StuckAt::One)),
+                GateKind::Nand => Some((StuckAt::One, StuckAt::Zero)),
+                GateKind::Or => Some((StuckAt::Zero, StuckAt::Zero)),
+                GateKind::Nor => Some((StuckAt::Zero, StuckAt::One)),
+                _ => None,
+            };
+            let Some((pin_v, out_v)) = rule else {
+                continue;
+            };
+            if fanins.len() < 2 {
+                continue;
+            }
+            let covered = self.representative(
+                self.full
+                    .id_of(Fault::stem(id, out_v))
+                    .expect("stem fault in full universe"),
+            );
+            for j in 0..fanins.len() {
+                let pin = Pin {
+                    net: id,
+                    pin: j as u8,
+                };
+                let by = self.representative(
+                    self.full
+                        .id_of(Fault::branch(pin, pin_v))
+                        .expect("pin fault in full universe"),
+                );
+                if by != covered {
+                    edges.push((covered, by));
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// A resolved dominance cover over a circuit's equivalence classes: every
+/// fault maps to the single *target* fault chosen to stand for it — itself,
+/// or a fault whose every test provably detects it (transitively).
+#[derive(Clone, Debug)]
+pub struct DominanceCover {
+    target: Vec<u32>,
+}
+
+impl DominanceCover {
+    /// Resolves cover chains over `edges` (as produced by
+    /// [`FaultClasses::gate_dominance_edges`], possibly extended with
+    /// additional sound `(covered, by)` pairs). `keep` filters viable final
+    /// targets: a cover is only usable when its resolved target passes the
+    /// filter (dominance by an untestable fault is vacuous — no test for it
+    /// exists — so the dominated fault must then stand for itself).
+    ///
+    /// Cycles between covers (mutual dominance) are broken conservatively:
+    /// the members resolve to themselves.
+    pub fn resolve(
+        classes: &FaultClasses,
+        edges: &[(FaultId, FaultId)],
+        keep: impl Fn(FaultId) -> bool,
+    ) -> Self {
+        let n = classes.full().len();
+        let mut cand: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for &(covered, by) in edges {
+            cand.entry(covered.0).or_default().push(by.0);
+        }
+        let mut state = vec![0u8; n];
+        let mut target: Vec<u32> = (0..n as u32).collect();
+        fn resolve_one(
+            r: u32,
+            cand: &std::collections::HashMap<u32, Vec<u32>>,
+            state: &mut [u8],
+            target: &mut [u32],
+            keep: &dyn Fn(FaultId) -> bool,
+        ) {
+            if state[r as usize] != 0 {
+                return;
+            }
+            state[r as usize] = 1;
+            let mut chosen = r;
+            if let Some(cs) = cand.get(&r) {
+                for &c in cs {
+                    if state[c as usize] == 1 {
+                        // Following this edge would close a cover cycle.
+                        continue;
+                    }
+                    resolve_one(c, cand, state, target, keep);
+                    let t = target[c as usize];
+                    if keep(FaultId(t)) {
+                        chosen = t;
+                        break;
+                    }
+                }
+            }
+            target[r as usize] = chosen;
+            state[r as usize] = 2;
+        }
+        for id in classes.full().ids() {
+            let rep = classes.representative(id);
+            resolve_one(rep.0, &cand, &mut state, &mut target, &keep);
+        }
+        for i in 0..n {
+            let rep = classes.representative(FaultId(i as u32));
+            target[i] = target[rep.index()];
+        }
+        DominanceCover { target }
+    }
+
+    /// The target fault standing for `id` (a class representative; equal to
+    /// `id`'s own representative when nothing dominates it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the full universe.
+    pub fn target(&self, id: FaultId) -> FaultId {
+        FaultId(self.target[id.index()])
+    }
+
+    /// Number of distinct targets (the dominance-collapsed universe size).
+    pub fn target_count(&self) -> usize {
+        self.target
+            .iter()
+            .enumerate()
+            .filter(|&(i, &t)| i as u32 == t)
+            .count()
+    }
+}
+
 /// Measured size of a circuit's fault universe before and after input-pin
 /// completion, plus the collapse outcome. Reported by `limscan info` and
 /// the EXPERIMENTS.md fault-universe table.
@@ -221,6 +368,10 @@ pub struct CollapseStats {
     pub full: usize,
     /// Collapsed universe size (one representative per class).
     pub collapsed: usize,
+    /// Dominance tier: equivalence classes remaining after gate-local
+    /// dominance covers are resolved on top of the collapse (see
+    /// [`FaultClasses::gate_dominance_edges`]).
+    pub dominance: usize,
 }
 
 impl CollapseStats {
@@ -230,12 +381,15 @@ impl CollapseStats {
         let pins = (0..circuit.net_count())
             .map(|n| circuit.fanouts(NetId::from_index(n)).len())
             .sum();
+        let edges = classes.gate_dominance_edges(circuit);
+        let cover = DominanceCover::resolve(&classes, &edges, |_| true);
         CollapseStats {
             nets: circuit.net_count(),
             pins,
             pre_completion: FaultList::stems_and_fanout_branches(circuit).len(),
             full: classes.full().len(),
             collapsed: classes.class_count(),
+            dominance: cover.target_count(),
         }
     }
 
@@ -428,5 +582,78 @@ mod tests {
         assert_eq!(stats.full, 2 * stats.nets + 2 * stats.pins);
         assert_eq!(stats.collapsed, FaultList::collapsed(&c).len());
         assert!(stats.pre_completion < stats.full);
+        assert!(stats.dominance <= stats.collapsed);
+        assert!(stats.dominance > 0);
+    }
+
+    #[test]
+    fn and_output_sa1_is_dominance_covered_by_a_pin() {
+        let mut b = CircuitBuilder::new("and2");
+        b.input("a");
+        b.input("b");
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let classes = FaultClasses::compute(&c);
+        let edges = classes.gate_dominance_edges(&c);
+        let cover = DominanceCover::resolve(&classes, &edges, |_| true);
+        let full = classes.full();
+        let y = c.find_net("y").unwrap();
+        let y1 = full.id_of(Fault::stem(y, StuckAt::One)).unwrap();
+        let t = cover.target(y1);
+        assert_ne!(classes.representative(t), classes.representative(y1));
+        // The chosen cover is the first input pin's sa1, which the wire
+        // rule folded into a's stem sa1.
+        let a = c.find_net("a").unwrap();
+        let a1 = full.id_of(Fault::stem(a, StuckAt::One)).unwrap();
+        assert_eq!(t, classes.representative(a1));
+        // sa0 side is untouched by dominance.
+        let y0 = full.id_of(Fault::stem(y, StuckAt::Zero)).unwrap();
+        assert_eq!(cover.target(y0), classes.representative(y0));
+    }
+
+    #[test]
+    fn dominance_cover_respects_the_keep_filter() {
+        let mut b = CircuitBuilder::new("and2");
+        b.input("a");
+        b.input("b");
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let classes = FaultClasses::compute(&c);
+        let edges = classes.gate_dominance_edges(&c);
+        let full = classes.full();
+        let y = c.find_net("y").unwrap();
+        let y1 = full.id_of(Fault::stem(y, StuckAt::One)).unwrap();
+        // Refusing every cover leaves each fault standing for itself.
+        let cover = DominanceCover::resolve(&classes, &edges, |t| t == classes.representative(y1));
+        assert_eq!(cover.target(y1), classes.representative(y1));
+    }
+
+    #[test]
+    fn dominance_chains_terminate_on_an_and_tree() {
+        let mut b = CircuitBuilder::new("tree");
+        b.input("a");
+        b.input("c");
+        b.input("d");
+        b.input("e");
+        b.gate("x", GateKind::And, &["a", "c"]).unwrap();
+        b.gate("y", GateKind::And, &["d", "e"]).unwrap();
+        b.gate("z", GateKind::And, &["x", "y"]).unwrap();
+        b.output("z");
+        let circ = b.build().unwrap();
+        let classes = FaultClasses::compute(&circ);
+        let edges = classes.gate_dominance_edges(&circ);
+        let cover = DominanceCover::resolve(&classes, &edges, |_| true);
+        let full = classes.full();
+        // z/sa1 chains through x/sa1 to a/sa1.
+        let z1 = full
+            .id_of(Fault::stem(circ.find_net("z").unwrap(), StuckAt::One))
+            .unwrap();
+        let a1 = full
+            .id_of(Fault::stem(circ.find_net("a").unwrap(), StuckAt::One))
+            .unwrap();
+        assert_eq!(cover.target(z1), classes.representative(a1));
+        assert!(cover.target_count() < classes.class_count());
     }
 }

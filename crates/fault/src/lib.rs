@@ -31,6 +31,6 @@ mod collapse;
 mod fault;
 mod universe;
 
-pub use collapse::{CollapseStats, FaultClasses};
+pub use collapse::{CollapseStats, DominanceCover, FaultClasses};
 pub use fault::{Fault, FaultId, FaultSite, StuckAt};
 pub use universe::FaultList;

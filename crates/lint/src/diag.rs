@@ -94,11 +94,19 @@ pub enum RuleCode {
     /// `L203` — a flip-flop unreachable from every primary input: its
     /// power-up X can never be flushed functionally.
     XSource,
+    /// `L204` — a gate output the static implication engine proves
+    /// constant in every time frame; the logic computing it is redundant
+    /// and one of its stuck-at faults is untestable.
+    ConstantNet,
+    /// `L205` — a two-input AND/NAND/OR/NOR fanin whose non-controlling
+    /// value is implied by the other fanin's; the gate collapses to a
+    /// (possibly inverted) copy of that other fanin.
+    RedundantFanin,
 }
 
 impl RuleCode {
     /// Every rule code, in catalog order.
-    pub const ALL: [RuleCode; 14] = [
+    pub const ALL: [RuleCode; 16] = [
         RuleCode::SyntaxError,
         RuleCode::CombinationalCycle,
         RuleCode::UndrivenNet,
@@ -113,6 +121,8 @@ impl RuleCode {
         RuleCode::HardToControl,
         RuleCode::HardToObserve,
         RuleCode::XSource,
+        RuleCode::ConstantNet,
+        RuleCode::RedundantFanin,
     ];
 
     /// The stable short code, e.g. `L001`.
@@ -132,6 +142,8 @@ impl RuleCode {
             RuleCode::HardToControl => "L201",
             RuleCode::HardToObserve => "L202",
             RuleCode::XSource => "L203",
+            RuleCode::ConstantNet => "L204",
+            RuleCode::RedundantFanin => "L205",
         }
     }
 
@@ -152,6 +164,8 @@ impl RuleCode {
             RuleCode::HardToControl => "hard-to-control",
             RuleCode::HardToObserve => "hard-to-observe",
             RuleCode::XSource => "x-source",
+            RuleCode::ConstantNet => "constant-net",
+            RuleCode::RedundantFanin => "redundant-fanin",
         }
     }
 
@@ -171,7 +185,9 @@ impl RuleCode {
             RuleCode::DanglingGate
             | RuleCode::HardToControl
             | RuleCode::HardToObserve
-            | RuleCode::XSource => Severity::Warning,
+            | RuleCode::XSource
+            | RuleCode::ConstantNet
+            | RuleCode::RedundantFanin => Severity::Warning,
         }
     }
 }

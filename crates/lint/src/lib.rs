@@ -26,6 +26,8 @@
 //! | `L201` | hard-to-control | warning |
 //! | `L202` | hard-to-observe | warning |
 //! | `L203` | x-source | warning |
+//! | `L204` | constant-net | warning |
+//! | `L205` | redundant-fanin | warning |
 //!
 //! # Example
 //!
@@ -79,6 +81,11 @@ pub struct LintConfig {
     /// Whether to run the (comparatively expensive) SCOAP-based `L2xx`
     /// rules.
     pub testability: bool,
+    /// Net-count ceiling for the implication-based rules (`L204`/`L205`):
+    /// the static implication engine probes every net at both polarities,
+    /// so on very large circuits these rules are skipped. `0` removes the
+    /// ceiling.
+    pub implication_net_limit: usize,
 }
 
 impl Default for LintConfig {
@@ -90,6 +97,7 @@ impl Default for LintConfig {
             observe_threshold: Scoap::UNREACHABLE,
             max_per_rule: 20,
             testability: true,
+            implication_net_limit: 2_000,
         }
     }
 }

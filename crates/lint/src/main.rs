@@ -4,7 +4,7 @@
 //! ```text
 //! limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
 //!              [--min-severity error|warning|info] [--scoap-threshold N]
-//!              [--no-testability]
+//!              [--no-testability] [--implication-limit N]
 //! limscan-lint --self-check [--json]
 //! ```
 //!
@@ -20,7 +20,7 @@ use limscan_scan::ScanCircuit;
 const USAGE: &str = "usage:
   limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
                [--min-severity error|warning|info] [--scoap-threshold N]
-               [--no-testability]
+               [--no-testability] [--implication-limit N]
   limscan-lint --self-check [--json]
 
 Lints a netlist and prints findings as `file:line: severity[CODE] rule:
@@ -75,6 +75,11 @@ fn config_from(args: &[String]) -> Result<LintConfig, String> {
         config.control_threshold = t;
         config.observe_threshold = t;
     }
+    if let Some(v) = flag_value(args, "--implication-limit") {
+        config.implication_net_limit = v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for --implication-limit"))?;
+    }
     if args.iter().any(|a| a == "--no-testability") {
         config.testability = false;
     }
@@ -83,7 +88,12 @@ fn config_from(args: &[String]) -> Result<LintConfig, String> {
 
 /// Lints one circuit; returns whether it is error-clean.
 fn lint_one(args: &[String]) -> Result<bool, String> {
-    let value_flags = ["--chains", "--min-severity", "--scoap-threshold"];
+    let value_flags = [
+        "--chains",
+        "--min-severity",
+        "--scoap-threshold",
+        "--implication-limit",
+    ];
     let mut target: Option<&String> = None;
     let mut i = 0;
     while i < args.len() {

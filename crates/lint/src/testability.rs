@@ -1,8 +1,10 @@
-//! Testability rules (`L201`–`L203`): SCOAP-based hard-to-control /
-//! hard-to-observe warnings and X-source detection.
+//! Testability rules (`L201`–`L205`): SCOAP-based hard-to-control /
+//! hard-to-observe warnings, X-source detection, and implication-based
+//! constant-net / redundant-fanin diagnostics.
 
+use limscan_analyze::ImplicationEngine;
 use limscan_atpg::Scoap;
-use limscan_netlist::{Circuit, NetId};
+use limscan_netlist::{Circuit, Driver, GateKind, NetId};
 
 use crate::diag::{Diagnostic, RuleCode};
 use crate::LintConfig;
@@ -70,6 +72,94 @@ pub(crate) fn check(c: &Circuit, config: &LintConfig) -> Vec<Diagnostic> {
                 .with_net(name)
                 .with_suggestion("give it scan access or an input-driven load path"),
             );
+        }
+    }
+
+    if config.implication_net_limit == 0 || c.net_count() <= config.implication_net_limit {
+        out.extend(implication_rules(c));
+    }
+
+    out
+}
+
+/// `L204`/`L205`: diagnostics derived from the static implication engine.
+/// Quadratic-ish in circuit size (every net is probed at both polarities),
+/// hence the [`LintConfig::implication_net_limit`] ceiling.
+fn implication_rules(c: &Circuit) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut engine = ImplicationEngine::build(c);
+
+    // L204: gate outputs proven constant. Deliberate constants (Const0 /
+    // Const1 gates) are design intent, not findings.
+    for (id, value) in engine.constants() {
+        let Driver::Gate { kind, .. } = c.net(id).driver() else {
+            continue;
+        };
+        if matches!(kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        let name = c.net(id).name();
+        let v = u8::from(value);
+        out.push(
+            Diagnostic::new(
+                RuleCode::ConstantNet,
+                c.span(id),
+                format!("net `{name}` is provably constant {v} in every time frame"),
+            )
+            .with_net(name)
+            .with_suggestion(format!(
+                "replace `{name}` with a constant {v} and simplify its fanout logic"
+            )),
+        );
+    }
+
+    // L205: for a two-input AND/NAND/OR/NOR, if one fanin at its
+    // non-controlling value implies the other fanin non-controlling too,
+    // the gate output equals the first fanin (up to inversion) and the
+    // second pin is redundant. Constant fanins are L204 territory.
+    for i in 0..c.net_count() {
+        let id = NetId::from_index(i);
+        let Driver::Gate { kind, fanins } = c.net(id).driver() else {
+            continue;
+        };
+        let ctrl = match kind {
+            GateKind::And | GateKind::Nand => false,
+            GateKind::Or | GateKind::Nor => true,
+            _ => continue,
+        };
+        if fanins.len() != 2 || engine.constant(id).is_some() {
+            continue;
+        }
+        let (a, b) = (fanins[0], fanins[1]);
+        if engine.constant(a).is_some() || engine.constant(b).is_some() {
+            continue;
+        }
+        for (keep, redundant) in [(a, b), (b, a)] {
+            let implied = engine
+                .implied(&[(keep, !ctrl)])
+                .is_some_and(|imp| imp.contains(&(redundant, !ctrl)));
+            if implied {
+                let gate = c.net(id).name();
+                let kept = c.net(keep).name();
+                let dead = c.net(redundant).name();
+                out.push(
+                    Diagnostic::new(
+                        RuleCode::RedundantFanin,
+                        c.span(id),
+                        format!(
+                            "fanin `{dead}` of gate `{gate}` is redundant: `{kept}` = {v} \
+                             already implies `{dead}` = {v}",
+                            v = u8::from(!ctrl)
+                        ),
+                    )
+                    .with_net(gate)
+                    .with_suggestion(format!(
+                        "`{gate}` computes a (possibly inverted) copy of `{kept}`; drop the \
+                         `{dead}` pin"
+                    )),
+                );
+                break;
+            }
         }
     }
 
@@ -143,6 +233,82 @@ mod tests {
             .filter(|&&c| c == "L201")
             .count();
         assert!(n > 0);
+    }
+
+    #[test]
+    fn l204_flags_provably_constant_gates() {
+        // z = AND(NOT(i), BUF(i)) is constant 0 without any Const gate.
+        let mut b = CircuitBuilder::new("diamond");
+        b.input("i");
+        b.gate("n", GateKind::Not, &["i"]).unwrap();
+        b.gate("p", GateKind::Buf, &["i"]).unwrap();
+        b.gate("z", GateKind::And, &["n", "p"]).unwrap();
+        b.output("z");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        let found = diags
+            .iter()
+            .find(|d| d.code == RuleCode::ConstantNet)
+            .expect("constant net reported");
+        assert_eq!(found.net.as_deref(), Some("z"));
+        assert!(found.message.contains("constant 0"), "{found:?}");
+    }
+
+    #[test]
+    fn l204_skips_deliberate_const_gates() {
+        let mut b = CircuitBuilder::new("intent");
+        b.input("a");
+        b.gate("one", GateKind::Const1, &[]).unwrap();
+        b.gate("y", GateKind::Xor, &["a", "one"]).unwrap();
+        b.output("y");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        assert!(
+            !diags.iter().any(|d| d.code == RuleCode::ConstantNet),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn l205_flags_an_implied_fanin() {
+        // o = OR(a, b), y = AND(a, o): a = 1 implies o = 1, so the `o`
+        // pin of `y` is redundant (y == a).
+        let mut b = CircuitBuilder::new("absorb");
+        b.input("a");
+        b.input("b");
+        b.gate("o", GateKind::Or, &["a", "b"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "o"]).unwrap();
+        b.output("y");
+        b.output("o");
+        let c = b.build().unwrap();
+        let diags = check(&c, &LintConfig::default());
+        let found = diags
+            .iter()
+            .find(|d| d.code == RuleCode::RedundantFanin)
+            .expect("redundant fanin reported");
+        assert_eq!(found.net.as_deref(), Some("y"));
+    }
+
+    #[test]
+    fn implication_rules_respect_the_net_limit() {
+        let mut b = CircuitBuilder::new("diamond");
+        b.input("i");
+        b.gate("n", GateKind::Not, &["i"]).unwrap();
+        b.gate("p", GateKind::Buf, &["i"]).unwrap();
+        b.gate("z", GateKind::And, &["n", "p"]).unwrap();
+        b.output("z");
+        let c = b.build().unwrap();
+        let config = LintConfig {
+            implication_net_limit: 1,
+            ..LintConfig::default()
+        };
+        let diags = check(&c, &config);
+        assert!(
+            !diags
+                .iter()
+                .any(|d| matches!(d.code, RuleCode::ConstantNet | RuleCode::RedundantFanin)),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub enum Metric {
     /// Detections lost by a candidate test program in a differential
     /// comparison.
     EquivFaultsLost,
+    /// Faults proven statically untestable by the analysis pass and removed
+    /// from the target universe.
+    AnalysisUntestable,
+    /// Faults deferred to the safety-net ATPG tier because static analysis
+    /// found a dominance cover.
+    AnalysisDominated,
     /// Gauge: worker threads used by an observed simulation pass.
     SimThreads,
     /// Gauge: estimated scratch-arena bytes for an observed pass.
@@ -94,7 +100,7 @@ pub enum Metric {
 
 impl Metric {
     /// Every metric, in a stable order (used for collector storage).
-    pub const ALL: [Metric; 19] = [
+    pub const ALL: [Metric; 21] = [
         Metric::VectorsSimulated,
         Metric::FaultsDetected,
         Metric::BatchesSimulated,
@@ -112,6 +118,8 @@ impl Metric {
         Metric::EquivRounds,
         Metric::EquivMismatches,
         Metric::EquivFaultsLost,
+        Metric::AnalysisUntestable,
+        Metric::AnalysisDominated,
         Metric::SimThreads,
         Metric::ScratchBytes,
     ];
@@ -137,6 +145,8 @@ impl Metric {
             Metric::EquivRounds => "equiv_rounds",
             Metric::EquivMismatches => "equiv_mismatches",
             Metric::EquivFaultsLost => "equiv_faults_lost",
+            Metric::AnalysisUntestable => "analysis_untestable",
+            Metric::AnalysisDominated => "analysis_dominated",
             Metric::SimThreads => "sim_threads",
             Metric::ScratchBytes => "scratch_bytes",
         }
@@ -172,6 +182,8 @@ impl Metric {
                 | Metric::EquivRounds
                 | Metric::EquivMismatches
                 | Metric::EquivFaultsLost
+                | Metric::AnalysisUntestable
+                | Metric::AnalysisDominated
         )
     }
 }
