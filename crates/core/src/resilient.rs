@@ -527,6 +527,31 @@ pub fn run_translation_resilient(
     )
 }
 
+/// Runs only the compaction tail (restoration plus omission passes) of the
+/// generation flow over an existing `sequence`, under a budget, with the
+/// same checkpoint boundaries as [`run_generation_resilient`] — this is
+/// how a standalone "compact this sequence" job gets the full park/resume
+/// treatment. A `Complete` outcome matches
+/// [`compact_pipeline`](limscan_compact::compact_pipeline) over the same
+/// scan circuit and fault list.
+///
+/// # Errors
+///
+/// As [`run_generation_resilient`].
+pub fn run_compaction_resilient(
+    circuit: &Circuit,
+    sequence: &TestSequence,
+    rcfg: &ResilientConfig,
+) -> Result<FlowOutcome<ResilientRun>, FlowError> {
+    execute(
+        circuit,
+        rcfg,
+        FlowKind::Generation,
+        Stage::Compact(sequence.clone()),
+        true,
+    )
+}
+
 /// Resumes an interrupted flow from its snapshot and continues it (under
 /// `rcfg.budget`, which may itself trip again — chained resumes converge
 /// on the uninterrupted result).

@@ -26,6 +26,10 @@ pub enum IoFailure {
     /// Half the serialized bytes land in the temp file, then the write
     /// errors — the classic torn-write hazard the atomic rename must mask.
     ShortWrite,
+    /// The parent-directory fsync after the rename fails: the renamed file
+    /// is complete and valid, but its directory entry may not be durable,
+    /// so the write must still be reported as failed.
+    DirSync,
 }
 
 /// A set of deterministic failures to inject into the next run.
@@ -76,6 +80,7 @@ impl FailPlan {
                     None => 0,
                     Some(IoFailure::Enospc) => 1,
                     Some(IoFailure::ShortWrite) => 2,
+                    Some(IoFailure::DirSync) => 3,
                 },
                 Ordering::Relaxed,
             );
@@ -106,20 +111,36 @@ impl Drop for FailGuard {
 /// Consume the armed snapshot I/O failure, if any. One failure is injected
 /// per arming: the first write after [`FailPlan::arm`] fails, later writes
 /// succeed (so a flow that degrades gracefully past the failure still
-/// checkpoints afterwards).
+/// checkpoints afterwards). [`IoFailure::DirSync`] is not consumed here —
+/// it fires at the directory-sync point after the rename instead.
 #[inline]
 pub(crate) fn snapshot_io_failure() -> Option<IoFailure> {
     #[cfg(feature = "fail-inject")]
     {
-        match SNAPSHOT_IO.swap(0, Ordering::Relaxed) {
-            1 => Some(IoFailure::Enospc),
-            2 => Some(IoFailure::ShortWrite),
+        match SNAPSHOT_IO.load(Ordering::Relaxed) {
+            1 if SNAPSHOT_IO.swap(0, Ordering::Relaxed) == 1 => Some(IoFailure::Enospc),
+            2 if SNAPSHOT_IO.swap(0, Ordering::Relaxed) == 2 => Some(IoFailure::ShortWrite),
             _ => None,
         }
     }
     #[cfg(not(feature = "fail-inject"))]
     {
         None
+    }
+}
+
+/// Consume an armed [`IoFailure::DirSync`], if any. Visited once per save,
+/// after the rename has landed, so the injected failure leaves a complete
+/// file behind while still reporting the save as failed.
+#[inline]
+pub(crate) fn dir_sync_failure() -> bool {
+    #[cfg(feature = "fail-inject")]
+    {
+        SNAPSHOT_IO.load(Ordering::Relaxed) == 3 && SNAPSHOT_IO.swap(0, Ordering::Relaxed) == 3
+    }
+    #[cfg(not(feature = "fail-inject"))]
+    {
+        false
     }
 }
 

@@ -13,6 +13,10 @@ use crate::snapshot::{FlowSnapshot, SnapshotError};
 /// a reader (or a resume after a crash) either sees the complete previous
 /// snapshot or the complete new one, never a torn file. Failed writes clean
 /// up their temp file and surface as [`SnapshotError::Io`] with the path.
+///
+/// Every save also fsyncs the temp file before the rename and the parent
+/// directory after it, so a snapshot that `save` reported as written
+/// survives power loss — not just process death.
 #[derive(Clone, Debug)]
 pub struct SnapshotStore {
     dir: PathBuf,
@@ -34,22 +38,40 @@ impl SnapshotStore {
     /// Persist `snapshot` as `<dir>/<name>` atomically and return the final
     /// path.
     ///
-    /// The serialized text is first written to a dot-prefixed temp file in
-    /// the same directory, then renamed over the final name; any failure
-    /// removes the temp file, so no partial snapshot ever exists at either
-    /// path.
+    /// The serialized text is first written and fsynced to a dot-prefixed
+    /// temp file in the same directory, then renamed over the final name,
+    /// then the directory itself is fsynced so the rename is durable; any
+    /// failure before the rename removes the temp file, so no partial
+    /// snapshot ever exists at either path.
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Io`] carrying the path of the failed operation.
     pub fn save(&self, snapshot: &FlowSnapshot, name: &str) -> Result<PathBuf, SnapshotError> {
+        self.save_bytes(name, snapshot.to_text().as_bytes())
+    }
+
+    /// Persist arbitrary `text` as `<dir>/<name>` with the same
+    /// atomicity and durability guarantees as [`SnapshotStore::save`].
+    ///
+    /// This is the persistence primitive for non-snapshot job state (job
+    /// metadata, final results) that must survive crashes alongside the
+    /// snapshots themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] carrying the path of the failed operation.
+    pub fn save_text(&self, name: &str, text: &str) -> Result<PathBuf, SnapshotError> {
+        self.save_bytes(name, text.as_bytes())
+    }
+
+    fn save_bytes(&self, name: &str, bytes: &[u8]) -> Result<PathBuf, SnapshotError> {
         let io_err = |path: &Path, e: &io::Error| SnapshotError::Io(NetlistError::io(path, e));
         fs::create_dir_all(&self.dir).map_err(|e| io_err(&self.dir, &e))?;
         let final_path = self.dir.join(name);
         let tmp_path = self.dir.join(format!(".{name}.tmp"));
-        let text = snapshot.to_text();
 
-        let write_result = write_temp(&tmp_path, text.as_bytes());
+        let write_result = write_temp(&tmp_path, bytes);
         if let Err(e) = write_result {
             let _ = fs::remove_file(&tmp_path);
             return Err(io_err(&tmp_path, &e));
@@ -57,6 +79,13 @@ impl SnapshotStore {
         if let Err(e) = fs::rename(&tmp_path, &final_path) {
             let _ = fs::remove_file(&tmp_path);
             return Err(io_err(&final_path, &e));
+        }
+        // The rename reached the directory, but the directory entry itself
+        // is not durable until the directory is fsynced. The renamed file
+        // is complete and valid either way, so a failure here leaves good
+        // state behind — it just must not be reported as a durable save.
+        if let Err(e) = sync_dir(&self.dir) {
+            return Err(io_err(&self.dir, &e));
         }
         Ok(final_path)
     }
@@ -73,12 +102,57 @@ impl SnapshotStore {
             fs::read_to_string(path).map_err(|e| SnapshotError::Io(NetlistError::io(path, &e)))?;
         FlowSnapshot::from_text(&text)
     }
+
+    /// Read a text file previously written with [`SnapshotStore::save_text`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be read.
+    pub fn read_text(path: impl AsRef<Path>) -> Result<String, SnapshotError> {
+        let path = path.as_ref();
+        fs::read_to_string(path).map_err(|e| SnapshotError::Io(NetlistError::io(path, &e)))
+    }
+
+    /// File names in the store's directory, sorted, excluding in-flight
+    /// temp files (dot-prefixed `.tmp`). Empty when the directory does not
+    /// exist yet.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the directory exists but cannot be read.
+    pub fn entries(&self) -> Result<Vec<String>, SnapshotError> {
+        let mut names = Vec::new();
+        let iter = match fs::read_dir(&self.dir) {
+            Ok(iter) => iter,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(names),
+            Err(e) => return Err(SnapshotError::Io(NetlistError::io(&self.dir, &e))),
+        };
+        for entry in iter {
+            let entry = entry.map_err(|e| SnapshotError::Io(NetlistError::io(&self.dir, &e)))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with('.') && name.ends_with(".tmp") {
+                continue;
+            }
+            names.push(name);
+        }
+        names.sort();
+        Ok(names)
+    }
 }
 
-/// Write the snapshot bytes to the temp path, honoring an armed snapshot
-/// I/O fail plan: `Enospc` errors before touching the file, `ShortWrite`
-/// leaves half the bytes in the temp file and then errors (the caller's
-/// cleanup must remove it).
+/// Fsync `dir` so a rename inside it becomes durable, honoring an armed
+/// [`IoFailure::DirSync`] plan.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    if fail::dir_sync_failure() {
+        return Err(io::Error::other("injected: directory fsync failed"));
+    }
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Write the snapshot bytes to the temp path and fsync them, honoring an
+/// armed snapshot I/O fail plan: `Enospc` errors before touching the file,
+/// `ShortWrite` leaves half the bytes in the temp file and then errors
+/// (the caller's cleanup must remove it).
 fn write_temp(tmp_path: &Path, bytes: &[u8]) -> io::Result<()> {
     match fail::snapshot_io_failure() {
         Some(IoFailure::Enospc) => {
@@ -96,9 +170,11 @@ fn write_temp(tmp_path: &Path, bytes: &[u8]) -> io::Result<()> {
                 "injected: short write",
             ));
         }
-        None => {}
+        Some(IoFailure::DirSync) | None => {}
     }
-    fs::write(tmp_path, bytes)
+    let mut f = fs::File::create(tmp_path)?;
+    f.write_all(bytes)?;
+    f.sync_all()
 }
 
 #[cfg(test)]
@@ -159,5 +235,28 @@ mod tests {
         let err = SnapshotStore::load(scratch_dir("missing").join("nope.snap"))
             .expect_err("missing file");
         assert!(matches!(err, SnapshotError::Io(_)));
+    }
+
+    #[test]
+    fn text_roundtrip_and_listing() {
+        let dir = scratch_dir("text");
+        let store = SnapshotStore::new(&dir);
+        assert_eq!(
+            store.entries().expect("empty listing"),
+            Vec::<String>::new()
+        );
+        let path = store
+            .save_text("job.meta", "id=1\nstate=queued\n")
+            .expect("save");
+        assert_eq!(
+            SnapshotStore::read_text(&path).expect("read"),
+            "id=1\nstate=queued\n"
+        );
+        store.save(&sample(), "gen.snap").expect("save snap");
+        assert_eq!(
+            store.entries().expect("listing"),
+            vec!["gen.snap", "job.meta"]
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -28,6 +28,7 @@
 //! `limscan-bench` builds core without it so the criterion A/B and the CI
 //! overhead smoke can compare both modes.
 
+mod aggregate;
 mod collector;
 mod event;
 mod handle;
@@ -35,6 +36,7 @@ pub mod jsonl;
 mod report;
 pub mod shape;
 
+pub use aggregate::MetricTotals;
 pub use collector::MetricsCollector;
 pub use event::{Event, Metric, SpanKind};
 pub use handle::{ObsHandle, Sink, SpanGuard};

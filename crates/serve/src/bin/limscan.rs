@@ -19,6 +19,10 @@
 //!               [--trace out.jsonl] [--metrics]
 //! limscan equiv <circuit> --diff <original.txt> <candidate.txt> [--chains N]
 //! limscan equiv --self-check
+//! limscan serve <state-dir> [--socket PATH] [--workers N] [--slice K]
+//!               [--max-queued N] [--max-concurrent N] [--max-vectors N]
+//!               [--trace-jobs]
+//! limscan client <socket> [request-json]
 //! ```
 //!
 //! `analyze` runs the static analysis passes (dominators, implication
@@ -54,6 +58,14 @@
 //! configuration from the snapshot's recorded knobs; a non-default engine
 //! must be re-stated (`--engine genetic`), and a drifted configuration is
 //! refused rather than silently diverging.
+//!
+//! `serve` starts the multi-tenant job daemon on a Unix domain socket
+//! (JSONL wire protocol, see `limscan_serve::proto`), scheduling jobs in
+//! checkpoint-budget slices of `--slice` boundaries each across
+//! `--workers` threads, with durable job state under `<state-dir>` that
+//! survives restart and SIGKILL. `client` sends one request line (or
+//! stdin lines) to a running daemon and prints the response(s); it exits 1
+//! when any response carries `"ok":false`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -73,6 +85,7 @@ use limscan::{
     FlowKind, FlowOutcome, FlowReport, GenerationFlow, Logic, ObsHandle, ResilientConfig,
     RunBudget, ScanCircuit, SeqFaultSim, SnapshotStore, StaticAnalysis, StopReason,
 };
+use limscan_serve::{Server, ServerConfig, TenantQuota};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +96,8 @@ fn main() -> ExitCode {
         Some("compact") => cmd_compact(&args[1..]),
         Some("resume") => cmd_resume(&args[1..]),
         Some("equiv") => cmd_equiv(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -117,10 +132,14 @@ const USAGE: &str = "usage:
                 [--trace out.jsonl] [--metrics]
   limscan equiv <circuit> --diff <original.txt> <candidate.txt> [--chains N]
   limscan equiv --self-check [--trace out.jsonl] [--metrics]
+  limscan serve <state-dir> [--socket PATH] [--workers N] [--slice K]
+                [--max-queued N] [--max-concurrent N] [--max-vectors N]
+                [--trace-jobs]
+  limscan client <socket> [request-json]
 
-exit status: 0 complete, 1 difference found by `equiv`, 2 error, 3 stopped
-at a budget limit (partial result kept; resume from the latest --snapshots
-checkpoint)";
+exit status: 0 complete, 1 difference found by `equiv` (or a failed
+`client` request), 2 error, 3 stopped at a budget limit (partial result
+kept; resume from the latest --snapshots checkpoint)";
 
 /// Parses `--trace` / `--metrics` into an observability handle. Warns
 /// (without failing) when the binary was built without the `trace`
@@ -998,4 +1017,76 @@ fn equiv_self_check(args: &[String]) -> Result<ExitCode, String> {
         println!("self-check FAILED: {failures}/{checks} obligations");
         Ok(ExitCode::from(1))
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("serve: missing state directory")?;
+    let defaults = TenantQuota::default();
+    let quota = TenantQuota {
+        max_queued: parse_flag(args, "--max-queued", defaults.max_queued)?,
+        max_concurrent: parse_flag(args, "--max-concurrent", defaults.max_concurrent)?,
+        max_vectors: flag_value(args, "--max-vectors")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("invalid value `{v}` for --max-vectors"))
+            })
+            .transpose()?,
+    };
+    let cfg = ServerConfig {
+        workers: parse_flag(args, "--workers", 2)?,
+        slice_checkpoints: parse_flag(args, "--slice", 1)?,
+        quota,
+        trace_jobs: args.iter().any(|a| a == "--trace-jobs"),
+        ..ServerConfig::new(dir)
+    };
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let socket = flag_value(args, "--socket").map_or_else(
+        || Path::new(dir).join("serve.sock"),
+        std::path::PathBuf::from,
+    );
+    let recovered = Server::start(cfg)?;
+    let jobs = recovered.list();
+    eprintln!(
+        "limscan serve: {} job(s) recovered, listening on {}",
+        jobs.len(),
+        socket.display()
+    );
+    limscan_serve::socket::serve(recovered, &socket).map_err(|e| format!("socket error: {e}"))?;
+    eprintln!("limscan serve: stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let sock = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("client: missing socket path")?;
+    let lines: Vec<String> = match args.get(1) {
+        Some(line) => vec![line.clone()],
+        None => std::io::stdin()
+            .lines()
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("cannot read stdin: {e}"))?,
+    };
+    let mut failed = false;
+    for line in lines.iter().filter(|l| !l.trim().is_empty()) {
+        let response = limscan_serve::socket::request(Path::new(sock), line)
+            .map_err(|e| format!("{sock}: {e}"))?;
+        println!("{response}");
+        let ok = limscan_serve::Json::parse(&response)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(limscan_serve::Json::as_bool))
+            .unwrap_or(false);
+        failed |= !ok;
+    }
+    Ok(if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
 }

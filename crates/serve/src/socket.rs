@@ -1,0 +1,113 @@
+//! Unix-domain-socket transport for the wire protocol.
+
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::proto::{self, Action};
+use crate::server::Server;
+
+/// Serve the wire protocol on a Unix domain socket until a `shutdown`
+/// request arrives. Blocks the calling thread; connections are handled on
+/// threads of their own. The socket file is removed on exit.
+///
+/// # Errors
+///
+/// Socket creation/bind failures. Per-connection I/O errors only end that
+/// connection.
+pub fn serve(server: Server, socket_path: &Path) -> io::Result<()> {
+    // A stale socket file from a SIGKILLed daemon would make bind fail;
+    // nothing can still be listening on it, so remove it.
+    let _ = std::fs::remove_file(socket_path);
+    let listener = UnixListener::bind(socket_path)?;
+    let server = Arc::new(server);
+    let stopping = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let server = Arc::clone(&server);
+        let stopping = Arc::clone(&stopping);
+        let wake_path = socket_path.to_path_buf();
+        handlers.push(std::thread::spawn(move || {
+            if handle_connection(&server, stream) == Action::Shutdown {
+                stopping.store(true, Ordering::SeqCst);
+                server.shutdown();
+                // Unblock the accept loop so it observes the stop flag.
+                let _ = UnixStream::connect(&wake_path);
+            }
+        }));
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    let _ = std::fs::remove_file(socket_path);
+    // The workers park their running slices before the daemon exits, so
+    // every job is recoverable from disk.
+    match Arc::try_unwrap(server) {
+        Ok(mut server) => {
+            server.shutdown();
+            server.join();
+        }
+        Err(server) => server.shutdown(),
+    }
+    Ok(())
+}
+
+fn handle_connection(server: &Server, stream: UnixStream) -> Action {
+    let Ok(write_half) = stream.try_clone() else {
+        return Action::Continue;
+    };
+    let mut writer = io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, action) = proto::handle_line(server, &line);
+        let mut text = response.render();
+        text.push('\n');
+        if writer
+            .write_all(text.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if action == Action::Shutdown {
+            return Action::Shutdown;
+        }
+    }
+    Action::Continue
+}
+
+/// Send one request line to a daemon and return its one response line
+/// (without the trailing newline).
+///
+/// # Errors
+///
+/// Connection or I/O failures, including a connection closed before any
+/// response arrived.
+pub fn request(socket_path: &Path, line: &str) -> io::Result<String> {
+    let mut stream = UnixStream::connect(socket_path)?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    if reader.read_line(&mut response)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response arrived",
+        ));
+    }
+    while response.ends_with('\n') || response.ends_with('\r') {
+        response.pop();
+    }
+    Ok(response)
+}

@@ -18,7 +18,7 @@ CIRCUIT="${1:-s298}"
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
 
-cargo build --release -q -p limscan
+cargo build --release -q -p limscan-serve
 LIMSCAN=target/release/limscan
 
 echo "== reference: uninterrupted run =="

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Release-mode load test for the `limscan serve` scheduler.
+#
+# Reruns tests/serve_load.rs with a population in the thousands: mixed
+# tenants and job kinds, checkpoint-budget preemption on every job, and
+# the full assertion set (clean drain, byte-identical results, bounded
+# per-tenant wait, concurrency caps). The suite prints one summary line
+#
+#   serve_load: <N> jobs / <W> workers in <T> (<R> jobs/s, ...)
+#
+# whose numbers feed the fairness/throughput table in EXPERIMENTS.md.
+#
+# Usage: scripts/serve_load.sh [jobs] [workers]   (default: 2000 jobs, 4 workers)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-2000}"
+WORKERS="${2:-4}"
+SERVE_LOAD_JOBS="$JOBS" SERVE_LOAD_WORKERS="$WORKERS" \
+    cargo test --release -q --test serve_load -- --nocapture

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the `limscan serve` daemon through the shipped
+# binary and wire protocol:
+#
+#  1. start a daemon, submit generate/translate/compact jobs over the
+#     socket, drain, and check every verb round-trips (`status`, `list`,
+#     `result`, `cancel`, `metrics`);
+#  2. byte-compare a served generation result against `limscan generate`
+#     run directly on the same circuit — serving must not change results;
+#  3. SIGKILL the daemon, restart it on the same state directory, and
+#     assert every job is recovered and drains to completion.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cargo build --release -q -p limscan-serve
+LIMSCAN=target/release/limscan
+STATE="$WORK/state"
+SOCK="$WORK/serve.sock"
+
+client() { "$LIMSCAN" client "$SOCK" "$1"; }
+
+# Probe with a real request, not just the socket file: the file appears
+# at bind(2), a beat before listen(2) accepts connections.
+wait_for_socket() {
+    for _ in $(seq 1 400); do
+        if [ -S "$SOCK" ] && client '{"verb":"list"}' >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.025
+    done
+    echo "FAIL: daemon socket never accepted a connection"; exit 1
+}
+
+start_daemon() {
+    "$LIMSCAN" serve "$STATE" --socket "$SOCK" --workers 2 --slice 1 \
+        2>"$WORK/daemon.log" &
+    DAEMON_PID=$!
+    wait_for_socket
+}
+
+expect_ok() { # $1 = response, $2 = what
+    case "$1" in
+        '{"ok":true'*) ;;
+        *) echo "FAIL: $2 returned: $1"; exit 1 ;;
+    esac
+}
+
+echo "== start daemon, submit three jobs =="
+start_daemon
+expect_ok "$(client '{"verb":"submit","tenant":"acme","kind":"generate","circuit":"s27"}')" "submit generate"
+expect_ok "$(client '{"verb":"submit","tenant":"bravo","kind":"translate","circuit":"s27"}')" "submit translate"
+# A bad spec must be rejected with ok:false (and client exit 1), not crash.
+if client '{"verb":"submit","tenant":"acme","kind":"generate","circuit":"no-such"}' >/dev/null 2>&1; then
+    echo "FAIL: bad submit was accepted"; exit 1
+fi
+
+echo "== drain, then check status/list/result/metrics =="
+expect_ok "$(client '{"verb":"drain"}')" "drain"
+status="$(client '{"verb":"status","job":1}')"
+expect_ok "$status" "status"
+case "$status" in
+    *'"state":"complete"'*) ;;
+    *) echo "FAIL: job 1 not complete after drain: $status"; exit 1 ;;
+esac
+expect_ok "$(client '{"verb":"list"}')" "list"
+expect_ok "$(client '{"verb":"metrics"}')" "metrics"
+
+echo "== served result must be byte-identical to a direct run =="
+"$LIMSCAN" generate s27 -o "$WORK/direct.txt" >/dev/null
+client '{"verb":"result","job":1}' | python3 -c '
+import json, sys
+print(json.load(sys.stdin)["result"], end="")
+' > "$WORK/served.txt"
+diff -q "$WORK/direct.txt" "$WORK/served.txt" >/dev/null \
+    || { echo "FAIL: served result diverged from the direct run"; exit 1; }
+echo "ok: served result is byte-identical"
+
+echo "== cancel round trip =="
+expect_ok "$(client '{"verb":"submit","tenant":"carol","kind":"generate","circuit":"s298","max_faults":96}')" "submit slow"
+expect_ok "$(client '{"verb":"cancel","job":3}')" "cancel"
+
+echo "== SIGKILL the daemon, restart, recover, drain =="
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+start_daemon
+grep -q "job(s) recovered" "$WORK/daemon.log" \
+    || { echo "FAIL: restart did not report recovery"; exit 1; }
+listing="$(client '{"verb":"list"}')"
+expect_ok "$listing" "list after restart"
+njobs="$(printf '%s' "$listing" | python3 -c '
+import json, sys
+print(len(json.load(sys.stdin)["jobs"]))
+')"
+[ "$njobs" -eq 3 ] || { echo "FAIL: expected 3 recovered jobs, got $njobs"; exit 1; }
+expect_ok "$(client '{"verb":"drain"}')" "drain after restart"
+client '{"verb":"result","job":1}' | python3 -c '
+import json, sys
+print(json.load(sys.stdin)["result"], end="")
+' > "$WORK/served2.txt"
+diff -q "$WORK/direct.txt" "$WORK/served2.txt" >/dev/null \
+    || { echo "FAIL: recovered result diverged from the direct run"; exit 1; }
+
+echo "== clean shutdown =="
+expect_ok "$(client '{"verb":"shutdown"}')" "shutdown"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+[ ! -S "$SOCK" ] || { echo "FAIL: socket file survived shutdown"; exit 1; }
+
+echo "OK: serve smoke passed"

@@ -1,0 +1,156 @@
+//! Golden-trace regression for the served execution path.
+//!
+//! A job run through the daemon must emit the same deterministic
+//! span/metric structure as the direct resilient flow: the scheduler adds
+//! queueing and persistence *around* a slice but must not perturb what
+//! happens *inside* one. This test runs an s27 generation job through a
+//! one-worker server with per-job tracing on, diffs the slice trace's
+//! structural shape against a checked-in golden (same masking rules as
+//! `obs_golden.rs`), and cross-checks it against a direct resilient run's
+//! trace captured in-process.
+//!
+//! Regenerate after an intentional instrumentation change with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test serve_golden
+//! ```
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use limscan::obs::shape::structural_lines;
+use limscan::sim::set_sim_threads;
+use limscan::{
+    benchmarks, run_generation_resilient, FlowOutcome, ObsHandle, ResilientConfig, RunBudget,
+    SnapshotStore,
+};
+use limscan_serve::{JobSpec, JobState, Server, ServerConfig};
+
+/// `set_sim_threads` is process-global; golden captures serialize on it.
+static THREAD_PIN: Mutex<()> = Mutex::new(());
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("limscan-serve-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Diffs the structural shape of `actual` against the named golden file,
+/// or rewrites the golden file when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let actual_shape = structural_lines(actual)
+        .unwrap_or_else(|e| panic!("{name}: freshly captured trace is malformed: {e}"));
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: cannot read golden trace {}: {e}\n\
+             (run `UPDATE_GOLDEN=1 cargo test --test serve_golden` to create it)",
+            path.display()
+        )
+    });
+    let golden_shape =
+        structural_lines(&golden).unwrap_or_else(|e| panic!("{name}: golden trace malformed: {e}"));
+    if actual_shape != golden_shape {
+        let first_diff = actual_shape
+            .iter()
+            .zip(&golden_shape)
+            .position(|(a, g)| a != g)
+            .unwrap_or_else(|| actual_shape.len().min(golden_shape.len()));
+        panic!(
+            "{name}: trace shape diverged from golden ({} vs {} structural lines)\n\
+             first difference at line {}:\n  golden: {}\n  actual: {}\n\
+             If the instrumentation change is intentional, regenerate with \
+             UPDATE_GOLDEN=1 and review the diff.",
+            actual_shape.len(),
+            golden_shape.len(),
+            first_diff + 1,
+            golden_shape.get(first_diff).map_or("<eof>", |s| s.as_str()),
+            actual_shape.get(first_diff).map_or("<eof>", |s| s.as_str()),
+        );
+    }
+}
+
+/// The trace a direct (unserved) resilient run of the same spec writes:
+/// identical flow config, an unbudgeted run, and a snapshot store so the
+/// checkpoint counters fire exactly as they do inside a slice.
+fn direct_trace() -> String {
+    let trace_path = std::env::temp_dir().join(format!(
+        "limscan-serve-golden-direct-{}.jsonl",
+        std::process::id()
+    ));
+    let snap_dir = scratch("direct-snaps");
+    let rcfg = ResilientConfig {
+        flow: JobSpec::default()
+            .flow_config(ObsHandle::jsonl_file(&trace_path).expect("trace file")),
+        budget: RunBudget::default(),
+        snapshots: Some(SnapshotStore::new(&snap_dir)),
+    };
+    let outcome = run_generation_resilient(&benchmarks::s27(), &rcfg).expect("flow validates");
+    assert!(
+        matches!(outcome, FlowOutcome::Complete(_)),
+        "unbudgeted run must complete"
+    );
+    drop(rcfg); // drops the obs handle, flushing the trace writer
+    let text = std::fs::read_to_string(&trace_path).expect("trace written");
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    text
+}
+
+#[test]
+fn served_s27_job_trace_matches_golden_and_the_direct_run() {
+    let _pin = THREAD_PIN
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    set_sim_threads(Some(1));
+
+    // One worker, unbudgeted slices: the whole job lands in trace-000.
+    let dir = scratch("served");
+    let cfg = ServerConfig {
+        workers: 1,
+        slice_checkpoints: 0,
+        trace_jobs: true,
+        ..ServerConfig::new(&dir)
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let id = server.submit(JobSpec::default()).expect("under quota");
+    server.drain();
+    assert_eq!(
+        server.status(id).expect("job known").state,
+        JobState::Complete
+    );
+    drop(server); // joins the worker; the slice's trace writer is flushed
+    let trace_path = dir
+        .join("jobs")
+        .join(format!("j{id:06}"))
+        .join("trace-000.jsonl");
+    let served = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| panic!("served trace missing at {}: {e}", trace_path.display()));
+
+    let direct = direct_trace();
+    set_sim_threads(None);
+
+    // The daemon adds nothing and loses nothing inside a slice: the served
+    // trace has the exact structural shape of the direct run's.
+    assert_eq!(
+        structural_lines(&served).expect("served trace validates"),
+        structural_lines(&direct).expect("direct trace validates"),
+        "serving a job changed the shape of its flow trace"
+    );
+    assert_matches_golden("s27_served.jsonl", &served);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,230 @@
+//! Load suite for the `limscan serve` daemon.
+//!
+//! Floods an in-process [`Server`] with a mixed-tenant job population and
+//! asserts the three service-level properties the daemon advertises:
+//!
+//! 1. **Clean drain** — every submitted job reaches `Complete`; nothing is
+//!    lost, wedged, or failed.
+//! 2. **Correctness under load** — every result is byte-identical to a
+//!    solo, unbudgeted run of the same spec (preemption is free).
+//! 3. **Fairness** — round-robin dispatch bounds the gap any runnable
+//!    tenant sees to fewer dispatches than there are tenants, and no
+//!    tenant exceeds the worker pool or its concurrency quota.
+//!
+//! The population size defaults small so `cargo test` stays quick;
+//! `scripts/serve_load.sh` reruns this suite in release with
+//! `SERVE_LOAD_JOBS` in the thousands and records the throughput table in
+//! EXPERIMENTS.md.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use limscan_serve::{run_direct, JobKind, JobSpec, JobState, Server, ServerConfig};
+
+const TENANTS: [&str; 3] = ["acme", "bravo", "carol"];
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "limscan-serve-load-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn env_jobs(default: usize) -> usize {
+    std::env::var("SERVE_LOAD_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// The `j`-th job of the load population: tenants round-robin, kinds and
+/// seeds cycle so the distinct-spec set stays small (12 solo reference
+/// runs) however large the population grows.
+fn load_spec(j: usize, compact_program: &str) -> JobSpec {
+    let kind = [JobKind::Generate, JobKind::Translate, JobKind::Compact][j % 3];
+    JobSpec {
+        tenant: TENANTS[j % TENANTS.len()].to_owned(),
+        kind,
+        program: (kind == JobKind::Compact).then(|| compact_program.to_owned()),
+        seed: (j / 3 % 4) as u64,
+        ..JobSpec::default()
+    }
+}
+
+/// Solo reference results keyed by spec (tenant normalized out: it cannot
+/// influence the flow).
+struct SoloCache(HashMap<String, String>);
+
+impl SoloCache {
+    fn new() -> Self {
+        SoloCache(HashMap::new())
+    }
+
+    fn get(&mut self, spec: &JobSpec) -> &str {
+        let key = JobSpec {
+            tenant: "any".into(),
+            ..spec.clone()
+        }
+        .to_json()
+        .render();
+        self.0
+            .entry(key)
+            .or_insert_with(|| run_direct(spec).expect("reference run completes"))
+    }
+}
+
+#[test]
+fn mixed_tenant_flood_drains_cleanly_fairly_and_byte_identically() {
+    let jobs = env_jobs(48);
+    let dir = scratch("flood");
+    let workers = std::env::var("SERVE_LOAD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+    let cfg = ServerConfig {
+        workers,
+        slice_checkpoints: 1,
+        ..ServerConfig::new(&dir)
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let mut solo = SoloCache::new();
+    let compact_program = run_direct(&JobSpec::default()).expect("program source");
+
+    let start = Instant::now();
+    let mut submitted = Vec::with_capacity(jobs);
+    for j in 0..jobs {
+        let spec = load_spec(j, &compact_program);
+        let id = server.submit(spec.clone()).expect("under quota");
+        submitted.push((id, spec));
+    }
+    server.drain();
+    let elapsed = start.elapsed();
+
+    // Clean drain: every job is listed and terminal-complete.
+    let statuses = server.list();
+    assert_eq!(statuses.len(), jobs, "jobs were lost");
+    for status in &statuses {
+        assert_eq!(
+            status.state,
+            JobState::Complete,
+            "job {} ended {:?} ({:?})",
+            status.id,
+            status.state,
+            status.error
+        );
+    }
+
+    // Correctness under load: byte-identical to the solo runs.
+    for (id, spec) in &submitted {
+        let text = server.result_text(*id).expect("complete job has a result");
+        assert_eq!(
+            text,
+            solo.get(spec),
+            "job {id} ({} {} seed {}) diverged from its solo run",
+            spec.tenant,
+            spec.kind.tag(),
+            spec.seed
+        );
+    }
+
+    // Fairness and quota invariants.
+    let report = server.metrics();
+    assert_eq!(report.tenants.len(), TENANTS.len().min(jobs));
+    let ring = report.tenants.len() as u64;
+    let mut slices_total = 0u64;
+    for tenant in &report.tenants {
+        assert!(
+            tenant.max_wait < ring,
+            "tenant {} waited {} dispatches with only {ring} tenants",
+            tenant.tenant,
+            tenant.max_wait
+        );
+        assert!(
+            tenant.max_running <= workers as u64,
+            "tenant {} ran {} slices at once on {workers} workers",
+            tenant.tenant,
+            tenant.max_running
+        );
+        assert!(
+            tenant.vectors > 0,
+            "vector accounting never charged {}",
+            tenant.tenant
+        );
+    }
+    for job in &report.jobs {
+        slices_total += job.slices;
+        assert!(job.slices > 1, "job {} was never preempted", job.id);
+    }
+
+    let throughput = jobs as f64 / elapsed.as_secs_f64();
+    let waits: Vec<String> = report
+        .tenants
+        .iter()
+        .map(|t| format!("{}={}", t.tenant, t.max_wait))
+        .collect();
+    eprintln!(
+        "serve_load: {jobs} jobs / {workers} workers in {elapsed:.2?} \
+         ({throughput:.1} jobs/s, {slices_total} slices, max_wait {})",
+        waits.join(" ")
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_storm_under_load_still_drains_cleanly() {
+    let jobs = env_jobs(48).min(240);
+    let dir = scratch("cancel-storm");
+    let cfg = ServerConfig {
+        workers: 4,
+        slice_checkpoints: 1,
+        ..ServerConfig::new(&dir)
+    };
+    let server = Server::start(cfg).expect("server starts");
+    let mut solo = SoloCache::new();
+    let compact_program = run_direct(&JobSpec::default()).expect("program source");
+
+    let mut submitted = Vec::with_capacity(jobs);
+    for j in 0..jobs {
+        let spec = load_spec(j, &compact_program);
+        let id = server.submit(spec.clone()).expect("under quota");
+        submitted.push((id, spec));
+    }
+    // Cancel every other job while the pool is mid-schedule. A cancel can
+    // race a completion — losing that race legitimately leaves the job
+    // complete — but it must never wedge the drain or fail a job.
+    for (id, _) in submitted.iter().step_by(2) {
+        server.cancel(*id).expect("job known");
+    }
+    server.drain();
+
+    for (j, (id, spec)) in submitted.iter().enumerate() {
+        let status = server.status(*id).expect("job known");
+        assert!(status.state.is_terminal(), "job {id} left non-terminal");
+        assert_ne!(
+            status.state,
+            JobState::Failed,
+            "job {id} failed: {:?}",
+            status.error
+        );
+        if j % 2 == 1 {
+            // Never cancelled: must be complete and solo-identical.
+            assert_eq!(status.state, JobState::Complete);
+            assert_eq!(
+                server.result_text(*id).expect("result"),
+                solo.get(spec),
+                "job {id} diverged from its solo run"
+            );
+        }
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
