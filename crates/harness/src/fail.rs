@@ -48,6 +48,9 @@ pub struct FailPlan {
     pub snapshot_io: Option<IoFailure>,
     /// Report the deadline as expired at this pass-boundary visit.
     pub deadline_at_pass: Option<u64>,
+    /// Fail the next N daemon-socket connect attempts (consumed one per
+    /// attempt), exercising the client's retry/backoff path.
+    pub connect_failures: Option<u64>,
 }
 
 #[cfg(feature = "fail-inject")]
@@ -59,6 +62,8 @@ static SNAPSHOT_IO: AtomicU8 = AtomicU8::new(0);
 static DEADLINE_AT: AtomicU64 = AtomicU64::new(DISARMED);
 #[cfg(feature = "fail-inject")]
 static BOUNDARY_VISITS: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "fail-inject")]
+static CONNECT_FAILS: AtomicU64 = AtomicU64::new(0);
 
 impl FailPlan {
     /// Install this plan process-globally. The returned guard disarms
@@ -86,6 +91,7 @@ impl FailPlan {
             );
             BOUNDARY_VISITS.store(0, Ordering::Relaxed);
             DEADLINE_AT.store(self.deadline_at_pass.unwrap_or(DISARMED), Ordering::Relaxed);
+            CONNECT_FAILS.store(self.connect_failures.unwrap_or(0), Ordering::Relaxed);
         }
         FailGuard { _priv: () }
     }
@@ -104,7 +110,27 @@ impl Drop for FailGuard {
             SNAPSHOT_IO.store(0, Ordering::Relaxed);
             DEADLINE_AT.store(DISARMED, Ordering::Relaxed);
             BOUNDARY_VISITS.store(0, Ordering::Relaxed);
+            CONNECT_FAILS.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// Consume one armed connect failure, if any. Public (unlike the other
+/// query points) because the visit lives in `limscan-serve`'s socket
+/// client, not in this workspace layer; without the `fail-inject` feature
+/// it is an inline `false` the optimizer removes.
+#[inline]
+#[must_use]
+pub fn take_connect_failure() -> bool {
+    #[cfg(feature = "fail-inject")]
+    {
+        CONNECT_FAILS
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+    #[cfg(not(feature = "fail-inject"))]
+    {
+        false
     }
 }
 

@@ -53,7 +53,7 @@ use std::collections::HashMap;
 
 use limscan_atpg::Scoap;
 use limscan_netlist::raw::RawNetlist;
-use limscan_netlist::{bench_format, Circuit, Span};
+use limscan_netlist::{bench_format, Circuit, ParseLimits, Span};
 use limscan_scan::ScanCircuit;
 
 pub use diag::{Diagnostic, LintReport, RuleCode, Severity};
@@ -86,6 +86,11 @@ pub struct LintConfig {
     /// so on very large circuits these rules are skipped. `0` removes the
     /// ceiling.
     pub implication_net_limit: usize,
+    /// Resource ceilings enforced while parsing source text
+    /// ([`lint_source`](Linter::lint_source)); a violation surfaces as an
+    /// `L007` error finding and truncates the parse at the violation
+    /// point.
+    pub limits: ParseLimits,
 }
 
 impl Default for LintConfig {
@@ -98,6 +103,7 @@ impl Default for LintConfig {
             max_per_rule: 20,
             testability: true,
             implication_net_limit: 2_000,
+            limits: ParseLimits::default(),
         }
     }
 }
@@ -127,17 +133,28 @@ impl Linter {
     }
 
     /// Lints `.bench` source text. Structural rules run on the permissive
-    /// parse; when the netlist also builds into a valid [`Circuit`], the
-    /// scan-integrity rules (if scan ports are detected by name) and
-    /// testability rules run too.
+    /// parse (bounded by [`LintConfig::limits`]); when the netlist also
+    /// builds into a valid [`Circuit`], the scan-integrity rules (if scan
+    /// ports are detected by name) and testability rules run too.
     pub fn lint_source(&self, name: &str, source: &str) -> LintReport {
-        self.lint_raw(&bench_format::parse_raw(name, source))
+        self.lint_raw(&bench_format::parse_raw_limited(
+            name,
+            source,
+            &self.config.limits,
+        ))
     }
 
     /// Lints an already-parsed raw netlist (see
     /// [`lint_source`](Self::lint_source)).
     pub fn lint_raw(&self, raw: &RawNetlist) -> LintReport {
         let mut diags = structural::check(raw);
+        if let Some(violation) = &raw.limit_error {
+            diags.push(Diagnostic::new(
+                RuleCode::LimitExceeded,
+                violation.span(),
+                format!("{violation}; the rest of the source was ignored"),
+            ));
+        }
         if let Ok(c) = raw.build() {
             // Structural dangling detection already ran on the raw form;
             // only add the semantic rule families here.
@@ -317,6 +334,31 @@ z = NOT(y)
             .diagnostics()
             .iter()
             .any(|d| d.severity == Severity::Info && d.message.contains("4 more")));
+    }
+
+    #[test]
+    fn limit_violation_surfaces_as_l007_error() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+        let mut limits = ParseLimits::default();
+        limits.apply("nets=2").unwrap();
+        let report = Linter::with_config(LintConfig {
+            limits,
+            ..LintConfig::default()
+        })
+        .lint_source("tight", src);
+        let hit = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == RuleCode::LimitExceeded)
+            .expect("L007 finding");
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("net count"), "{}", hit.message);
+        // Default limits leave the same source clean of L007.
+        let relaxed = Linter::new().lint_source("tight", src);
+        assert!(relaxed
+            .diagnostics()
+            .iter()
+            .all(|d| d.code != RuleCode::LimitExceeded));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
 //!              [--min-severity error|warning|info] [--scoap-threshold N]
 //!              [--no-testability] [--implication-limit N]
+//!              [--limit key=value]...
 //! limscan-lint --self-check [--json]
 //! ```
 //!
@@ -21,13 +22,17 @@ const USAGE: &str = "usage:
   limscan-lint <circuit.bench | benchmark-name> [--json] [--chains N]
                [--min-severity error|warning|info] [--scoap-threshold N]
                [--no-testability] [--implication-limit N]
+               [--limit key=value]...
   limscan-lint --self-check [--json]
 
 Lints a netlist and prints findings as `file:line: severity[CODE] rule:
 message` lines (or a JSON array with --json). --chains N inserts N scan
 chains first and lints the scanned circuit against its chain metadata.
---self-check lints every embedded benchmark, bare and scan-inserted, and
-fails if any produces an error-severity finding.";
+--limit tightens a parse resource ceiling (keys: source-bytes, line-bytes,
+nets, fanin, cover-rows, subckt-depth, subckt-instances); a violated
+ceiling is an L007 error finding. --self-check lints every embedded
+benchmark, bare and scan-inserted, and fails if any produces an
+error-severity finding.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,6 +88,18 @@ fn config_from(args: &[String]) -> Result<LintConfig, String> {
     if args.iter().any(|a| a == "--no-testability") {
         config.testability = false;
     }
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--limit" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--limit needs a key=value argument")?;
+            config.limits.apply(spec)?;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
     Ok(config)
 }
 
@@ -93,6 +110,7 @@ fn lint_one(args: &[String]) -> Result<bool, String> {
         "--min-severity",
         "--scoap-threshold",
         "--implication-limit",
+        "--limit",
     ];
     let mut target: Option<&String> = None;
     let mut i = 0;

@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 
 use crate::circuit::{Circuit, Driver, GateKind, NetId, Span};
 use crate::error::NetlistError;
+use crate::limits::{LimitViolation, ParseLimit, ParseLimits};
 use crate::raw::{RawDecl, RawDriverKind, RawNetlist, RawOutput, SyntaxError};
 
 fn kind_from_mnemonic(s: &str) -> Option<GateKind> {
@@ -97,25 +98,70 @@ fn scan_statement(line: &str) -> Result<Stmt<'_>, String> {
 /// point for the `limscan-lint` diagnostics engine, which wants *all*
 /// defects, not the first one.
 pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
+    parse_raw_limited(name, source, &ParseLimits::default())
+}
+
+/// [`parse_raw`] under an explicit resource budget. The first ceiling
+/// crossed truncates the parse and is recorded as the netlist's
+/// [`limit_error`](RawNetlist::limit_error), which
+/// [`build`](RawNetlist::build) turns into a typed
+/// [`NetlistError::LimitExceeded`].
+pub fn parse_raw_limited(name: &str, source: &str, limits: &ParseLimits) -> RawNetlist {
     let mut raw = RawNetlist {
         name: name.to_owned(),
         decls: Vec::new(),
         outputs: Vec::new(),
         syntax_errors: Vec::new(),
+        limit_error: None,
     };
+    if source.len() as u64 > limits.max_source_bytes {
+        raw.limit_error = Some(LimitViolation {
+            limit: ParseLimit::SourceBytes,
+            line: 0,
+            actual: source.len() as u64,
+            max: limits.max_source_bytes,
+        });
+        return raw;
+    }
     for (lineno, text) in source.lines().enumerate() {
+        let span = Span::at_line(lineno + 1);
+        if text.len() > limits.max_line_bytes {
+            raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::LineBytes,
+                line: lineno + 1,
+                actual: text.len() as u64,
+                max: limits.max_line_bytes as u64,
+            });
+            return raw;
+        }
         let line = text.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let span = Span::at_line(lineno + 1);
+        let net_cap = |raw: &mut RawNetlist| -> bool {
+            if raw.decls.len() >= limits.max_nets {
+                raw.limit_error = Some(LimitViolation {
+                    limit: ParseLimit::Nets,
+                    line: lineno + 1,
+                    actual: raw.decls.len() as u64 + 1,
+                    max: limits.max_nets as u64,
+                });
+                return true;
+            }
+            false
+        };
         match scan_statement(line) {
-            Ok(Stmt::Input(name)) => raw.decls.push(RawDecl {
-                name: name.to_owned(),
-                kind: RawDriverKind::Input,
-                fanins: Vec::new(),
-                span,
-            }),
+            Ok(Stmt::Input(name)) => {
+                if net_cap(&mut raw) {
+                    return raw;
+                }
+                raw.decls.push(RawDecl {
+                    name: name.to_owned(),
+                    kind: RawDriverKind::Input,
+                    fanins: Vec::new(),
+                    span,
+                });
+            }
             Ok(Stmt::Output(name)) => raw.outputs.push(RawOutput {
                 name: name.to_owned(),
                 span,
@@ -125,6 +171,18 @@ pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
                 mnemonic,
                 fanins,
             }) => {
+                if net_cap(&mut raw) {
+                    return raw;
+                }
+                if fanins.len() > limits.max_fanin {
+                    raw.limit_error = Some(LimitViolation {
+                        limit: ParseLimit::FaninArity,
+                        line: lineno + 1,
+                        actual: fanins.len() as u64,
+                        max: limits.max_fanin as u64,
+                    });
+                    return raw;
+                }
                 let kind = if mnemonic.eq_ignore_ascii_case("DFF") {
                     RawDriverKind::Dff
                 } else {
@@ -157,6 +215,20 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
     parse_raw(name, source).build()
 }
 
+/// [`parse`] under an explicit resource budget.
+///
+/// # Errors
+///
+/// Everything [`parse`] can return, plus
+/// [`NetlistError::LimitExceeded`] when the budget is crossed.
+pub fn parse_limited(
+    name: &str,
+    source: &str,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
+    parse_raw_limited(name, source, limits).build()
+}
+
 fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
     let rest = line.strip_prefix(keyword)?.trim_start();
     rest.strip_prefix('(')?.strip_suffix(')')
@@ -170,13 +242,46 @@ fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 /// Returns [`NetlistError::Io`] with the offending path for I/O failures,
 /// and the usual parse/validation errors otherwise.
 pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistError> {
+    read_file_limited(path, &ParseLimits::default())
+}
+
+/// [`read_file`] under an explicit resource budget. The file size is
+/// checked against the budget *before* the file is read into memory.
+///
+/// # Errors
+///
+/// Everything [`read_file`] can return, plus
+/// [`NetlistError::LimitExceeded`] when the budget is crossed.
+pub fn read_file_limited(
+    path: impl AsRef<std::path::Path>,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
     let path = path.as_ref();
-    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::io(path, &e))?;
+    let source = read_source(path, limits)?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
-    parse(name, &source)
+    parse_limited(name, &source, limits)
+}
+
+/// Reads a source file with its size checked against the budget before
+/// any byte is loaded, so an oversized file costs a `stat`, not an
+/// allocation. Shared by the `.bench` and BLIF readers.
+pub(crate) fn read_source(
+    path: &std::path::Path,
+    limits: &ParseLimits,
+) -> Result<String, NetlistError> {
+    let meta = std::fs::metadata(path).map_err(|e| NetlistError::io(path, &e))?;
+    if meta.len() > limits.max_source_bytes {
+        return Err(NetlistError::LimitExceeded {
+            limit: ParseLimit::SourceBytes,
+            line: 0,
+            actual: meta.len(),
+            max: limits.max_source_bytes,
+        });
+    }
+    std::fs::read_to_string(path).map_err(|e| NetlistError::io(path, &e))
 }
 
 /// Writes a circuit to a `.bench` file.
@@ -315,6 +420,81 @@ mod tests {
         let c = parse("c", src).unwrap();
         assert_eq!(c.span(c.find_net("a").unwrap()).line(), Some(2));
         assert_eq!(c.span(c.find_net("y").unwrap()).line(), Some(5));
+    }
+
+    #[test]
+    fn limits_truncate_with_typed_errors() {
+        use crate::limits::{ParseLimit, ParseLimits};
+        let tight = |f: fn(&mut ParseLimits)| {
+            let mut l = ParseLimits::default();
+            f(&mut l);
+            l
+        };
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n";
+        // Source-byte ceiling, before any line parses.
+        let l = tight(|l| l.max_source_bytes = 8);
+        let raw = parse_raw_limited("c", src, &l);
+        assert!(raw.decls.is_empty(), "parse truncated");
+        assert!(matches!(
+            raw.build(),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::SourceBytes,
+                line: 0,
+                ..
+            })
+        ));
+        // Net ceiling.
+        let l = tight(|l| l.max_nets = 2);
+        assert!(matches!(
+            parse_limited("c", src, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::Nets,
+                line: 4,
+                ..
+            })
+        ));
+        // Fanin ceiling.
+        let l = tight(|l| l.max_fanin = 1);
+        assert!(matches!(
+            parse_limited("c", src, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::FaninArity,
+                actual: 2,
+                ..
+            })
+        ));
+        // Line-byte ceiling.
+        let long = format!("INPUT({})\n", "x".repeat(64));
+        let l = tight(|l| l.max_line_bytes = 16);
+        assert!(matches!(
+            parse_limited("c", &long, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::LineBytes,
+                line: 1,
+                ..
+            })
+        ));
+        // Default budget leaves the same source untouched.
+        assert!(parse("c", src).is_ok());
+    }
+
+    #[test]
+    fn oversized_file_is_rejected_before_reading() {
+        use crate::limits::{ParseLimit, ParseLimits};
+        let dir = std::env::temp_dir().join("limscan_bench_limit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(a)\n").unwrap();
+        let mut l = ParseLimits::default();
+        l.max_source_bytes = 4;
+        assert!(matches!(
+            read_file_limited(&path, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::SourceBytes,
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -42,11 +42,12 @@
 //! # }
 //! ```
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use crate::circuit::{Circuit, Driver, GateKind, NetId, Span};
 use crate::error::NetlistError;
+use crate::limits::{LimitViolation, ParseLimit, ParseLimits};
 use crate::raw::{RawDecl, RawDriverKind, RawNetlist, RawOutput, SyntaxError};
 
 /// One logical (continuation-joined, comment-stripped) BLIF line with the
@@ -91,6 +92,7 @@ fn logical_lines(source: &str) -> Vec<LogicalLine> {
 }
 
 /// One row of a `.names` cover: the input pattern and the output value.
+#[derive(Clone)]
 struct CoverRow {
     pattern: Vec<u8>,
     out: u8,
@@ -104,77 +106,196 @@ struct PendingCover {
     span: Span,
 }
 
+/// A `.subckt` instantiation, as written: the child model name and the
+/// `formal=actual` port bindings.
+struct SubcktInst {
+    model: String,
+    binds: Vec<(String, String)>,
+    span: Span,
+}
+
+/// One item of a model body, in source order. Order matters: the
+/// flattener emits declarations in item order, which is what keeps
+/// `parse(write(c)) == c` net-id-exact.
+enum Item {
+    Input(String, Span),
+    Output(String, Span),
+    Latch {
+        input: String,
+        output: String,
+        span: Span,
+    },
+    Cover(PendingCover),
+    Subckt(SubcktInst),
+}
+
+/// One `.model` section, parsed but not yet flattened.
+struct BlifModel {
+    name: Option<String>,
+    items: Vec<Item>,
+}
+
+/// The declared formal input and output port names of a model.
+fn ports(model: &BlifModel) -> (HashSet<&str>, HashSet<&str>) {
+    let mut ins = HashSet::new();
+    let mut outs = HashSet::new();
+    for item in &model.items {
+        match item {
+            Item::Input(n, _) => {
+                ins.insert(n.as_str());
+            }
+            Item::Output(n, _) => {
+                outs.insert(n.as_str());
+            }
+            _ => {}
+        }
+    }
+    (ins, outs)
+}
+
+/// Maps a model-local net name to its flattened name: bound formals go to
+/// their actual nets, everything else gets the instance prefix.
+fn resolve(bind: &HashMap<String, String>, prefix: &str, name: &str) -> String {
+    match bind.get(name) {
+        Some(actual) => actual.clone(),
+        None => format!("{prefix}{name}"),
+    }
+}
+
 /// Parses BLIF source permissively into a [`RawNetlist`].
 ///
 /// Every declaration is recorded with the [`Span`] of its source line;
 /// malformed lines and unsupported constructs are collected as syntax
 /// errors instead of aborting, which is what the lint pipeline wants. The
-/// circuit name comes from `.model` when present, else `name`.
+/// circuit name comes from the first `.model` when present, else `name`.
+/// Hierarchies (`.model` sections instantiated via `.subckt`) are
+/// flattened; the first model in the file is the top.
 pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
+    parse_raw_limited(name, source, &ParseLimits::default())
+}
+
+/// [`parse_raw`] under an explicit resource budget; see
+/// [`crate::limits`] for the enforcement contract.
+pub fn parse_raw_limited(name: &str, source: &str, limits: &ParseLimits) -> RawNetlist {
     let mut raw = RawNetlist {
         name: name.to_owned(),
         decls: Vec::new(),
         outputs: Vec::new(),
         syntax_errors: Vec::new(),
+        limit_error: None,
     };
-    let mut saw_model = false;
-    let mut ended = false;
-    let mut cover: Option<PendingCover> = None;
+    if source.len() as u64 > limits.max_source_bytes {
+        raw.limit_error = Some(LimitViolation {
+            limit: ParseLimit::SourceBytes,
+            line: 0,
+            actual: source.len() as u64,
+            max: limits.max_source_bytes,
+        });
+        return raw;
+    }
+    let models = scan_models(source, limits, &mut raw);
+    if raw.limit_error.is_some() || models.is_empty() {
+        raw.syntax_errors.sort_by_key(|e| e.span);
+        return raw;
+    }
+    if let Some(n) = &models[0].name {
+        raw.name.clone_from(n);
+    }
+    let by_name: HashMap<&str, usize> = models
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| m.name.as_deref().map(|n| (n, i)))
+        .collect();
     let mut used_names: HashSet<String> = HashSet::new();
+    let mut flattener = Flattener {
+        models: &models,
+        by_name,
+        limits,
+        raw: &mut raw,
+        used: &mut used_names,
+        instances: 0,
+    };
+    flattener.emit_model(0, "", &HashMap::new(), 0);
+    // Flattening appends its errors (unknown models, bad bindings) after
+    // the scan's; restore source order for build()'s first-defect bail.
+    raw.syntax_errors.sort_by_key(|e| e.span);
+    raw
+}
 
-    let flush =
-        |cover: &mut Option<PendingCover>, raw: &mut RawNetlist, used: &mut HashSet<String>| {
-            if let Some(c) = cover.take() {
-                lower_cover(&c, raw, used);
-            }
-        };
+/// The scan stage: splits the source into `.model` sections and their
+/// items, recording syntax errors and enforcing the per-line, cover and
+/// arity ceilings. Content before any `.model` forms an implicit top
+/// model.
+fn scan_models(source: &str, limits: &ParseLimits, raw: &mut RawNetlist) -> Vec<BlifModel> {
+    let mut models: Vec<BlifModel> = Vec::new();
+    let mut current: Option<BlifModel> = None;
+    let mut cover: Option<PendingCover> = None;
+    let mut after_end = false;
+
+    let flush = |cover: &mut Option<PendingCover>, current: &mut Option<BlifModel>| {
+        if let Some(c) = cover.take() {
+            current
+                .get_or_insert_with(|| BlifModel {
+                    name: None,
+                    items: Vec::new(),
+                })
+                .items
+                .push(Item::Cover(c));
+        }
+    };
 
     for ll in logical_lines(source) {
         let span = Span::at_line(ll.line);
-        if ended {
+        if ll.text.len() > limits.max_line_bytes {
+            flush(&mut cover, &mut current);
+            raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::LineBytes,
+                line: ll.line,
+                actual: ll.text.len() as u64,
+                max: limits.max_line_bytes as u64,
+            });
+            break;
+        }
+        let tokens: Vec<&str> = ll.text.split_whitespace().collect();
+        let Some(&head) = tokens.first() else {
+            continue;
+        };
+        if after_end && head != ".model" {
             raw.syntax_errors.push(SyntaxError {
                 span,
                 message: "content after .end".to_owned(),
             });
             continue;
         }
-        let tokens: Vec<&str> = ll.text.split_whitespace().collect();
-        let Some(&head) = tokens.first() else {
-            continue;
-        };
+        fn model(current: &mut Option<BlifModel>) -> &mut BlifModel {
+            current.get_or_insert_with(|| BlifModel {
+                name: None,
+                items: Vec::new(),
+            })
+        }
         if let Some(directive) = head.strip_prefix('.') {
-            flush(&mut cover, &mut raw, &mut used_names);
+            flush(&mut cover, &mut current);
             match directive {
                 "model" => {
-                    if saw_model {
-                        raw.syntax_errors.push(SyntaxError {
-                            span,
-                            message: "multiple .model sections are not supported".to_owned(),
-                        });
-                    } else {
-                        saw_model = true;
-                        if let Some(&m) = tokens.get(1) {
-                            raw.name = m.to_owned();
-                        }
+                    if let Some(m) = current.take() {
+                        models.push(m);
                     }
+                    after_end = false;
+                    current = Some(BlifModel {
+                        name: tokens.get(1).map(|&m| m.to_owned()),
+                        items: Vec::new(),
+                    });
                 }
                 "inputs" => {
+                    let m = model(&mut current);
                     for &n in &tokens[1..] {
-                        used_names.insert(n.to_owned());
-                        raw.decls.push(RawDecl {
-                            name: n.to_owned(),
-                            kind: RawDriverKind::Input,
-                            fanins: Vec::new(),
-                            span,
-                        });
+                        m.items.push(Item::Input(n.to_owned(), span));
                     }
                 }
                 "outputs" => {
+                    let m = model(&mut current);
                     for &n in &tokens[1..] {
-                        raw.outputs.push(RawOutput {
-                            name: n.to_owned(),
-                            span,
-                        });
+                        m.items.push(Item::Output(n.to_owned(), span));
                     }
                 }
                 "latch" => {
@@ -199,11 +320,9 @@ pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
                         });
                         continue;
                     }
-                    used_names.insert(tokens[2].to_owned());
-                    raw.decls.push(RawDecl {
-                        name: tokens[2].to_owned(),
-                        kind: RawDriverKind::Dff,
-                        fanins: vec![tokens[1].to_owned()],
+                    model(&mut current).items.push(Item::Latch {
+                        input: tokens[1].to_owned(),
+                        output: tokens[2].to_owned(),
                         span,
                     });
                 }
@@ -215,19 +334,68 @@ pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
                         });
                         continue;
                     }
-                    let output = (*tokens.last().expect("len checked")).to_owned();
-                    used_names.insert(output.clone());
+                    if tokens.len() - 2 > limits.max_fanin {
+                        raw.limit_error = Some(LimitViolation {
+                            limit: ParseLimit::FaninArity,
+                            line: ll.line,
+                            actual: (tokens.len() - 2) as u64,
+                            max: limits.max_fanin as u64,
+                        });
+                        break;
+                    }
                     cover = Some(PendingCover {
                         inputs: tokens[1..tokens.len() - 1]
                             .iter()
                             .map(|s| (*s).to_owned())
                             .collect(),
-                        output,
+                        output: (*tokens.last().expect("len checked")).to_owned(),
                         rows: Vec::new(),
                         span,
                     });
                 }
-                "end" => ended = true,
+                "subckt" => {
+                    if tokens.len() < 2 {
+                        raw.syntax_errors.push(SyntaxError {
+                            span,
+                            message: ".subckt needs a model name".to_owned(),
+                        });
+                        continue;
+                    }
+                    if tokens.len() - 2 > limits.max_fanin {
+                        raw.limit_error = Some(LimitViolation {
+                            limit: ParseLimit::FaninArity,
+                            line: ll.line,
+                            actual: (tokens.len() - 2) as u64,
+                            max: limits.max_fanin as u64,
+                        });
+                        break;
+                    }
+                    let mut binds = Vec::new();
+                    for &t in &tokens[2..] {
+                        match t.split_once('=') {
+                            Some((f, a)) if !f.is_empty() && !a.is_empty() => {
+                                binds.push((f.to_owned(), a.to_owned()));
+                            }
+                            _ => raw.syntax_errors.push(SyntaxError {
+                                span,
+                                message: format!(
+                                    "malformed `.subckt` binding `{t}`; expected formal=actual"
+                                ),
+                            }),
+                        }
+                    }
+                    model(&mut current).items.push(Item::Subckt(SubcktInst {
+                        model: tokens[1].to_owned(),
+                        binds,
+                        span,
+                    }));
+                }
+                "end" => {
+                    if let Some(m) = current.take() {
+                        models.push(m);
+                    }
+                    after_end = true;
+                }
                 other => {
                     raw.syntax_errors.push(SyntaxError {
                         span,
@@ -246,14 +414,205 @@ pub fn parse_raw(name: &str, source: &str) -> RawNetlist {
             });
             continue;
         };
-        let row = parse_cover_row(&tokens, c.inputs.len());
-        match row {
+        if c.rows.len() >= limits.max_cover_rows {
+            raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::CoverRows,
+                line: ll.line,
+                actual: c.rows.len() as u64 + 1,
+                max: limits.max_cover_rows as u64,
+            });
+            flush(&mut cover, &mut current);
+            break;
+        }
+        match parse_cover_row(&tokens, c.inputs.len()) {
             Ok(r) => c.rows.push(r),
             Err(message) => raw.syntax_errors.push(SyntaxError { span, message }),
         }
     }
-    flush(&mut cover, &mut raw, &mut used_names);
-    raw
+    flush(&mut cover, &mut current);
+    if let Some(m) = current.take() {
+        models.push(m);
+    }
+    models
+}
+
+/// The flatten stage: walks a model's items in source order, renaming
+/// local nets through the instance prefix / port bindings and recursing
+/// into `.subckt` instantiations under the depth and instance ceilings.
+struct Flattener<'a> {
+    models: &'a [BlifModel],
+    by_name: HashMap<&'a str, usize>,
+    limits: &'a ParseLimits,
+    raw: &'a mut RawNetlist,
+    used: &'a mut HashSet<String>,
+    instances: usize,
+}
+
+impl Flattener<'_> {
+    fn push_decl(&mut self, decl: RawDecl) {
+        if self.raw.decls.len() >= self.limits.max_nets {
+            self.raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::Nets,
+                line: decl.span.line().unwrap_or(0),
+                actual: self.raw.decls.len() as u64 + 1,
+                max: self.limits.max_nets as u64,
+            });
+            return;
+        }
+        self.raw.decls.push(decl);
+    }
+
+    /// Covers lower through [`lower_cover`], which pushes several decls at
+    /// once; re-check the net ceiling afterwards and drop the excess so
+    /// memory stays bounded even under a tight budget.
+    fn check_nets(&mut self, span: Span) {
+        if self.raw.decls.len() > self.limits.max_nets {
+            self.raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::Nets,
+                line: span.line().unwrap_or(0),
+                actual: self.raw.decls.len() as u64,
+                max: self.limits.max_nets as u64,
+            });
+            self.raw.decls.truncate(self.limits.max_nets);
+        }
+    }
+
+    fn emit_model(
+        &mut self,
+        idx: usize,
+        prefix: &str,
+        bind: &HashMap<String, String>,
+        depth: usize,
+    ) {
+        for item in &self.models[idx].items {
+            if self.raw.limit_error.is_some() {
+                return;
+            }
+            match item {
+                Item::Input(n, span) => {
+                    // Nested inputs are driven by the parent through the
+                    // binding; only the top model declares primary inputs.
+                    if depth == 0 {
+                        self.used.insert(n.clone());
+                        self.push_decl(RawDecl {
+                            name: n.clone(),
+                            kind: RawDriverKind::Input,
+                            fanins: Vec::new(),
+                            span: *span,
+                        });
+                    }
+                }
+                Item::Output(n, span) => {
+                    if depth == 0 {
+                        self.raw.outputs.push(RawOutput {
+                            name: n.clone(),
+                            span: *span,
+                        });
+                    }
+                }
+                Item::Latch {
+                    input,
+                    output,
+                    span,
+                } => {
+                    let name = resolve(bind, prefix, output);
+                    self.used.insert(name.clone());
+                    self.push_decl(RawDecl {
+                        name,
+                        kind: RawDriverKind::Dff,
+                        fanins: vec![resolve(bind, prefix, input)],
+                        span: *span,
+                    });
+                }
+                Item::Cover(c) => {
+                    let renamed = PendingCover {
+                        inputs: c.inputs.iter().map(|n| resolve(bind, prefix, n)).collect(),
+                        output: resolve(bind, prefix, &c.output),
+                        rows: c.rows.clone(),
+                        span: c.span,
+                    };
+                    self.used.insert(renamed.output.clone());
+                    lower_cover(&renamed, self.raw, self.used);
+                    self.check_nets(c.span);
+                }
+                Item::Subckt(inst) => self.emit_subckt(inst, prefix, bind, depth),
+            }
+        }
+    }
+
+    fn emit_subckt(
+        &mut self,
+        inst: &SubcktInst,
+        prefix: &str,
+        bind: &HashMap<String, String>,
+        depth: usize,
+    ) {
+        let line = inst.span.line().unwrap_or(0);
+        self.instances += 1;
+        if self.instances > self.limits.max_subckt_instances {
+            self.raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::SubcktInstances,
+                line,
+                actual: self.instances as u64,
+                max: self.limits.max_subckt_instances as u64,
+            });
+            return;
+        }
+        if depth + 1 > self.limits.max_subckt_depth {
+            self.raw.limit_error = Some(LimitViolation {
+                limit: ParseLimit::SubcktDepth,
+                line,
+                actual: depth as u64 + 1,
+                max: self.limits.max_subckt_depth as u64,
+            });
+            return;
+        }
+        let Some(&child) = self.by_name.get(inst.model.as_str()) else {
+            self.raw.syntax_errors.push(SyntaxError {
+                span: inst.span,
+                message: format!(
+                    "`.subckt {}` references unknown model `{}`",
+                    inst.model, inst.model
+                ),
+            });
+            return;
+        };
+        let (ins, outs) = ports(&self.models[child]);
+        let mut child_bind: HashMap<String, String> = HashMap::new();
+        for (formal, actual) in &inst.binds {
+            if !ins.contains(formal.as_str()) && !outs.contains(formal.as_str()) {
+                self.raw.syntax_errors.push(SyntaxError {
+                    span: inst.span,
+                    message: format!("`.subckt {}` binds unknown port `{formal}`", inst.model),
+                });
+                continue;
+            }
+            let resolved = resolve(bind, prefix, actual);
+            if child_bind.insert(formal.clone(), resolved).is_some() {
+                self.raw.syntax_errors.push(SyntaxError {
+                    span: inst.span,
+                    message: format!("`.subckt {}` binds port `{formal}` twice", inst.model),
+                });
+            }
+        }
+        let child_prefix = format!("{}${}$", inst.model, self.instances);
+        let mut unbound: Vec<&str> = ins
+            .iter()
+            .filter(|f| !child_bind.contains_key(**f))
+            .copied()
+            .collect();
+        unbound.sort_unstable();
+        for f in unbound {
+            // Parse on: the dangling prefixed net surfaces as an undefined
+            // signal if the child actually reads it.
+            self.raw.syntax_errors.push(SyntaxError {
+                span: inst.span,
+                message: format!("`.subckt {}` leaves input `{f}` unbound", inst.model),
+            });
+            child_bind.insert(f.to_owned(), format!("{child_prefix}{f}"));
+        }
+        self.emit_model(child, &child_prefix, &child_bind, depth + 1);
+    }
 }
 
 fn parse_cover_row(tokens: &[&str], n_inputs: usize) -> Result<CoverRow, String> {
@@ -525,6 +884,20 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
     parse_raw(name, source).build()
 }
 
+/// [`parse`] under an explicit resource budget.
+///
+/// # Errors
+///
+/// Everything [`parse`] can return, plus
+/// [`NetlistError::LimitExceeded`] when the budget is crossed.
+pub fn parse_limited(
+    name: &str,
+    source: &str,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
+    parse_raw_limited(name, source, limits).build()
+}
+
 /// Reads and parses a `.blif` file; the circuit is named by the file's
 /// `.model` line, falling back to the file stem.
 ///
@@ -533,13 +906,27 @@ pub fn parse(name: &str, source: &str) -> Result<Circuit, NetlistError> {
 /// Returns [`NetlistError::Io`] with the offending path for I/O failures,
 /// and the usual parse/validation errors otherwise.
 pub fn read_file(path: impl AsRef<std::path::Path>) -> Result<Circuit, NetlistError> {
+    read_file_limited(path, &ParseLimits::default())
+}
+
+/// [`read_file`] under an explicit resource budget. The file size is
+/// checked against the budget *before* the file is read into memory.
+///
+/// # Errors
+///
+/// Everything [`read_file`] can return, plus
+/// [`NetlistError::LimitExceeded`] when the budget is crossed.
+pub fn read_file_limited(
+    path: impl AsRef<std::path::Path>,
+    limits: &ParseLimits,
+) -> Result<Circuit, NetlistError> {
     let path = path.as_ref();
-    let source = std::fs::read_to_string(path).map_err(|e| NetlistError::io(path, &e))?;
+    let source = crate::bench_format::read_source(path, limits)?;
     let name = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("circuit");
-    parse(name, &source)
+    parse_limited(name, &source, limits)
 }
 
 /// Writes a circuit to a `.blif` file.
@@ -817,6 +1204,171 @@ zz = OR(n3, n4, n5, n6, n7, n8, z)\n";
         assert!(matches!(
             raw.build(),
             Err(NetlistError::Parse { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn subckt_hierarchy_flattens() {
+        // Two half-adders built from a shared `ha` model, chained into a
+        // registered full adder — exercises input/output binding, internal
+        // net prefixing, and latches around the hierarchy.
+        let src = "\
+.model top
+.inputs x y cin clk_d
+.outputs sum_q cout
+.subckt ha a=x b=y s=s1 c=c1
+.subckt ha a=s1 b=cin s=sum c=c2
+.names c1 c2 cout
+1- 1
+-1 1
+.latch sum sum_q 3
+.names clk_d clk_q
+1 1
+.end
+.model ha
+.inputs a b
+.outputs s c
+.names a b s
+10 1
+01 1
+.names a b c
+11 1
+.end
+";
+        let c = parse("top", src).unwrap();
+        assert_eq!(c.name(), "top");
+        assert_eq!(c.inputs().len(), 4);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.dffs().len(), 1);
+        // Truth-table the flattened adder through the circuit evaluator.
+        let eval = |vx: bool, vy: bool, vc: bool| -> (bool, bool) {
+            let mut vals = vec![false; c.net_count()];
+            for (&n, v) in c.inputs().iter().zip([vx, vy, vc, false]) {
+                vals[n.index()] = v;
+            }
+            for &id in c.comb_order() {
+                let Driver::Gate { kind, fanins } = c.net(id).driver() else {
+                    unreachable!()
+                };
+                let ins: Vec<bool> = fanins.iter().map(|f| vals[f.index()]).collect();
+                vals[id.index()] = match kind {
+                    GateKind::And => ins.iter().all(|&v| v),
+                    GateKind::Or => ins.iter().any(|&v| v),
+                    GateKind::Xor => ins.iter().filter(|&&v| v).count() % 2 == 1,
+                    GateKind::Not => !ins[0],
+                    GateKind::Buf => ins[0],
+                    other => unreachable!("unexpected {other:?}"),
+                };
+            }
+            let sum = c.find_net("sum").unwrap();
+            let cout = c.find_net("cout").unwrap();
+            (vals[sum.index()], vals[cout.index()])
+        };
+        for bits in 0..8 {
+            let (x, y, ci) = (bits & 4 != 0, bits & 2 != 0, bits & 1 != 0);
+            let total = usize::from(x) + usize::from(y) + usize::from(ci);
+            assert_eq!(eval(x, y, ci), (total % 2 == 1, total >= 2), "{x}{y}{ci}");
+        }
+    }
+
+    #[test]
+    fn subckt_errors_are_reported() {
+        // Unknown port, unbound input, duplicate binding.
+        let lib = "\n.model inv\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n";
+        let bad_port =
+            format!(".model t\n.inputs x\n.outputs y\n.subckt inv bogus=x y=y a=x\n.end{lib}");
+        let raw = parse_raw("t", &bad_port);
+        assert!(raw
+            .syntax_errors
+            .iter()
+            .any(|e| e.message.contains("unknown port `bogus`")));
+        let unbound = format!(".model t\n.inputs x\n.outputs y\n.subckt inv y=y\n.end{lib}");
+        let raw = parse_raw("t", &unbound);
+        assert!(raw
+            .syntax_errors
+            .iter()
+            .any(|e| e.message.contains("leaves input `a` unbound")));
+        let dup = format!(".model t\n.inputs x\n.outputs y\n.subckt inv a=x a=x y=y\n.end{lib}");
+        let raw = parse_raw("t", &dup);
+        assert!(raw
+            .syntax_errors
+            .iter()
+            .any(|e| e.message.contains("binds port `a` twice")));
+    }
+
+    #[test]
+    fn recursive_subckt_is_stopped_by_depth_cap() {
+        use crate::limits::ParseLimit;
+        // `loopy` instantiates itself: the depth ceiling must stop the
+        // flatten with a typed error instead of recursing forever.
+        let src = "\
+.model loopy
+.inputs a
+.outputs y
+.subckt loopy a=a y=y
+.names a y
+1 1
+.end
+";
+        let raw = parse_raw("loopy", src);
+        let err = raw.build().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetlistError::LimitExceeded {
+                    limit: ParseLimit::SubcktDepth | ParseLimit::SubcktInstances,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn subckt_instance_cap_is_enforced() {
+        use crate::limits::{ParseLimit, ParseLimits};
+        let mut src = String::from(".model t\n.inputs x\n.outputs y\n");
+        for i in 0..10 {
+            let _ = writeln!(src, ".subckt inv a=x y=w{i}");
+        }
+        src.push_str(
+            ".names x y\n1 1\n.end\n.model inv\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n",
+        );
+        let mut l = ParseLimits::default();
+        l.max_subckt_instances = 4;
+        assert!(matches!(
+            parse_limited("t", &src, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::SubcktInstances,
+                ..
+            })
+        ));
+        // The same netlist parses fine under the default budget.
+        assert!(parse("t", &src).is_ok());
+    }
+
+    #[test]
+    fn cover_row_and_line_limits_truncate() {
+        use crate::limits::{ParseLimit, ParseLimits};
+        let src = ".model m\n.inputs a b\n.outputs y\n.names a b y\n10 1\n01 1\n11 1\n.end\n";
+        let mut l = ParseLimits::default();
+        l.max_cover_rows = 2;
+        assert!(matches!(
+            parse_limited("m", src, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::CoverRows,
+                line: 7,
+                ..
+            })
+        ));
+        let mut l = ParseLimits::default();
+        l.max_line_bytes = 8;
+        assert!(matches!(
+            parse_limited("m", src, &l),
+            Err(NetlistError::LimitExceeded {
+                limit: ParseLimit::LineBytes,
+                ..
+            })
         ));
     }
 

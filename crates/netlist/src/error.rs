@@ -40,6 +40,19 @@ pub enum NetlistError {
         /// Description of the problem.
         message: String,
     },
+    /// A parse crossed one of the [`ParseLimits`](crate::ParseLimits)
+    /// resource ceilings.
+    LimitExceeded {
+        /// Which ceiling was crossed.
+        limit: crate::limits::ParseLimit,
+        /// 1-based line where the parse stopped (0 for whole-file
+        /// ceilings checked before any line is read).
+        line: usize,
+        /// The observed value.
+        actual: u64,
+        /// The ceiling in force.
+        max: u64,
+    },
     /// A `.bench` file could not be read or written.
     Io {
         /// The path that failed.
@@ -83,6 +96,18 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::LimitExceeded {
+                limit,
+                line,
+                actual,
+                max,
+            } => {
+                if *line == 0 {
+                    write!(f, "{limit} limit exceeded: {actual} > {max}")
+                } else {
+                    write!(f, "{limit} limit exceeded on line {line}: {actual} > {max}")
+                }
             }
             NetlistError::Io { path, message } => {
                 write!(f, "I/O error on `{path}`: {message}")

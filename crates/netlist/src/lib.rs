@@ -33,6 +33,7 @@ mod builder;
 mod circuit;
 mod error;
 mod level;
+pub mod limits;
 pub mod raw;
 mod stats;
 
@@ -40,5 +41,6 @@ pub use builder::CircuitBuilder;
 pub use circuit::{Circuit, Driver, GateKind, Net, NetId, Pin, Span};
 pub use error::NetlistError;
 pub use level::Levels;
+pub use limits::{LimitViolation, ParseLimit, ParseLimits};
 pub use raw::RawNetlist;
 pub use stats::CircuitStats;

@@ -1,0 +1,259 @@
+//! Resource budgets for the netlist front-ends.
+//!
+//! The `.bench` and BLIF parsers are fed foreign corpora and (through the
+//! serve daemon) untrusted wire payloads, so every dimension a hostile or
+//! degenerate input could blow up — file size, line length, net count,
+//! fanin arity, cover width, `.subckt` nesting — carries a ceiling. A
+//! [`ParseLimits`] value travels with the parse; the first ceiling crossed
+//! truncates the parse (bounding memory) and surfaces as a typed
+//! [`NetlistError::LimitExceeded`](crate::NetlistError::LimitExceeded)
+//! when the raw netlist is built.
+//!
+//! The [`ParseLimits::default`] ceilings are deliberately generous: every
+//! shipped benchmark, golden trace and round-trip test parses unchanged.
+//! Tight budgets are opt-in — the serve daemon and the lint CLI expose
+//! them as `--limit key=value` flags.
+
+use std::fmt;
+
+/// Which parse ceiling was crossed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParseLimit {
+    /// Total source bytes ([`ParseLimits::max_source_bytes`]).
+    SourceBytes,
+    /// Bytes in one (logical) line ([`ParseLimits::max_line_bytes`]).
+    LineBytes,
+    /// Declared nets/gates ([`ParseLimits::max_nets`]).
+    Nets,
+    /// Fanins of one gate or cover ([`ParseLimits::max_fanin`]).
+    FaninArity,
+    /// Rows of one `.names` cover ([`ParseLimits::max_cover_rows`]).
+    CoverRows,
+    /// `.subckt` nesting depth ([`ParseLimits::max_subckt_depth`]).
+    SubcktDepth,
+    /// Flattened `.subckt` instantiations
+    /// ([`ParseLimits::max_subckt_instances`]).
+    SubcktInstances,
+}
+
+impl ParseLimit {
+    /// The `--limit` flag key naming this ceiling.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            ParseLimit::SourceBytes => "source-bytes",
+            ParseLimit::LineBytes => "line-bytes",
+            ParseLimit::Nets => "nets",
+            ParseLimit::FaninArity => "fanin",
+            ParseLimit::CoverRows => "cover-rows",
+            ParseLimit::SubcktDepth => "subckt-depth",
+            ParseLimit::SubcktInstances => "subckt-instances",
+        }
+    }
+}
+
+impl fmt::Display for ParseLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ParseLimit::SourceBytes => "source bytes",
+            ParseLimit::LineBytes => "line bytes",
+            ParseLimit::Nets => "net count",
+            ParseLimit::FaninArity => "fanin arity",
+            ParseLimit::CoverRows => "cover rows",
+            ParseLimit::SubcktDepth => "subckt depth",
+            ParseLimit::SubcktInstances => "subckt instances",
+        })
+    }
+}
+
+/// The resource budget a front-end parse runs under.
+///
+/// Every field is an inclusive ceiling; crossing one stops the parse. See
+/// the module docs for the enforcement contract.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParseLimits {
+    /// Maximum source text size in bytes (checked before reading a file
+    /// into memory, and again on in-memory sources).
+    pub max_source_bytes: u64,
+    /// Maximum length of one line in bytes. BLIF continuation-joined
+    /// logical lines are measured after joining.
+    pub max_line_bytes: usize,
+    /// Maximum number of declared nets (inputs + gates + latches),
+    /// measured on the flattened netlist.
+    pub max_nets: usize,
+    /// Maximum fanins of a single gate, `.names` cover, or `.subckt`
+    /// binding list.
+    pub max_fanin: usize,
+    /// Maximum rows in a single `.names` cover.
+    pub max_cover_rows: usize,
+    /// Maximum `.subckt` nesting depth (the top model is depth 0); also
+    /// the recursion cap that bounds self-instantiating models.
+    pub max_subckt_depth: usize,
+    /// Maximum total `.subckt` instantiations expanded while flattening.
+    pub max_subckt_instances: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_source_bytes: 64 << 20,
+            max_line_bytes: 1 << 20,
+            max_nets: 2_000_000,
+            max_fanin: 4_096,
+            max_cover_rows: 65_536,
+            max_subckt_depth: 64,
+            max_subckt_instances: 100_000,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// A budget with every ceiling at its maximum — parse behaviour is
+    /// identical to a build of the crate that predates limits.
+    #[must_use]
+    pub fn unbounded() -> ParseLimits {
+        ParseLimits {
+            max_source_bytes: u64::MAX,
+            max_line_bytes: usize::MAX,
+            max_nets: usize::MAX,
+            max_fanin: usize::MAX,
+            max_cover_rows: usize::MAX,
+            max_subckt_depth: usize::MAX,
+            max_subckt_instances: usize::MAX,
+        }
+    }
+
+    /// The ceiling for `limit`, widened to `u64` for reporting.
+    #[must_use]
+    pub fn ceiling(&self, limit: ParseLimit) -> u64 {
+        match limit {
+            ParseLimit::SourceBytes => self.max_source_bytes,
+            ParseLimit::LineBytes => self.max_line_bytes as u64,
+            ParseLimit::Nets => self.max_nets as u64,
+            ParseLimit::FaninArity => self.max_fanin as u64,
+            ParseLimit::CoverRows => self.max_cover_rows as u64,
+            ParseLimit::SubcktDepth => self.max_subckt_depth as u64,
+            ParseLimit::SubcktInstances => self.max_subckt_instances as u64,
+        }
+    }
+
+    /// Applies one `key=value` override (the `--limit` CLI syntax). Keys
+    /// are the [`ParseLimit::key`] names.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an unknown key or unparsable value.
+    pub fn apply(&mut self, spec: &str) -> Result<(), String> {
+        let (key, value) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{spec}`"))?;
+        let n: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("limit `{key}` needs an unsigned integer, got `{value}`"))?;
+        #[allow(clippy::cast_possible_truncation)]
+        let nu = if n > usize::MAX as u64 {
+            usize::MAX
+        } else {
+            n as usize
+        };
+        match key.trim() {
+            "source-bytes" => self.max_source_bytes = n,
+            "line-bytes" => self.max_line_bytes = nu,
+            "nets" => self.max_nets = nu,
+            "fanin" => self.max_fanin = nu,
+            "cover-rows" => self.max_cover_rows = nu,
+            "subckt-depth" => self.max_subckt_depth = nu,
+            "subckt-instances" => self.max_subckt_instances = nu,
+            other => {
+                return Err(format!(
+                    "unknown limit `{other}` (known: source-bytes, line-bytes, nets, \
+                     fanin, cover-rows, subckt-depth, subckt-instances)"
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A ceiling crossed during a parse, recorded on the
+/// [`RawNetlist`](crate::RawNetlist) so the permissive layer stays
+/// infallible while [`build`](crate::RawNetlist::build) can refuse the
+/// truncated netlist with a typed error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LimitViolation {
+    /// Which ceiling was crossed.
+    pub limit: ParseLimit,
+    /// 1-based line where the parse stopped (0 for whole-file ceilings
+    /// checked before any line is read).
+    pub line: usize,
+    /// The observed value that crossed the ceiling.
+    pub actual: u64,
+    /// The ceiling in force.
+    pub max: u64,
+}
+
+impl LimitViolation {
+    /// The typed error this violation builds into.
+    #[must_use]
+    pub fn to_error(self) -> crate::NetlistError {
+        crate::NetlistError::LimitExceeded {
+            limit: self.limit,
+            line: self.line,
+            actual: self.actual,
+            max: self.max,
+        }
+    }
+
+    /// The source span of the violation ([`Span::NONE`](crate::Span::NONE)
+    /// for whole-file ceilings).
+    #[must_use]
+    pub fn span(self) -> crate::Span {
+        if self.line == 0 {
+            crate::Span::NONE
+        } else {
+            crate::Span::at_line(self.line)
+        }
+    }
+}
+
+impl fmt::Display for LimitViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.to_error().fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_and_apply_overrides() {
+        let mut l = ParseLimits::default();
+        assert!(l.max_nets >= 1_000_000);
+        l.apply("nets=16").unwrap();
+        assert_eq!(l.max_nets, 16);
+        l.apply("source-bytes=1024").unwrap();
+        assert_eq!(l.max_source_bytes, 1024);
+        assert!(l.apply("bogus=3").is_err());
+        assert!(l.apply("nets").is_err());
+        assert!(l.apply("nets=minus").is_err());
+    }
+
+    #[test]
+    fn keys_round_trip_through_apply() {
+        for limit in [
+            ParseLimit::SourceBytes,
+            ParseLimit::LineBytes,
+            ParseLimit::Nets,
+            ParseLimit::FaninArity,
+            ParseLimit::CoverRows,
+            ParseLimit::SubcktDepth,
+            ParseLimit::SubcktInstances,
+        ] {
+            let mut l = ParseLimits::unbounded();
+            l.apply(&format!("{}=77", limit.key())).unwrap();
+            assert_eq!(l.ceiling(limit), 77, "{limit}");
+        }
+    }
+}

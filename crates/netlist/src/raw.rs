@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use crate::builder::CircuitBuilder;
 use crate::circuit::{Circuit, GateKind, Span};
 use crate::error::NetlistError;
+use crate::limits::LimitViolation;
 
 /// What a raw declaration says drives its signal.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -81,6 +82,10 @@ pub struct RawNetlist {
     pub outputs: Vec<RawOutput>,
     /// Unparseable lines, in source order.
     pub syntax_errors: Vec<SyntaxError>,
+    /// The resource ceiling that truncated the parse, if one was crossed.
+    /// A truncated netlist never [`build`](RawNetlist::build)s; see
+    /// [`crate::limits`].
+    pub limit_error: Option<LimitViolation>,
 }
 
 impl RawNetlist {
@@ -109,6 +114,11 @@ impl RawNetlist {
     ///
     /// See above; a raw netlist with no defects builds successfully.
     pub fn build(&self) -> Result<Circuit, NetlistError> {
+        // A parse truncated by a resource ceiling is not a netlist at all;
+        // refuse it before reporting any of its (partial) defects.
+        if let Some(violation) = self.limit_error {
+            return Err(violation.to_error());
+        }
         let mut builder = CircuitBuilder::new(self.name.clone());
         let mut syntax = self.syntax_errors.iter().peekable();
         let bail_syntax_before =

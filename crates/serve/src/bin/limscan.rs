@@ -21,8 +21,9 @@
 //! limscan equiv --self-check
 //! limscan serve <state-dir> [--socket PATH] [--workers N] [--slice K]
 //!               [--max-queued N] [--max-concurrent N] [--max-vectors N]
-//!               [--trace-jobs]
-//! limscan client <socket> [request-json]
+//!               [--trace-jobs] [--max-frame-bytes N] [--read-timeout SECS]
+//!               [--write-timeout SECS] [--max-conns N] [--limit key=value]...
+//! limscan client <socket> [request-json] [--retry N] [--retry-base-ms M]
 //! ```
 //!
 //! `analyze` runs the static analysis passes (dominators, implication
@@ -63,9 +64,23 @@
 //! (JSONL wire protocol, see `limscan_serve::proto`), scheduling jobs in
 //! checkpoint-budget slices of `--slice` boundaries each across
 //! `--workers` threads, with durable job state under `<state-dir>` that
-//! survives restart and SIGKILL. `client` sends one request line (or
-//! stdin lines) to a running daemon and prints the response(s); it exits 1
-//! when any response carries `"ok":false`.
+//! survives restart and SIGKILL. The daemon defends itself against
+//! hostile clients: request frames are capped (`--max-frame-bytes`,
+//! default 16 MiB — an over-long frame gets a `too_large` error and the
+//! connection closes), idle or trickling connections are reclaimed by
+//! read/write timeouts (`--read-timeout`/`--write-timeout`, default 30 s),
+//! connections past `--max-conns` (default 64) are shed with an
+//! `overloaded` error, and submitted netlists parse under resource
+//! ceilings tightenable with repeated `--limit key=value` flags (keys:
+//! source-bytes, line-bytes, nets, fanin, cover-rows, subckt-depth,
+//! subckt-instances).
+//!
+//! `client` sends one request line (or stdin lines) to a running daemon
+//! and prints the response(s); it exits 1 when any response carries
+//! `"ok":false`. Connect failures are retried `--retry` times (default 5)
+//! under capped exponential backoff starting at `--retry-base-ms`
+//! (default 25), so a client started alongside the daemon does not race
+//! its socket creation.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -134,8 +149,9 @@ const USAGE: &str = "usage:
   limscan equiv --self-check [--trace out.jsonl] [--metrics]
   limscan serve <state-dir> [--socket PATH] [--workers N] [--slice K]
                 [--max-queued N] [--max-concurrent N] [--max-vectors N]
-                [--trace-jobs]
-  limscan client <socket> [request-json]
+                [--trace-jobs] [--max-frame-bytes N] [--read-timeout SECS]
+                [--write-timeout SECS] [--max-conns N] [--limit key=value]...
+  limscan client <socket> [request-json] [--retry N] [--retry-base-ms M]
 
 exit status: 0 complete, 1 difference found by `equiv` (or a failed
 `client` request), 2 error, 3 stopped at a budget limit (partial result
@@ -1035,15 +1051,59 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             })
             .transpose()?,
     };
+    let mut limits = limscan::netlist::ParseLimits::default();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--limit" {
+            let spec = args
+                .get(i + 1)
+                .ok_or("--limit needs a key=value argument")?;
+            limits.apply(spec)?;
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
     let cfg = ServerConfig {
         workers: parse_flag(args, "--workers", 2)?,
         slice_checkpoints: parse_flag(args, "--slice", 1)?,
         quota,
         trace_jobs: args.iter().any(|a| a == "--trace-jobs"),
+        limits,
         ..ServerConfig::new(dir)
     };
     if cfg.workers == 0 {
         return Err("--workers must be at least 1".into());
+    }
+    let transport_defaults = limscan_serve::socket::SocketConfig::default();
+    let timeout_flag =
+        |flag: &str, default: Option<Duration>| -> Result<Option<Duration>, String> {
+            match flag_value(args, flag) {
+                None => Ok(default),
+                Some(v) => {
+                    let secs: f64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid value `{v}` for {flag}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(format!("invalid value `{v}` for {flag}"));
+                    }
+                    // 0 disables the timeout.
+                    Ok((secs > 0.0).then(|| Duration::from_secs_f64(secs)))
+                }
+            }
+        };
+    let transport = limscan_serve::socket::SocketConfig {
+        max_frame_bytes: parse_flag(
+            args,
+            "--max-frame-bytes",
+            transport_defaults.max_frame_bytes,
+        )?,
+        read_timeout: timeout_flag("--read-timeout", transport_defaults.read_timeout)?,
+        write_timeout: timeout_flag("--write-timeout", transport_defaults.write_timeout)?,
+        max_connections: parse_flag(args, "--max-conns", transport_defaults.max_connections)?,
+    };
+    if transport.max_connections == 0 {
+        return Err("--max-conns must be at least 1".into());
     }
     let socket = flag_value(args, "--socket").map_or_else(
         || Path::new(dir).join("serve.sock"),
@@ -1056,7 +1116,8 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         jobs.len(),
         socket.display()
     );
-    limscan_serve::socket::serve(recovered, &socket).map_err(|e| format!("socket error: {e}"))?;
+    limscan_serve::socket::serve_with(recovered, &socket, &transport)
+        .map_err(|e| format!("socket error: {e}"))?;
     eprintln!("limscan serve: stopped");
     Ok(ExitCode::SUCCESS)
 }
@@ -1066,7 +1127,31 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("client: missing socket path")?;
-    let lines: Vec<String> = match args.get(1) {
+    let policy = limscan_serve::socket::RetryPolicy {
+        retries: parse_flag(
+            args,
+            "--retry",
+            limscan_serve::socket::RetryPolicy::default().retries,
+        )?,
+        base: Duration::from_millis(parse_flag(args, "--retry-base-ms", 25u64)?),
+        ..limscan_serve::socket::RetryPolicy::default()
+    };
+    // The request line is the first non-flag argument after the socket.
+    let value_flags = ["--retry", "--retry-base-ms"];
+    let mut inline: Option<&String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if value_flags.contains(&a.as_str()) {
+            i += 2;
+        } else if a.starts_with("--") {
+            i += 1;
+        } else {
+            inline = Some(a);
+            break;
+        }
+    }
+    let lines: Vec<String> = match inline {
         Some(line) => vec![line.clone()],
         None => std::io::stdin()
             .lines()
@@ -1075,7 +1160,7 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
     };
     let mut failed = false;
     for line in lines.iter().filter(|l| !l.trim().is_empty()) {
-        let response = limscan_serve::socket::request(Path::new(sock), line)
+        let response = limscan_serve::socket::request_retry(Path::new(sock), line, &policy)
             .map_err(|e| format!("{sock}: {e}"))?;
         println!("{response}");
         let ok = limscan_serve::Json::parse(&response)

@@ -1,6 +1,7 @@
 //! Job specifications, states, and their on-disk metadata format.
 
 use limscan::netlist::bench_format;
+use limscan::netlist::ParseLimits;
 use limscan::scan::program::parse_program;
 use limscan::{benchmarks, Circuit, FlowConfig, ObsHandle, ScanCircuit, TestSequence};
 
@@ -93,8 +94,19 @@ impl JobSpec {
     ///
     /// A description of the parse failure or unknown benchmark name.
     pub fn resolve_circuit(&self) -> Result<Circuit, String> {
+        self.resolve_circuit_with(&ParseLimits::default())
+    }
+
+    /// [`JobSpec::resolve_circuit`] under an explicit parse budget, so a
+    /// daemon can cap what an inline `bench` payload may allocate.
+    ///
+    /// # Errors
+    ///
+    /// A description of the parse failure, crossed resource ceiling, or
+    /// unknown benchmark name.
+    pub fn resolve_circuit_with(&self, limits: &ParseLimits) -> Result<Circuit, String> {
         match &self.bench {
-            Some(text) => bench_format::parse_raw(&self.circuit, text)
+            Some(text) => bench_format::parse_raw_limited(&self.circuit, text, limits)
                 .build()
                 .map_err(|e| e.to_string()),
             None => benchmarks::load(&self.circuit)
@@ -126,10 +138,20 @@ impl JobSpec {
     ///
     /// A description of the first admission failure.
     pub fn validate(&self) -> Result<Option<TestSequence>, String> {
+        self.validate_with(&ParseLimits::default())
+    }
+
+    /// [`JobSpec::validate`] under an explicit parse budget for the inline
+    /// `bench` payload.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first admission failure.
+    pub fn validate_with(&self, limits: &ParseLimits) -> Result<Option<TestSequence>, String> {
         if self.tenant.is_empty() {
             return Err("tenant must be non-empty".into());
         }
-        let circuit = self.resolve_circuit()?;
+        let circuit = self.resolve_circuit_with(limits)?;
         if circuit.dffs().is_empty() {
             return Err(format!(
                 "circuit `{}` has no flip-flops; nothing to scan",

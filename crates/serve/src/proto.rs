@@ -44,6 +44,19 @@ fn err(message: &str) -> Json {
     ])
 }
 
+/// An error response carrying a machine-readable `code` alongside the
+/// human-readable `error`. The transport layer uses `"too_large"` for a
+/// frame past the size cap and `"overloaded"` when the connection cap
+/// sheds a client; verbs keep the bare [`err`] shape.
+#[must_use]
+pub fn coded_err(code: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::str(message)),
+        ("code".into(), Json::str(code)),
+    ])
+}
+
 fn totals_json(totals: &MetricTotals) -> Json {
     let mut members: Vec<(String, Json)> = totals
         .nonzero()

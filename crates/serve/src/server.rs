@@ -86,6 +86,9 @@ pub struct ServerConfig {
     /// Write a `trace-NNN.jsonl` span/metric trace per slice into the job
     /// directory (needs the `trace` feature).
     pub trace_jobs: bool,
+    /// Parse budget applied to inline `bench` payloads at admission, so a
+    /// hostile submit cannot make the daemon build an unbounded netlist.
+    pub limits: limscan::netlist::ParseLimits,
 }
 
 impl ServerConfig {
@@ -99,6 +102,7 @@ impl ServerConfig {
             slice_checkpoints: 1,
             quota: TenantQuota::default(),
             trace_jobs: false,
+            limits: limscan::netlist::ParseLimits::default(),
         }
     }
 
@@ -246,7 +250,7 @@ impl Server {
     ///
     /// The rejection reason (validation failure or quota exhaustion).
     pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
-        spec.validate()?;
+        spec.validate_with(&self.shared.cfg.limits)?;
         let mut state = self.lock();
         if state.shutdown {
             return Err("server is shutting down".into());

@@ -27,25 +27,18 @@ LIMSCAN=target/release/limscan
 STATE="$WORK/state"
 SOCK="$WORK/serve.sock"
 
-client() { "$LIMSCAN" client "$SOCK" "$1"; }
-
-# Probe with a real request, not just the socket file: the file appears
-# at bind(2), a beat before listen(2) accepts connections.
-wait_for_socket() {
-    for _ in $(seq 1 400); do
-        if [ -S "$SOCK" ] && client '{"verb":"list"}' >/dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.025
-    done
-    echo "FAIL: daemon socket never accepted a connection"; exit 1
-}
+# The client's built-in connect retry (capped exponential backoff)
+# absorbs the daemon-startup race; --retry 12 covers several seconds of
+# slow startup without a shell polling loop.
+client() { "$LIMSCAN" client "$SOCK" --retry 12 "$1"; }
 
 start_daemon() {
     "$LIMSCAN" serve "$STATE" --socket "$SOCK" --workers 2 --slice 1 \
         2>"$WORK/daemon.log" &
     DAEMON_PID=$!
-    wait_for_socket
+    # First request retries until the daemon is accepting connections.
+    client '{"verb":"list"}' >/dev/null \
+        || { echo "FAIL: daemon socket never accepted a connection"; exit 1; }
 }
 
 expect_ok() { # $1 = response, $2 = what

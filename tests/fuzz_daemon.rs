@@ -1,0 +1,349 @@
+//! Hostile-client fuzzing of a live `limscan serve` daemon.
+//!
+//! Each test starts a real daemon (in-process, on a scratch Unix socket)
+//! under deliberately small transport caps and attacks it the way a
+//! broken or malicious client would: thousands of seeded junk frames,
+//! frames past the size cap, slow-loris connections past the connection
+//! cap, and injected connect failures against the client's retry path.
+//! The invariant is always the same — the daemon answers with typed
+//! errors, reclaims the connection, and keeps serving well-formed
+//! requests afterwards; nothing panics and no state tears.
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use limscan_serve::socket::{self, RetryPolicy, SocketConfig};
+use limscan_serve::{Json, Server, ServerConfig};
+
+/// A fresh scratch directory per daemon.
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "limscan-fuzz-daemon-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A daemon on a scratch socket, torn down (via `shutdown`) on drop.
+struct Daemon {
+    sock: PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    fn start(tag: &str, cfg: SocketConfig) -> Daemon {
+        let dir = scratch(tag);
+        let sock = dir.join("fuzz.sock");
+        let server = Server::start(ServerConfig::new(&dir)).expect("daemon starts");
+        let thread = {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                socket::serve_with(server, &sock, &cfg).expect("daemon serves");
+            })
+        };
+        Daemon {
+            sock,
+            thread: Some(thread),
+        }
+    }
+
+    /// One request with startup-race retries; panics on transport failure.
+    fn request(&self, line: &str) -> String {
+        socket::request_retry(
+            &self.sock,
+            line,
+            &RetryPolicy {
+                retries: 10,
+                base: Duration::from_millis(5),
+                ..RetryPolicy::default()
+            },
+        )
+        .expect("request round-trips")
+    }
+
+    /// The daemon must still answer `list` with `ok:true`.
+    fn assert_alive(&self) {
+        let response = self.request("{\"verb\":\"list\"}");
+        let v = Json::parse(&response).expect("list response parses");
+        assert_eq!(
+            v.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = socket::request_retry(
+            &self.sock,
+            "{\"verb\":\"shutdown\"}",
+            &RetryPolicy {
+                retries: 10,
+                base: Duration::from_millis(5),
+                ..RetryPolicy::default()
+            },
+        );
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// SplitMix64, matching the corpus generator in `fuzz_inputs.rs`.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A junk frame that is never a valid `shutdown` (the only verb that
+/// would end the daemon mid-test) and always fits the test frame cap, so
+/// one connection can carry a long conversation of them.
+fn junk_frame(rng: &mut Mix) -> Vec<u8> {
+    let mut frame: Vec<u8> = match rng.below(8) {
+        0 => (0..rng.below(40))
+            .map(|_| (rng.next() & 0xff) as u8)
+            .collect(),
+        1 => b"{\"verb\":\"status\"}".to_vec(),
+        2 => format!("{{\"verb\":\"cancel\",\"job\":{}}}", rng.next()).into_bytes(),
+        3 => b"{\"verb\":\"submit\",\"tenant\":\"t\",\"kind\":\"generate\",\"circuit\":\"nope\"}"
+            .to_vec(),
+        4 => vec![b'[', b'['],
+        5 => b"\xff\xfe\x00garbage".to_vec(),
+        6 => format!("{{\"verb\":\"frob{}\"}}", rng.below(10)).into_bytes(),
+        _ => {
+            let mut v = b"{\"pad\":\"".to_vec();
+            v.extend(std::iter::repeat_n(b'x', rng.below(96)));
+            v.extend_from_slice(b"\"}");
+            v
+        }
+    };
+    // Keep the frame↔response pairing exact: no embedded newlines (they
+    // would split into extra frames) and never whitespace-only (the
+    // daemon skips blank frames without answering).
+    for b in &mut frame {
+        if *b == b'\n' || *b == b'\r' {
+            *b = b'?';
+        }
+    }
+    if String::from_utf8_lossy(&frame).trim().is_empty() {
+        frame.push(b'!');
+    }
+    frame
+}
+
+/// 10k seeded junk frames, batched over many connections: every frame
+/// gets exactly one response line, the responses are well-formed JSON
+/// objects carrying `ok`, and the daemon still serves afterwards.
+#[test]
+fn ten_thousand_junk_frames_get_typed_answers() {
+    let daemon = Daemon::start(
+        "junk",
+        SocketConfig {
+            max_frame_bytes: 1024,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 8,
+        },
+    );
+    daemon.assert_alive();
+    let mut rng = Mix(0xf00d);
+    let mut answered = 0u64;
+    for _ in 0..100 {
+        let stream = UnixStream::connect(&daemon.sock).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        for _ in 0..100 {
+            let frame = junk_frame(&mut rng);
+            writer.write_all(&frame).expect("write frame");
+            writer.write_all(b"\n").expect("write newline");
+            writer.flush().expect("flush");
+            let mut response = String::new();
+            let n = reader.read_line(&mut response).expect("read response");
+            assert!(n > 0, "daemon closed mid-conversation");
+            let v = Json::parse(response.trim()).expect("response is JSON");
+            assert!(
+                v.get("ok").and_then(Json::as_bool).is_some(),
+                "response without ok: {response}"
+            );
+            answered += 1;
+        }
+    }
+    assert_eq!(answered, 10_000);
+    daemon.assert_alive();
+}
+
+/// A frame past the cap gets the typed `too_large` error, then the
+/// connection closes; the daemon keeps serving other clients.
+#[test]
+fn oversized_frame_gets_too_large_then_close() {
+    let daemon = Daemon::start(
+        "toolarge",
+        SocketConfig {
+            max_frame_bytes: 4096,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 8,
+        },
+    );
+    daemon.assert_alive();
+    let stream = UnixStream::connect(&daemon.sock).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    // 64 KiB without a newline — 16x the cap. The daemon answers as soon
+    // as the cap is crossed, so tolerate EPIPE on the tail of the flood.
+    let chunk = [b'a'; 1024];
+    for _ in 0..64 {
+        if writer.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .expect("read error response");
+    let v = Json::parse(response.trim()).expect("too_large response parses");
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{response}"
+    );
+    assert_eq!(
+        v.get("code").and_then(Json::as_str),
+        Some("too_large"),
+        "{response}"
+    );
+    // After the typed answer the connection is closed, not re-framed.
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection stayed open after too_large");
+    daemon.assert_alive();
+}
+
+/// Twice as many connections as the cap: the excess is shed with the
+/// typed `overloaded` error, idle holders are reclaimed by the read
+/// timeout, and the daemon serves normally afterwards.
+#[test]
+fn slow_loris_past_connection_cap_is_shed_and_reaped() {
+    let daemon = Daemon::start(
+        "loris",
+        SocketConfig {
+            max_frame_bytes: 4096,
+            // Long enough that the holders survive the shed phase even on
+            // a loaded machine, short enough to watch them be reclaimed.
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_connections: 4,
+        },
+    );
+    // No probe request first: a just-finished handler's accounting could
+    // otherwise race the cap check and shed one of the holders. The first
+    // holder retries connect until the daemon's socket is listening.
+    // Each holder writes one byte so its handler is demonstrably
+    // mid-frame, not just idle.
+    let mut holders = Vec::new();
+    for attempt in 0.. {
+        match UnixStream::connect(&daemon.sock) {
+            Ok(s) => {
+                holders.push(s);
+                break;
+            }
+            Err(_) if attempt < 200 => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("daemon socket never appeared: {e}"),
+        }
+    }
+    while holders.len() < 4 {
+        holders.push(UnixStream::connect(&daemon.sock).expect("holder connects"));
+    }
+    for s in &mut holders {
+        s.write_all(b"x").expect("dribble");
+        s.flush().expect("flush");
+    }
+    // Unix sockets accept in connect order, so by the time the daemon
+    // reaches these four the holders are active and the cap is hit.
+    let mut shed = 0;
+    for _ in 0..4 {
+        let s = UnixStream::connect(&daemon.sock).expect("excess connects");
+        let mut reader = BufReader::new(s);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read shed response");
+        let v = Json::parse(response.trim()).expect("overloaded response parses");
+        assert_eq!(
+            v.get("code").and_then(Json::as_str),
+            Some("overloaded"),
+            "{response}"
+        );
+        shed += 1;
+    }
+    assert_eq!(shed, 4);
+    // The read timeout reclaims the loris connections...
+    std::thread::sleep(Duration::from_millis(2500));
+    for mut s in holders {
+        let mut buf = [0u8; 16];
+        assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "loris not disconnected");
+    }
+    // ...and capacity is back.
+    daemon.assert_alive();
+}
+
+/// The client retry path: injected connect failures are absorbed by the
+/// backoff policy, and a policy with too few retries surfaces the error.
+/// Needs the `fail-inject` feature (the chaos build).
+#[cfg(feature = "fail-inject")]
+#[test]
+fn connect_retry_absorbs_injected_failures() {
+    use limscan::FailPlan;
+
+    let daemon = Daemon::start("retry", SocketConfig::default());
+    daemon.assert_alive();
+    let fast = RetryPolicy {
+        retries: 5,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(8),
+        seed: 7,
+    };
+    {
+        // 3 injected failures, 5 retries: the request must get through.
+        let _guard = FailPlan {
+            connect_failures: Some(3),
+            ..FailPlan::default()
+        }
+        .arm();
+        let response = socket::request_retry(&daemon.sock, "{\"verb\":\"list\"}", &fast)
+            .expect("retries absorb injected connect failures");
+        let v = Json::parse(&response).expect("response parses");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    {
+        // More failures than retries: the typed connect error surfaces.
+        let _guard = FailPlan {
+            connect_failures: Some(10),
+            ..FailPlan::default()
+        }
+        .arm();
+        let err = socket::request_retry(&daemon.sock, "{\"verb\":\"list\"}", &fast)
+            .expect_err("exhausted retries must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+    // Guard dropped: the daemon is reachable again (Drop sends shutdown).
+    daemon.assert_alive();
+}
